@@ -1,0 +1,354 @@
+//! Concurrent linked queue — the zEC12 constrained-transaction experiment
+//! (Section 6.1, Figure 6).
+//!
+//! The paper applied constrained transactions to the enqueue/dequeue
+//! operations of Java's `ConcurrentLinkedQueue` and compared four
+//! implementations under an alternating enqueue/dequeue workload:
+//!
+//! * **LockFree** — the original Michael–Scott non-blocking queue (CAS
+//!   based), the baseline,
+//! * **NoRetryTM** — normal transactions with *no* retry: on abort, fall
+//!   back to the lock-free path immediately,
+//! * **OptRetryTM** — normal transactions with a tuned retry count,
+//! * **ConstrainedTM** — zEC12 constrained transactions (≤ 32 accesses,
+//!   ≤ 256 B footprint; guaranteed to commit, no fallback needed).
+//!
+//! The transactional paths shorten the code path: an enqueue is two stores
+//! after two loads, versus the CAS dance of the lock-free version.
+
+use htm_core::{TxResult, WordAddr};
+use htm_runtime::{RetryPolicy, Sim, ThreadCtx};
+
+/// Queue node: `[next, value]`.
+const NODE_NEXT: u32 = 0;
+const NODE_VALUE: u32 = 1;
+const NODE_WORDS: u32 = 2;
+
+/// Queue header: `[head, tail]`, each on its own line would be kinder, but
+/// the Java queue keeps them adjacent; we follow the paper's object.
+const HDR_HEAD: u32 = 0;
+const HDR_TAIL: u32 = 1;
+const HDR_WORDS: u32 = 2;
+
+/// The queue implementation being measured (Figure 6 series).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueImpl {
+    /// Michael–Scott lock-free baseline.
+    LockFree,
+    /// One transactional attempt, then the lock-free path.
+    NoRetryTm,
+    /// Transactions with a tuned retry budget, then the lock-free path.
+    OptRetryTm {
+        /// Hardware retries before reverting to the lock-free path.
+        retries: u32,
+    },
+    /// zEC12 constrained transactions (no fallback path at all).
+    ConstrainedTm,
+}
+
+impl std::fmt::Display for QueueImpl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueImpl::LockFree => write!(f, "LockFree"),
+            QueueImpl::NoRetryTm => write!(f, "NoRetryTM"),
+            QueueImpl::OptRetryTm { retries } => write!(f, "OptRetryTM({retries})"),
+            QueueImpl::ConstrainedTm => write!(f, "ConstrainedTM"),
+        }
+    }
+}
+
+/// A concurrent FIFO queue in simulated memory supporting all four
+/// implementations of the Figure-6 comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcurrentQueue {
+    hdr: WordAddr,
+}
+
+impl ConcurrentQueue {
+    /// Allocates the queue with its initial dummy node (Michael–Scott
+    /// queues are never empty).
+    pub fn create(sim: &Sim) -> ConcurrentQueue {
+        let alloc = sim.alloc();
+        let hdr = alloc.alloc_aligned(HDR_WORDS, 64);
+        let dummy = alloc.alloc_aligned(NODE_WORDS, 64);
+        sim.write_word(dummy.offset(NODE_NEXT), 0);
+        sim.write_word(dummy.offset(NODE_VALUE), 0);
+        sim.write_word(hdr.offset(HDR_HEAD), dummy.to_repr());
+        sim.write_word(hdr.offset(HDR_TAIL), dummy.to_repr());
+        ConcurrentQueue { hdr }
+    }
+
+    // ------------------------------------------------------------------
+    // Lock-free (Michael–Scott) path
+    // ------------------------------------------------------------------
+
+    /// Lock-free enqueue (the baseline and the TM fallback path).
+    pub fn enqueue_lockfree(&self, ctx: &mut ThreadCtx, value: u64) {
+        let node = ctx.alloc(NODE_WORDS);
+        ctx.write_word(node.offset(NODE_VALUE), value);
+        ctx.write_word(node.offset(NODE_NEXT), 0);
+        loop {
+            let tail = WordAddr::from_repr(ctx.read_word(self.hdr.offset(HDR_TAIL)));
+            let next = ctx.read_word(tail.offset(NODE_NEXT));
+            let tail_now = ctx.read_word(self.hdr.offset(HDR_TAIL));
+            if tail.to_repr() != tail_now {
+                continue; // tail moved under us
+            }
+            if next == 0 {
+                if ctx.cas_word(tail.offset(NODE_NEXT), 0, node.to_repr()).is_ok() {
+                    // Swing the tail (may fail if someone helped).
+                    let _ = ctx.cas_word(self.hdr.offset(HDR_TAIL), tail.to_repr(), node.to_repr());
+                    return;
+                }
+            } else {
+                // Help the stalled enqueuer.
+                let _ = ctx.cas_word(self.hdr.offset(HDR_TAIL), tail.to_repr(), next);
+            }
+        }
+    }
+
+    /// Lock-free dequeue.
+    pub fn dequeue_lockfree(&self, ctx: &mut ThreadCtx) -> Option<u64> {
+        loop {
+            let head = WordAddr::from_repr(ctx.read_word(self.hdr.offset(HDR_HEAD)));
+            let tail = ctx.read_word(self.hdr.offset(HDR_TAIL));
+            let next = ctx.read_word(head.offset(NODE_NEXT));
+            let head_now = ctx.read_word(self.hdr.offset(HDR_HEAD));
+            if head.to_repr() != head_now {
+                continue;
+            }
+            if head.to_repr() == tail {
+                if next == 0 {
+                    return None; // empty
+                }
+                // Tail lagging: help.
+                let _ = ctx.cas_word(self.hdr.offset(HDR_TAIL), tail, next);
+                continue;
+            }
+            let next_addr = WordAddr::from_repr(next);
+            let value = ctx.read_word(next_addr.offset(NODE_VALUE));
+            if ctx.cas_word(self.hdr.offset(HDR_HEAD), head.to_repr(), next).is_ok() {
+                return Some(value);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transactional paths
+    // ------------------------------------------------------------------
+
+    /// The transactional enqueue body: append at the tail if the tail's
+    /// next pointer is null (the constrained-transaction-friendly fast
+    /// path); signal `Explicit` abort otherwise so the caller falls back.
+    fn tx_enqueue_body(
+        &self,
+        tx: &mut htm_runtime::Tx<'_>,
+        node: WordAddr,
+    ) -> TxResult<bool> {
+        let tail = WordAddr::from_repr(tx.load(self.hdr.offset(HDR_TAIL))?);
+        let next = tx.load(tail.offset(NODE_NEXT))?;
+        if next != 0 {
+            return Ok(false); // lagging tail: take the lock-free path
+        }
+        tx.store(tail.offset(NODE_NEXT), node.to_repr())?;
+        tx.store(self.hdr.offset(HDR_TAIL), node.to_repr())?;
+        Ok(true)
+    }
+
+    fn tx_dequeue_body(&self, tx: &mut htm_runtime::Tx<'_>) -> TxResult<Result<Option<u64>, ()>> {
+        let head = WordAddr::from_repr(tx.load(self.hdr.offset(HDR_HEAD))?);
+        let tail = tx.load(self.hdr.offset(HDR_TAIL))?;
+        let next = tx.load(head.offset(NODE_NEXT))?;
+        if head.to_repr() == tail {
+            if next == 0 {
+                return Ok(Ok(None));
+            }
+            return Ok(Err(())); // lagging tail: lock-free path handles helping
+        }
+        let next_addr = WordAddr::from_repr(next);
+        let value = tx.load(next_addr.offset(NODE_VALUE))?;
+        tx.store(self.hdr.offset(HDR_HEAD), next)?;
+        Ok(Ok(Some(value)))
+    }
+
+    /// Enqueues under the chosen implementation.
+    pub fn enqueue(&self, ctx: &mut ThreadCtx, imp: QueueImpl, value: u64) {
+        match imp {
+            QueueImpl::LockFree => self.enqueue_lockfree(ctx, value),
+            QueueImpl::NoRetryTm | QueueImpl::OptRetryTm { .. } => {
+                let retries = match imp {
+                    QueueImpl::OptRetryTm { retries } => retries,
+                    _ => 0,
+                };
+                let node = ctx.alloc(NODE_WORDS);
+                ctx.write_word(node.offset(NODE_VALUE), value);
+                ctx.write_word(node.offset(NODE_NEXT), 0);
+                let mut attempts = 0;
+                loop {
+                    match ctx.try_hardware(|tx| self.tx_enqueue_body(tx, node)) {
+                        Ok(true) => return,
+                        Ok(false) => break, // lagging tail
+                        Err(_) if attempts < retries => attempts += 1,
+                        Err(_) => break,
+                    }
+                }
+                // Fallback: the node is freshly ours, reuse it on the
+                // lock-free path by linking it manually.
+                self.enqueue_prelinked_lockfree(ctx, node);
+            }
+            QueueImpl::ConstrainedTm => {
+                let node = ctx.alloc(NODE_WORDS);
+                ctx.write_word(node.offset(NODE_VALUE), value);
+                ctx.write_word(node.offset(NODE_NEXT), 0);
+                let fast = ctx.atomic_constrained(|tx| self.tx_enqueue_body(tx, node));
+                if !fast {
+                    self.enqueue_prelinked_lockfree(ctx, node);
+                }
+            }
+        }
+    }
+
+    fn enqueue_prelinked_lockfree(&self, ctx: &mut ThreadCtx, node: WordAddr) {
+        loop {
+            let tail = WordAddr::from_repr(ctx.read_word(self.hdr.offset(HDR_TAIL)));
+            let next = ctx.read_word(tail.offset(NODE_NEXT));
+            if next == 0 {
+                if ctx.cas_word(tail.offset(NODE_NEXT), 0, node.to_repr()).is_ok() {
+                    let _ = ctx.cas_word(self.hdr.offset(HDR_TAIL), tail.to_repr(), node.to_repr());
+                    return;
+                }
+            } else {
+                let _ = ctx.cas_word(self.hdr.offset(HDR_TAIL), tail.to_repr(), next);
+            }
+        }
+    }
+
+    /// Dequeues under the chosen implementation.
+    pub fn dequeue(&self, ctx: &mut ThreadCtx, imp: QueueImpl) -> Option<u64> {
+        match imp {
+            QueueImpl::LockFree => self.dequeue_lockfree(ctx),
+            QueueImpl::NoRetryTm | QueueImpl::OptRetryTm { .. } => {
+                let retries = match imp {
+                    QueueImpl::OptRetryTm { retries } => retries,
+                    _ => 0,
+                };
+                let mut attempts = 0;
+                loop {
+                    match ctx.try_hardware(|tx| self.tx_dequeue_body(tx)) {
+                        Ok(Ok(v)) => return v,
+                        Ok(Err(())) => break,
+                        Err(_) if attempts < retries => attempts += 1,
+                        Err(_) => break,
+                    }
+                }
+                self.dequeue_lockfree(ctx)
+            }
+            QueueImpl::ConstrainedTm => {
+                match ctx.atomic_constrained(|tx| self.tx_dequeue_body(tx)) {
+                    Ok(v) => v,
+                    Err(()) => self.dequeue_lockfree(ctx),
+                }
+            }
+        }
+    }
+}
+
+/// Result of one Figure-6 cell.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueBenchResult {
+    /// Simulated cycles (max over workers).
+    pub cycles: u64,
+    /// Items flowing through the queue.
+    pub operations: u64,
+}
+
+/// Runs the Figure-6 workload: each of `threads` workers alternately
+/// enqueues and dequeues `ops_per_thread` pairs.
+pub fn run_queue_bench(
+    sim: &Sim,
+    imp: QueueImpl,
+    threads: u32,
+    ops_per_thread: u64,
+) -> QueueBenchResult {
+    let q = ConcurrentQueue::create(sim);
+    let stats = sim.run_parallel(threads, RetryPolicy::default(), |ctx| {
+        let tid = ctx.thread_id() as u64;
+        for i in 0..ops_per_thread {
+            q.enqueue(ctx, imp, tid * ops_per_thread + i + 1);
+            let _ = q.dequeue(ctx, imp);
+        }
+    });
+    QueueBenchResult { cycles: stats.cycles(), operations: threads as u64 * ops_per_thread * 2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_machine::Platform;
+
+    fn all_impls() -> [QueueImpl; 4] {
+        [
+            QueueImpl::LockFree,
+            QueueImpl::NoRetryTm,
+            QueueImpl::OptRetryTm { retries: 4 },
+            QueueImpl::ConstrainedTm,
+        ]
+    }
+
+    #[test]
+    fn fifo_single_thread_all_impls() {
+        for imp in all_impls() {
+            let sim = Sim::of(Platform::Zec12.config());
+            let q = ConcurrentQueue::create(&sim);
+            sim.run_parallel(1, RetryPolicy::default(), |ctx| {
+                for v in 1..=20u64 {
+                    q.enqueue(ctx, imp, v);
+                }
+                for v in 1..=20u64 {
+                    assert_eq!(q.dequeue(ctx, imp), Some(v), "{imp}");
+                }
+                assert_eq!(q.dequeue(ctx, imp), None, "{imp}");
+            });
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_no_loss_no_duplication() {
+        for imp in all_impls() {
+            let sim = Sim::of(Platform::Zec12.config());
+            let q = ConcurrentQueue::create(&sim);
+            let seen = std::sync::Mutex::new(Vec::new());
+            sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+                let tid = ctx.thread_id() as u64;
+                let mut got = Vec::new();
+                for i in 0..100u64 {
+                    q.enqueue(ctx, imp, tid * 1000 + i + 1);
+                    if let Some(v) = q.dequeue(ctx, imp) {
+                        got.push(v);
+                    }
+                }
+                // Drain stragglers.
+                while let Some(v) = q.dequeue(ctx, imp) {
+                    got.push(v);
+                }
+                seen.lock().unwrap().extend(got);
+            });
+            let mut all = seen.into_inner().unwrap();
+            all.sort_unstable();
+            let expected: Vec<u64> = (0..4u64)
+                .flat_map(|t| (0..100u64).map(move |i| t * 1000 + i + 1))
+                .collect();
+            let mut expected = expected;
+            expected.sort_unstable();
+            assert_eq!(all, expected, "{imp}: items lost or duplicated");
+        }
+    }
+
+    #[test]
+    fn queue_bench_runs_on_zec12() {
+        let sim = Sim::of(Platform::Zec12.config());
+        let r = run_queue_bench(&sim, QueueImpl::ConstrainedTm, 4, 50);
+        assert!(r.cycles > 0);
+        assert_eq!(r.operations, 400);
+    }
+}

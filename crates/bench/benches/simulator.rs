@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the simulator itself: transaction
+//! throughput per platform model, data-structure operation costs, and the
+//! conflict-detection substrate. These measure *host* performance of the
+//! simulator (how fast figures regenerate), not simulated speed-ups —
+//! those come from the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use htm_machine::Platform;
+use htm_runtime::{RetryPolicy, Sim, SimConfig};
+use tm_structs::{TmHashTable, TmRbTree};
+
+fn bench_tx_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tx_commit");
+    for platform in Platform::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(platform.short_name()),
+            &platform,
+            |b, p| {
+                let sim = Sim::new(SimConfig::new(p.config()).mem_words(1 << 16));
+                let a = sim.alloc().alloc(1);
+                b.iter(|| {
+                    sim.run_parallel(1, RetryPolicy::default(), |ctx| {
+                        for _ in 0..100 {
+                            ctx.atomic(|tx| {
+                                let v = tx.load(a)?;
+                                tx.store(a, v + 1)
+                            });
+                        }
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    c.bench_function("tx_commit_contended_4t", |b| {
+        let sim = Sim::new(SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 16));
+        let a = sim.alloc().alloc(1);
+        b.iter(|| {
+            sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+                for _ in 0..50 {
+                    ctx.atomic(|tx| {
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)
+                    });
+                }
+            })
+        });
+    });
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structures");
+    g.bench_function("rbtree_insert_get_1k", |b| {
+        b.iter(|| {
+            let sim = Sim::new(SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18));
+            let mut ctx = sim.seq_ctx();
+            let t = ctx.atomic(|tx| TmRbTree::create(tx));
+            ctx.atomic(|tx| {
+                for k in 0..1000u64 {
+                    t.insert(tx, (k * 2654435761) % 4096, k)?;
+                }
+                for k in 0..1000u64 {
+                    let _ = t.get(tx, (k * 2654435761) % 4096)?;
+                }
+                Ok(())
+            });
+        });
+    });
+    g.bench_function("hashtable_insert_get_1k", |b| {
+        b.iter(|| {
+            let sim = Sim::new(SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18));
+            let mut ctx = sim.seq_ctx();
+            let t = ctx.atomic(|tx| TmHashTable::create(tx, 1024));
+            ctx.atomic(|tx| {
+                for k in 0..1000u64 {
+                    t.insert(tx, k, k)?;
+                }
+                for k in 0..1000u64 {
+                    let _ = t.get(tx, k)?;
+                }
+                Ok(())
+            });
+        });
+    });
+    g.finish();
+}
+
+fn bench_stamp_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stamp_tiny_cell");
+    g.sample_size(10);
+    for bench in [stamp::BenchId::KmeansLow, stamp::BenchId::Ssca2] {
+        g.bench_with_input(BenchmarkId::from_parameter(bench.label()), &bench, |b, &id| {
+            let machine = Platform::Zec12.config();
+            let params = stamp::BenchParams {
+                threads: 2,
+                scale: stamp::Scale::Tiny,
+                ..Default::default()
+            };
+            b.iter(|| stamp::run_bench(id, stamp::Variant::Modified, &machine, &params));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tx_throughput,
+    bench_contended,
+    bench_structures,
+    bench_stamp_cell
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: retry-count sensitivity — how much of each platform's Figure-2
+//! performance comes from the paper's per-cell retry tuning (Section 3's
+//! claim that the retry mechanism "has a huge impact on the performance").
+//!
+//! Run: `cargo run --release -p htm-bench --bin ablation_retry`
+
+use htm_bench::{f2, machine_for, parse_args, render_table, save_tsv, tuned_policy};
+use htm_machine::Platform;
+use htm_runtime::RetryPolicy;
+use stamp::{BenchId, BenchParams, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let headers: Vec<String> =
+        ["cell", "no-retry", "uniform(4)", "tuned"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    for bench in [BenchId::KmeansHigh, BenchId::VacationHigh, BenchId::Intruder, BenchId::Yada] {
+        for platform in Platform::ALL {
+            let machine = machine_for(platform, bench);
+            let mut speeds = Vec::new();
+            for policy in [RetryPolicy::uniform(0), RetryPolicy::uniform(4), tuned_policy(platform, bench)] {
+                let params = BenchParams {
+                    threads: 4,
+                    policy,
+                    scale: opts.scale,
+                    seed: opts.seed,
+                    use_hle: false,
+                };
+                let r = stamp::run_bench(bench, Variant::Modified, &machine, &params);
+                speeds.push(r.speedup());
+            }
+            tsv.push(format!("{bench}\t{platform}\t{:.4}\t{:.4}\t{:.4}", speeds[0], speeds[1], speeds[2]));
+            rows.push(vec![
+                format!("{bench} {}", platform.short_name()),
+                f2(speeds[0]),
+                f2(speeds[1]),
+                f2(speeds[2]),
+            ]);
+            eprintln!("[retry] {bench} {platform}: {:.2}/{:.2}/{:.2}", speeds[0], speeds[1], speeds[2]);
+        }
+    }
+    render_table("Ablation: retry-policy sensitivity (4 threads)", &headers, &rows);
+    save_tsv("ablation_retry", "bench\tplatform\tno_retry\tuniform4\ttuned", &tsv);
+}

@@ -1,0 +1,44 @@
+//! Ablation: eager vs lazy lock subscription on Blue Gene/Q long-running
+//! mode (Section 3 notes BGQ checks the lock at the *end* in long-running
+//! mode — lazy subscription [12]). Compares the shipped lazy behaviour
+//! with a hypothetical eager-subscribing BGQ.
+//!
+//! Run: `cargo run --release -p htm-bench --bin ablation_subscription`
+
+use htm_bench::{f2, parse_args, pct, render_table, save_tsv, tuned_policy};
+use htm_machine::{BgqMode, MachineConfig, Platform};
+use stamp::{BenchId, BenchParams, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let headers: Vec<String> =
+        ["benchmark", "subscription", "speedup", "abort%", "serialization%"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    for bench in [BenchId::VacationHigh, BenchId::Intruder, BenchId::Genome, BenchId::Yada] {
+        for (label, mode) in [("lazy (long-running)", BgqMode::LongRunning), ("eager (short-running)", BgqMode::ShortRunning)] {
+            // The subscription discipline is tied to the running mode in the
+            // system software; comparing the modes isolates it together with
+            // the mode's cache behaviour, as on the real machine.
+            let machine = MachineConfig::blue_gene_q(mode);
+            let params = BenchParams {
+                threads: 4,
+                policy: tuned_policy(Platform::BlueGeneQ, bench),
+                scale: opts.scale,
+                seed: opts.seed,
+                use_hle: false,
+            };
+            let r = stamp::run_bench(bench, Variant::Modified, &machine, &params);
+            rows.push(vec![
+                bench.label().to_string(),
+                label.to_string(),
+                f2(r.speedup()),
+                pct(r.abort_ratio()),
+                pct(r.stats.serialization_ratio()),
+            ]);
+            tsv.push(format!("{bench}\t{label}\t{:.4}\t{:.4}", r.speedup(), r.abort_ratio()));
+        }
+    }
+    render_table("Ablation: Blue Gene/Q running mode / lock subscription", &headers, &rows);
+    save_tsv("ablation_subscription", "bench\tmode\tspeedup\tabort_ratio", &tsv);
+}

@@ -1,0 +1,48 @@
+//! Ablation: POWER8 TMCAM size sweep — the paper's Section-7
+//! recommendation ("increasing the transaction capacity is an obvious
+//! approach to enhance the POWER8 HTM system") made quantitative: how much
+//! would vacation and intruder gain from a larger CAM?
+//!
+//! Run: `cargo run --release -p htm-bench --bin ablation_tmcam`
+
+use htm_bench::{f2, parse_args, pct, render_table, save_tsv, tuned_policy};
+use htm_machine::{Platform, TrackerKind};
+use stamp::{BenchId, BenchParams, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let headers: Vec<String> =
+        ["benchmark", "entries", "capacity", "speedup", "capacity-abort%"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    for bench in [BenchId::VacationHigh, BenchId::Intruder, BenchId::Yada] {
+        for entries in [64u32, 128, 256, 512] {
+            let mut machine = Platform::Power8.config();
+            machine.tracker = TrackerKind::Tmcam { entries, line_bytes: 128 };
+            let params = BenchParams {
+                threads: 4,
+                policy: tuned_policy(Platform::Power8, bench),
+                scale: opts.scale,
+                seed: opts.seed,
+                use_hle: false,
+            };
+            let r = stamp::run_bench(bench, Variant::Original, &machine, &params);
+            let cap = r.stats.abort_ratio_of(htm_core::AbortCategory::Capacity);
+            rows.push(vec![
+                bench.label().to_string(),
+                entries.to_string(),
+                format!("{} KB", entries as u64 * 128 / 1024),
+                f2(r.speedup()),
+                pct(cap),
+            ]);
+            tsv.push(format!("{bench}\t{entries}\t{:.4}\t{cap:.4}", r.speedup()));
+            eprintln!("[tmcam] {bench} {entries}e: {:.2}", r.speedup());
+        }
+    }
+    render_table(
+        "Ablation: POWER8 TMCAM size (original STAMP variants, 4 threads)",
+        &headers,
+        &rows,
+    );
+    save_tsv("ablation_tmcam", "bench\tentries\tspeedup\tcapacity_abort_ratio", &tsv);
+}

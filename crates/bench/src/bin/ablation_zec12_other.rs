@@ -1,0 +1,38 @@
+//! Ablation: the zEC12 "cache-fetch-related" transient-abort rate — the
+//! undisclosed implementation restriction the paper found dominating
+//! zEC12's abort mix (Section 5.1). Sweeping the modelled per-store
+//! probability shows how much headroom removing it would buy (the paper's
+//! "Precise Conflict Detection" recommendation, Section 7).
+//!
+//! Run: `cargo run --release -p htm-bench --bin ablation_zec12_other`
+
+use htm_bench::{f2, parse_args, pct, render_table, save_tsv, tuned_policy};
+use htm_machine::Platform;
+use stamp::{BenchId, BenchParams, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let headers: Vec<String> =
+        ["benchmark", "p(restriction)/store", "speedup", "other-abort%"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    for bench in [BenchId::KmeansHigh, BenchId::VacationHigh, BenchId::Ssca2] {
+        for p in [0.0f64, 0.002, 0.004, 0.012] {
+            let mut machine = Platform::Zec12.config();
+            machine.restriction_abort_per_store = p;
+            let params = BenchParams {
+                threads: 4,
+                policy: tuned_policy(Platform::Zec12, bench),
+                scale: opts.scale,
+                seed: opts.seed,
+                use_hle: false,
+            };
+            let r = stamp::run_bench(bench, Variant::Modified, &machine, &params);
+            let other = r.stats.abort_ratio_of(htm_core::AbortCategory::Other);
+            rows.push(vec![bench.label().to_string(), format!("{p}"), f2(r.speedup()), pct(other)]);
+            tsv.push(format!("{bench}\t{p}\t{:.4}\t{other:.4}", r.speedup()));
+        }
+    }
+    render_table("Ablation: zEC12 cache-fetch-related abort rate", &headers, &rows);
+    save_tsv("ablation_zec12_other", "bench\tprob\tspeedup\tother_abort_ratio", &tsv);
+}

@@ -1,0 +1,71 @@
+//! Figures 10 and 11: 90-percentile transactional load/store sizes versus
+//! transaction-abort ratios. Footprints come from a traced sequential run
+//! (the paper's trace-tool methodology), mapped to each platform's
+//! conflict-detection line size; abort ratios come from the 4-thread runs.
+//!
+//! Run: `cargo run --release -p htm-bench --bin fig10_11 [--scale sim]`
+
+use htm_bench::{machine_for, parse_args, pct, render_table, run_cell, save_tsv};
+use htm_machine::Platform;
+use stamp::{BenchId, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let headers: Vec<String> = [
+        "bench/platform",
+        "p90 load",
+        "p90 store",
+        "abort%",
+        "load cap",
+        "store cap",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    for bench in BenchId::AVERAGED {
+        // One traced sequential run records footprints at all four
+        // granularities simultaneously.
+        let grans: Vec<u32> = Platform::ALL.iter().map(|p| machine_for(*p, bench).granularity).collect();
+        let tracer = stamp::trace_bench(
+            bench,
+            Variant::Modified,
+            &machine_for(Platform::IntelCore, bench),
+            opts.scale,
+            &grans,
+            opts.seed,
+        );
+        for (i, platform) in Platform::ALL.iter().enumerate() {
+            let machine = machine_for(*platform, bench);
+            let cell = run_cell(*platform, bench, Variant::Modified, 4, &opts);
+            let p90l = tracer.p90_load_bytes(i);
+            let p90s = tracer.p90_store_bytes(i);
+            rows.push(vec![
+                format!("{bench} {}", platform.short_name()),
+                format!("{:.1} KB", p90l as f64 / 1024.0),
+                format!("{:.2} KB", p90s as f64 / 1024.0),
+                pct(cell.abort_ratio),
+                format!("{:.0} KB", machine.load_capacity_bytes() as f64 / 1024.0),
+                format!("{:.0} KB", machine.store_capacity_bytes() as f64 / 1024.0),
+            ]);
+            tsv.push(format!(
+                "{bench}\t{platform}\t{p90l}\t{p90s}\t{:.4}\t{}\t{}",
+                cell.abort_ratio,
+                machine.load_capacity_bytes(),
+                machine.store_capacity_bytes()
+            ));
+            eprintln!("[fig10/11] {bench} {}: load {p90l}B store {p90s}B", platform.short_name());
+        }
+    }
+    render_table(
+        "Figures 10 & 11: 90-percentile transactional sizes vs abort ratios",
+        &headers,
+        &rows,
+    );
+    save_tsv(
+        "fig10_11",
+        "bench\tplatform\tp90_load_bytes\tp90_store_bytes\tabort_ratio\tload_capacity\tstore_capacity",
+        &tsv,
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 2: speed-up ratios of transactional over sequential execution
+//! with 4 threads, modified STAMP benchmarks, all four platforms.
+//!
+//! Also prints the serialization ratios discussed in Section 5.1 (yada:
+//! ~10 % on Blue Gene/Q vs ~20 % elsewhere).
+//!
+//! Run: `cargo run --release -p htm-bench --bin fig2 [--scale sim] [--reps N]`
+
+use htm_bench::{f2, geomean, parse_args, pct, render_table, run_cell, save_tsv};
+use htm_machine::Platform;
+use stamp::{BenchId, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let threads = 4;
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(Platform::ALL.iter().map(|p| p.short_name().to_string()));
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    let mut per_platform: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut serial_rows = Vec::new();
+
+    for bench in BenchId::ALL {
+        let mut row = vec![bench.label().to_string()];
+        let mut srow = vec![bench.label().to_string()];
+        for (pi, platform) in Platform::ALL.iter().enumerate() {
+            let cell = run_cell(*platform, bench, Variant::Modified, threads, &opts);
+            row.push(f2(cell.speedup));
+            srow.push(pct(cell.serialization));
+            tsv.push(format!(
+                "{bench}\t{platform}\t{:.4}\t{:.4}\t{:.4}",
+                cell.speedup, cell.abort_ratio, cell.serialization
+            ));
+            // bayes is excluded from the geomean (nondeterministic).
+            if bench != BenchId::Bayes {
+                per_platform[pi].push(cell.speedup);
+            }
+            eprintln!("[fig2] {bench} on {platform}: {:.2}x", cell.speedup);
+        }
+        rows.push(row);
+        serial_rows.push(srow);
+    }
+    let mut gm = vec!["geomean (excl. bayes)".to_string()];
+    for speedups in &per_platform {
+        gm.push(f2(geomean(speedups)));
+    }
+    rows.push(gm);
+
+    render_table(
+        "Figure 2: 4-thread speed-up over sequential (modified STAMP)",
+        &headers,
+        &rows,
+    );
+    render_table("Section 5.1: serialization ratios (%)", &headers, &serial_rows);
+    save_tsv("fig2", "bench\tplatform\tspeedup\tabort_ratio\tserialization", &tsv);
+}

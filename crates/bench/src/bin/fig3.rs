@@ -1,0 +1,49 @@
+//! Figure 3: transaction-abort ratios with 4 threads (modified STAMP),
+//! broken into capacity / data-conflict / other / lock-conflict segments
+//! (plus Blue Gene/Q's unclassified bucket).
+//!
+//! Run: `cargo run --release -p htm-bench --bin fig3 [--scale sim]`
+
+use htm_bench::{parse_args, pct, render_table, run_cell, save_tsv};
+use htm_machine::Platform;
+use stamp::{BenchId, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let headers: Vec<String> = [
+        "bench/platform",
+        "capacity%",
+        "conflict%",
+        "other%",
+        "lock%",
+        "unclassified%",
+        "total%",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    for bench in BenchId::ALL {
+        for platform in Platform::ALL {
+            let cell = run_cell(platform, bench, Variant::Modified, 4, &opts);
+            let mut row = vec![format!("{bench} {}", platform.short_name())];
+            for share in cell.abort_shares {
+                row.push(pct(share));
+            }
+            row.push(pct(cell.abort_ratio));
+            tsv.push(format!(
+                "{bench}\t{platform}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+                cell.abort_shares[0],
+                cell.abort_shares[1],
+                cell.abort_shares[2],
+                cell.abort_shares[3],
+                cell.abort_shares[4],
+                cell.abort_ratio
+            ));
+            rows.push(row);
+        }
+    }
+    render_table("Figure 3: abort-ratio breakdown, 4 threads (modified STAMP)", &headers, &rows);
+    save_tsv("fig3", "bench\tplatform\tcapacity\tconflict\tother\tlock\tunclassified\ttotal", &tsv);
+}

@@ -1,0 +1,61 @@
+//! Figure 4: original vs modified STAMP speed-ups with 4 threads
+//! (genome, intruder, kmeans, vacation — the benchmarks the paper fixed),
+//! plus the geometric mean over all benchmarks.
+//!
+//! Run: `cargo run --release -p htm-bench --bin fig4 [--scale sim]`
+
+use htm_bench::{f2, geomean, parse_args, render_table, run_cell, save_tsv};
+use htm_machine::Platform;
+use stamp::{BenchId, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let headers: Vec<String> =
+        ["bench/platform", "original", "modified", "gain"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    let mut gm: std::collections::HashMap<(Platform, Variant), Vec<f64>> =
+        std::collections::HashMap::new();
+
+    for bench in BenchId::MODIFIED_SET {
+        for platform in Platform::ALL {
+            let orig = run_cell(platform, bench, Variant::Original, 4, &opts);
+            let modi = run_cell(platform, bench, Variant::Modified, 4, &opts);
+            rows.push(vec![
+                format!("{bench} {}", platform.short_name()),
+                f2(orig.speedup),
+                f2(modi.speedup),
+                format!("{:.2}x", modi.speedup / orig.speedup.max(1e-9)),
+            ]);
+            tsv.push(format!(
+                "{bench}\t{platform}\t{:.4}\t{:.4}",
+                orig.speedup, modi.speedup
+            ));
+            gm.entry((platform, Variant::Original)).or_default().push(orig.speedup);
+            gm.entry((platform, Variant::Modified)).or_default().push(modi.speedup);
+            eprintln!("[fig4] {bench} {platform}: {:.2} -> {:.2}", orig.speedup, modi.speedup);
+        }
+    }
+    // Geomean rows include the unmodified benchmarks too (paper: "the
+    // geometric means are for all of the programs").
+    for bench in [BenchId::Labyrinth, BenchId::Ssca2, BenchId::Yada] {
+        for platform in Platform::ALL {
+            let cell = run_cell(platform, bench, Variant::Modified, 4, &opts);
+            gm.entry((platform, Variant::Original)).or_default().push(cell.speedup);
+            gm.entry((platform, Variant::Modified)).or_default().push(cell.speedup);
+        }
+    }
+    for platform in Platform::ALL {
+        let o = geomean(&gm[&(platform, Variant::Original)]);
+        let m = geomean(&gm[&(platform, Variant::Modified)]);
+        rows.push(vec![
+            format!("geomean {}", platform.short_name()),
+            f2(o),
+            f2(m),
+            format!("{:.2}x", m / o.max(1e-9)),
+        ]);
+        tsv.push(format!("geomean\t{platform}\t{o:.4}\t{m:.4}"));
+    }
+    render_table("Figure 4: original vs modified STAMP (4 threads)", &headers, &rows);
+    save_tsv("fig4", "bench\tplatform\toriginal\tmodified", &tsv);
+}

@@ -1,0 +1,38 @@
+//! Figure 5: scalability of the modified STAMP benchmarks with 1, 2, 4, 8
+//! and 16 threads on all four platforms (Intel Core stops at 8, its total
+//! SMT thread count, as in the paper).
+//!
+//! Run: `cargo run --release -p htm-bench --bin fig5 [--scale sim]`
+
+use htm_bench::{f2, parse_args, render_table, run_cell, save_tsv};
+use htm_machine::Platform;
+use stamp::{BenchId, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let threads = [1u32, 2, 4, 8, 16];
+    let mut tsv = Vec::new();
+    for bench in BenchId::ALL {
+        let mut headers = vec!["platform".to_string()];
+        headers.extend(threads.iter().map(|t| format!("{t}T")));
+        let mut rows = Vec::new();
+        for platform in Platform::ALL {
+            let hw = htm_bench::machine_for(platform, bench).hw_threads();
+            let mut row = vec![platform.short_name().to_string()];
+            for &t in &threads {
+                if t > hw {
+                    row.push("-".to_string());
+                    continue;
+                }
+                let cell = run_cell(platform, bench, Variant::Modified, t, &opts);
+                row.push(f2(cell.speedup));
+                tsv.push(format!("{bench}\t{platform}\t{t}\t{:.4}\t{:.4}\t{:.4}",
+                    cell.speedup, cell.abort_ratio, cell.serialization));
+                eprintln!("[fig5] {bench} {platform} {t}T: {:.2}", cell.speedup);
+            }
+            rows.push(row);
+        }
+        render_table(&format!("Figure 5: {bench} scalability"), &headers, &rows);
+    }
+    save_tsv("fig5", "bench\tplatform\tthreads\tspeedup\tabort_ratio\tserialization", &tsv);
+}

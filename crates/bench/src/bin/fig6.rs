@@ -1,0 +1,67 @@
+//! Figure 6: relative execution time of normal and constrained
+//! transactions against the lock-free ConcurrentLinkedQueue baseline on
+//! zEC12 (1–16 threads; lower is better).
+//!
+//! Run: `cargo run --release -p htm-bench --bin fig6`
+
+use htm_apps::{run_queue_bench, QueueImpl};
+use htm_bench::{parse_args, render_table, save_tsv};
+use htm_machine::Platform;
+use htm_runtime::Sim;
+
+fn main() {
+    let opts = parse_args();
+    let ops = match opts.scale {
+        stamp::Scale::Tiny => 200,
+        stamp::Scale::Sim => 2000,
+        stamp::Scale::Full => 20_000,
+    };
+    let threads = [1u32, 2, 4, 8, 16];
+    // "Opt" means tuned: pick the best retry count per thread count, as
+    // the paper did.
+    let retry_grid = [1u32, 2, 4, 8];
+    let mut headers = vec!["implementation".to_string()];
+    headers.extend(threads.iter().map(|t| format!("{t}T")));
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    let mut baselines = Vec::new();
+    for &t in &threads {
+        let sim = Sim::of(Platform::Zec12.config());
+        let r = run_queue_bench(&sim, QueueImpl::LockFree, t, ops);
+        baselines.push(r.cycles as f64);
+    }
+    for which in ["NoRetryTM", "OptRetryTM", "ConstrainedTM"] {
+        let mut row = vec![which.to_string()];
+        for (i, &t) in threads.iter().enumerate() {
+            let rel = match which {
+                "OptRetryTM" => retry_grid
+                    .iter()
+                    .map(|&retries| {
+                        let sim = Sim::of(Platform::Zec12.config());
+                        let r = run_queue_bench(&sim, QueueImpl::OptRetryTm { retries }, t, ops);
+                        r.cycles as f64 / baselines[i]
+                    })
+                    .fold(f64::INFINITY, f64::min),
+                "NoRetryTM" => {
+                    let sim = Sim::of(Platform::Zec12.config());
+                    run_queue_bench(&sim, QueueImpl::NoRetryTm, t, ops).cycles as f64 / baselines[i]
+                }
+                _ => {
+                    let sim = Sim::of(Platform::Zec12.config());
+                    run_queue_bench(&sim, QueueImpl::ConstrainedTm, t, ops).cycles as f64
+                        / baselines[i]
+                }
+            };
+            row.push(format!("{rel:.2}"));
+            tsv.push(format!("{which}\t{t}\t{rel:.4}"));
+            eprintln!("[fig6] {which} {t}T: {rel:.2}");
+        }
+        rows.push(row);
+    }
+    render_table(
+        "Figure 6: execution time relative to the lock-free queue (zEC12; lower is better)",
+        &headers,
+        &rows,
+    );
+    save_tsv("fig6", "impl\tthreads\trelative_time", &tsv);
+}

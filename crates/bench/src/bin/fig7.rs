@@ -1,0 +1,53 @@
+//! Figure 7: RTM vs HLE speed-ups over sequential execution on Intel Core
+//! with 4 threads (modified STAMP).
+//!
+//! RTM uses the tuned software retry mechanism; HLE has no software retry —
+//! one elided attempt, then the real lock.
+//!
+//! Run: `cargo run --release -p htm-bench --bin fig7 [--scale sim]`
+
+use htm_bench::{f2, geomean, machine_for, parse_args, render_table, run_cell, save_tsv, tuned_policy};
+use htm_machine::Platform;
+use stamp::{BenchId, BenchParams, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let headers: Vec<String> =
+        ["benchmark", "RTM", "HLE", "HLE/RTM"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    let (mut rtms, mut hles) = (Vec::new(), Vec::new());
+    for bench in BenchId::ALL {
+        let rtm = run_cell(Platform::IntelCore, bench, Variant::Modified, 4, &opts).speedup;
+        let machine = machine_for(Platform::IntelCore, bench);
+        let params = BenchParams {
+            threads: 4,
+            policy: tuned_policy(Platform::IntelCore, bench),
+            scale: opts.scale,
+            seed: opts.seed,
+            use_hle: false,
+        };
+        let hle = stamp::hle::run_bench_hle(bench, &machine, &params).speedup();
+        rows.push(vec![
+            bench.label().to_string(),
+            f2(rtm),
+            f2(hle),
+            format!("{:.0}%", 100.0 * hle / rtm.max(1e-9)),
+        ]);
+        tsv.push(format!("{bench}\t{rtm:.4}\t{hle:.4}"));
+        if bench != BenchId::Bayes {
+            rtms.push(rtm);
+            hles.push(hle);
+        }
+        eprintln!("[fig7] {bench}: RTM {rtm:.2} HLE {hle:.2}");
+    }
+    let (g_rtm, g_hle) = (geomean(&rtms), geomean(&hles));
+    rows.push(vec![
+        "geomean (excl. bayes)".to_string(),
+        f2(g_rtm),
+        f2(g_hle),
+        format!("{:.0}%", 100.0 * g_hle / g_rtm),
+    ]);
+    render_table("Figure 7: RTM vs HLE on Intel Core (4 threads)", &headers, &rows);
+    save_tsv("fig7", "bench\trtm\thle", &tsv);
+}

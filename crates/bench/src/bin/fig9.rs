@@ -1,0 +1,44 @@
+//! Figure 9: TLS speed-ups with and without the POWER8 suspend/resume
+//! instructions, on the milc- and sphinx-like loop kernels, 1–6 threads.
+//!
+//! Run: `cargo run --release -p htm-bench --bin fig9`
+
+use htm_apps::{TlsKernel, TlsLoop};
+use htm_bench::{parse_args, render_table, save_tsv};
+use htm_machine::Platform;
+use htm_runtime::Sim;
+
+fn main() {
+    let opts = parse_args();
+    let iters = match opts.scale {
+        stamp::Scale::Tiny => 64,
+        stamp::Scale::Sim => 1024,
+        stamp::Scale::Full => 8192,
+    };
+    let mut tsv = Vec::new();
+    for kernel in [TlsKernel::Milc, TlsKernel::Sphinx] {
+        let mut headers = vec!["variant".to_string()];
+        headers.extend((1..=6u32).map(|t| format!("{t}T")));
+        let mut rows = Vec::new();
+        let sim = Sim::of(Platform::Power8.config());
+        let l = TlsLoop::create(&sim, kernel, iters);
+        let (seq_cycles, seq_sum) = l.run_sequential(&sim);
+        for use_suspend in [false, true] {
+            let label = if use_suspend { "with suspend/resume" } else { "without suspend/resume" };
+            let mut row = vec![label.to_string()];
+            for t in 1..=6u32 {
+                let sim2 = Sim::of(Platform::Power8.config());
+                let l2 = TlsLoop::create(&sim2, kernel, iters);
+                let (cycles, sum, aborts) = l2.run_tls(&sim2, t, use_suspend);
+                assert_eq!(sum, seq_sum, "TLS must preserve sequential semantics");
+                let speedup = seq_cycles as f64 / cycles as f64;
+                row.push(format!("{speedup:.2}"));
+                tsv.push(format!("{kernel}\t{use_suspend}\t{t}\t{speedup:.4}\t{aborts:.4}"));
+                eprintln!("[fig9] {kernel} suspend={use_suspend} {t}T: {speedup:.2} (aborts {:.1}%)", aborts * 100.0);
+            }
+            rows.push(row);
+        }
+        render_table(&format!("Figure 9: TLS on POWER8 — {kernel}"), &headers, &rows);
+    }
+    save_tsv("fig9", "kernel\tsuspend\tthreads\tspeedup\tabort_ratio", &tsv);
+}

@@ -1,0 +1,59 @@
+//! Table 1: HTM implementation parameters of the four platforms.
+//!
+//! Run: `cargo run --release -p htm-bench --bin table1`
+
+use htm_bench::render_table;
+use htm_machine::Platform;
+
+fn bytes(b: u64) -> String {
+    if b >= 1024 * 1024 {
+        format!("{} MB", b / 1024 / 1024)
+    } else {
+        format!("{} KB", b / 1024)
+    }
+}
+
+fn main() {
+    let configs: Vec<_> = Platform::ALL.iter().map(|p| p.config()).collect();
+    let headers: Vec<String> = std::iter::once("Processor type".to_string())
+        .chain(configs.iter().map(|c| c.name.clone()))
+        .collect();
+    let row = |label: &str, f: &dyn Fn(&htm_machine::MachineConfig) -> String| {
+        let mut r = vec![label.to_string()];
+        r.extend(configs.iter().map(f));
+        r
+    };
+    let rows = vec![
+        row("Conflict-detection granularity", &|c| {
+            if c.platform == Platform::BlueGeneQ {
+                "8 - 128 bytes".to_string()
+            } else {
+                format!("{} bytes", c.granularity)
+            }
+        }),
+        row("Transactional-load capacity", &|c| {
+            if c.platform == Platform::BlueGeneQ {
+                format!("20 MB ({} per core)", bytes(c.load_capacity_bytes()))
+            } else {
+                bytes(c.load_capacity_bytes())
+            }
+        }),
+        row("Transactional-store capacity", &|c| {
+            if c.platform == Platform::BlueGeneQ {
+                format!("20 MB ({} per core)", bytes(c.store_capacity_bytes()))
+            } else {
+                bytes(c.store_capacity_bytes())
+            }
+        }),
+        row("L1 data cache", &|c| c.l1_desc.clone()),
+        row("L2 data cache", &|c| c.l2_desc.clone()),
+        row("SMT level", &|c| {
+            if c.smt == 1 { "None".to_string() } else { c.smt.to_string() }
+        }),
+        row("Kinds of abort reasons", &|c| {
+            if c.abort_reason_kinds == 0 { "-".to_string() } else { c.abort_reason_kinds.to_string() }
+        }),
+        row("Cores / GHz", &|c| format!("{} @ {:.1} GHz", c.cores, c.ghz)),
+    ];
+    render_table("Table 1: HTM implementations", &headers, &rows);
+}

@@ -1,0 +1,65 @@
+//! Retry-count tuner: the paper's methodology of grid-searching the three
+//! retry-counter maxima per (platform × benchmark) and reporting each
+//! system's best performance (Sections 3 and 5).
+//!
+//! Prints the best policy per cell; paste results into
+//! `htm_bench::tuned_policy` to refresh the static table.
+//!
+//! Run: `cargo run --release -p htm-bench --bin tune [--scale tiny]`
+
+use htm_bench::{machine_for, parse_args, render_table};
+use htm_machine::Platform;
+use stamp::{BenchId, BenchParams, Variant};
+use htm_runtime::RetryPolicy;
+
+fn main() {
+    let opts = parse_args();
+    let grid_small = [1u32, 2, 4];
+    let grid_big = [2u32, 8, 16];
+    let headers: Vec<String> =
+        ["cell", "lock", "persistent", "transient", "bgq", "speedup"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for bench in BenchId::AVERAGED {
+        for platform in Platform::ALL {
+            let machine = machine_for(platform, bench);
+            let mut best = (RetryPolicy::default(), f64::MIN);
+            let is_bgq = platform == Platform::BlueGeneQ;
+            for &l in &grid_small {
+                for &p in &grid_small {
+                    for &t in &grid_big {
+                        if is_bgq && (l != grid_small[0] || p != grid_small[0]) {
+                            continue; // Blue Gene/Q has a single counter
+                        }
+                        let pol = RetryPolicy {
+                            lock_retries: l,
+                            persistent_retries: p,
+                            transient_retries: t,
+                            bgq_retries: t,
+                        };
+                        let params = BenchParams {
+                            threads: 4,
+                            policy: pol,
+                            scale: opts.scale,
+                            seed: opts.seed,
+                            use_hle: false,
+                        };
+                        let r = stamp::run_bench(bench, Variant::Modified, &machine, &params);
+                        if r.speedup() > best.1 {
+                            best = (pol, r.speedup());
+                        }
+                    }
+                }
+            }
+            eprintln!("[tune] {bench} {platform}: best {:?} -> {:.2}", best.0, best.1);
+            rows.push(vec![
+                format!("{bench} {}", platform.short_name()),
+                best.0.lock_retries.to_string(),
+                best.0.persistent_retries.to_string(),
+                best.0.transient_retries.to_string(),
+                best.0.bgq_retries.to_string(),
+                format!("{:.2}", best.1),
+            ]);
+        }
+    }
+    render_table("Tuned retry counts (best speedup per cell)", &headers, &rows);
+}

@@ -1,0 +1,173 @@
+//! Simulated-cycle cost model.
+//!
+//! The paper's headline metric is *speed-up of transactional execution over
+//! sequential execution on the same machine*, so what matters is the ratio
+//! between transactional overheads and useful work, per platform. Each
+//! worker thread carries a [`Clock`] that accumulates simulated cycles;
+//! the transaction engine charges the costs in [`CostModel`], and benchmark
+//! code charges its compute via [`Clock::tick`]. Parallel runtime is the
+//! maximum over worker clocks; sequential runtime uses the same accounting
+//! without transactional overheads.
+//!
+//! The per-platform numbers live in `htm-machine` (they are part of the
+//! platform model); this module defines the schema and the clock.
+
+use std::cell::Cell;
+
+/// Per-platform cycle costs charged by the transaction engine.
+///
+/// These are *model parameters*, chosen to reproduce the relative overheads
+/// the paper reports (e.g. Blue Gene/Q's register-checkpointing system calls
+/// make `tbegin`/`tend` two orders of magnitude costlier than on zEC12 or
+/// Intel Core, which is what degrades its single-thread performance by ~40%
+/// in kmeans-high, Section 5.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Beginning a hardware transaction.
+    pub tbegin: u64,
+    /// Committing a hardware transaction.
+    pub tend: u64,
+    /// Hardware rollback on abort (not counting the software retry logic).
+    pub abort: u64,
+    /// A non-transactional load that hits in-cache.
+    pub load: u64,
+    /// A non-transactional store that hits in-cache.
+    pub store: u64,
+    /// Extra cycles for a *transactional* load over a plain one (e.g. Blue
+    /// Gene/Q short-running mode forces every transactional load to the L2).
+    pub tx_load_extra: u64,
+    /// Extra cycles for a transactional store over a plain one.
+    pub tx_store_extra: u64,
+    /// An access that misses the cache hierarchy (used by benchmarks that
+    /// mark streaming accesses, e.g. ssca2's inner loop).
+    pub mem_miss: u64,
+    /// Multiplier applied per *additional concurrent thread* to `mem_miss`,
+    /// modelling limited memory-level parallelism. The paper found the
+    /// desktop Intel machine noticeably weaker here (ssca2, Section 5.1).
+    pub mem_concurrency_penalty: f64,
+    /// One poll iteration while spinning on the global lock.
+    pub spin_poll: u64,
+    /// Acquiring/releasing the global fallback lock (the atomic op itself).
+    pub lock_op: u64,
+}
+
+impl CostModel {
+    /// A neutral cost model: single-cycle accesses, ten-cycle transaction
+    /// management, no SMT/memory penalties. Useful for unit tests.
+    pub fn uniform() -> CostModel {
+        CostModel {
+            tbegin: 10,
+            tend: 10,
+            abort: 10,
+            load: 1,
+            store: 1,
+            tx_load_extra: 0,
+            tx_store_extra: 0,
+            mem_miss: 100,
+            mem_concurrency_penalty: 0.0,
+            spin_poll: 5,
+            lock_op: 20,
+        }
+    }
+
+    /// Cost of a memory-miss access with `concurrent` other threads actively
+    /// running (models memory-bandwidth contention).
+    #[inline]
+    pub fn miss_cost(&self, concurrent: usize) -> u64 {
+        let factor = 1.0 + self.mem_concurrency_penalty * concurrent.saturating_sub(1) as f64;
+        (self.mem_miss as f64 * factor) as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::uniform()
+    }
+}
+
+/// A worker thread's simulated cycle counter.
+///
+/// Interior-mutable so that `&Clock` can be threaded through shared contexts.
+#[derive(Debug, Default)]
+pub struct Clock {
+    cycles: Cell<u64>,
+}
+
+impl Clock {
+    /// A clock at cycle zero.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Advances the clock by `cycles`.
+    #[inline]
+    pub fn tick(&self, cycles: u64) {
+        self.cycles.set(self.cycles.get() + cycles);
+    }
+
+    /// Current simulated time in cycles.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.cycles.get()
+    }
+
+    /// Advances the clock to at least `t` (synchronization points: lock
+    /// hand-off, phase barriers). A waiter resumes at the simulated time
+    /// its predecessor released, never earlier.
+    #[inline]
+    pub fn advance_to(&self, t: u64) {
+        if t > self.cycles.get() {
+            self.cycles.set(t);
+        }
+    }
+
+    /// Resets the clock to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.cycles.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accumulates() {
+        let c = Clock::new();
+        assert_eq!(c.now(), 0);
+        c.tick(5);
+        c.tick(7);
+        assert_eq!(c.now(), 12);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::new();
+        c.tick(10);
+        c.advance_to(5);
+        assert_eq!(c.now(), 10, "never rewinds");
+        c.advance_to(25);
+        assert_eq!(c.now(), 25);
+    }
+
+    #[test]
+    fn miss_cost_scales_with_concurrency() {
+        let mut m = CostModel::uniform();
+        m.mem_miss = 100;
+        m.mem_concurrency_penalty = 0.5;
+        assert_eq!(m.miss_cost(1), 100);
+        assert_eq!(m.miss_cost(2), 150);
+        assert_eq!(m.miss_cost(4), 250);
+        // Zero concurrent threads behaves like one.
+        assert_eq!(m.miss_cost(0), 100);
+    }
+
+    #[test]
+    fn uniform_model_has_no_penalties() {
+        let m = CostModel::uniform();
+        assert_eq!(m.tx_load_extra, 0);
+        assert_eq!(m.miss_cost(8), m.mem_miss);
+    }
+}

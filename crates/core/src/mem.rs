@@ -1,0 +1,1005 @@
+//! Simulated shared memory with line-granular conflict detection.
+//!
+//! All four HTM systems in the paper implement conflict detection on top of
+//! their cache coherence protocols: the hardware tracks, per cache line,
+//! which transactions have read it and which transaction (at most one) has
+//! speculatively written it, and a coherence request that would violate that
+//! state aborts a transaction. [`TxMemory`] models exactly that state:
+//!
+//! * an arena of 64-bit words (the simulated RAM),
+//! * a *line table* with one entry per conflict-detection line holding a
+//!   reader bitmask (up to [`MAX_SLOTS`] hardware threads) and a writer slot,
+//! * a status word per hardware thread ("slot") through which transactions
+//!   are *doomed* (asynchronously aborted) by conflicting accesses.
+//!
+//! Speculative stores are buffered by the transaction engine (in
+//! `htm-runtime`) and only flushed to the arena at commit, so memory always
+//! holds pre-transactional values for in-flight lines — which is what makes
+//! requester-wins resolution safe: a reader that dooms a writer can
+//! immediately read the committed value from the arena.
+//!
+//! # Opacity
+//!
+//! A doomed ("zombie") transaction must never observe a mix of pre- and
+//! post-commit values, or benchmark code could loop or index out of bounds.
+//! The protocol guarantees this: a committing transaction doomed every
+//! conflicting reader *before* it flushes (dooms happen at access time,
+//! flushes at commit), and the engine re-checks its own doom flag *after*
+//! every value read. Therefore if a read ever returns a post-flush value,
+//! the doom necessarily precedes the read and the re-check aborts the
+//! transaction before the value escapes.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::SeqCst};
+
+use crate::abort::AbortCause;
+use crate::addr::{Geometry, LineId, WordAddr};
+
+/// Maximum number of hardware-thread slots (bounded by the reader bitmask).
+pub const MAX_SLOTS: usize = 64;
+
+/// Number of spin iterations after which the simulator assumes a protocol
+/// deadlock and panics (a bug, not a benchmark condition).
+const SPIN_LIMIT: u64 = 1 << 33;
+
+/// Identifier of a hardware-thread slot participating in transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SlotId(pub u8);
+
+impl SlotId {
+    #[inline]
+    fn mask(self) -> u64 {
+        1u64 << self.0
+    }
+    #[inline]
+    fn writer_tag(self) -> u32 {
+        self.0 as u32 + 1
+    }
+}
+
+/// How a conflict between a requesting access and an existing owner is
+/// resolved.
+///
+/// All four real systems behave (to a first approximation) as
+/// *requester-wins*: the transaction that receives the invalidating
+/// coherence request is the one that aborts. `RequesterLoses` (self-abort on
+/// conflict) is provided as an ablation (`htm-bench --bin ablation_policy`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConflictPolicy {
+    /// The requesting access dooms the current owner (hardware-like).
+    #[default]
+    RequesterWins,
+    /// The requesting access aborts its own transaction.
+    RequesterLoses,
+}
+
+/// Slot status states (low 8 bits); a doomed status carries the encoded
+/// [`AbortCause`] in bits 8+.
+const INACTIVE: u32 = 0;
+const ACTIVE: u32 = 1;
+const COMMITTING: u32 = 2;
+const DOOMED: u32 = 3;
+const STATE_MASK: u32 = 0xff;
+
+#[inline]
+fn doomed_status(cause: AbortCause) -> u32 {
+    DOOMED | (cause.encode() << 8)
+}
+
+/// Outcome of an attempt to doom another slot's transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DoomOutcome {
+    /// We transitioned the victim from Active to Doomed.
+    Doomed,
+    /// The victim was already doomed by someone else.
+    AlreadyDoomed,
+    /// The victim is mid-commit and can no longer be aborted; the caller
+    /// must wait for it to release its lines.
+    Committing,
+    /// The slot has no live transaction (a stale line-table bit).
+    Inactive,
+}
+
+struct LineState {
+    readers: AtomicU64,
+    writer: AtomicU32,
+}
+
+/// The simulated shared memory: word arena + conflict-detection line table +
+/// per-slot transaction status.
+///
+/// One `TxMemory` is created per experiment run, parameterised with the
+/// platform's conflict-detection [`Geometry`]. It is shared across worker
+/// threads behind an `Arc` (all state is atomic).
+pub struct TxMemory {
+    words: Vec<AtomicU64>,
+    lines: Vec<LineState>,
+    slots: Vec<AtomicU32>,
+    geometry: Geometry,
+}
+
+impl std::fmt::Debug for TxMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxMemory")
+            .field("words", &self.words.len())
+            .field("lines", &self.lines.len())
+            .field("geometry", &self.geometry)
+            .finish()
+    }
+}
+
+impl TxMemory {
+    /// Creates a memory of `words` 64-bit words with the given
+    /// conflict-detection geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn new(words: u32, geometry: Geometry) -> TxMemory {
+        assert!(words > 0, "memory must have at least one word");
+        let mut w = Vec::with_capacity(words as usize);
+        w.resize_with(words as usize, || AtomicU64::new(0));
+        let nlines = geometry.lines_for(words);
+        let mut lines = Vec::with_capacity(nlines);
+        lines.resize_with(nlines, || LineState {
+            readers: AtomicU64::new(0),
+            writer: AtomicU32::new(0),
+        });
+        let mut slots = Vec::with_capacity(MAX_SLOTS);
+        slots.resize_with(MAX_SLOTS, || AtomicU32::new(INACTIVE));
+        TxMemory { words: w, lines, slots, geometry }
+    }
+
+    /// The conflict-detection geometry this memory was built with.
+    #[inline]
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Number of words in the arena.
+    #[inline]
+    pub fn len_words(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Maps a word address to its conflict-detection line.
+    #[inline]
+    pub fn line_of(&self, addr: WordAddr) -> LineId {
+        self.geometry.line_of(addr)
+    }
+
+    #[inline]
+    fn line(&self, line: LineId) -> &LineState {
+        &self.lines[line.0 as usize]
+    }
+
+    #[inline]
+    fn word(&self, addr: WordAddr) -> &AtomicU64 {
+        &self.words[addr.0 as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Plain word access (sequential mode, commit flush, verification)
+    // ------------------------------------------------------------------
+
+    /// Reads a word directly, bypassing conflict detection.
+    ///
+    /// Used by sequential (non-HTM) execution, by commit flushes, and by
+    /// result verification after all workers have joined.
+    #[inline]
+    pub fn read_word(&self, addr: WordAddr) -> u64 {
+        self.word(addr).load(SeqCst)
+    }
+
+    /// Writes a word directly, bypassing conflict detection.
+    ///
+    /// See [`TxMemory::read_word`]; for non-transactional stores *during* a
+    /// concurrent run use [`TxMemory::nontx_store`], which dooms conflicting
+    /// transactions the way real coherence traffic would.
+    #[inline]
+    pub fn write_word(&self, addr: WordAddr, value: u64) {
+        self.word(addr).store(value, SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Slot status management
+    // ------------------------------------------------------------------
+
+    /// Marks `slot` as running a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot already has a live transaction (an engine bug).
+    pub fn begin_slot(&self, slot: SlotId) {
+        let prev = self.slots[slot.0 as usize].swap(ACTIVE, SeqCst);
+        assert_eq!(prev & STATE_MASK, INACTIVE, "slot {slot:?} began while busy");
+    }
+
+    /// Returns the doom cause if `slot`'s transaction has been doomed.
+    #[inline]
+    pub fn doom_cause(&self, slot: SlotId) -> Option<AbortCause> {
+        let s = self.slots[slot.0 as usize].load(SeqCst);
+        if s & STATE_MASK == DOOMED {
+            Some(AbortCause::decode(s >> 8))
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to doom the transaction on `victim`.
+    pub fn try_doom(&self, victim: SlotId, cause: AbortCause) -> DoomOutcome {
+        let status = &self.slots[victim.0 as usize];
+        loop {
+            let s = status.load(SeqCst);
+            match s & STATE_MASK {
+                ACTIVE => {
+                    if status.compare_exchange(s, doomed_status(cause), SeqCst, SeqCst).is_ok() {
+                        return DoomOutcome::Doomed;
+                    }
+                }
+                DOOMED => return DoomOutcome::AlreadyDoomed,
+                COMMITTING => return DoomOutcome::Committing,
+                INACTIVE => return DoomOutcome::Inactive,
+                other => unreachable!("corrupt slot status {other:#x}"),
+            }
+        }
+    }
+
+    /// Transitions `slot` from Active to Committing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the doom cause if the transaction was doomed before it could
+    /// commit (the caller must roll back).
+    pub fn start_commit(&self, slot: SlotId) -> Result<(), AbortCause> {
+        let status = &self.slots[slot.0 as usize];
+        match status.compare_exchange(ACTIVE, COMMITTING, SeqCst, SeqCst) {
+            Ok(_) => Ok(()),
+            Err(s) => {
+                assert_eq!(s & STATE_MASK, DOOMED, "commit from non-active non-doomed state");
+                Err(AbortCause::decode(s >> 8))
+            }
+        }
+    }
+
+    /// Marks the slot's transaction finished (after commit-flush or
+    /// rollback); the slot must have released all its lines first.
+    pub fn finish_slot(&self, slot: SlotId) {
+        self.slots[slot.0 as usize].store(INACTIVE, SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Transactional line protocol
+    // ------------------------------------------------------------------
+
+    /// Acquires *read* permission on `line` for `slot`.
+    ///
+    /// Sets the reader bit, then resolves any conflict with a concurrent
+    /// writer according to `policy`. On success the caller may read words of
+    /// the line from the arena, but must re-check [`TxMemory::doom_cause`]
+    /// after each value read (see the module docs on opacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause if the calling transaction loses the conflict
+    /// or was doomed while waiting.
+    pub fn tx_read_line(
+        &self,
+        slot: SlotId,
+        line: LineId,
+        policy: ConflictPolicy,
+    ) -> Result<(), AbortCause> {
+        let ls = self.line(line);
+        ls.readers.fetch_or(slot.mask(), SeqCst);
+        let mut spins = 0u64;
+        loop {
+            if let Some(cause) = self.doom_cause(slot) {
+                return Err(cause);
+            }
+            let w = ls.writer.load(SeqCst);
+            if w == 0 || w == slot.writer_tag() {
+                return Ok(());
+            }
+            let owner = SlotId((w - 1) as u8);
+            match policy {
+                ConflictPolicy::RequesterLoses => return Err(AbortCause::ConflictTxStore),
+                ConflictPolicy::RequesterWins => match self.try_doom(owner, AbortCause::ConflictTxLoad) {
+                    DoomOutcome::Doomed | DoomOutcome::AlreadyDoomed => {
+                        // The owner's stores are buffered; the arena still
+                        // holds committed values, so reading is safe even
+                        // before the owner rolls back.
+                        return Ok(());
+                    }
+                    DoomOutcome::Committing => {
+                        // Wait for the commit flush to finish, then read the
+                        // committed value.
+                        self.spin(&mut spins);
+                    }
+                    DoomOutcome::Inactive => {
+                        // Stale tag about to be cleared; retry.
+                        self.spin(&mut spins);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Acquires *write* ownership of `line` for `slot`, dooming conflicting
+    /// readers and writers according to `policy`.
+    ///
+    /// On success the caller buffers its store privately; the arena is not
+    /// modified until commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause if the calling transaction loses the conflict
+    /// or was doomed while waiting.
+    pub fn tx_claim_line(
+        &self,
+        slot: SlotId,
+        line: LineId,
+        policy: ConflictPolicy,
+    ) -> Result<(), AbortCause> {
+        let ls = self.line(line);
+        let mut spins = 0u64;
+        loop {
+            if let Some(cause) = self.doom_cause(slot) {
+                return Err(cause);
+            }
+            match ls.writer.compare_exchange(0, slot.writer_tag(), SeqCst, SeqCst) {
+                Ok(_) => break,
+                Err(w) if w == slot.writer_tag() => break,
+                Err(w) => {
+                    let owner = SlotId((w - 1) as u8);
+                    match policy {
+                        ConflictPolicy::RequesterLoses => {
+                            return Err(AbortCause::ConflictTxStore);
+                        }
+                        ConflictPolicy::RequesterWins => {
+                            match self.try_doom(owner, AbortCause::ConflictTxStore) {
+                                DoomOutcome::Doomed
+                                | DoomOutcome::AlreadyDoomed
+                                | DoomOutcome::Committing
+                                | DoomOutcome::Inactive => {
+                                    // In every case the owner will release
+                                    // the line (rollback or commit-finish);
+                                    // wait and retry the claim.
+                                    self.spin(&mut spins);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Ownership acquired: doom all other readers. New readers will see
+        // our writer tag and resolve against us, so claim-then-scan plus
+        // the readers' bit-then-check order misses no conflict.
+        let readers = ls.readers.load(SeqCst) & !slot.mask();
+        if readers != 0 {
+            for victim in BitIter(readers) {
+                // Committing/inactive readers linearize before our commit;
+                // no need to wait for them.
+                let _ = self.try_doom(victim, AbortCause::ConflictTxStore);
+            }
+        }
+        Ok(())
+    }
+
+    /// Passively adds `line` to `slot`'s monitored read set *if no other
+    /// transaction owns it for write*; never dooms anyone.
+    ///
+    /// Models a hardware prefetch pulling a line into the L1 during a
+    /// transaction: the line becomes part of the monitored footprint (so a
+    /// later remote store aborts this transaction — the paper's kmeans
+    /// finding on Intel Core), but the prefetch itself is dropped if the
+    /// line is speculatively owned elsewhere.
+    ///
+    /// Returns whether the line was added. The caller must only use this
+    /// for lines not already in its read or write set.
+    pub fn try_read_line_passive(&self, slot: SlotId, line: LineId) -> bool {
+        let ls = self.line(line);
+        ls.readers.fetch_or(slot.mask(), SeqCst);
+        let w = ls.writer.load(SeqCst);
+        if w == 0 || w == slot.writer_tag() {
+            true
+        } else {
+            ls.readers.fetch_and(!slot.mask(), SeqCst);
+            false
+        }
+    }
+
+    /// Releases write ownership of `line` if held by `slot` (commit finish
+    /// or rollback).
+    pub fn release_writer(&self, line: LineId, slot: SlotId) {
+        let _ = self.line(line).writer.compare_exchange(slot.writer_tag(), 0, SeqCst, SeqCst);
+    }
+
+    /// Clears `slot`'s reader bit on `line` (commit finish or rollback).
+    pub fn clear_reader(&self, line: LineId, slot: SlotId) {
+        self.line(line).readers.fetch_and(!slot.mask(), SeqCst);
+    }
+
+    /// Returns the slot currently owning `line` for write, if any.
+    pub fn writer_of(&self, line: LineId) -> Option<SlotId> {
+        match self.line(line).writer.load(SeqCst) {
+            0 => None,
+            w => Some(SlotId((w - 1) as u8)),
+        }
+    }
+
+    /// Returns the reader bitmask of `line` (testing/diagnostics).
+    pub fn readers_of(&self, line: LineId) -> u64 {
+        self.line(line).readers.load(SeqCst)
+    }
+
+    // ------------------------------------------------------------------
+    // Non-transactional (coherence-visible) accesses
+    // ------------------------------------------------------------------
+
+    /// Non-transactional load of `addr` by `by` (or by non-transactional
+    /// code if `by` is `None`), dooming any conflicting transactional
+    /// *writer* the way a coherence read request would.
+    ///
+    /// Used by the global-lock fallback path, by POWER8 suspended-mode code
+    /// and by lock-free algorithms running alongside transactions.
+    pub fn nontx_load(&self, by: Option<SlotId>, addr: WordAddr) -> u64 {
+        let line = self.line_of(addr);
+        let ls = self.line(line);
+        let mut spins = 0u64;
+        loop {
+            let w = ls.writer.load(SeqCst);
+            if w == 0 || Some(SlotId((w.max(1) - 1) as u8)) == by {
+                break;
+            }
+            let owner = SlotId((w - 1) as u8);
+            match self.try_doom(owner, AbortCause::ConflictNonTx) {
+                DoomOutcome::Doomed | DoomOutcome::AlreadyDoomed | DoomOutcome::Inactive => break,
+                DoomOutcome::Committing => self.spin(&mut spins),
+            }
+        }
+        self.word(addr).load(SeqCst)
+    }
+
+    /// Non-transactional store to `addr` by `by`, dooming all conflicting
+    /// transactional readers and writers.
+    pub fn nontx_store(&self, by: Option<SlotId>, addr: WordAddr, value: u64) {
+        self.invalidate_line_for_nontx(self.line_of(addr), by);
+        self.word(addr).store(value, SeqCst);
+    }
+
+    /// Non-transactional compare-and-swap on `addr` by `by`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the observed value if it differed from `expected`.
+    pub fn nontx_cas(
+        &self,
+        by: Option<SlotId>,
+        addr: WordAddr,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, u64> {
+        self.invalidate_line_for_nontx(self.line_of(addr), by);
+        self.word(addr)
+            .compare_exchange(expected, new, SeqCst, SeqCst)
+            .map_err(|observed| observed)
+    }
+
+    /// Non-transactional fetch-add on `addr` by `by`, returning the previous
+    /// value.
+    pub fn nontx_fetch_add(&self, by: Option<SlotId>, addr: WordAddr, delta: u64) -> u64 {
+        self.invalidate_line_for_nontx(self.line_of(addr), by);
+        self.word(addr).fetch_add(delta, SeqCst)
+    }
+
+    /// Dooms every transaction (other than `by`'s) with `line` in its
+    /// footprint, waiting out a committing writer, exactly as an
+    /// invalidating coherence request would.
+    fn invalidate_line_for_nontx(&self, line: LineId, by: Option<SlotId>) {
+        let ls = self.line(line);
+        let mut spins = 0u64;
+        loop {
+            let w = ls.writer.load(SeqCst);
+            if w == 0 || Some(SlotId((w.max(1) - 1) as u8)) == by {
+                break;
+            }
+            let owner = SlotId((w - 1) as u8);
+            match self.try_doom(owner, AbortCause::ConflictNonTx) {
+                DoomOutcome::Doomed | DoomOutcome::AlreadyDoomed | DoomOutcome::Inactive => break,
+                // Wait for the flush so our store lands after the commit.
+                DoomOutcome::Committing => self.spin(&mut spins),
+            }
+        }
+        let skip = by.map(|s| s.mask()).unwrap_or(0);
+        let readers = ls.readers.load(SeqCst) & !skip;
+        for victim in BitIter(readers) {
+            let _ = self.try_doom(victim, AbortCause::ConflictNonTx);
+        }
+    }
+
+    /// Dooms every live transaction (a big-hammer invalidation, available
+    /// for modelling events that wipe all speculation — e.g. OS preemption
+    /// or machine-wide barriers; the ordinary global-lock fallback does
+    /// *not* need it, since irrevocable accesses doom conflicting
+    /// transactions at line granularity).
+    pub fn doom_all_active(&self, cause: AbortCause) {
+        for slot in 0..MAX_SLOTS {
+            let _ = self.try_doom(SlotId(slot as u8), cause);
+        }
+    }
+
+    #[inline]
+    fn spin(&self, spins: &mut u64) {
+        *spins += 1;
+        assert!(*spins < SPIN_LIMIT, "conflict-protocol deadlock (spin limit exceeded)");
+        std::hint::spin_loop();
+        if *spins % 1024 == 0 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Iterator over set bit positions of a `u64`, yielding [`SlotId`]s.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = SlotId;
+    fn next(&mut self) -> Option<SlotId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(SlotId(bit as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Geometry;
+    use std::sync::Arc;
+
+    fn mem() -> TxMemory {
+        TxMemory::new(1024, Geometry::new(64))
+    }
+
+    #[test]
+    fn plain_read_write() {
+        let m = mem();
+        let a = WordAddr(10);
+        assert_eq!(m.read_word(a), 0);
+        m.write_word(a, 42);
+        assert_eq!(m.read_word(a), 42);
+    }
+
+    #[test]
+    fn slot_lifecycle() {
+        let m = mem();
+        let s = SlotId(0);
+        m.begin_slot(s);
+        assert_eq!(m.doom_cause(s), None);
+        assert!(m.start_commit(s).is_ok());
+        m.finish_slot(s);
+    }
+
+    #[test]
+    #[should_panic(expected = "began while busy")]
+    fn double_begin_panics() {
+        let m = mem();
+        m.begin_slot(SlotId(1));
+        m.begin_slot(SlotId(1));
+    }
+
+    #[test]
+    fn doom_prevents_commit() {
+        let m = mem();
+        let s = SlotId(2);
+        m.begin_slot(s);
+        assert_eq!(m.try_doom(s, AbortCause::ConflictNonTx), DoomOutcome::Doomed);
+        assert_eq!(m.doom_cause(s), Some(AbortCause::ConflictNonTx));
+        assert_eq!(m.start_commit(s), Err(AbortCause::ConflictNonTx));
+        m.finish_slot(s);
+    }
+
+    #[test]
+    fn doom_outcomes() {
+        let m = mem();
+        let s = SlotId(3);
+        assert_eq!(m.try_doom(s, AbortCause::ConflictTxStore), DoomOutcome::Inactive);
+        m.begin_slot(s);
+        assert_eq!(m.try_doom(s, AbortCause::ConflictTxStore), DoomOutcome::Doomed);
+        assert_eq!(m.try_doom(s, AbortCause::ConflictTxLoad), DoomOutcome::AlreadyDoomed);
+        // Doom cause is first-writer-wins.
+        assert_eq!(m.doom_cause(s), Some(AbortCause::ConflictTxStore));
+        m.finish_slot(s);
+
+        let t = SlotId(4);
+        m.begin_slot(t);
+        m.start_commit(t).unwrap();
+        assert_eq!(m.try_doom(t, AbortCause::ConflictTxStore), DoomOutcome::Committing);
+        m.finish_slot(t);
+    }
+
+    #[test]
+    fn read_read_sharing_is_conflict_free() {
+        let m = mem();
+        let (a, b) = (SlotId(0), SlotId(1));
+        m.begin_slot(a);
+        m.begin_slot(b);
+        let line = m.line_of(WordAddr(100));
+        assert!(m.tx_read_line(a, line, ConflictPolicy::RequesterWins).is_ok());
+        assert!(m.tx_read_line(b, line, ConflictPolicy::RequesterWins).is_ok());
+        assert_eq!(m.doom_cause(a), None);
+        assert_eq!(m.doom_cause(b), None);
+    }
+
+    #[test]
+    fn writer_dooms_readers() {
+        let m = mem();
+        let (r, w) = (SlotId(0), SlotId(1));
+        m.begin_slot(r);
+        m.begin_slot(w);
+        let line = m.line_of(WordAddr(100));
+        m.tx_read_line(r, line, ConflictPolicy::RequesterWins).unwrap();
+        m.tx_claim_line(w, line, ConflictPolicy::RequesterWins).unwrap();
+        assert_eq!(m.doom_cause(r), Some(AbortCause::ConflictTxStore));
+        assert_eq!(m.doom_cause(w), None);
+    }
+
+    #[test]
+    fn reader_dooms_writer_requester_wins() {
+        let m = mem();
+        let (r, w) = (SlotId(0), SlotId(1));
+        m.begin_slot(w);
+        m.begin_slot(r);
+        let line = m.line_of(WordAddr(100));
+        m.tx_claim_line(w, line, ConflictPolicy::RequesterWins).unwrap();
+        m.tx_read_line(r, line, ConflictPolicy::RequesterWins).unwrap();
+        assert_eq!(m.doom_cause(w), Some(AbortCause::ConflictTxLoad));
+        assert_eq!(m.doom_cause(r), None);
+    }
+
+    #[test]
+    fn reader_self_aborts_requester_loses() {
+        let m = mem();
+        let (r, w) = (SlotId(0), SlotId(1));
+        m.begin_slot(w);
+        m.begin_slot(r);
+        let line = m.line_of(WordAddr(100));
+        m.tx_claim_line(w, line, ConflictPolicy::RequesterLoses).unwrap();
+        assert_eq!(
+            m.tx_read_line(r, line, ConflictPolicy::RequesterLoses),
+            Err(AbortCause::ConflictTxStore)
+        );
+        assert_eq!(m.doom_cause(w), None);
+    }
+
+    #[test]
+    fn same_slot_read_own_written_line() {
+        let m = mem();
+        let s = SlotId(5);
+        m.begin_slot(s);
+        let line = m.line_of(WordAddr(8));
+        m.tx_claim_line(s, line, ConflictPolicy::RequesterWins).unwrap();
+        assert!(m.tx_read_line(s, line, ConflictPolicy::RequesterWins).is_ok());
+        assert!(m.tx_claim_line(s, line, ConflictPolicy::RequesterWins).is_ok());
+        assert_eq!(m.doom_cause(s), None);
+    }
+
+    #[test]
+    fn false_conflict_from_granularity() {
+        // Words 0 and 7 share a 64-byte line: accesses to *different* words
+        // must still conflict — the false-conflict mechanism behind the
+        // paper's kmeans alignment fix.
+        let m = mem();
+        let (a, b) = (SlotId(0), SlotId(1));
+        m.begin_slot(a);
+        m.begin_slot(b);
+        m.tx_read_line(a, m.line_of(WordAddr(0)), ConflictPolicy::RequesterWins).unwrap();
+        m.tx_claim_line(b, m.line_of(WordAddr(7)), ConflictPolicy::RequesterWins).unwrap();
+        assert_eq!(m.doom_cause(a), Some(AbortCause::ConflictTxStore));
+    }
+
+    #[test]
+    fn fine_granularity_avoids_false_conflict() {
+        let m = TxMemory::new(1024, Geometry::new(8));
+        let (a, b) = (SlotId(0), SlotId(1));
+        m.begin_slot(a);
+        m.begin_slot(b);
+        m.tx_read_line(a, m.line_of(WordAddr(0)), ConflictPolicy::RequesterWins).unwrap();
+        m.tx_claim_line(b, m.line_of(WordAddr(7)), ConflictPolicy::RequesterWins).unwrap();
+        assert_eq!(m.doom_cause(a), None, "distinct 8-byte lines must not conflict");
+    }
+
+    #[test]
+    fn nontx_store_dooms_readers_and_writer() {
+        let m = mem();
+        let (r, w) = (SlotId(0), SlotId(1));
+        m.begin_slot(r);
+        m.begin_slot(w);
+        let addr = WordAddr(100);
+        m.tx_read_line(r, m.line_of(addr), ConflictPolicy::RequesterWins).unwrap();
+        m.tx_claim_line(w, m.line_of(addr), ConflictPolicy::RequesterWins).unwrap();
+        // The writer's claim already doomed the reader (same line); the
+        // non-tx store must also doom the writer.
+        m.nontx_store(None, addr, 7);
+        assert!(m.doom_cause(r).is_some());
+        assert_eq!(m.doom_cause(w), Some(AbortCause::ConflictNonTx));
+        assert_eq!(m.read_word(addr), 7);
+    }
+
+    #[test]
+    fn nontx_store_by_self_slot_does_not_doom_self() {
+        // POWER8 suspended-mode accesses by the transaction's own thread do
+        // not abort the transaction.
+        let m = mem();
+        let s = SlotId(0);
+        m.begin_slot(s);
+        let addr = WordAddr(100);
+        m.tx_read_line(s, m.line_of(addr), ConflictPolicy::RequesterWins).unwrap();
+        m.nontx_store(Some(s), addr, 9);
+        assert_eq!(m.doom_cause(s), None);
+        assert_eq!(m.read_word(addr), 9);
+    }
+
+    #[test]
+    fn nontx_load_dooms_only_writer() {
+        let m = mem();
+        let (r, w) = (SlotId(0), SlotId(1));
+        m.begin_slot(r);
+        m.begin_slot(w);
+        let addr_r = WordAddr(100);
+        let addr_w = WordAddr(200);
+        m.tx_read_line(r, m.line_of(addr_r), ConflictPolicy::RequesterWins).unwrap();
+        m.tx_claim_line(w, m.line_of(addr_w), ConflictPolicy::RequesterWins).unwrap();
+        let _ = m.nontx_load(None, addr_r);
+        assert_eq!(m.doom_cause(r), None, "read-read never conflicts");
+        let _ = m.nontx_load(None, addr_w);
+        assert_eq!(m.doom_cause(w), Some(AbortCause::ConflictNonTx));
+    }
+
+    #[test]
+    fn nontx_cas_success_and_failure() {
+        let m = mem();
+        let a = WordAddr(50);
+        m.write_word(a, 5);
+        assert_eq!(m.nontx_cas(None, a, 5, 6), Ok(5));
+        assert_eq!(m.nontx_cas(None, a, 5, 7), Err(6));
+        assert_eq!(m.read_word(a), 6);
+    }
+
+    #[test]
+    fn nontx_fetch_add_returns_previous() {
+        let m = mem();
+        let a = WordAddr(51);
+        assert_eq!(m.nontx_fetch_add(None, a, 3), 0);
+        assert_eq!(m.nontx_fetch_add(None, a, 4), 3);
+        assert_eq!(m.read_word(a), 7);
+    }
+
+    #[test]
+    fn release_clears_ownership() {
+        let m = mem();
+        let s = SlotId(0);
+        m.begin_slot(s);
+        let line = m.line_of(WordAddr(0));
+        m.tx_claim_line(s, line, ConflictPolicy::RequesterWins).unwrap();
+        assert_eq!(m.writer_of(line), Some(s));
+        m.release_writer(line, s);
+        assert_eq!(m.writer_of(line), None);
+        m.tx_read_line(s, line, ConflictPolicy::RequesterWins).unwrap();
+        assert_ne!(m.readers_of(line), 0);
+        m.clear_reader(line, s);
+        assert_eq!(m.readers_of(line), 0);
+    }
+
+    #[test]
+    fn passive_read_skips_owned_lines_and_dooms_nobody() {
+        let m = mem();
+        let (a, b) = (SlotId(0), SlotId(1));
+        m.begin_slot(a);
+        m.begin_slot(b);
+        let free_line = m.line_of(WordAddr(0));
+        let owned_line = m.line_of(WordAddr(512));
+        m.tx_claim_line(b, owned_line, ConflictPolicy::RequesterWins).unwrap();
+        assert!(m.try_read_line_passive(a, free_line), "free line is monitored");
+        assert!(!m.try_read_line_passive(a, owned_line), "owned line is skipped");
+        assert_eq!(m.doom_cause(b), None, "prefetch must not abort the owner");
+        assert_eq!(m.readers_of(owned_line) & 1, 0, "bit rolled back");
+        // The passively monitored line now conflicts with a remote store.
+        m.tx_claim_line(b, free_line, ConflictPolicy::RequesterWins).unwrap();
+        assert_eq!(m.doom_cause(a), Some(AbortCause::ConflictTxStore));
+    }
+
+    #[test]
+    fn doom_all_active_dooms_every_live_tx() {
+        let m = mem();
+        m.begin_slot(SlotId(0));
+        m.begin_slot(SlotId(1));
+        m.begin_slot(SlotId(2));
+        m.start_commit(SlotId(2)).unwrap(); // committing: immune
+        m.doom_all_active(AbortCause::ConflictNonTx);
+        assert!(m.doom_cause(SlotId(0)).is_some());
+        assert!(m.doom_cause(SlotId(1)).is_some());
+        assert_eq!(m.doom_cause(SlotId(2)), None, "committing txs cannot be doomed");
+    }
+
+    /// Two threads hammer disjoint lines; no transaction may ever be doomed.
+    #[test]
+    fn concurrent_disjoint_transactions_never_doom() {
+        let m = Arc::new(TxMemory::new(4096, Geometry::new(64)));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let slot = SlotId(t);
+                // Each thread owns its own 64-byte-aligned region.
+                let base = WordAddr(512 * t as u32);
+                for _ in 0..2000 {
+                    m.begin_slot(slot);
+                    let line = m.line_of(base);
+                    m.tx_read_line(slot, line, ConflictPolicy::RequesterWins).unwrap();
+                    m.tx_claim_line(slot, line, ConflictPolicy::RequesterWins).unwrap();
+                    assert_eq!(m.doom_cause(slot), None);
+                    m.start_commit(slot).expect("disjoint tx must commit");
+                    m.release_writer(line, slot);
+                    m.clear_reader(line, slot);
+                    m.finish_slot(slot);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// Two threads race writes on the same line; the protocol must stay
+    /// deadlock-free and every claim attempt must end in ownership or doom.
+    #[test]
+    fn concurrent_conflicting_writers_progress() {
+        let m = Arc::new(TxMemory::new(1024, Geometry::new(64)));
+        let mut handles = Vec::new();
+        for t in 0..2u8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let slot = SlotId(t);
+                let mut commits = 0u32;
+                let mut aborts = 0u32;
+                for _ in 0..2000 {
+                    m.begin_slot(slot);
+                    let line = m.line_of(WordAddr(0));
+                    let claim = m.tx_claim_line(slot, line, ConflictPolicy::RequesterWins);
+                    let committed = claim.is_ok() && m.start_commit(slot).is_ok();
+                    if committed {
+                        commits += 1;
+                    } else {
+                        aborts += 1;
+                    }
+                    m.release_writer(line, slot);
+                    m.clear_reader(line, slot);
+                    m.finish_slot(slot);
+                }
+                (commits, aborts)
+            }));
+        }
+        let mut total_commits = 0;
+        for h in handles {
+            let (c, _) = h.join().unwrap();
+            total_commits += c;
+        }
+        assert!(total_commits > 0, "at least some transactions must commit");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::addr::Geometry;
+    use proptest::prelude::*;
+
+    /// A random sequence of single-threaded protocol operations must keep
+    /// the line table consistent: after every transaction finishes, all of
+    /// its footprint is released and a fresh transaction can claim any line.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Read(u16),
+        Write(u16),
+    }
+
+    fn ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![
+                (0u16..512).prop_map(Op::Read),
+                (0u16..512).prop_map(Op::Write),
+            ],
+            1..40,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn single_tx_footprint_always_fully_released(ops in ops(), commit in any::<bool>()) {
+            let m = TxMemory::new(4096, Geometry::new(64));
+            let s = SlotId(0);
+            m.begin_slot(s);
+            let mut read_lines = std::collections::HashSet::new();
+            let mut write_lines = std::collections::HashSet::new();
+            for op in &ops {
+                match op {
+                    Op::Read(w) => {
+                        let line = m.line_of(WordAddr(*w as u32));
+                        prop_assert!(m.tx_read_line(s, line, ConflictPolicy::RequesterWins).is_ok());
+                        read_lines.insert(line);
+                    }
+                    Op::Write(w) => {
+                        let line = m.line_of(WordAddr(*w as u32));
+                        prop_assert!(m.tx_claim_line(s, line, ConflictPolicy::RequesterWins).is_ok());
+                        write_lines.insert(line);
+                    }
+                }
+            }
+            if commit {
+                prop_assert!(m.start_commit(s).is_ok());
+            }
+            for &l in &write_lines {
+                m.release_writer(l, s);
+            }
+            for &l in &read_lines {
+                m.clear_reader(l, s);
+            }
+            m.finish_slot(s);
+            // Everything released: a second transaction can own any line.
+            let t = SlotId(1);
+            m.begin_slot(t);
+            for &l in write_lines.iter().chain(read_lines.iter()) {
+                prop_assert!(m.tx_claim_line(t, l, ConflictPolicy::RequesterWins).is_ok());
+                prop_assert_eq!(m.writer_of(l), Some(t));
+                prop_assert_eq!(m.doom_cause(t), None);
+            }
+            for &l in write_lines.iter().chain(read_lines.iter()) {
+                m.release_writer(l, t);
+            }
+            m.finish_slot(t);
+        }
+
+        /// Randomized two-transaction interleavings: whatever the footprint
+        /// overlap, either the protocol reports a conflict (one side doomed
+        /// or self-aborted) or the footprints were disjoint at line level.
+        #[test]
+        fn overlap_implies_conflict_detection(
+            a_words in prop::collection::vec(0u16..256, 1..12),
+            b_words in prop::collection::vec(0u16..256, 1..12),
+        ) {
+            let m = TxMemory::new(4096, Geometry::new(64));
+            let (a, b) = (SlotId(0), SlotId(1));
+            m.begin_slot(a);
+            m.begin_slot(b);
+            // A reads its set, then B claims its set for write.
+            for &w in &a_words {
+                let _ = m.tx_read_line(a, m.line_of(WordAddr(w as u32)), ConflictPolicy::RequesterWins);
+            }
+            for &w in &b_words {
+                let _ = m.tx_claim_line(b, m.line_of(WordAddr(w as u32)), ConflictPolicy::RequesterWins);
+            }
+            let a_lines: std::collections::HashSet<_> =
+                a_words.iter().map(|&w| m.line_of(WordAddr(w as u32))).collect();
+            let b_lines: std::collections::HashSet<_> =
+                b_words.iter().map(|&w| m.line_of(WordAddr(w as u32))).collect();
+            let overlap = a_lines.intersection(&b_lines).count() > 0;
+            if overlap {
+                prop_assert!(
+                    m.doom_cause(a).is_some(),
+                    "B wrote into A's read set: A must be doomed"
+                );
+            } else {
+                prop_assert_eq!(m.doom_cause(a), None);
+                prop_assert_eq!(m.doom_cause(b), None);
+            }
+            m.finish_slot(a);
+            m.finish_slot(b);
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Platform configurations — the simulator's encoding of Table 1.
+//!
+//! Each of the four processors is described by a [`MachineConfig`]: purely
+//! declarative data (geometry, capacities, cycle costs, feature flags) that
+//! the transaction engine in `htm-runtime` interprets. Ablation benchmarks
+//! construct variants of these configs (e.g. a POWER8 with a larger TMCAM)
+//! through [`MachineConfig`]'s public fields.
+
+use htm_core::CostModel;
+
+use crate::tracker::TrackerKind;
+
+/// The four HTM systems compared by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// IBM Blue Gene/Q (16-core 1.6 GHz A2, 4-way SMT).
+    BlueGeneQ,
+    /// IBM zEnterprise EC12 (16-core 5.5 GHz, no SMT).
+    Zec12,
+    /// Intel Core i7-4770 (4-core 3.4 GHz, 2-way SMT; TSX).
+    IntelCore,
+    /// IBM POWER8 (6-core 4.1 GHz, 8-way SMT; pre-release as in the paper).
+    Power8,
+}
+
+impl Platform {
+    /// All four platforms in the paper's presentation order.
+    pub const ALL: [Platform; 4] = [
+        Platform::BlueGeneQ,
+        Platform::Zec12,
+        Platform::IntelCore,
+        Platform::Power8,
+    ];
+
+    /// The short label used in the paper's figures (BG, z12, IC, P8).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Platform::BlueGeneQ => "BG",
+            Platform::Zec12 => "z12",
+            Platform::IntelCore => "IC",
+            Platform::Power8 => "P8",
+        }
+    }
+
+    /// The default configuration for this platform.
+    ///
+    /// Blue Gene/Q defaults to long-running mode; use
+    /// [`MachineConfig::blue_gene_q`] to select the mode explicitly.
+    pub fn config(self) -> MachineConfig {
+        match self {
+            Platform::BlueGeneQ => MachineConfig::blue_gene_q(BgqMode::LongRunning),
+            Platform::Zec12 => MachineConfig::zec12(),
+            Platform::IntelCore => MachineConfig::intel_core(),
+            Platform::Power8 => MachineConfig::power8(),
+        }
+    }
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Platform::BlueGeneQ => write!(f, "Blue Gene/Q"),
+            Platform::Zec12 => write!(f, "zEC12"),
+            Platform::IntelCore => write!(f, "Intel Core i7-4770"),
+            Platform::Power8 => write!(f, "POWER8"),
+        }
+    }
+}
+
+/// Blue Gene/Q transactional execution mode (Section 2.1).
+///
+/// * Short-running: only the L2 buffers transactional data — fine (8 B)
+///   conflict granularity, but every transactional load pays L2 latency.
+/// * Long-running: the L1 may buffer transactional data — coarser (64 B)
+///   granularity, L1 invalidation at transaction begin, lazy lock
+///   subscription in the system-provided retry mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BgqMode {
+    /// Short-running mode.
+    ShortRunning,
+    /// Long-running mode (default).
+    #[default]
+    LongRunning,
+}
+
+/// zEC12 constrained-transaction limits (Section 2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstrainedLimits {
+    /// Maximum transactional footprint in bytes (paper: 256).
+    pub max_bytes: u32,
+    /// Maximum number of memory accesses, standing in for the 32-instruction
+    /// limit.
+    pub max_accesses: u32,
+}
+
+impl Default for ConstrainedLimits {
+    fn default() -> ConstrainedLimits {
+        ConstrainedLimits { max_bytes: 256, max_accesses: 32 }
+    }
+}
+
+/// Speculation-ID pool parameters (Blue Gene/Q, Section 2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecIdConfig {
+    /// Total hardware speculation IDs (paper: 128).
+    pub total: u32,
+    /// Cycles a thread is blocked performing/awaiting a batch reclaim when
+    /// the free pool is empty.
+    pub reclaim_cycles: u64,
+}
+
+impl Default for SpecIdConfig {
+    fn default() -> SpecIdConfig {
+        SpecIdConfig { total: 128, reclaim_cycles: 1500 }
+    }
+}
+
+/// Full description of one HTM platform.
+///
+/// Fields are public so that ablation experiments can construct variants;
+/// ordinary users obtain configs from [`Platform::config`] or the named
+/// constructors.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Which processor this models.
+    pub platform: Platform,
+    /// Human-readable name (Table 1 column header).
+    pub name: String,
+    /// Physical cores.
+    pub cores: u32,
+    /// SMT threads per core (1 = no SMT).
+    pub smt: u32,
+    /// Throughput gain per additional SMT sibling sharing a core: `n`
+    /// co-resident threads deliver `1 + (n-1) * smt_efficiency` times one
+    /// thread's throughput, so each runs `n / (1 + (n-1)*eff)` times
+    /// slower. (The paper's fairness caveat: beyond the core count, a
+    /// processor cannot give each thread full performance.)
+    pub smt_efficiency: f64,
+    /// Nominal clock frequency in GHz (reporting only).
+    pub ghz: f64,
+    /// Conflict-detection granularity in bytes (Table 1 row 1).
+    pub granularity: u32,
+    /// Capacity-tracking structure.
+    pub tracker: TrackerKind,
+    /// Cycle costs.
+    pub cost: CostModel,
+    /// Kinds of abort reasons the platform reports (Table 1 last row;
+    /// 0 = none reported, i.e. Blue Gene/Q).
+    pub abort_reason_kinds: u32,
+    /// Whether the abort code carries the processor's persistent/transient
+    /// judgement (zEC12, Intel, POWER8).
+    pub reports_persistence: bool,
+    /// Whether conflicts with non-transactional accesses are reported
+    /// distinctly from transactional ones (POWER8).
+    pub distinguishes_nontx_conflict: bool,
+    /// Hardware prefetcher that can pull neighbouring lines into the
+    /// transactional read set (Intel Core; Section 5.1).
+    pub prefetcher: bool,
+    /// Probability that any given transactional store triggers a transient
+    /// implementation-restriction abort (models zEC12's undisclosed
+    /// "cache-fetch-related" aborts; Section 5.1).
+    pub restriction_abort_per_store: f64,
+    /// Speculation-ID pool, if the platform has one (Blue Gene/Q).
+    pub spec_ids: Option<SpecIdConfig>,
+    /// Constrained transactions, if supported (zEC12).
+    pub constrained: Option<ConstrainedLimits>,
+    /// Suspend/resume instructions (POWER8).
+    pub has_suspend_resume: bool,
+    /// Rollback-only transactions (POWER8).
+    pub has_rollback_only: bool,
+    /// Hardware lock elision interface (Intel Core).
+    pub has_hle: bool,
+    /// Whether software abort handlers are available. Blue Gene/Q exposes
+    /// only the system-provided retry mechanism (Section 3).
+    pub has_abort_handlers: bool,
+    /// Blue Gene/Q running mode, if applicable.
+    pub bgq_mode: Option<BgqMode>,
+    /// Table 1 "L1 data cache" description.
+    pub l1_desc: String,
+    /// Table 1 "L2 data cache" description.
+    pub l2_desc: String,
+}
+
+impl MachineConfig {
+    /// Blue Gene/Q in the given running mode.
+    pub fn blue_gene_q(mode: BgqMode) -> MachineConfig {
+        let (granularity, tx_load_extra, tbegin_extra) = match mode {
+            // Short-running: 8-byte detection granularity, every tx load
+            // goes to L2 (~12 extra cycles).
+            BgqMode::ShortRunning => (8, 12, 0),
+            // Long-running: 64-byte granularity, L1 invalidation at begin.
+            BgqMode::LongRunning => (64, 1, 140),
+        };
+        MachineConfig {
+            platform: Platform::BlueGeneQ,
+            name: "Blue Gene/Q".to_string(),
+            cores: 16,
+            smt: 4,
+            // The A2 core is a throughput design: 4-way SMT pays off well.
+            smt_efficiency: 0.45,
+            ghz: 1.6,
+            granularity,
+            // 20 MB L2 for 16 cores = 1.25 MB per core, loads + stores
+            // combined (Section 2.1).
+            tracker: TrackerKind::ByteBudget {
+                combined_bytes: 20 * 1024 * 1024 / 16,
+                line_bytes: granularity,
+            },
+            cost: CostModel {
+                // Software register checkpointing + system calls to begin
+                // and end transactions (Section 5.1).
+                tbegin: 190 + tbegin_extra,
+                tend: 130,
+                abort: 300,
+                load: 1,
+                store: 1,
+                tx_load_extra,
+                tx_store_extra: 2,
+                mem_miss: 120,
+                mem_concurrency_penalty: 0.05,
+                spin_poll: 6,
+                lock_op: 30,
+            },
+            abort_reason_kinds: 0,
+            reports_persistence: false,
+            distinguishes_nontx_conflict: false,
+            prefetcher: false,
+            restriction_abort_per_store: 0.0,
+            spec_ids: Some(SpecIdConfig::default()),
+            constrained: None,
+            has_suspend_resume: false,
+            has_rollback_only: false,
+            has_hle: false,
+            has_abort_handlers: false,
+            bgq_mode: Some(mode),
+            l1_desc: "16 KB, 8-way".to_string(),
+            l2_desc: "32 MB, 16-way (shared by 16 cores)".to_string(),
+        }
+    }
+
+    /// IBM zEnterprise EC12.
+    pub fn zec12() -> MachineConfig {
+        MachineConfig {
+            platform: Platform::Zec12,
+            name: "zEC12".to_string(),
+            cores: 16,
+            smt: 1,
+            smt_efficiency: 0.0, // no SMT
+            ghz: 5.5,
+            granularity: 256,
+            // 96 KB 6-way L1 with tx-read bits; evicted read lines recorded
+            // in the LRU-extension vector up to 1 MB; stores gathered in an
+            // 8 KB store cache (Section 2.2).
+            tracker: TrackerKind::SetAssoc {
+                l1_bytes: 96 * 1024,
+                ways: 6,
+                line_bytes: 256,
+                load_total_bytes: 1024 * 1024,
+                store_total_bytes: 8 * 1024,
+                store_set_assoc: false,
+            },
+            cost: CostModel {
+                tbegin: 25,
+                tend: 20,
+                abort: 180,
+                load: 1,
+                store: 1,
+                tx_load_extra: 0,
+                tx_store_extra: 1,
+                mem_miss: 90,
+                mem_concurrency_penalty: 0.03,
+                spin_poll: 5,
+                // Interlocked operations are serializing and expensive on
+                // z — the path-length advantage constrained transactions
+                // have over the lock-free CAS dance (Section 6.1).
+                lock_op: 55,
+            },
+            abort_reason_kinds: 14,
+            reports_persistence: true,
+            distinguishes_nontx_conflict: false,
+            prefetcher: false,
+            // The dominant abort class the paper measured on zEC12
+            // ("cache-fetch-related", transient, undisclosed mechanism).
+            restriction_abort_per_store: 0.004,
+            spec_ids: None,
+            constrained: Some(ConstrainedLimits::default()),
+            has_suspend_resume: false,
+            has_rollback_only: false,
+            has_hle: false,
+            has_abort_handlers: true,
+            bgq_mode: None,
+            l1_desc: "96 KB, 6-way".to_string(),
+            l2_desc: "1 MB, 8-way".to_string(),
+        }
+    }
+
+    /// Intel Core i7-4770 (Haswell TSX).
+    pub fn intel_core() -> MachineConfig {
+        MachineConfig {
+            platform: Platform::IntelCore,
+            name: "Intel Core i7-4770".to_string(),
+            cores: 4,
+            smt: 2,
+            smt_efficiency: 0.28, // typical Hyper-Threading gain
+            ghz: 3.4,
+            granularity: 64,
+            // Load capacity 4 MB via an eviction-tracking structure; store
+            // capacity 22 KB within the 32 KB 8-way L1 (Section 2.3).
+            tracker: TrackerKind::SetAssoc {
+                l1_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                load_total_bytes: 4 * 1024 * 1024,
+                store_total_bytes: 22 * 1024,
+                store_set_assoc: true,
+            },
+            cost: CostModel {
+                tbegin: 35,
+                tend: 15,
+                abort: 160,
+                load: 1,
+                store: 1,
+                tx_load_extra: 0,
+                tx_store_extra: 0,
+                mem_miss: 110,
+                // The desktop machine's concurrent-memory-access weakness
+                // that capped ssca2 scaling (Section 5.1).
+                mem_concurrency_penalty: 0.45,
+                spin_poll: 5,
+                lock_op: 20,
+            },
+            abort_reason_kinds: 6,
+            reports_persistence: true,
+            distinguishes_nontx_conflict: false,
+            prefetcher: true,
+            restriction_abort_per_store: 0.0,
+            spec_ids: None,
+            constrained: None,
+            has_suspend_resume: false,
+            has_rollback_only: false,
+            has_hle: true,
+            has_abort_handlers: true,
+            bgq_mode: None,
+            l1_desc: "32 KB, 8-way".to_string(),
+            l2_desc: "256 KB".to_string(),
+        }
+    }
+
+    /// IBM POWER8 (pre-release, as measured by the paper).
+    pub fn power8() -> MachineConfig {
+        MachineConfig {
+            platform: Platform::Power8,
+            name: "POWER8".to_string(),
+            cores: 6,
+            smt: 8,
+            smt_efficiency: 0.35,
+            ghz: 4.1,
+            granularity: 128,
+            // 64-entry L2 TMCAM of 128-byte lines = 8 KB combined load+store
+            // capacity (Section 2.4).
+            tracker: TrackerKind::Tmcam { entries: 64, line_bytes: 128 },
+            cost: CostModel {
+                tbegin: 55,
+                tend: 35,
+                abort: 220,
+                load: 1,
+                store: 1,
+                tx_load_extra: 1,
+                tx_store_extra: 1,
+                mem_miss: 100,
+                mem_concurrency_penalty: 0.05,
+                spin_poll: 5,
+                lock_op: 25,
+            },
+            abort_reason_kinds: 11,
+            reports_persistence: true,
+            distinguishes_nontx_conflict: true,
+            prefetcher: false,
+            restriction_abort_per_store: 0.0,
+            spec_ids: None,
+            constrained: None,
+            has_suspend_resume: true,
+            has_rollback_only: true,
+            has_hle: false,
+            has_abort_handlers: true,
+            bgq_mode: None,
+            l1_desc: "64 KB".to_string(),
+            l2_desc: "512 KB, 8-way".to_string(),
+        }
+    }
+
+    /// Total hardware threads (cores × SMT).
+    pub fn hw_threads(&self) -> u32 {
+        self.cores * self.smt
+    }
+
+    /// Core a given worker thread is placed on: threads fill cores
+    /// round-robin, so each thread has a dedicated core while
+    /// `threads <= cores` (the paper's fairness condition, Section 5).
+    pub fn core_of(&self, thread: u32) -> u32 {
+        thread % self.cores
+    }
+
+    /// Transactional-load capacity in bytes (Table 1 row 2).
+    pub fn load_capacity_bytes(&self) -> u64 {
+        self.tracker.load_capacity_bytes()
+    }
+
+    /// Transactional-store capacity in bytes (Table 1 row 3).
+    pub fn store_capacity_bytes(&self) -> u64 {
+        self.tracker.store_capacity_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_capacities() {
+        // The headline Table 1 numbers.
+        assert_eq!(MachineConfig::zec12().load_capacity_bytes(), 1024 * 1024);
+        assert_eq!(MachineConfig::zec12().store_capacity_bytes(), 8 * 1024);
+        assert_eq!(MachineConfig::intel_core().load_capacity_bytes(), 4 * 1024 * 1024);
+        assert_eq!(MachineConfig::intel_core().store_capacity_bytes(), 22 * 1024);
+        assert_eq!(MachineConfig::power8().load_capacity_bytes(), 8 * 1024);
+        assert_eq!(MachineConfig::power8().store_capacity_bytes(), 8 * 1024);
+        let bgq = MachineConfig::blue_gene_q(BgqMode::LongRunning);
+        assert_eq!(bgq.load_capacity_bytes(), 20 * 1024 * 1024 / 16);
+    }
+
+    #[test]
+    fn table1_granularities() {
+        assert_eq!(MachineConfig::zec12().granularity, 256);
+        assert_eq!(MachineConfig::intel_core().granularity, 64);
+        assert_eq!(MachineConfig::power8().granularity, 128);
+        assert_eq!(MachineConfig::blue_gene_q(BgqMode::ShortRunning).granularity, 8);
+        assert_eq!(MachineConfig::blue_gene_q(BgqMode::LongRunning).granularity, 64);
+    }
+
+    #[test]
+    fn table1_topology() {
+        for (p, cores, smt) in [
+            (Platform::BlueGeneQ, 16, 4),
+            (Platform::Zec12, 16, 1),
+            (Platform::IntelCore, 4, 2),
+            (Platform::Power8, 6, 8),
+        ] {
+            let c = p.config();
+            assert_eq!((c.cores, c.smt), (cores, smt), "{p}");
+        }
+    }
+
+    #[test]
+    fn feature_flags_match_paper() {
+        assert!(MachineConfig::zec12().constrained.is_some());
+        assert!(MachineConfig::intel_core().has_hle);
+        assert!(MachineConfig::power8().has_suspend_resume);
+        assert!(MachineConfig::power8().has_rollback_only);
+        assert!(MachineConfig::blue_gene_q(BgqMode::LongRunning).spec_ids.is_some());
+        assert!(!MachineConfig::blue_gene_q(BgqMode::LongRunning).has_abort_handlers);
+        assert!(MachineConfig::intel_core().prefetcher);
+        assert!(!MachineConfig::power8().prefetcher);
+    }
+
+    #[test]
+    fn abort_reason_kinds_match_table1() {
+        assert_eq!(MachineConfig::zec12().abort_reason_kinds, 14);
+        assert_eq!(MachineConfig::intel_core().abort_reason_kinds, 6);
+        assert_eq!(MachineConfig::power8().abort_reason_kinds, 11);
+        assert_eq!(Platform::BlueGeneQ.config().abort_reason_kinds, 0);
+    }
+
+    #[test]
+    fn core_placement_round_robin() {
+        let c = MachineConfig::intel_core();
+        assert_eq!(c.core_of(0), 0);
+        assert_eq!(c.core_of(3), 3);
+        assert_eq!(c.core_of(4), 0, "5th thread shares core 0 (SMT)");
+        assert_eq!(c.hw_threads(), 8);
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(Platform::BlueGeneQ.short_name(), "BG");
+        assert_eq!(Platform::Zec12.short_name(), "z12");
+        assert_eq!(Platform::IntelCore.short_name(), "IC");
+        assert_eq!(Platform::Power8.short_name(), "P8");
+    }
+}

@@ -1,0 +1,129 @@
+//! SMT core-occupancy registry.
+//!
+//! On Blue Gene/Q, Intel Core and POWER8 the HTM tracking resources of a
+//! core are shared by its SMT threads (Section 2), so a transaction's
+//! effective capacity depends on how many sibling threads are *currently*
+//! running transactions. The [`CoreRegistry`] counts in-transaction threads
+//! per core; the engine samples the count at `tbegin` and divides the
+//! capacity budget by it.
+
+use std::sync::atomic::{AtomicU32, Ordering::SeqCst};
+
+/// Tracks, per physical core, how many hardware threads are currently
+/// inside a transaction.
+#[derive(Debug)]
+pub struct CoreRegistry {
+    in_tx: Vec<AtomicU32>,
+    running: Vec<AtomicU32>,
+}
+
+impl CoreRegistry {
+    /// Creates a registry for `cores` physical cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: u32) -> CoreRegistry {
+        assert!(cores > 0, "machine must have at least one core");
+        let mut in_tx = Vec::with_capacity(cores as usize);
+        in_tx.resize_with(cores as usize, || AtomicU32::new(0));
+        let mut running = Vec::with_capacity(cores as usize);
+        running.resize_with(cores as usize, || AtomicU32::new(0));
+        CoreRegistry { in_tx, running }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u32 {
+        self.in_tx.len() as u32
+    }
+
+    /// Marks a thread on `core` as entering a transaction and returns the
+    /// resulting number of transactional threads on that core (≥ 1): the
+    /// capacity-sharing factor.
+    pub fn enter_tx(&self, core: u32) -> u32 {
+        self.in_tx[core as usize].fetch_add(1, SeqCst) + 1
+    }
+
+    /// Marks a thread on `core` as leaving its transaction.
+    pub fn exit_tx(&self, core: u32) {
+        let prev = self.in_tx[core as usize].fetch_sub(1, SeqCst);
+        debug_assert!(prev > 0, "exit_tx without matching enter_tx");
+    }
+
+    /// Registers a worker thread as running on `core` (for the whole
+    /// experiment, transaction or not). Used for memory-concurrency costs.
+    pub fn thread_started(&self, core: u32) {
+        self.running[core as usize].fetch_add(1, SeqCst);
+    }
+
+    /// Unregisters a worker thread from `core`.
+    pub fn thread_stopped(&self, core: u32) {
+        let prev = self.running[core as usize].fetch_sub(1, SeqCst);
+        debug_assert!(prev > 0, "thread_stopped without thread_started");
+    }
+
+    /// Total worker threads currently running on the machine.
+    pub fn threads_running(&self) -> u32 {
+        self.running.iter().map(|c| c.load(SeqCst)).sum()
+    }
+
+    /// Worker threads currently running on `core` (SMT co-residency).
+    pub fn threads_on(&self, core: u32) -> u32 {
+        self.running[core as usize].load(SeqCst)
+    }
+
+    /// Transactional threads currently on `core` (diagnostics).
+    pub fn tx_threads_on(&self, core: u32) -> u32 {
+        self.in_tx[core as usize].load(SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_exit_counts_share() {
+        let r = CoreRegistry::new(4);
+        assert_eq!(r.enter_tx(0), 1);
+        assert_eq!(r.enter_tx(0), 2, "second SMT thread shares the core");
+        assert_eq!(r.enter_tx(1), 1, "other core unaffected");
+        r.exit_tx(0);
+        assert_eq!(r.tx_threads_on(0), 1);
+        r.exit_tx(0);
+        r.exit_tx(1);
+        assert_eq!(r.tx_threads_on(0), 0);
+    }
+
+    #[test]
+    fn running_thread_census() {
+        let r = CoreRegistry::new(2);
+        r.thread_started(0);
+        r.thread_started(1);
+        r.thread_started(1);
+        assert_eq!(r.threads_running(), 3);
+        r.thread_stopped(1);
+        assert_eq!(r.threads_running(), 2);
+    }
+
+    #[test]
+    fn concurrent_enter_exit_is_balanced() {
+        use std::sync::Arc;
+        let r = Arc::new(CoreRegistry::new(1));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    let share = r.enter_tx(0);
+                    assert!((1..=8).contains(&share));
+                    r.exit_tx(0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.tx_threads_on(0), 0);
+    }
+}

@@ -1,0 +1,653 @@
+//! Per-thread execution context and the transaction-retry mechanism of
+//! Figure 1.
+//!
+//! [`ThreadCtx::atomic`] is the workspace's `TM_BEGIN`/`TM_END`: it runs a
+//! closure as a best-effort hardware transaction, retrying on aborts under
+//! three tunable counters — lock-retry, persistent-retry and transient-retry
+//! (Section 3) — and finally reverting to irrevocable execution under the
+//! global lock. On Blue Gene/Q the paper could only use the system-provided
+//! mechanism: a single retry counter with an adaptation heuristic and, in
+//! long-running mode, *lazy* lock subscription; [`ThreadCtx::atomic`]
+//! switches to that behaviour automatically when the platform model is
+//! Blue Gene/Q.
+//!
+//! The context also exposes the processor-specific interfaces evaluated in
+//! Section 6: [`ThreadCtx::atomic_hle`] (Intel hardware lock elision),
+//! [`ThreadCtx::atomic_constrained`] (zEC12 constrained transactions) and
+//! [`ThreadCtx::try_rollback_only`] (POWER8 rollback-only transactions).
+
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::SmallRng;
+
+use htm_core::{Abort, AbortCategory, AbortCause, TxMemory, TxResult, WordAddr};
+use htm_machine::{BgqMode, Machine, Platform};
+
+use crate::lock::GlobalLock;
+use crate::stats::ThreadStats;
+use crate::tx::{ExecMode, Tx, TxnEngine};
+
+/// Explicit-abort code used when a transaction starts while the global lock
+/// is held (Figure 1, line 27).
+pub const LOCK_HELD_ABORT: u8 = 0xff;
+
+/// Maximum retry counts for the three counters of Figure 1 (plus the single
+/// Blue Gene/Q counter).
+///
+/// The paper tunes these per (platform × benchmark × thread count); the
+/// experiment harness's tuner does the same grid search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// `MAX_LOCK_RETRY_COUNT`: retries after aborts caused by global-lock
+    /// conflicts.
+    pub lock_retries: u32,
+    /// `MAX_PERSISTENT_RETRY_COUNT`: retries after aborts the platform
+    /// reports as persistent (capacity overflows).
+    pub persistent_retries: u32,
+    /// `MAX_TRANSIENT_RETRY_COUNT`: retries after all other aborts.
+    pub transient_retries: u32,
+    /// Blue Gene/Q's single system-provided retry counter.
+    pub bgq_retries: u32,
+}
+
+impl RetryPolicy {
+    /// A policy with all counters set to `n` (coarse tuning knob).
+    pub fn uniform(n: u32) -> RetryPolicy {
+        RetryPolicy { lock_retries: n, persistent_retries: n, transient_retries: n, bgq_retries: n }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { lock_retries: 4, persistent_retries: 2, transient_retries: 8, bgq_retries: 8 }
+    }
+}
+
+/// Blue Gene/Q's adaptation heuristic: transactions that fell back on the
+/// global lock too frequently are not allowed to retry on the next abort
+/// (Section 3 — the paper found it acts "too early" in intruder, driving a
+/// 56% serialization ratio at 16 threads).
+#[derive(Debug, Default)]
+struct BgqAdapt {
+    window: u64,
+    len: u32,
+}
+
+impl BgqAdapt {
+    const WINDOW: u32 = 32;
+
+    fn record(&mut self, fell_back: bool) {
+        self.window = (self.window << 1) | fell_back as u64;
+        self.len = (self.len + 1).min(Self::WINDOW);
+    }
+
+    /// Whether retries are suppressed for the next transaction.
+    fn suppress_retries(&self) -> bool {
+        if self.len < 8 {
+            return false;
+        }
+        let mask = if self.len >= 64 { u64::MAX } else { (1u64 << self.len) - 1 };
+        let fallbacks = (self.window & mask).count_ones();
+        // More than half of recent blocks serialized. (A lower threshold
+        // is self-reinforcing: suppressed retries cause fallbacks, which
+        // keep the window full — the heuristic can never recover.)
+        fallbacks * 2 > self.len
+    }
+}
+
+enum Outcome<R> {
+    Committed(R),
+    Aborted(AbortCause),
+}
+
+/// Per-worker-thread execution context.
+///
+/// Owns the thread's [`TxnEngine`] plus the retry-mechanism state, and is
+/// the API surface benchmark code uses outside transactions (allocation,
+/// non-transactional access, compute-cost charging).
+pub struct ThreadCtx {
+    eng: TxnEngine,
+    lock: GlobalLock,
+    policy: RetryPolicy,
+    bgq_adapt: BgqAdapt,
+    constrained_arbiter: Arc<Mutex<()>>,
+    hle: bool,
+}
+
+impl std::fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx").field("thread_id", &self.thread_id()).finish()
+    }
+}
+
+impl ThreadCtx {
+    pub(crate) fn new(
+        eng: TxnEngine,
+        lock: GlobalLock,
+        policy: RetryPolicy,
+        constrained_arbiter: Arc<Mutex<()>>,
+    ) -> ThreadCtx {
+        ThreadCtx { eng, lock, policy, bgq_adapt: BgqAdapt::default(), constrained_arbiter, hle: false }
+    }
+
+    /// Routes subsequent [`ThreadCtx::atomic`] calls through hardware lock
+    /// elision instead of the RTM retry mechanism (the Figure-7 comparison:
+    /// same benchmark code, the HLE interface).
+    ///
+    /// # Panics
+    ///
+    /// Panics when enabling HLE on a platform without it.
+    pub fn set_hle(&mut self, on: bool) {
+        if on {
+            assert!(
+                self.eng.machine().config().has_hle,
+                "{} has no hardware lock elision",
+                self.eng.machine().config().name
+            );
+        }
+        self.hle = on;
+    }
+
+    // ------------------------------------------------------------------
+    // Non-transactional surface
+    // ------------------------------------------------------------------
+
+    /// This worker's thread id (0-based).
+    pub fn thread_id(&self) -> u32 {
+        self.eng.thread_id()
+    }
+
+    /// Number of worker threads in the run.
+    pub fn num_threads(&self) -> u32 {
+        self.eng.num_threads()
+    }
+
+    /// The simulated memory.
+    pub fn mem(&self) -> &Arc<TxMemory> {
+        self.eng.mem()
+    }
+
+    /// The platform model.
+    pub fn machine(&self) -> &Arc<Machine> {
+        self.eng.machine()
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// Replaces the retry policy (tuning sweeps).
+    pub fn set_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Charges `cycles` of simulated compute to this thread (scaled by SMT
+    /// co-residency).
+    pub fn tick(&self, cycles: u64) {
+        self.eng.charge(cycles);
+        self.eng.maybe_yield();
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.eng.clock().now()
+    }
+
+    /// Advances this worker's simulated clock to at least `t` (used by
+    /// synchronization constructs such as phase barriers: a thread resumes
+    /// no earlier than the latest arriving thread).
+    pub fn advance_clock_to(&self, t: u64) {
+        self.eng.clock().advance_to(t);
+    }
+
+    /// Charges one cache-missing access (see `Tx::charge_miss`).
+    pub fn charge_miss(&self) {
+        let running = self.eng.machine().cores().threads_running().max(1) as usize;
+        let c = self.eng.machine().config().cost.miss_cost(running);
+        self.eng.charge(c);
+    }
+
+    /// Allocates simulated memory (non-transactional).
+    pub fn alloc(&mut self, words: u32) -> WordAddr {
+        self.eng.alloc_mut().alloc(words)
+    }
+
+    /// Allocates cache-line-aligned simulated memory (the kmeans fix).
+    pub fn alloc_aligned(&mut self, words: u32, align_bytes: u32) -> WordAddr {
+        self.eng.alloc_mut().alloc_aligned(words, align_bytes)
+    }
+
+    /// Frees a block for reuse by this thread.
+    pub fn free(&mut self, addr: WordAddr, words: u32) {
+        self.eng.alloc_mut().free(addr, words);
+    }
+
+    /// Non-transactional load outside atomic blocks (charges one access).
+    pub fn read_word(&self, addr: WordAddr) -> u64 {
+        self.eng.charge(self.eng.machine().config().cost.load);
+        self.eng.mem().nontx_load(None, addr)
+    }
+
+    /// Non-transactional store outside atomic blocks.
+    pub fn write_word(&self, addr: WordAddr, value: u64) {
+        self.eng.charge(self.eng.machine().config().cost.store);
+        self.eng.mem().nontx_store(None, addr, value);
+    }
+
+    /// Non-transactional CAS outside atomic blocks (lock-free baselines).
+    ///
+    /// # Errors
+    ///
+    /// Returns the observed value when it differs from `expected`.
+    pub fn cas_word(&self, addr: WordAddr, expected: u64, new: u64) -> Result<u64, u64> {
+        self.eng.clock().tick(self.eng.machine().config().cost.lock_op);
+        self.eng.mem().nontx_cas(None, addr, expected, new)
+    }
+
+    /// Deterministic per-thread random-number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.eng.rng_mut()
+    }
+
+    /// A snapshot of this thread's statistics so far.
+    pub fn stats(&self) -> &ThreadStats {
+        &self.eng.stats
+    }
+
+    pub(crate) fn take_stats(&mut self) -> ThreadStats {
+        self.eng.take_stats()
+    }
+
+    pub(crate) fn engine_mut(&mut self) -> &mut TxnEngine {
+        &mut self.eng
+    }
+
+    // ------------------------------------------------------------------
+    // The retry mechanism (Figure 1)
+    // ------------------------------------------------------------------
+
+    /// Executes `body` atomically: as a hardware transaction with retries,
+    /// falling back to irrevocable execution under the global lock.
+    ///
+    /// `body` must be idempotent up to its transactional effects (it may run
+    /// many times); all side effects on simulated memory go through the
+    /// [`Tx`] handle and are rolled back on abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called inside another atomic block (no nesting), or if
+    /// `body` returns `Err` during irrevocable execution.
+    pub fn atomic<R>(&mut self, mut body: impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
+        if self.hle && self.eng.mode() != ExecMode::Sequential {
+            return self.atomic_hle(body);
+        }
+        if self.eng.mode() == ExecMode::Sequential {
+            self.eng.begin_sequential();
+            let r = body(&mut Tx { eng: &mut self.eng })
+                .expect("sequential execution cannot abort");
+            self.eng.end_sequential();
+            return r;
+        }
+
+        let cfg = self.eng.machine().config();
+        let is_bgq = cfg.platform == Platform::BlueGeneQ;
+        let lazy_subscription =
+            is_bgq && cfg.bgq_mode == Some(BgqMode::LongRunning);
+        let mut lock_retries = self.policy.lock_retries;
+        let mut persistent_retries = self.policy.persistent_retries;
+        let mut transient_retries = self.policy.transient_retries;
+        // Adaptation throttles rather than forbids retries: the real
+        // mechanism recovers once transactions stop falling back, so it
+        // must leave a path back to hardware execution.
+        let mut bgq_retries = if self.bgq_adapt.suppress_retries() {
+            1.min(self.policy.bgq_retries)
+        } else {
+            self.policy.bgq_retries
+        };
+        let reports_persistence = cfg.reports_persistence;
+        let mut attempt = 0u32;
+
+        loop {
+            // Figure 1 line 9: wait for the lock (lemming avoidance).
+            let waited = {
+                let cost = self.eng.machine().config().cost;
+                self.lock.wait_released(self.eng.mem(), self.eng.clock(), &cost)
+            };
+            self.eng.stats.lock_wait_cycles += waited;
+            if waited > 0 {
+                // Jitter after a lock wait: all doomed waiters are released
+                // at the same instant, and restarting them in lockstep
+                // recreates the conflict that serialized them.
+                let jitter = rand::Rng::gen_range(self.eng.rng_mut(), 0..512u64);
+                self.tick(jitter);
+            }
+
+            match self.attempt_hw(&mut body, lazy_subscription, false, false) {
+                Outcome::Committed(r) => {
+                    if is_bgq {
+                        self.bgq_adapt.record(false);
+                    }
+                    return r;
+                }
+                Outcome::Aborted(cause) => {
+                    let lock_related = self.classify_and_record(cause, is_bgq);
+                    let retry = if is_bgq {
+                        consume(&mut bgq_retries)
+                    } else if lock_related {
+                        consume(&mut lock_retries)
+                    } else if reports_persistence && cause.is_capacity() {
+                        consume(&mut persistent_retries)
+                    } else {
+                        consume(&mut transient_retries)
+                    };
+                    if !retry {
+                        let r = self.run_irrevocable(&mut body);
+                        if is_bgq {
+                            self.bgq_adapt.record(true);
+                        }
+                        return r;
+                    }
+                    // Randomized exponential backoff between retries
+                    // (Blue Gene/Q's system software and every practical
+                    // retry handler do this); the simulated delay also
+                    // translates into real absence, decorrelating the
+                    // contenders.
+                    attempt += 1;
+                    let ceiling = 32u64 << attempt.min(7);
+                    let pause = rand::Rng::gen_range(self.eng.rng_mut(), 0..ceiling);
+                    self.tick(pause);
+                }
+            }
+        }
+    }
+
+    /// One hardware attempt: begin, (optionally) subscribe to the lock, run
+    /// the body, (lazily) subscribe, commit.
+    fn attempt_hw<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+        lazy_subscription: bool,
+        rollback_only: bool,
+        constrained: bool,
+    ) -> Outcome<R> {
+        self.eng.begin_hw(rollback_only, constrained);
+        let lock_addr = self.lock.addr();
+        let result = (|| -> TxResult<R> {
+            if !lazy_subscription {
+                subscribe(&mut self.eng, lock_addr)?;
+            }
+            let r = body(&mut Tx { eng: &mut self.eng })?;
+            if lazy_subscription {
+                subscribe(&mut self.eng, lock_addr)?;
+            }
+            Ok(r)
+        })();
+        match result {
+            Ok(r) => match self.eng.commit_hw() {
+                Ok(()) => Outcome::Committed(r),
+                Err(cause) => Outcome::Aborted(cause),
+            },
+            Err(abort) => {
+                self.eng.rollback_hw();
+                Outcome::Aborted(abort.cause)
+            }
+        }
+    }
+
+    /// Classifies an abort into its Figure-3 category, records it, and
+    /// returns whether it is lock-related (for the retry decision).
+    fn classify_and_record(&mut self, cause: AbortCause, is_bgq: bool) -> bool {
+        let lock_held_now = self.lock.is_locked(self.eng.mem());
+        let explicit_lock = cause == AbortCause::Explicit(LOCK_HELD_ABORT);
+        let lock_related = explicit_lock || lock_held_now;
+        let category = if is_bgq {
+            AbortCategory::Unclassified
+        } else if lock_related {
+            AbortCategory::LockConflict
+        } else if cause.is_capacity() {
+            AbortCategory::Capacity
+        } else if cause.is_conflict() {
+            AbortCategory::DataConflict
+        } else {
+            AbortCategory::Other
+        };
+        self.eng.stats.record_abort(category);
+        lock_related
+    }
+
+    /// The fallback path: acquire the global lock and run irrevocably.
+    fn run_irrevocable<R>(&mut self, body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
+        let cost = self.eng.machine().config().cost;
+        let tag = self.thread_id() as u64 + 1;
+        let waited = self.lock.acquire(self.eng.mem(), tag, self.eng.clock(), &cost);
+        self.eng.stats.lock_wait_cycles += waited;
+        self.eng.begin_irrevocable();
+        let r = body(&mut Tx { eng: &mut self.eng })
+            .expect("irrevocable execution cannot abort");
+        self.eng.end_irrevocable();
+        self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Processor-specific interfaces (Section 6)
+    // ------------------------------------------------------------------
+
+    /// Intel hardware lock elision: one hardware attempt with the lock
+    /// elided; on abort the lock is actually acquired — there is no
+    /// software retry mechanism to tune (Section 6.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on platforms without HLE.
+    pub fn atomic_hle<R>(&mut self, mut body: impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
+        assert!(
+            self.eng.machine().config().has_hle,
+            "{} has no hardware lock elision",
+            self.eng.machine().config().name
+        );
+        if self.eng.mode() == ExecMode::Sequential {
+            return self.atomic(body);
+        }
+        // Lock-busy aborts re-elide after the lock frees (as the standard
+        // elision runtimes do); only a *data* abort re-executes with the
+        // lock held. Without this, one fallback dooms every elided peer,
+        // whose fallbacks doom the next wave — a permanent convoy.
+        loop {
+            let cost = self.eng.machine().config().cost;
+            let waited = self.lock.wait_released(self.eng.mem(), self.eng.clock(), &cost);
+            self.eng.stats.lock_wait_cycles += waited;
+            match self.attempt_hw(&mut body, false, false, false) {
+                Outcome::Committed(r) => return r,
+                Outcome::Aborted(cause) => {
+                    let lock_related = self.classify_and_record(cause, false);
+                    // Non-transactional conflicts come from a peer's
+                    // irrevocable section (the convoy), not from program
+                    // data: re-elide those too.
+                    if !lock_related && cause != AbortCause::ConflictNonTx {
+                        return self.run_irrevocable(&mut body);
+                    }
+                }
+            }
+        }
+    }
+
+    /// zEC12 constrained transaction: guaranteed to eventually commit, no
+    /// abort handler or fallback needed (Section 6.1). The body must respect
+    /// the constrained limits (≤ 256 B footprint, ≤ 32 accesses) or the
+    /// engine panics, mirroring the architecture's constraint checks.
+    ///
+    /// The hardware guarantee is modelled as bounded retries followed by
+    /// acquisition of a hidden arbitration token that serialises the
+    /// stragglers (standing in for the processor's internal fairness
+    /// escalation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on platforms without constrained transactions, or if the body
+    /// violates the constrained limits.
+    pub fn atomic_constrained<R>(&mut self, mut body: impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
+        assert!(
+            self.eng.machine().config().constrained.is_some(),
+            "{} has no constrained transactions",
+            self.eng.machine().config().name
+        );
+        if self.eng.mode() == ExecMode::Sequential {
+            return self.atomic(body);
+        }
+        let mut attempts = 0u32;
+        loop {
+            let escalated = attempts >= 4;
+            let _token = escalated.then(|| self.constrained_arbiter.clone());
+            let _guard = _token.as_ref().map(|t| t.lock().unwrap());
+            match self.attempt_constrained(&mut body) {
+                Outcome::Committed(r) => return r,
+                Outcome::Aborted(cause) => {
+                    self.classify_and_record(cause, false);
+                    attempts += 1;
+                    // Hardware-style exponential backoff.
+                    let cost = self.eng.machine().config().cost;
+                    self.eng.clock().tick(cost.spin_poll << attempts.min(5));
+                }
+            }
+        }
+    }
+
+    fn attempt_constrained<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> Outcome<R> {
+        self.eng.begin_hw(false, true);
+        let result = body(&mut Tx { eng: &mut self.eng });
+        match result {
+            Ok(r) => match self.eng.commit_hw() {
+                Ok(()) => Outcome::Committed(r),
+                Err(cause) => Outcome::Aborted(cause),
+            },
+            Err(abort) => {
+                self.eng.rollback_hw();
+                Outcome::Aborted(abort.cause)
+            }
+        }
+    }
+
+    /// POWER8 rollback-only transaction: store buffering without load
+    /// conflict detection (Section 2.4). Returns `None` if the speculation
+    /// aborted (the caller re-executes non-speculatively).
+    ///
+    /// # Panics
+    ///
+    /// Panics on platforms without rollback-only transactions.
+    pub fn try_rollback_only<R>(
+        &mut self,
+        mut body: impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> Option<R> {
+        if self.eng.mode() == ExecMode::Sequential {
+            return Some(self.atomic(body));
+        }
+        self.eng.begin_hw(true, false);
+        match body(&mut Tx { eng: &mut self.eng }) {
+            Ok(r) => match self.eng.commit_hw() {
+                Ok(()) => Some(r),
+                Err(cause) => {
+                    self.classify_and_record(cause, false);
+                    None
+                }
+            },
+            Err(abort) => {
+                self.eng.rollback_hw();
+                self.classify_and_record(abort.cause, false);
+                None
+            }
+        }
+    }
+
+    /// Runs `body` as a *single* hardware attempt with explicit outcome,
+    /// without lock subscription or fallback. Building block for ordered
+    /// TLS (Section 6.3), where the caller manages retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort that ended the attempt.
+    pub fn try_hardware<R>(
+        &mut self,
+        mut body: impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> Result<R, Abort> {
+        if self.eng.mode() == ExecMode::Sequential {
+            return Ok(self.atomic(body));
+        }
+        self.eng.begin_hw(false, false);
+        match body(&mut Tx { eng: &mut self.eng }) {
+            Ok(r) => match self.eng.commit_hw() {
+                Ok(()) => Ok(r),
+                Err(cause) => {
+                    self.classify_and_record(cause, false);
+                    Err(Abort::new(cause))
+                }
+            },
+            Err(abort) => {
+                self.eng.rollback_hw();
+                self.classify_and_record(abort.cause, false);
+                Err(abort)
+            }
+        }
+    }
+}
+
+/// Subscribes the running transaction to the global lock word: reads it
+/// transactionally and explicitly aborts if it is held (Figure 1 lines
+/// 26–27).
+fn subscribe(eng: &mut TxnEngine, lock_addr: WordAddr) -> TxResult<()> {
+    let v = eng.load(lock_addr)?;
+    if v != 0 {
+        return eng.user_abort(LOCK_HELD_ABORT);
+    }
+    Ok(())
+}
+
+fn consume(counter: &mut u32) -> bool {
+    if *counter > 0 {
+        *counter -= 1;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgq_adapt_suppresses_after_heavy_fallback() {
+        let mut a = BgqAdapt::default();
+        assert!(!a.suppress_retries(), "cold start allows retries");
+        for _ in 0..8 {
+            a.record(true);
+        }
+        assert!(a.suppress_retries());
+        for _ in 0..32 {
+            a.record(false);
+        }
+        assert!(!a.suppress_retries(), "recovers after successes");
+    }
+
+    #[test]
+    fn retry_policy_uniform() {
+        let p = RetryPolicy::uniform(3);
+        assert_eq!(p.lock_retries, 3);
+        assert_eq!(p.persistent_retries, 3);
+        assert_eq!(p.transient_retries, 3);
+        assert_eq!(p.bgq_retries, 3);
+    }
+
+    #[test]
+    fn consume_counts_down() {
+        let mut c = 2;
+        assert!(consume(&mut c));
+        assert!(consume(&mut c));
+        assert!(!consume(&mut c));
+        assert!(!consume(&mut c));
+    }
+}

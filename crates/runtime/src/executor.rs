@@ -1,0 +1,503 @@
+//! Experiment executor: builds a simulation instance and runs workloads
+//! sequentially or across worker threads.
+//!
+//! The measurement protocol mirrors the paper's: for each (platform ×
+//! benchmark × thread count), the workload runs once sequentially (the
+//! speed-up baseline) and once with N workers under the retry mechanism;
+//! speed-up = sequential cycles / max worker cycles.
+
+use std::sync::{Arc, Mutex};
+
+use htm_core::{ConflictPolicy, Geometry, SimAlloc, ThreadAlloc, TxMemory, WordAddr};
+use htm_machine::{Machine, MachineConfig};
+
+use crate::ctx::{RetryPolicy, ThreadCtx};
+use crate::lock::GlobalLock;
+use crate::stats::RunStats;
+use crate::trace::SeqTracer;
+use crate::tx::{ExecMode, TxnEngine};
+
+/// Configuration of one simulation instance.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The platform model.
+    pub machine: MachineConfig,
+    /// Size of the simulated memory in 64-bit words.
+    pub mem_words: u32,
+    /// Conflict-resolution policy (requester-wins unless ablating).
+    pub conflict_policy: ConflictPolicy,
+    /// Base seed for the per-thread deterministic RNGs.
+    pub seed: u64,
+    /// Record per-transaction footprints in run statistics (costs memory).
+    pub trace_footprints: bool,
+    /// Yield the OS thread every this many *simulated cycles* (0 = never).
+    /// Hardware threads progress simultaneously; on hosts with fewer cores
+    /// than workers, OS threads only interleave at preemption quanta — far
+    /// coarser than a transaction — so without forced yields transactions
+    /// would almost never overlap and conflict statistics would collapse.
+    /// Pacing by simulated cycles makes each worker's real-time presence
+    /// proportional to its simulated duration, so conflict exposure tracks
+    /// the cost model.
+    pub yield_interval: u32,
+}
+
+impl SimConfig {
+    /// A configuration with workspace defaults (32 MiB simulated memory).
+    pub fn new(machine: MachineConfig) -> SimConfig {
+        SimConfig {
+            machine,
+            mem_words: 1 << 22,
+            conflict_policy: ConflictPolicy::RequesterWins,
+            seed: 0x5EED_0001,
+            trace_footprints: false,
+            yield_interval: 160,
+        }
+    }
+
+    /// Sets the simulated memory size in words.
+    pub fn mem_words(mut self, words: u32) -> SimConfig {
+        self.mem_words = words;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the conflict-resolution policy.
+    pub fn conflict_policy(mut self, p: ConflictPolicy) -> SimConfig {
+        self.conflict_policy = p;
+        self
+    }
+
+    /// Enables footprint tracing in worker statistics.
+    pub fn trace_footprints(mut self, on: bool) -> SimConfig {
+        self.trace_footprints = on;
+        self
+    }
+
+    /// Sets the forced-yield interval (see [`SimConfig::yield_interval`]).
+    pub fn yield_interval(mut self, every_accesses: u32) -> SimConfig {
+        self.yield_interval = every_accesses;
+        self
+    }
+}
+
+/// One simulation instance: memory + platform + allocator + global lock.
+///
+/// Benchmarks build their data structures through [`Sim::seq_ctx`] (or an
+/// initial parallel phase) and then run measurement phases with
+/// [`Sim::run_parallel`].
+pub struct Sim {
+    mem: Arc<TxMemory>,
+    machine: Arc<Machine>,
+    alloc: Arc<SimAlloc>,
+    lock: GlobalLock,
+    cfg: SimConfig,
+    constrained_arbiter: Arc<Mutex<()>>,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("machine", &self.machine.config().name)
+            .field("mem_words", &self.cfg.mem_words)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Builds a simulation instance.
+    pub fn new(cfg: SimConfig) -> Sim {
+        let geometry = Geometry::new(cfg.machine.granularity);
+        let mem = Arc::new(TxMemory::new(cfg.mem_words, geometry));
+        let machine = Arc::new(Machine::new(cfg.machine.clone()));
+        let alloc = Arc::new(SimAlloc::new(1, cfg.mem_words));
+        let lock = GlobalLock::new(&alloc, cfg.machine.granularity);
+        Sim { mem, machine, alloc, lock, cfg, constrained_arbiter: Arc::new(Mutex::new(())) }
+    }
+
+    /// Convenience: a simulation of `machine` with default settings.
+    pub fn of(machine: MachineConfig) -> Sim {
+        Sim::new(SimConfig::new(machine))
+    }
+
+    /// The simulated memory.
+    pub fn mem(&self) -> &Arc<TxMemory> {
+        &self.mem
+    }
+
+    /// The global allocator.
+    pub fn alloc(&self) -> &Arc<SimAlloc> {
+        &self.alloc
+    }
+
+    /// The platform model.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The global fallback lock.
+    pub fn lock(&self) -> GlobalLock {
+        self.lock
+    }
+
+    /// Reads a word of simulated memory (setup/verification).
+    pub fn read_word(&self, addr: WordAddr) -> u64 {
+        self.mem.read_word(addr)
+    }
+
+    /// Writes a word of simulated memory (setup/verification).
+    pub fn write_word(&self, addr: WordAddr, value: u64) {
+        self.mem.write_word(addr, value)
+    }
+
+    fn make_ctx(&self, thread_id: u32, num_threads: u32, mode: ExecMode, policy: RetryPolicy) -> ThreadCtx {
+        let eng = TxnEngine::new(
+            Arc::clone(&self.mem),
+            Arc::clone(&self.machine),
+            ThreadAlloc::new(Arc::clone(&self.alloc)),
+            thread_id,
+            num_threads,
+            mode,
+            self.cfg.conflict_policy,
+            self.cfg.seed,
+            self.cfg.trace_footprints,
+            if mode == ExecMode::Hardware && num_threads > 1 { self.cfg.yield_interval } else { 0 },
+        );
+        ThreadCtx::new(eng, self.lock, policy, Arc::clone(&self.constrained_arbiter))
+    }
+
+    /// A sequential-mode context on the calling thread (baseline runs and
+    /// setup phases). Its `atomic` runs bodies directly with no
+    /// transactional overhead.
+    pub fn seq_ctx(&self) -> ThreadCtx {
+        self.make_ctx(0, 1, ExecMode::Sequential, RetryPolicy::default())
+    }
+
+    /// A sequential context that records per-block footprints at the given
+    /// line granularities (the Figure 10/11 trace tool).
+    pub fn seq_ctx_traced(&self, granularities: &[u32]) -> ThreadCtx {
+        let mut ctx = self.seq_ctx();
+        ctx.engine_mut().tracer = Some(SeqTracer::new(granularities));
+        ctx
+    }
+
+    /// Takes the footprint tracer out of a traced context after the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` was not created with [`Sim::seq_ctx_traced`].
+    pub fn take_tracer(&self, ctx: &mut ThreadCtx) -> SeqTracer {
+        ctx.engine_mut().tracer.take().expect("context has no tracer")
+    }
+
+    /// Runs `work` on `num_threads` workers under the Figure-1 retry
+    /// mechanism with the given policy, returning aggregated statistics.
+    ///
+    /// `work` receives each worker's [`ThreadCtx`]; the join at the end is
+    /// the phase barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` exceeds the platform's hardware threads or
+    /// the simulator's slot limit.
+    pub fn run_parallel<F>(&self, num_threads: u32, policy: RetryPolicy, work: F) -> RunStats
+    where
+        F: Fn(&mut ThreadCtx) + Sync,
+    {
+        assert!(num_threads >= 1, "need at least one worker");
+        assert!(
+            num_threads <= self.machine.config().hw_threads(),
+            "{} has only {} hardware threads",
+            self.machine.config().name,
+            self.machine.config().hw_threads()
+        );
+        assert!((num_threads as usize) <= htm_core::MAX_SLOTS);
+        let work = &work;
+        let mut stats = Vec::with_capacity(num_threads as usize);
+        // All workers start together: without this, thread-spawn skew lets
+        // early workers finish short workloads before any concurrency (and
+        // hence any conflict) materializes.
+        let start = Arc::new(std::sync::Barrier::new(num_threads as usize));
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_threads as usize);
+            for tid in 0..num_threads {
+                let mut ctx = self.make_ctx(tid, num_threads, ExecMode::Hardware, policy);
+                let machine = Arc::clone(&self.machine);
+                let start = Arc::clone(&start);
+                handles.push(scope.spawn(move || {
+                    let core = machine.config().core_of(tid);
+                    machine.cores().thread_started(core);
+                    start.wait();
+                    work(&mut ctx);
+                    machine.cores().thread_stopped(core);
+                    ctx.take_stats()
+                }));
+            }
+            for h in handles {
+                stats.push(h.join().expect("worker panicked"));
+            }
+        });
+        RunStats::new(stats)
+    }
+
+    /// Runs `work` once sequentially (the speed-up denominator), returning
+    /// the simulated cycles consumed.
+    pub fn run_sequential<F>(&self, work: F) -> u64
+    where
+        F: FnOnce(&mut ThreadCtx),
+    {
+        let mut ctx = self.seq_ctx();
+        work(&mut ctx);
+        ctx.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_core::AbortCategory;
+    use htm_machine::Platform;
+
+    fn sim(p: Platform) -> Sim {
+        Sim::new(SimConfig::new(p.config()).mem_words(1 << 18))
+    }
+
+    #[test]
+    fn sequential_counter_increment() {
+        let s = sim(Platform::IntelCore);
+        let a = s.alloc().alloc(1);
+        let cycles = s.run_sequential(|ctx| {
+            for _ in 0..100 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 100);
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn parallel_counter_is_exact_on_every_platform() {
+        for p in Platform::ALL {
+            let s = sim(p);
+            let a = s.alloc().alloc(1);
+            let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+                for _ in 0..500 {
+                    ctx.atomic(|tx| {
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)
+                    });
+                }
+            });
+            assert_eq!(s.read_word(a), 2000, "{p}: lost updates");
+            assert_eq!(stats.committed_blocks(), 2000, "{p}");
+        }
+    }
+
+    #[test]
+    fn contended_counter_records_aborts() {
+        let s = sim(Platform::IntelCore);
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+            for _ in 0..2000 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 8000);
+        assert!(stats.total_aborts() > 0, "a single hot word must conflict");
+        assert!(stats.aborts_in(AbortCategory::DataConflict) > 0);
+    }
+
+    #[test]
+    fn disjoint_work_scales_without_aborts_or_serialization() {
+        let s = sim(Platform::Zec12);
+        let n = 4u32;
+        // One isolated line (256 B = 32 words) per thread.
+        let base = s.alloc().alloc_aligned(32 * n, 256);
+        let stats = s.run_parallel(n, RetryPolicy::default(), |ctx| {
+            let a = base.offset(32 * ctx.thread_id());
+            for _ in 0..1000 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        // zEC12's modelled "cache-fetch-related" transient aborts can fire
+        // even on disjoint data; what must be zero are data conflicts and
+        // capacity overflows.
+        assert_eq!(stats.aborts_in(AbortCategory::DataConflict), 0, "disjoint lines must not conflict");
+        assert_eq!(stats.aborts_in(AbortCategory::Capacity), 0);
+        for t in 0..n {
+            assert_eq!(s.read_word(base.offset(32 * t)), 1000);
+        }
+    }
+
+    #[test]
+    fn capacity_bound_workload_falls_back_to_lock_on_power8() {
+        let s = sim(Platform::Power8);
+        // 200 lines of 128 B — way over the 64-entry TMCAM.
+        let big = s.alloc().alloc_aligned(200 * 16, 128);
+        // Single worker: with more, a concurrent holder of the fallback
+        // lock can re-classify the capacity abort as a lock conflict.
+        let stats = s.run_parallel(1, RetryPolicy::default(), |ctx| {
+            for _ in 0..20 {
+                ctx.atomic(|tx| {
+                    for i in 0..200u32 {
+                        let addr = big.offset(i * 16);
+                        let v = tx.load(addr)?;
+                        tx.store(addr, v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        });
+        assert!(stats.aborts_in(AbortCategory::Capacity) > 0, "TMCAM must overflow");
+        assert!(stats.irrevocable_commits() > 0, "must serialize to make progress");
+        assert_eq!(s.read_word(big), 20, "updates must not be lost");
+    }
+
+    #[test]
+    fn same_workload_fits_in_zec12_load_capacity() {
+        let s = sim(Platform::Zec12);
+        let big = s.alloc().alloc_aligned(200 * 32, 256);
+        let stats = s.run_parallel(1, RetryPolicy::default(), |ctx| {
+            for _ in 0..20 {
+                ctx.atomic(|tx| {
+                    // 200 lines read-only: fits the 1 MB read capacity and
+                    // stays under the 8 KB store budget with 8 stores.
+                    let mut sum = 0u64;
+                    for i in 0..200u32 {
+                        sum = sum.wrapping_add(tx.load(big.offset(i * 32))?);
+                    }
+                    for i in 0..8u32 {
+                        tx.store(big.offset(i * 32), sum)?;
+                    }
+                    Ok(())
+                });
+            }
+        });
+        assert_eq!(stats.aborts_in(AbortCategory::Capacity), 0);
+    }
+
+    #[test]
+    fn thread_count_respects_hardware_limit() {
+        let s = sim(Platform::IntelCore);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.run_parallel(16, RetryPolicy::default(), |_| {});
+        }));
+        assert!(r.is_err(), "Intel Core has only 8 hardware threads");
+    }
+
+    #[test]
+    fn traced_sequential_run_yields_footprints() {
+        let s = sim(Platform::IntelCore);
+        let a = s.alloc().alloc(64);
+        let mut ctx = s.seq_ctx_traced(&[64, 256]);
+        ctx.atomic(|tx| {
+            for i in 0..16u32 {
+                let v = tx.load(a.offset(i))?;
+                tx.store(a.offset(i), v + 1)?;
+            }
+            Ok(())
+        });
+        let tracer = s.take_tracer(&mut ctx);
+        // 16 words = 128 bytes: 2 lines at 64 B, 1 line at 256 B.
+        assert_eq!(tracer.samples(0).last(), Some(&(2, 2)));
+        assert_eq!(tracer.samples(1).last(), Some(&(1, 1)));
+    }
+
+    #[test]
+    fn footprint_stats_record_committed_sizes() {
+        let s = Sim::new(
+            SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18).trace_footprints(true),
+        );
+        // Leave a gap after the lock line so the stride prefetcher cannot
+        // pull an extra line into the monitored set.
+        let _gap = s.alloc().alloc_aligned(64, 64);
+        let a = s.alloc().alloc_aligned(32, 64);
+        let stats = s.run_parallel(1, RetryPolicy::default(), |ctx| {
+            ctx.atomic(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        });
+        let fps: Vec<_> = stats.footprints().collect();
+        assert_eq!(fps.len(), 1);
+        // Lock subscription adds one read line beside the data line.
+        assert_eq!(fps[0].1, 1, "one store line");
+        assert_eq!(fps[0].0, 2, "data line + lock line");
+    }
+
+    #[test]
+    fn hle_works_end_to_end() {
+        let s = sim(Platform::IntelCore);
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+            for _ in 0..500 {
+                ctx.atomic_hle(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 2000);
+        // HLE has no retries: contended aborts go straight to the lock.
+        assert!(stats.irrevocable_commits() > 0);
+    }
+
+    #[test]
+    fn constrained_transactions_always_commit_in_hardware() {
+        let s = sim(Platform::Zec12);
+        let a = s.alloc().alloc_aligned(1, 256);
+        let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+            for _ in 0..500 {
+                ctx.atomic_constrained(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 2000);
+        assert_eq!(stats.irrevocable_commits(), 0, "constrained txs never take a lock");
+        assert_eq!(stats.hw_commits(), 2000);
+    }
+
+    #[test]
+    fn rollback_only_speculation() {
+        let s = sim(Platform::Power8);
+        let a = s.alloc().alloc(1);
+        let _ = s.run_parallel(1, RetryPolicy::default(), |ctx| {
+            let r = ctx.try_rollback_only(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)?;
+                Ok(v)
+            });
+            assert_eq!(r, Some(0));
+        });
+        assert_eq!(s.read_word(a), 1);
+    }
+
+    #[test]
+    fn determinism_of_sequential_runs() {
+        let run = || {
+            let s = sim(Platform::IntelCore);
+            let a = s.alloc().alloc(4);
+            s.run_sequential(|ctx| {
+                for i in 0..50u64 {
+                    ctx.atomic(|tx| tx.store(a.offset((i % 4) as u32), i));
+                }
+            })
+        };
+        assert_eq!(run(), run(), "sequential cycle counts must be deterministic");
+    }
+}

@@ -1,0 +1,59 @@
+//! # htm-runtime — transaction engine and retry mechanism
+//!
+//! The execution layer of the HTM comparison reproduction (Nakaike et al.,
+//! ISCA 2015):
+//!
+//! * [`tx`] — the per-thread transaction engine and the [`Tx`] access
+//!   handle benchmark code uses inside atomic blocks,
+//! * [`ctx`] — [`ThreadCtx`] with the Figure-1 retry mechanism (three
+//!   tunable retry counters + global-lock fallback), Blue Gene/Q's
+//!   system-provided single-counter mechanism with adaptation and lazy
+//!   subscription, and the Section-6 processor-specific interfaces (HLE,
+//!   constrained transactions, rollback-only transactions),
+//! * [`lock`] — the global fallback lock, living in simulated memory so
+//!   lock acquisitions abort subscribed transactions through the ordinary
+//!   conflict mechanism,
+//! * [`executor`] — [`Sim`], building a platform instance and running
+//!   workloads sequentially (the speed-up baseline) or on worker threads,
+//! * [`stats`] — speed-ups, abort-ratio breakdowns (Figure 3),
+//!   serialization ratios,
+//! * [`trace`] — the footprint tracer behind Figures 10 and 11.
+//!
+//! ## Example: a transactional counter on every platform
+//!
+//! ```
+//! use htm_machine::Platform;
+//! use htm_runtime::{RetryPolicy, Sim};
+//!
+//! for platform in Platform::ALL {
+//!     let sim = Sim::of(platform.config());
+//!     let counter = sim.alloc().alloc(1);
+//!     let stats = sim.run_parallel(2, RetryPolicy::default(), |ctx| {
+//!         for _ in 0..100 {
+//!             ctx.atomic(|tx| {
+//!                 let v = tx.load(counter)?;
+//!                 tx.store(counter, v + 1)
+//!             });
+//!         }
+//!     });
+//!     assert_eq!(sim.read_word(counter), 200);
+//!     assert_eq!(stats.committed_blocks(), 200);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ctx;
+pub mod executor;
+pub mod lock;
+pub mod stats;
+pub mod trace;
+pub mod tx;
+
+pub use ctx::{RetryPolicy, ThreadCtx, LOCK_HELD_ABORT};
+pub use executor::{Sim, SimConfig};
+pub use lock::GlobalLock;
+pub use stats::{percentile, RunStats, ThreadStats};
+pub use trace::SeqTracer;
+pub use tx::{ExecMode, Tx};

@@ -1,0 +1,240 @@
+//! Run statistics: the measurement side of the reproduction.
+//!
+//! Collects per-thread counters that aggregate into exactly the metrics the
+//! paper reports:
+//!
+//! * **speed-up ratio** — sequential cycles / max worker cycles (Figures 2,
+//!   4, 5, 7, 9),
+//! * **transaction-abort ratio** — aborted transactions as a percentage of
+//!   all transactions excluding irrevocable ones, broken down into the four
+//!   categories of Figure 3,
+//! * **serialization ratio** — irrevocable (global-lock) commits as a
+//!   percentage of all committed transactions (Section 5.1),
+//! * **transaction footprints** — distinct load/store lines per committed
+//!   transaction, for the Figure 10/11 scatter plots.
+
+use htm_core::AbortCategory;
+
+/// Counters collected by one worker thread.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadStats {
+    /// Hardware transactions that committed.
+    pub hw_commits: u64,
+    /// Atomic blocks executed irrevocably under the global lock.
+    pub irrevocable_commits: u64,
+    /// Aborts per Figure-3 category (indexed by position in
+    /// [`AbortCategory::ALL`]).
+    pub aborts: [u64; 5],
+    /// Simulated cycles spent blocked waiting for Blue Gene/Q speculation
+    /// IDs.
+    pub spec_id_wait_cycles: u64,
+    /// Simulated cycles spent spinning on the global lock (lemming
+    /// avoidance + acquisition).
+    pub lock_wait_cycles: u64,
+    /// Final value of the thread's simulated clock.
+    pub cycles: u64,
+    /// Footprints (distinct load lines, distinct store lines) of committed
+    /// transactions, recorded only when tracing is enabled.
+    pub footprints: Vec<(u32, u32)>,
+}
+
+impl ThreadStats {
+    /// Records one abort in `category`.
+    pub fn record_abort(&mut self, category: AbortCategory) {
+        let idx = AbortCategory::ALL.iter().position(|c| *c == category).unwrap();
+        self.aborts[idx] += 1;
+    }
+
+    /// Total aborts across categories.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+}
+
+/// Aggregated statistics for a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Per-thread statistics, indexed by thread id.
+    pub threads: Vec<ThreadStats>,
+}
+
+impl RunStats {
+    /// Builds aggregate stats from per-thread results.
+    pub fn new(threads: Vec<ThreadStats>) -> RunStats {
+        RunStats { threads }
+    }
+
+    /// Parallel runtime: the maximum simulated clock over workers.
+    pub fn cycles(&self) -> u64 {
+        self.threads.iter().map(|t| t.cycles).max().unwrap_or(0)
+    }
+
+    /// Hardware commits summed over threads.
+    pub fn hw_commits(&self) -> u64 {
+        self.threads.iter().map(|t| t.hw_commits).sum()
+    }
+
+    /// Irrevocable commits summed over threads.
+    pub fn irrevocable_commits(&self) -> u64 {
+        self.threads.iter().map(|t| t.irrevocable_commits).sum()
+    }
+
+    /// Total aborts summed over threads.
+    pub fn total_aborts(&self) -> u64 {
+        self.threads.iter().map(|t| t.total_aborts()).sum()
+    }
+
+    /// Aborts in one Figure-3 category, summed over threads.
+    pub fn aborts_in(&self, category: AbortCategory) -> u64 {
+        let idx = AbortCategory::ALL.iter().position(|c| *c == category).unwrap();
+        self.threads.iter().map(|t| t.aborts[idx]).sum()
+    }
+
+    /// The paper's transaction-abort ratio: aborted transactions as a
+    /// fraction of all transactions, excluding irrevocable ones.
+    ///
+    /// A transaction attempt that aborts and later commits counts once as
+    /// an abort and once as a commit, matching hardware event counters.
+    pub fn abort_ratio(&self) -> f64 {
+        let aborts = self.total_aborts() as f64;
+        let attempts = aborts + self.hw_commits() as f64;
+        if attempts == 0.0 {
+            0.0
+        } else {
+            aborts / attempts
+        }
+    }
+
+    /// Share of one category within all aborts-plus-commits (the height of
+    /// one segment of a Figure-3 stacked bar, as a fraction).
+    pub fn abort_ratio_of(&self, category: AbortCategory) -> f64 {
+        let aborts = self.aborts_in(category) as f64;
+        let attempts = self.total_aborts() as f64 + self.hw_commits() as f64;
+        if attempts == 0.0 {
+            0.0
+        } else {
+            aborts / attempts
+        }
+    }
+
+    /// The serialization ratio: irrevocable commits as a fraction of all
+    /// committed atomic blocks.
+    pub fn serialization_ratio(&self) -> f64 {
+        let irr = self.irrevocable_commits() as f64;
+        let all = irr + self.hw_commits() as f64;
+        if all == 0.0 {
+            0.0
+        } else {
+            irr / all
+        }
+    }
+
+    /// All committed atomic blocks (hardware + irrevocable).
+    pub fn committed_blocks(&self) -> u64 {
+        self.hw_commits() + self.irrevocable_commits()
+    }
+
+    /// All recorded footprints, concatenated across threads.
+    pub fn footprints(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.threads.iter().flat_map(|t| t.footprints.iter().copied())
+    }
+}
+
+/// Returns the `pct`-percentile (0–100) of `values` using nearest-rank, or
+/// 0 for an empty slice. Used for the 90-percentile transaction sizes of
+/// Figures 10 and 11.
+pub fn percentile(values: &mut [u32], pct: f64) -> u32 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    let rank = ((pct / 100.0) * values.len() as f64).ceil() as usize;
+    values[rank.clamp(1, values.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(commits: u64, irr: u64, aborts: &[(AbortCategory, u64)]) -> RunStats {
+        let mut t = ThreadStats { hw_commits: commits, irrevocable_commits: irr, ..Default::default() };
+        for &(cat, n) in aborts {
+            for _ in 0..n {
+                t.record_abort(cat);
+            }
+        }
+        RunStats::new(vec![t])
+    }
+
+    #[test]
+    fn abort_ratio_excludes_irrevocable() {
+        let s = stats_with(75, 1000, &[(AbortCategory::DataConflict, 25)]);
+        assert!((s.abort_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialization_ratio() {
+        let s = stats_with(80, 20, &[]);
+        assert!((s.serialization_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(s.committed_blocks(), 100);
+    }
+
+    #[test]
+    fn empty_run_has_zero_ratios() {
+        let s = RunStats::new(vec![ThreadStats::default()]);
+        assert_eq!(s.abort_ratio(), 0.0);
+        assert_eq!(s.serialization_ratio(), 0.0);
+        assert_eq!(s.cycles(), 0);
+    }
+
+    #[test]
+    fn category_breakdown_sums_to_total() {
+        let s = stats_with(
+            10,
+            0,
+            &[
+                (AbortCategory::Capacity, 3),
+                (AbortCategory::DataConflict, 4),
+                (AbortCategory::Other, 2),
+                (AbortCategory::LockConflict, 1),
+            ],
+        );
+        let sum: f64 = AbortCategory::ALL.iter().map(|c| s.abort_ratio_of(*c)).sum();
+        assert!((sum - s.abort_ratio()).abs() < 1e-12);
+        assert_eq!(s.aborts_in(AbortCategory::Capacity), 3);
+        assert_eq!(s.total_aborts(), 10);
+    }
+
+    #[test]
+    fn cycles_is_max_over_threads() {
+        let mut a = ThreadStats::default();
+        a.cycles = 100;
+        let mut b = ThreadStats::default();
+        b.cycles = 250;
+        let s = RunStats::new(vec![a, b]);
+        assert_eq!(s.cycles(), 250);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v = (1..=100u32).collect::<Vec<_>>();
+        assert_eq!(percentile(&mut v, 90.0), 90);
+        assert_eq!(percentile(&mut v, 100.0), 100);
+        let mut single = vec![7u32];
+        assert_eq!(percentile(&mut single, 90.0), 7);
+        assert_eq!(percentile(&mut [], 90.0), 0);
+        let mut v = vec![5, 1, 9, 3];
+        assert_eq!(percentile(&mut v, 50.0), 3);
+    }
+
+    #[test]
+    fn footprints_concatenate() {
+        let mut a = ThreadStats::default();
+        a.footprints.push((1, 2));
+        let mut b = ThreadStats::default();
+        b.footprints.push((3, 4));
+        let s = RunStats::new(vec![a, b]);
+        let fp: Vec<_> = s.footprints().collect();
+        assert_eq!(fp, vec![(1, 2), (3, 4)]);
+    }
+}

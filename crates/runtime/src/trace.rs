@@ -1,0 +1,171 @@
+//! Transaction-footprint tracer (Figures 10 and 11).
+//!
+//! The paper collected the data addresses accessed in transactions with a
+//! trace tool while running the STAMP benchmarks sequentially, then mapped
+//! the addresses to each processor's cache lines and reported 90-percentile
+//! transactional load/store sizes. [`SeqTracer`] does the same: attached to
+//! a sequential execution, it records each atomic block's footprint at
+//! several line granularities simultaneously.
+
+use std::collections::HashSet;
+
+use htm_core::{Geometry, WordAddr};
+
+/// Footprint recorder for sequential execution.
+#[derive(Debug)]
+pub struct SeqTracer {
+    geoms: Vec<Geometry>,
+    cur_loads: Vec<HashSet<u32>>,
+    cur_stores: Vec<HashSet<u32>>,
+    samples: Vec<Vec<(u32, u32)>>,
+    in_block: bool,
+}
+
+impl SeqTracer {
+    /// Creates a tracer recording footprints at each of the given line
+    /// granularities (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularities` is empty or contains an invalid line size.
+    pub fn new(granularities: &[u32]) -> SeqTracer {
+        assert!(!granularities.is_empty(), "tracer needs at least one granularity");
+        let geoms: Vec<Geometry> = granularities.iter().map(|&g| Geometry::new(g)).collect();
+        SeqTracer {
+            cur_loads: vec![HashSet::new(); geoms.len()],
+            cur_stores: vec![HashSet::new(); geoms.len()],
+            samples: vec![Vec::new(); geoms.len()],
+            geoms,
+            in_block: false,
+        }
+    }
+
+    /// The granularities being traced, in creation order.
+    pub fn granularities(&self) -> Vec<u32> {
+        self.geoms.iter().map(|g| g.line_bytes()).collect()
+    }
+
+    /// Starts a new atomic block.
+    pub fn begin_block(&mut self) {
+        for s in self.cur_loads.iter_mut().chain(self.cur_stores.iter_mut()) {
+            s.clear();
+        }
+        self.in_block = true;
+    }
+
+    /// Records a load inside the current block.
+    pub fn record_load(&mut self, addr: WordAddr) {
+        if !self.in_block {
+            return;
+        }
+        for (i, g) in self.geoms.iter().enumerate() {
+            self.cur_loads[i].insert(g.line_of(addr).0);
+        }
+    }
+
+    /// Records a store inside the current block.
+    pub fn record_store(&mut self, addr: WordAddr) {
+        if !self.in_block {
+            return;
+        }
+        for (i, g) in self.geoms.iter().enumerate() {
+            self.cur_stores[i].insert(g.line_of(addr).0);
+        }
+    }
+
+    /// Finishes the current block, appending one (load-lines, store-lines)
+    /// sample per granularity.
+    pub fn end_block(&mut self) {
+        if !self.in_block {
+            return;
+        }
+        for i in 0..self.geoms.len() {
+            self.samples[i].push((self.cur_loads[i].len() as u32, self.cur_stores[i].len() as u32));
+        }
+        self.in_block = false;
+    }
+
+    /// All samples recorded at granularity index `i` (same order as
+    /// [`SeqTracer::granularities`]).
+    pub fn samples(&self, i: usize) -> &[(u32, u32)] {
+        &self.samples[i]
+    }
+
+    /// 90-percentile transactional load size in bytes at granularity `i`
+    /// (the x-axis of Figure 10).
+    pub fn p90_load_bytes(&self, i: usize) -> u64 {
+        let mut v: Vec<u32> = self.samples[i].iter().map(|&(l, _)| l).collect();
+        crate::stats::percentile(&mut v, 90.0) as u64 * self.geoms[i].line_bytes() as u64
+    }
+
+    /// 90-percentile transactional store size in bytes at granularity `i`
+    /// (the x-axis of Figure 11).
+    pub fn p90_store_bytes(&self, i: usize) -> u64 {
+        let mut v: Vec<u32> = self.samples[i].iter().map(|&(_, s)| s).collect();
+        crate::stats::percentile(&mut v, 90.0) as u64 * self.geoms[i].line_bytes() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_distinct_lines_per_granularity() {
+        let mut t = SeqTracer::new(&[8, 64]);
+        t.begin_block();
+        // Words 0 and 7: two 8-byte lines, one 64-byte line.
+        t.record_load(WordAddr(0));
+        t.record_load(WordAddr(7));
+        t.record_store(WordAddr(0));
+        t.end_block();
+        assert_eq!(t.samples(0), &[(2, 1)]);
+        assert_eq!(t.samples(1), &[(1, 1)]);
+    }
+
+    #[test]
+    fn repeated_access_counts_once() {
+        let mut t = SeqTracer::new(&[64]);
+        t.begin_block();
+        for _ in 0..10 {
+            t.record_load(WordAddr(3));
+        }
+        t.end_block();
+        assert_eq!(t.samples(0), &[(1, 0)]);
+    }
+
+    #[test]
+    fn accesses_outside_blocks_are_ignored() {
+        let mut t = SeqTracer::new(&[64]);
+        t.record_load(WordAddr(0));
+        t.begin_block();
+        t.end_block();
+        assert_eq!(t.samples(0), &[(0, 0)]);
+    }
+
+    #[test]
+    fn p90_in_bytes() {
+        let mut t = SeqTracer::new(&[64]);
+        // 10 blocks touching 1..=10 distinct load lines.
+        for n in 1..=10u32 {
+            t.begin_block();
+            for k in 0..n {
+                t.record_load(WordAddr(k * 8));
+            }
+            t.end_block();
+        }
+        assert_eq!(t.p90_load_bytes(0), 9 * 64);
+        assert_eq!(t.p90_store_bytes(0), 0);
+    }
+
+    #[test]
+    fn blocks_reset_between_samples() {
+        let mut t = SeqTracer::new(&[64]);
+        t.begin_block();
+        t.record_store(WordAddr(0));
+        t.end_block();
+        t.begin_block();
+        t.end_block();
+        assert_eq!(t.samples(0), &[(0, 1), (0, 0)]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Benchmark framework shared by all eight STAMP ports.
+//!
+//! The measurement protocol replicates the paper's (Section 5): for one
+//! (platform × benchmark × thread count) cell, the workload is built and run
+//! once *sequentially* (no transactional overhead — the speed-up baseline)
+//! and once with N worker threads under the Figure-1 retry mechanism; the
+//! speed-up ratio is sequential cycles over the slowest worker's cycles, and
+//! the abort statistics come from the parallel run.
+
+use std::sync::{Barrier, Mutex};
+
+use htm_machine::MachineConfig;
+use htm_runtime::{RetryPolicy, RunStats, SeqTracer, Sim, SimConfig, ThreadCtx};
+
+/// Input scale for a benchmark.
+///
+/// `Sim` keeps full-figure regeneration to minutes while preserving the
+/// contention and footprint regimes that drive the paper's findings; `Full`
+/// approaches the paper's non-simulator inputs; `Tiny` is for unit tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Minimal inputs for fast unit tests.
+    Tiny,
+    /// Reduced inputs for figure regeneration (default).
+    #[default]
+    Sim,
+    /// Paper-scale inputs (slow).
+    Full,
+}
+
+/// Common parameters of one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchParams {
+    /// Worker threads for the parallel run.
+    pub threads: u32,
+    /// Retry-counter maxima (tuned per cell, as in the paper).
+    pub policy: RetryPolicy,
+    /// Input scale.
+    pub scale: Scale,
+    /// Input-generation seed.
+    pub seed: u64,
+    /// Run atomic blocks through Intel hardware lock elision instead of
+    /// RTM (the Figure-7 comparison; Intel Core only).
+    pub use_hle: bool,
+}
+
+impl Default for BenchParams {
+    fn default() -> BenchParams {
+        BenchParams {
+            threads: 4,
+            policy: RetryPolicy::default(),
+            scale: Scale::Sim,
+            seed: 42,
+            use_hle: false,
+        }
+    }
+}
+
+/// Result of measuring one benchmark cell.
+#[derive(Debug)]
+pub struct BenchResult {
+    /// Simulated cycles of the sequential baseline.
+    pub seq_cycles: u64,
+    /// Statistics of the parallel run (cycles, aborts, serialization).
+    pub stats: RunStats,
+}
+
+impl BenchResult {
+    /// Speed-up of transactional execution over sequential execution.
+    pub fn speedup(&self) -> f64 {
+        let par = self.stats.cycles();
+        if par == 0 {
+            return 0.0;
+        }
+        self.seq_cycles as f64 / par as f64
+    }
+
+    /// The run's transaction-abort ratio (Figure 3 definition).
+    pub fn abort_ratio(&self) -> f64 {
+        self.stats.abort_ratio()
+    }
+}
+
+/// One STAMP workload instance: built fresh for every run.
+///
+/// `work` is executed by every worker; it partitions by
+/// `ctx.thread_id()` / `ctx.num_threads()`. Multi-phase benchmarks
+/// synchronize phases on the [`PhaseBarrier`] installed by the framework.
+pub trait Workload: Sync {
+    /// Human-readable benchmark name (e.g. `"genome (modified)"`).
+    fn name(&self) -> String;
+
+    /// Words of simulated memory this workload needs.
+    fn mem_words(&self) -> u32 {
+        1 << 22
+    }
+
+    /// Builds inputs and shared structures (runs on one thread, before
+    /// timing starts).
+    fn setup(&self, sim: &Sim);
+
+    /// Called once per run with the worker count, before `work` starts on
+    /// any thread (multi-phase workloads size their [`PhaseBarrier`] here).
+    fn prepare(&self, threads: u32) {
+        let _ = threads;
+    }
+
+    /// Per-thread measured work.
+    fn work(&self, ctx: &mut ThreadCtx);
+
+    /// Checks the run's result; panics on corruption.
+    fn verify(&self, sim: &Sim);
+}
+
+/// Re-usable inter-phase barrier for multi-phase workloads (genome's three
+/// phases). Sized by the framework before each run.
+#[derive(Debug, Default)]
+pub struct PhaseBarrier {
+    inner: Mutex<Option<std::sync::Arc<Barrier>>>,
+    max_clock: std::sync::atomic::AtomicU64,
+}
+
+impl PhaseBarrier {
+    /// Creates an unsized barrier (sized by [`PhaseBarrier::size_for`]).
+    pub fn new() -> PhaseBarrier {
+        PhaseBarrier::default()
+    }
+
+    /// Sizes the barrier for `threads` workers.
+    pub fn size_for(&self, threads: u32) {
+        *self.inner.lock().unwrap() = Some(std::sync::Arc::new(Barrier::new(threads as usize)));
+    }
+
+    /// Waits for all workers (no-op when sized for one thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier was never sized.
+    pub fn wait(&self) {
+        let b = self
+            .inner
+            .lock()
+            .unwrap()
+            .as_ref()
+            .expect("phase barrier not sized")
+            .clone();
+        b.wait();
+    }
+
+    /// Waits for all workers and synchronizes simulated clocks: every
+    /// thread resumes at the latest arriving thread's simulated time
+    /// (without this, time spent waiting at a barrier would be free and
+    /// serial sections would not cost simulated time).
+    ///
+    /// Clock maxima are monotone, so the accumulator never needs resetting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier was never sized.
+    pub fn wait_sync(&self, ctx: &htm_runtime::ThreadCtx) {
+        use std::sync::atomic::Ordering;
+        self.max_clock.fetch_max(ctx.now(), Ordering::SeqCst);
+        self.wait();
+        ctx.advance_clock_to(self.max_clock.load(Ordering::SeqCst));
+    }
+}
+
+fn sim_config(w: &dyn Workload, machine: &MachineConfig, seed: u64) -> SimConfig {
+    // Floor of 1 M words (8 MiB): per-thread allocator chunks and retry
+    // churn need headroom beyond the workload's own estimate.
+    SimConfig::new(machine.clone()).mem_words(w.mem_words().max(1 << 20)).seed(seed)
+}
+
+/// Runs `make()`'s workload once sequentially; returns its cycles.
+pub fn run_sequential<W: Workload>(make: &dyn Fn() -> W, machine: &MachineConfig, seed: u64) -> u64 {
+    let w = make();
+    let sim = Sim::new(sim_config(&w, machine, seed));
+    w.setup(&sim);
+    w.prepare(1);
+    let cycles = sim.run_sequential(|ctx| w.work(ctx));
+    w.verify(&sim);
+    cycles
+}
+
+/// Runs `make()`'s workload once with `threads` workers.
+pub fn run_parallel<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    threads: u32,
+    policy: RetryPolicy,
+    seed: u64,
+) -> RunStats {
+    run_parallel_opt(make, machine, threads, policy, seed, false)
+}
+
+/// Like [`run_parallel`], optionally routing atomic blocks through HLE.
+pub fn run_parallel_opt<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    threads: u32,
+    policy: RetryPolicy,
+    seed: u64,
+    use_hle: bool,
+) -> RunStats {
+    let w = make();
+    let sim = Sim::new(sim_config(&w, machine, seed));
+    w.setup(&sim);
+    w.prepare(threads);
+    let stats = sim.run_parallel(threads, policy, |ctx| {
+        ctx.set_hle(use_hle);
+        w.work(ctx)
+    });
+    w.verify(&sim);
+    stats
+}
+
+/// Full measurement of one cell: sequential baseline + parallel run.
+pub fn measure<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    params: &BenchParams,
+) -> BenchResult {
+    let seq_cycles = run_sequential(make, machine, params.seed);
+    let stats = run_parallel_opt(
+        make,
+        machine,
+        params.threads,
+        params.policy,
+        params.seed,
+        params.use_hle,
+    );
+    BenchResult { seq_cycles, stats }
+}
+
+/// Runs the workload sequentially under the footprint tracer, recording
+/// per-transaction load/store sizes at each granularity (Figures 10–11).
+pub fn trace_footprints<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    granularities: &[u32],
+    seed: u64,
+) -> SeqTracer {
+    let w = make();
+    let sim = Sim::new(sim_config(&w, machine, seed));
+    w.setup(&sim);
+    w.prepare(1);
+    let mut ctx = sim.seq_ctx_traced(granularities);
+    w.work(&mut ctx);
+    let tracer = sim.take_tracer(&mut ctx);
+    w.verify(&sim);
+    tracer
+}
+
+/// Deterministically splits `0..total` into `num_threads` contiguous chunks
+/// and returns the half-open range of `thread_id`.
+pub fn partition(total: u64, thread_id: u32, num_threads: u32) -> std::ops::Range<u64> {
+    let n = num_threads as u64;
+    let t = thread_id as u64;
+    let base = total / n;
+    let extra = total % n;
+    let start = t * base + t.min(extra);
+    let len = base + (t < extra) as u64;
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_disjointly() {
+        for total in [0u64, 1, 7, 100, 101] {
+            for threads in [1u32, 2, 3, 8] {
+                let mut covered = Vec::new();
+                for t in 0..threads {
+                    covered.extend(partition(total, t, threads));
+                }
+                assert_eq!(covered, (0..total).collect::<Vec<_>>(), "{total}/{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn phase_barrier_single_thread_is_noop() {
+        let b = PhaseBarrier::new();
+        b.size_for(1);
+        b.wait();
+        b.wait();
+    }
+
+    #[test]
+    fn phase_barrier_synchronizes_threads() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let b = std::sync::Arc::new(PhaseBarrier::new());
+        b.size_for(4);
+        let phase1_done = std::sync::Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = std::sync::Arc::clone(&b);
+            let p = std::sync::Arc::clone(&phase1_done);
+            handles.push(std::thread::spawn(move || {
+                p.fetch_add(1, Ordering::SeqCst);
+                b.wait();
+                assert_eq!(p.load(Ordering::SeqCst), 4, "phase 1 incomplete after barrier");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn bench_result_speedup() {
+        let r = BenchResult {
+            seq_cycles: 1000,
+            stats: RunStats::new(vec![htm_runtime::ThreadStats {
+                cycles: 250,
+                ..Default::default()
+            }]),
+        };
+        assert!((r.speedup() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+//! HLE measurement entry point (Figure 7).
+//!
+//! Runs a benchmark with every atomic block executed through Intel's
+//! hardware lock elision interface instead of RTM: one elided hardware
+//! attempt, then the real lock — no tunable software retries (Section 6.2).
+
+use htm_machine::MachineConfig;
+
+use crate::{run_bench, BenchId, BenchParams, BenchResult, Variant};
+
+/// Measures one benchmark under HLE (modified STAMP code).
+///
+/// # Panics
+///
+/// Panics if `machine` has no HLE.
+pub fn run_bench_hle(id: BenchId, machine: &MachineConfig, params: &BenchParams) -> BenchResult {
+    assert!(machine.has_hle, "{} has no hardware lock elision", machine.name);
+    let p = BenchParams { use_hle: true, ..*params };
+    run_bench(id, Variant::Modified, machine, &p)
+}

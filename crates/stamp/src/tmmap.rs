@@ -1,0 +1,171 @@
+//! Map abstraction dispatching between a red-black tree and a hash table.
+//!
+//! The original/modified STAMP variants differ exactly in which concrete
+//! structure implements each conceptual set (Section 4): intruder's and
+//! vacation's unordered sets use [`TmRbTree`] originally and
+//! [`TmHashTable`] after the fix. [`TmMap`] lets benchmark code be written
+//! once against the conceptual map.
+
+use htm_core::{TxResult, WordAddr};
+use htm_runtime::Tx;
+use tm_structs::{TmHashTable, TmRbTree};
+
+/// A `u64 → u64` transactional map backed by either structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TmMap {
+    /// Red-black tree (the original STAMP choice for unordered sets).
+    Tree(TmRbTree),
+    /// Chained hash table (the paper's fix).
+    Hash(TmHashTable),
+}
+
+impl TmMap {
+    /// Creates a tree-backed map.
+    pub fn create_tree(tx: &mut Tx<'_>) -> TxResult<TmMap> {
+        Ok(TmMap::Tree(TmRbTree::create(tx)?))
+    }
+
+    /// Creates a hash-backed map with `buckets` chains.
+    pub fn create_hash(tx: &mut Tx<'_>, buckets: u32) -> TxResult<TmMap> {
+        Ok(TmMap::Hash(TmHashTable::create(tx, buckets)?))
+    }
+
+    /// Creates the structure matching `use_hash`.
+    pub fn create(tx: &mut Tx<'_>, use_hash: bool, buckets: u32) -> TxResult<TmMap> {
+        if use_hash {
+            TmMap::create_hash(tx, buckets)
+        } else {
+            TmMap::create_tree(tx)
+        }
+    }
+
+    /// Inserts if absent; returns whether inserted.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn insert(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<bool> {
+        match self {
+            TmMap::Tree(t) => t.insert(tx, key, value),
+            TmMap::Hash(h) => h.insert(tx, key, value),
+        }
+    }
+
+    /// Inserts or updates; returns the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn put(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<Option<u64>> {
+        match self {
+            TmMap::Tree(t) => t.put(tx, key, value),
+            TmMap::Hash(h) => h.put(tx, key, value),
+        }
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn get(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        match self {
+            TmMap::Tree(t) => t.get(tx, key),
+            TmMap::Hash(h) => h.get(tx, key),
+        }
+    }
+
+    /// Removes `key`; returns its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        match self {
+            TmMap::Tree(t) => t.remove(tx, key),
+            TmMap::Hash(h) => h.remove(tx, key),
+        }
+    }
+
+    /// Number of entries.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        match self {
+            TmMap::Tree(t) => t.len(tx),
+            TmMap::Hash(h) => h.len(tx),
+        }
+    }
+
+    /// Whether the map is empty.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Applies `f(key, value)` to every entry.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn for_each(
+        &self,
+        tx: &mut Tx<'_>,
+        f: impl FnMut(u64, u64) -> TxResult<()>,
+    ) -> TxResult<()> {
+        match self {
+            TmMap::Tree(t) => t.for_each(tx, f),
+            TmMap::Hash(h) => h.for_each(tx, f),
+        }
+    }
+
+    /// Raw header address, for publishing across threads.
+    pub fn as_raw(&self) -> WordAddr {
+        match self {
+            TmMap::Tree(t) => t.as_raw(),
+            TmMap::Hash(h) => h.as_raw(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_machine::Platform;
+    use htm_runtime::Sim;
+
+    #[test]
+    fn both_backends_agree() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let maps = ctx.atomic(|tx| {
+            Ok([TmMap::create(tx, false, 8)?, TmMap::create(tx, true, 8)?])
+        });
+        for m in maps {
+            ctx.atomic(|tx| {
+                assert!(m.is_empty(tx)?);
+                assert!(m.insert(tx, 1, 10)?);
+                assert!(!m.insert(tx, 1, 11)?);
+                assert_eq!(m.get(tx, 1)?, Some(10));
+                assert_eq!(m.put(tx, 1, 12)?, Some(10));
+                assert_eq!(m.put(tx, 2, 20)?, None);
+                assert_eq!(m.len(tx)?, 2);
+                let mut n = 0;
+                m.for_each(tx, |_, _| {
+                    n += 1;
+                    Ok(())
+                })?;
+                assert_eq!(n, 2);
+                assert_eq!(m.remove(tx, 1)?, Some(12));
+                assert_eq!(m.remove(tx, 1)?, None);
+                assert_eq!(m.len(tx)?, 1);
+                Ok(())
+            });
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Bounds-checked transactional word array and bitmap.
+//!
+//! Thin typed views over a contiguous simulated-memory region. ssca2's
+//! graph arrays, kmeans' feature matrices and labyrinth's grid are all
+//! [`TmArray`]s; genome's segment-construction tracking uses [`TmBitmap`].
+
+use htm_core::{TxResult, WordAddr};
+use htm_runtime::Tx;
+
+/// A fixed-length array of `u64` words in simulated memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TmArray {
+    base: WordAddr,
+    len: u32,
+}
+
+impl TmArray {
+    /// Allocates an array of `len` zeroed words.
+    pub fn create(tx: &mut Tx<'_>, len: u32) -> TmArray {
+        assert!(len > 0, "empty array");
+        TmArray { base: tx.alloc(len), len }
+    }
+
+    /// Allocates with byte alignment (e.g. cache-line-aligned rows).
+    pub fn create_aligned(
+        ctx: &mut htm_runtime::ThreadCtx,
+        len: u32,
+        align_bytes: u32,
+    ) -> TmArray {
+        assert!(len > 0, "empty array");
+        TmArray { base: ctx.alloc_aligned(len, align_bytes), len }
+    }
+
+    /// Wraps an existing region.
+    pub fn from_raw(base: WordAddr, len: u32) -> TmArray {
+        TmArray { base, len }
+    }
+
+    /// Base address of the region.
+    pub fn base(&self) -> WordAddr {
+        self.base
+    }
+
+    /// Length in words.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the array has zero length (never true; see `create`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn addr(&self, i: u32) -> WordAddr {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base.offset(i)
+    }
+
+    /// Loads element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    #[inline]
+    pub fn get(&self, tx: &mut Tx<'_>, i: u32) -> TxResult<u64> {
+        tx.load(self.addr(i))
+    }
+
+    /// Stores element `i`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    #[inline]
+    pub fn set(&self, tx: &mut Tx<'_>, i: u32, v: u64) -> TxResult<()> {
+        tx.store(self.addr(i), v)
+    }
+
+    /// Loads element `i` as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    #[inline]
+    pub fn get_f64(&self, tx: &mut Tx<'_>, i: u32) -> TxResult<f64> {
+        tx.load_f64(self.addr(i))
+    }
+
+    /// Stores element `i` as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    #[inline]
+    pub fn set_f64(&self, tx: &mut Tx<'_>, i: u32, v: f64) -> TxResult<()> {
+        tx.store_f64(self.addr(i), v)
+    }
+}
+
+/// A fixed-length bitmap in simulated memory.
+///
+/// Layout: `[0] n_bits`, then `ceil(n_bits/64)` data words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TmBitmap {
+    hdr: WordAddr,
+    n_bits: u32,
+}
+
+impl TmBitmap {
+    /// Allocates a zeroed bitmap of `n_bits` bits.
+    pub fn create(tx: &mut Tx<'_>, n_bits: u32) -> TmBitmap {
+        assert!(n_bits > 0, "empty bitmap");
+        let words = n_bits.div_ceil(64);
+        let hdr = tx.alloc(1 + words);
+        TmBitmap { hdr, n_bits }
+    }
+
+    /// Number of bits.
+    pub fn n_bits(&self) -> u32 {
+        self.n_bits
+    }
+
+    fn slot(&self, bit: u32) -> (WordAddr, u64) {
+        assert!(bit < self.n_bits, "bit {bit} out of bounds ({})", self.n_bits);
+        (self.hdr.offset(1 + bit / 64), 1u64 << (bit % 64))
+    }
+
+    /// Tests `bit`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn test(&self, tx: &mut Tx<'_>, bit: u32) -> TxResult<bool> {
+        let (addr, mask) = self.slot(bit);
+        Ok(tx.load(addr)? & mask != 0)
+    }
+
+    /// Sets `bit`; returns whether it was previously clear.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn set(&self, tx: &mut Tx<'_>, bit: u32) -> TxResult<bool> {
+        let (addr, mask) = self.slot(bit);
+        let w = tx.load(addr)?;
+        if w & mask != 0 {
+            return Ok(false);
+        }
+        tx.store(addr, w | mask)?;
+        Ok(true)
+    }
+
+    /// Clears `bit`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn clear(&self, tx: &mut Tx<'_>, bit: u32) -> TxResult<()> {
+        let (addr, mask) = self.slot(bit);
+        let w = tx.load(addr)?;
+        tx.store(addr, w & !mask)
+    }
+
+    /// Counts set bits.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn count(&self, tx: &mut Tx<'_>) -> TxResult<u32> {
+        let words = self.n_bits.div_ceil(64);
+        let mut total = 0;
+        for i in 0..words {
+            total += tx.load(self.hdr.offset(1 + i))?.count_ones();
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_machine::Platform;
+    use htm_runtime::Sim;
+
+    #[test]
+    fn array_get_set() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let a = ctx.atomic(|tx| Ok(TmArray::create(tx, 10)));
+        ctx.atomic(|tx| {
+            for i in 0..10 {
+                a.set(tx, i, i as u64 * 3)?;
+            }
+            for i in 0..10 {
+                assert_eq!(a.get(tx, i)?, i as u64 * 3);
+            }
+            a.set_f64(tx, 0, 2.5)?;
+            assert_eq!(a.get_f64(tx, 0)?, 2.5);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn array_bounds_checked() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let a = ctx.atomic(|tx| Ok(TmArray::create(tx, 4)));
+        let _ = a.addr(4);
+    }
+
+    #[test]
+    fn bitmap_set_test_clear_count() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let b = ctx.atomic(|tx| Ok(TmBitmap::create(tx, 130)));
+        ctx.atomic(|tx| {
+            assert!(!b.test(tx, 0)?);
+            assert!(b.set(tx, 0)?);
+            assert!(!b.set(tx, 0)?, "already set");
+            assert!(b.set(tx, 64)?);
+            assert!(b.set(tx, 129)?);
+            assert_eq!(b.count(tx)?, 3);
+            b.clear(tx, 64)?;
+            assert!(!b.test(tx, 64)?);
+            assert_eq!(b.count(tx)?, 2);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bitmap_bounds_checked() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let b = ctx.atomic(|tx| Ok(TmBitmap::create(tx, 8)));
+        ctx.atomic(|tx| b.test(tx, 8).map(|_| ()));
+    }
+}

@@ -1,0 +1,311 @@
+//! Chained transactional hash table.
+//!
+//! The paper's Section-4 fix replaces red-black trees with hash tables for
+//! the *unordered* sets of intruder and vacation ("similar to the concurrent
+//! hash table in the Java standard class library"): a bucket array of short
+//! chains keeps transactional footprints small and nearly conflict-free,
+//! eliminating the capacity-overflow aborts the deep trees caused on
+//! small-capacity HTMs (POWER8 in particular).
+//!
+//! Layout:
+//!
+//! ```text
+//! header: [0] n_buckets   [1] (reserved)   [2..2+n] bucket head pointers
+//! node:   [0] next        [1] key          [2] value
+//! ```
+//!
+//! Unlike the list/tree, the table keeps **no global size field**: a shared
+//! counter would put one hot word in every insert's write set and serialize
+//! otherwise-disjoint transactions (the exact false-sharing pathology the
+//! paper's Section-4 fixes remove). [`TmHashTable::len`] scans instead.
+
+use htm_core::{TxResult, WordAddr};
+use htm_runtime::Tx;
+
+const HDR_NBUCKETS: u32 = 0;
+// Word 1 is reserved (layout stability; the table keeps no size counter).
+const HDR_BUCKETS: u32 = 2;
+
+const NODE_NEXT: u32 = 0;
+const NODE_KEY: u32 = 1;
+const NODE_VALUE: u32 = 2;
+const NODE_WORDS: u32 = 3;
+
+/// Handle to a transactional chained hash table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TmHashTable {
+    hdr: WordAddr,
+}
+
+#[inline]
+fn mix(key: u64) -> u64 {
+    // Fibonacci hashing; good avalanche for sequential keys.
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(29)
+}
+
+impl TmHashTable {
+    /// Allocates a table with `n_buckets` chains (rounded up to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn create(tx: &mut Tx<'_>, n_buckets: u32) -> TxResult<TmHashTable> {
+        let n = n_buckets.max(1);
+        let hdr = tx.alloc(HDR_BUCKETS + n);
+        tx.store(hdr.offset(HDR_NBUCKETS), n as u64)?;
+        for b in 0..n {
+            tx.store_addr(hdr.offset(HDR_BUCKETS + b), WordAddr::NULL)?;
+        }
+        Ok(TmHashTable { hdr })
+    }
+
+    /// Wraps an existing header address.
+    pub fn from_raw(hdr: WordAddr) -> TmHashTable {
+        TmHashTable { hdr }
+    }
+
+    /// The header address (to publish the table to other threads).
+    pub fn as_raw(&self) -> WordAddr {
+        self.hdr
+    }
+
+    /// Number of entries, by scanning all buckets (O(n); intended for
+    /// setup/verification, not for transactional hot paths — a maintained
+    /// counter would serialize every insert on one word).
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        let mut n = 0;
+        self.for_each(tx, |_, _| {
+            n += 1;
+            Ok(())
+        })?;
+        Ok(n)
+    }
+
+    /// Whether the table is empty.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    fn bucket_slot(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<WordAddr> {
+        let n = tx.load(self.hdr.offset(HDR_NBUCKETS))?;
+        let b = (mix(key) % n) as u32;
+        Ok(self.hdr.offset(HDR_BUCKETS + b))
+    }
+
+    /// Finds `(prev_slot, node)` where `prev_slot` is the word pointing at
+    /// `node`, and `node` is NULL or holds `key`.
+    fn find(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<(WordAddr, WordAddr)> {
+        let mut prev_slot = self.bucket_slot(tx, key)?;
+        let mut cur = tx.load_addr(prev_slot)?;
+        while !cur.is_null() {
+            if tx.load(cur.offset(NODE_KEY))? == key {
+                break;
+            }
+            prev_slot = cur.offset(NODE_NEXT);
+            cur = tx.load_addr(prev_slot)?;
+        }
+        Ok((prev_slot, cur))
+    }
+
+    /// Inserts `key → value` if absent. Returns whether it was inserted.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn insert(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<bool> {
+        let (_, node) = self.find(tx, key)?;
+        if !node.is_null() {
+            return Ok(false);
+        }
+        let slot = self.bucket_slot(tx, key)?;
+        let head = tx.load_addr(slot)?;
+        let new = tx.alloc(NODE_WORDS);
+        tx.store(new.offset(NODE_KEY), key)?;
+        tx.store(new.offset(NODE_VALUE), value)?;
+        tx.store_addr(new.offset(NODE_NEXT), head)?;
+        tx.store_addr(slot, new)?;
+        Ok(true)
+    }
+
+    /// Inserts or updates `key → value`, returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn put(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let (_, node) = self.find(tx, key)?;
+        if !node.is_null() {
+            let old = tx.load(node.offset(NODE_VALUE))?;
+            tx.store(node.offset(NODE_VALUE), value)?;
+            return Ok(Some(old));
+        }
+        self.insert(tx, key, value)?;
+        Ok(None)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn get(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let (_, node) = self.find(tx, key)?;
+        if node.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(tx.load(node.offset(NODE_VALUE))?))
+        }
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn contains(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<bool> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let (prev_slot, node) = self.find(tx, key)?;
+        if node.is_null() {
+            return Ok(None);
+        }
+        let value = tx.load(node.offset(NODE_VALUE))?;
+        let next = tx.load_addr(node.offset(NODE_NEXT))?;
+        tx.store_addr(prev_slot, next)?;
+        tx.free(node, NODE_WORDS);
+        Ok(Some(value))
+    }
+
+    /// Applies `f(key, value)` to every entry (bucket order; no key order).
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn for_each(
+        &self,
+        tx: &mut Tx<'_>,
+        mut f: impl FnMut(u64, u64) -> TxResult<()>,
+    ) -> TxResult<()> {
+        let n = tx.load(self.hdr.offset(HDR_NBUCKETS))? as u32;
+        for b in 0..n {
+            let mut cur = tx.load_addr(self.hdr.offset(HDR_BUCKETS + b))?;
+            while !cur.is_null() {
+                let k = tx.load(cur.offset(NODE_KEY))?;
+                let v = tx.load(cur.offset(NODE_VALUE))?;
+                f(k, v)?;
+                cur = tx.load_addr(cur.offset(NODE_NEXT))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_machine::Platform;
+    use htm_runtime::{RetryPolicy, Sim};
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let table = ctx.atomic(|tx| TmHashTable::create(tx, 16));
+        ctx.atomic(|tx| {
+            for k in 0..100u64 {
+                assert!(table.insert(tx, k, k * 2)?);
+            }
+            assert!(!table.insert(tx, 50, 0)?, "duplicate");
+            assert_eq!(table.len(tx)?, 100);
+            for k in 0..100u64 {
+                assert_eq!(table.get(tx, k)?, Some(k * 2));
+            }
+            assert_eq!(table.get(tx, 1000)?, None);
+            assert_eq!(table.remove(tx, 7)?, Some(14));
+            assert_eq!(table.remove(tx, 7)?, None);
+            assert!(!table.contains(tx, 7)?);
+            assert_eq!(table.len(tx)?, 99);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn put_semantics() {
+        let sim = Sim::of(Platform::Zec12.config());
+        let mut ctx = sim.seq_ctx();
+        let table = ctx.atomic(|tx| TmHashTable::create(tx, 4));
+        ctx.atomic(|tx| {
+            assert_eq!(table.put(tx, 9, 1)?, None);
+            assert_eq!(table.put(tx, 9, 2)?, Some(1));
+            assert_eq!(table.get(tx, 9)?, Some(2));
+            assert_eq!(table.len(tx)?, 1);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn single_bucket_degenerates_to_chain() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let table = ctx.atomic(|tx| TmHashTable::create(tx, 1));
+        ctx.atomic(|tx| {
+            for k in 0..20u64 {
+                table.insert(tx, k, k)?;
+            }
+            let mut count = 0;
+            table.for_each(tx, |k, v| {
+                assert_eq!(k, v);
+                count += 1;
+                Ok(())
+            })?;
+            assert_eq!(count, 20);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn concurrent_mixed_operations_preserve_invariants() {
+        let sim = Sim::of(Platform::Power8.config());
+        let mut ctx = sim.seq_ctx();
+        let table = ctx.atomic(|tx| TmHashTable::create(tx, 64));
+        sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+            let tid = ctx.thread_id() as u64;
+            // Each thread owns a key space: inserts then removes half.
+            for i in 0..100u64 {
+                let k = tid * 1000 + i;
+                ctx.atomic(|tx| table.insert(tx, k, tid));
+            }
+            for i in (0..100u64).step_by(2) {
+                let k = tid * 1000 + i;
+                let removed = ctx.atomic(|tx| table.remove(tx, k));
+                assert_eq!(removed, Some(tid));
+            }
+        });
+        let mut ctx = sim.seq_ctx();
+        ctx.atomic(|tx| {
+            assert_eq!(table.len(tx)?, 4 * 50);
+            for tid in 0..4u64 {
+                for i in 0..100u64 {
+                    let expect = (i % 2 == 1).then_some(tid);
+                    assert_eq!(table.get(tx, tid * 1000 + i)?, expect);
+                }
+            }
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,249 @@
+//! Transactional binary max-heap (the port of STAMP's `heap.c`).
+//!
+//! yada uses a heap as its priority work queue of skinny triangles. The
+//! heap is array-based with a fixed capacity; priorities and payloads are
+//! `u64`.
+//!
+//! Layout:
+//!
+//! ```text
+//! header: [0] size   [1] capacity
+//! slots:  [2 + 2i] priority   [3 + 2i] value
+//! ```
+
+use htm_core::{TxResult, WordAddr};
+use htm_runtime::Tx;
+
+const HDR_SIZE: u32 = 0;
+const HDR_CAP: u32 = 1;
+const HDR_WORDS: u32 = 2;
+
+/// Handle to a transactional binary max-heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TmHeap {
+    hdr: WordAddr,
+}
+
+impl TmHeap {
+    /// Allocates a heap holding at most `capacity` entries.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn create(tx: &mut Tx<'_>, capacity: u32) -> TxResult<TmHeap> {
+        assert!(capacity > 0, "heap capacity must be positive");
+        let hdr = tx.alloc(HDR_WORDS + capacity * 2);
+        tx.store(hdr.offset(HDR_SIZE), 0)?;
+        tx.store(hdr.offset(HDR_CAP), capacity as u64)?;
+        Ok(TmHeap { hdr })
+    }
+
+    /// Wraps an existing header address.
+    pub fn from_raw(hdr: WordAddr) -> TmHeap {
+        TmHeap { hdr }
+    }
+
+    /// The header address (to publish the heap to other threads).
+    pub fn as_raw(&self) -> WordAddr {
+        self.hdr
+    }
+
+    fn prio_slot(&self, i: u64) -> WordAddr {
+        self.hdr.offset(HDR_WORDS + 2 * i as u32)
+    }
+    fn val_slot(&self, i: u64) -> WordAddr {
+        self.hdr.offset(HDR_WORDS + 2 * i as u32 + 1)
+    }
+
+    /// Number of entries.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        tx.load(self.hdr.offset(HDR_SIZE))
+    }
+
+    /// Whether the heap is empty.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Inserts `(priority, value)`. Returns `false` when the heap is full.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn push(&self, tx: &mut Tx<'_>, priority: u64, value: u64) -> TxResult<bool> {
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        let cap = tx.load(self.hdr.offset(HDR_CAP))?;
+        if size >= cap {
+            return Ok(false);
+        }
+        // Sift up.
+        let mut i = size;
+        tx.store(self.prio_slot(i), priority)?;
+        tx.store(self.val_slot(i), value)?;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pp = tx.load(self.prio_slot(parent))?;
+            let pi = tx.load(self.prio_slot(i))?;
+            if pp >= pi {
+                break;
+            }
+            self.swap(tx, parent, i)?;
+            i = parent;
+        }
+        tx.store(self.hdr.offset(HDR_SIZE), size + 1)?;
+        Ok(true)
+    }
+
+    /// Removes and returns the highest-priority entry.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn pop(&self, tx: &mut Tx<'_>) -> TxResult<Option<(u64, u64)>> {
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        if size == 0 {
+            return Ok(None);
+        }
+        let top = (tx.load(self.prio_slot(0))?, tx.load(self.val_slot(0))?);
+        let last = size - 1;
+        if last > 0 {
+            let lp = tx.load(self.prio_slot(last))?;
+            let lv = tx.load(self.val_slot(last))?;
+            tx.store(self.prio_slot(0), lp)?;
+            tx.store(self.val_slot(0), lv)?;
+        }
+        tx.store(self.hdr.offset(HDR_SIZE), last)?;
+        // Sift down.
+        let mut i = 0u64;
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            let mut largest_p = tx.load(self.prio_slot(i))?;
+            if l < last {
+                let lp = tx.load(self.prio_slot(l))?;
+                if lp > largest_p {
+                    largest = l;
+                    largest_p = lp;
+                }
+            }
+            if r < last {
+                let rp = tx.load(self.prio_slot(r))?;
+                if rp > largest_p {
+                    largest = r;
+                }
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(tx, i, largest)?;
+            i = largest;
+        }
+        Ok(Some(top))
+    }
+
+    fn swap(&self, tx: &mut Tx<'_>, a: u64, b: u64) -> TxResult<()> {
+        let (pa, va) = (tx.load(self.prio_slot(a))?, tx.load(self.val_slot(a))?);
+        let (pb, vb) = (tx.load(self.prio_slot(b))?, tx.load(self.val_slot(b))?);
+        tx.store(self.prio_slot(a), pb)?;
+        tx.store(self.val_slot(a), vb)?;
+        tx.store(self.prio_slot(b), pa)?;
+        tx.store(self.val_slot(b), va)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_machine::Platform;
+    use htm_runtime::{RetryPolicy, Sim};
+
+    #[test]
+    fn pops_in_descending_priority() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let h = ctx.atomic(|tx| TmHeap::create(tx, 64));
+        ctx.atomic(|tx| {
+            for p in [5u64, 1, 9, 3, 7, 2, 8, 6, 4, 0] {
+                assert!(h.push(tx, p, p * 100)?);
+            }
+            let mut prev = u64::MAX;
+            while let Some((p, v)) = h.pop(tx)? {
+                assert!(p <= prev, "heap order violated");
+                assert_eq!(v, p * 100);
+                prev = p;
+            }
+            assert!(h.is_empty(tx)?);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn full_heap_rejects_push() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let h = ctx.atomic(|tx| TmHeap::create(tx, 2));
+        ctx.atomic(|tx| {
+            assert!(h.push(tx, 1, 1)?);
+            assert!(h.push(tx, 2, 2)?);
+            assert!(!h.push(tx, 3, 3)?, "full heap must reject");
+            assert_eq!(h.len(tx)?, 2);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn duplicate_priorities_all_surface() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let h = ctx.atomic(|tx| TmHeap::create(tx, 16));
+        ctx.atomic(|tx| {
+            for v in 0..5u64 {
+                h.push(tx, 7, v)?;
+            }
+            let mut values = Vec::new();
+            while let Some((p, v)) = h.pop(tx)? {
+                assert_eq!(p, 7);
+                values.push(v);
+            }
+            values.sort_unstable();
+            assert_eq!(values, vec![0, 1, 2, 3, 4]);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn concurrent_work_queue_conserves_tasks() {
+        let sim = Sim::of(Platform::Zec12.config());
+        let mut ctx = sim.seq_ctx();
+        let h = ctx.atomic(|tx| TmHeap::create(tx, 1024));
+        ctx.atomic(|tx| {
+            for t in 0..200u64 {
+                h.push(tx, t % 10, t)?;
+            }
+            Ok(())
+        });
+        let done = std::sync::atomic::AtomicU64::new(0);
+        sim.run_parallel(4, RetryPolicy::default(), |ctx| loop {
+            match ctx.atomic(|tx| h.pop(tx)) {
+                Some(_) => {
+                    done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                None => break,
+            }
+        });
+        assert_eq!(done.load(std::sync::atomic::Ordering::Relaxed), 200);
+    }
+}

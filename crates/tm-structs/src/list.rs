@@ -1,0 +1,350 @@
+//! Sorted singly-linked list (the port of STAMP's `list.c`).
+//!
+//! STAMP uses sorted linked lists both directly (ordered sets in the
+//! original intruder) and as the buckets of chained hash tables. Keys are
+//! `u64`, unique, stored ascending; each key carries one `u64` value.
+//!
+//! All operations go through a [`Tx`] handle and may abort; structure
+//! layout in simulated memory:
+//!
+//! ```text
+//! header: [0] next-of-sentinel   [1] size
+//! node:   [0] next               [1] key    [2] value
+//! ```
+
+use htm_core::{TxResult, WordAddr};
+use htm_runtime::Tx;
+
+const HDR_NEXT: u32 = 0;
+const HDR_SIZE: u32 = 1;
+const HDR_WORDS: u32 = 2;
+
+const NODE_NEXT: u32 = 0;
+const NODE_KEY: u32 = 1;
+const NODE_VALUE: u32 = 2;
+/// Words occupied by one list node.
+pub const NODE_WORDS: u32 = 3;
+
+/// Handle to a sorted transactional list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TmList {
+    hdr: WordAddr,
+}
+
+impl TmList {
+    /// Allocates an empty list.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn create(tx: &mut Tx<'_>) -> TxResult<TmList> {
+        let hdr = tx.alloc(HDR_WORDS);
+        tx.store_addr(hdr.offset(HDR_NEXT), WordAddr::NULL)?;
+        tx.store(hdr.offset(HDR_SIZE), 0)?;
+        Ok(TmList { hdr })
+    }
+
+    /// Wraps an existing header address (shared across threads).
+    pub fn from_raw(hdr: WordAddr) -> TmList {
+        TmList { hdr }
+    }
+
+    /// The header address (to publish the list to other threads).
+    pub fn as_raw(&self) -> WordAddr {
+        self.hdr
+    }
+
+    /// Number of elements.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        tx.load(self.hdr.offset(HDR_SIZE))
+    }
+
+    /// Whether the list is empty.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Finds the node before the first node with `node.key >= key`.
+    fn find_prev(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<(WordAddr, WordAddr)> {
+        // Returns (prev, cur) where prev is the header-or-node whose next is
+        // cur, and cur is NULL or the first node with key >= `key`.
+        let mut prev = self.hdr; // header's next slot doubles as NODE_NEXT=0
+        let mut cur = tx.load_addr(prev.offset(NODE_NEXT))?;
+        while !cur.is_null() {
+            let k = tx.load(cur.offset(NODE_KEY))?;
+            if k >= key {
+                break;
+            }
+            prev = cur;
+            cur = tx.load_addr(cur.offset(NODE_NEXT))?;
+        }
+        Ok((prev, cur))
+    }
+
+    /// Inserts `key → value` if absent. Returns whether it was inserted.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn insert(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<bool> {
+        let (prev, cur) = self.find_prev(tx, key)?;
+        if !cur.is_null() && tx.load(cur.offset(NODE_KEY))? == key {
+            return Ok(false);
+        }
+        let node = tx.alloc(NODE_WORDS);
+        tx.store(node.offset(NODE_KEY), key)?;
+        tx.store(node.offset(NODE_VALUE), value)?;
+        tx.store_addr(node.offset(NODE_NEXT), cur)?;
+        tx.store_addr(prev.offset(NODE_NEXT), node)?;
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        tx.store(self.hdr.offset(HDR_SIZE), size + 1)?;
+        Ok(true)
+    }
+
+    /// Inserts or updates `key → value`. Returns the previous value if the
+    /// key was present.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn put(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let (prev, cur) = self.find_prev(tx, key)?;
+        if !cur.is_null() && tx.load(cur.offset(NODE_KEY))? == key {
+            let old = tx.load(cur.offset(NODE_VALUE))?;
+            tx.store(cur.offset(NODE_VALUE), value)?;
+            return Ok(Some(old));
+        }
+        let node = tx.alloc(NODE_WORDS);
+        tx.store(node.offset(NODE_KEY), key)?;
+        tx.store(node.offset(NODE_VALUE), value)?;
+        tx.store_addr(node.offset(NODE_NEXT), cur)?;
+        tx.store_addr(prev.offset(NODE_NEXT), node)?;
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        tx.store(self.hdr.offset(HDR_SIZE), size + 1)?;
+        Ok(None)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn get(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let (_, cur) = self.find_prev(tx, key)?;
+        if !cur.is_null() && tx.load(cur.offset(NODE_KEY))? == key {
+            Ok(Some(tx.load(cur.offset(NODE_VALUE))?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn contains(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<bool> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    /// Removes `key`, returning its value if it was present. The node is
+    /// recycled to this thread's allocator.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let (prev, cur) = self.find_prev(tx, key)?;
+        if cur.is_null() || tx.load(cur.offset(NODE_KEY))? != key {
+            return Ok(None);
+        }
+        let value = tx.load(cur.offset(NODE_VALUE))?;
+        let next = tx.load_addr(cur.offset(NODE_NEXT))?;
+        tx.store_addr(prev.offset(NODE_NEXT), next)?;
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        tx.store(self.hdr.offset(HDR_SIZE), size - 1)?;
+        tx.free(cur, NODE_WORDS);
+        Ok(Some(value))
+    }
+
+    /// Removes and returns the smallest-keyed element.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn pop_min(&self, tx: &mut Tx<'_>) -> TxResult<Option<(u64, u64)>> {
+        let first = tx.load_addr(self.hdr.offset(HDR_NEXT))?;
+        if first.is_null() {
+            return Ok(None);
+        }
+        let key = tx.load(first.offset(NODE_KEY))?;
+        let value = tx.load(first.offset(NODE_VALUE))?;
+        let next = tx.load_addr(first.offset(NODE_NEXT))?;
+        tx.store_addr(self.hdr.offset(HDR_NEXT), next)?;
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        tx.store(self.hdr.offset(HDR_SIZE), size - 1)?;
+        tx.free(first, NODE_WORDS);
+        Ok(Some((key, value)))
+    }
+
+    /// First node address, for cursor iteration with [`TmList::cursor_next`].
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn cursor_first(&self, tx: &mut Tx<'_>) -> TxResult<WordAddr> {
+        tx.load_addr(self.hdr.offset(HDR_NEXT))
+    }
+
+    /// Reads a cursor node, returning `(key, value, next)`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is null.
+    pub fn cursor_next(&self, tx: &mut Tx<'_>, node: WordAddr) -> TxResult<(u64, u64, WordAddr)> {
+        assert!(!node.is_null(), "cursor past end of list");
+        let key = tx.load(node.offset(NODE_KEY))?;
+        let value = tx.load(node.offset(NODE_VALUE))?;
+        let next = tx.load_addr(node.offset(NODE_NEXT))?;
+        Ok((key, value, next))
+    }
+
+    /// Applies `f(key, value)` to every element, in key order.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn for_each(
+        &self,
+        tx: &mut Tx<'_>,
+        mut f: impl FnMut(u64, u64) -> TxResult<()>,
+    ) -> TxResult<()> {
+        let mut cur = self.cursor_first(tx)?;
+        while !cur.is_null() {
+            let (k, v, next) = self.cursor_next(tx, cur)?;
+            f(k, v)?;
+            cur = next;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_machine::Platform;
+    use htm_runtime::Sim;
+
+    fn with_list(f: impl FnOnce(&Sim, &mut htm_runtime::ThreadCtx, TmList)) {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let list = ctx.atomic(|tx| TmList::create(tx));
+        f(&sim, &mut ctx, list);
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        with_list(|_, ctx, list| {
+            ctx.atomic(|tx| {
+                assert!(list.insert(tx, 5, 50)?);
+                assert!(list.insert(tx, 3, 30)?);
+                assert!(list.insert(tx, 8, 80)?);
+                assert!(!list.insert(tx, 5, 99)?, "duplicate insert fails");
+                assert_eq!(list.get(tx, 5)?, Some(50));
+                assert_eq!(list.get(tx, 4)?, None);
+                assert_eq!(list.len(tx)?, 3);
+                assert_eq!(list.remove(tx, 3)?, Some(30));
+                assert_eq!(list.remove(tx, 3)?, None);
+                assert_eq!(list.len(tx)?, 2);
+                Ok(())
+            });
+        });
+    }
+
+    #[test]
+    fn maintains_sorted_order() {
+        with_list(|_, ctx, list| {
+            ctx.atomic(|tx| {
+                for k in [9u64, 1, 7, 3, 5, 2, 8, 4, 6] {
+                    list.insert(tx, k, k * 10)?;
+                }
+                let mut seen = Vec::new();
+                list.for_each(tx, |k, v| {
+                    assert_eq!(v, k * 10);
+                    seen.push(k);
+                    Ok(())
+                })?;
+                assert_eq!(seen, (1..=9).collect::<Vec<u64>>());
+                Ok(())
+            });
+        });
+    }
+
+    #[test]
+    fn put_updates_in_place() {
+        with_list(|_, ctx, list| {
+            ctx.atomic(|tx| {
+                assert_eq!(list.put(tx, 1, 10)?, None);
+                assert_eq!(list.put(tx, 1, 20)?, Some(10));
+                assert_eq!(list.get(tx, 1)?, Some(20));
+                assert_eq!(list.len(tx)?, 1);
+                Ok(())
+            });
+        });
+    }
+
+    #[test]
+    fn pop_min_drains_in_order() {
+        with_list(|_, ctx, list| {
+            ctx.atomic(|tx| {
+                for k in [3u64, 1, 2] {
+                    list.insert(tx, k, k)?;
+                }
+                assert_eq!(list.pop_min(tx)?, Some((1, 1)));
+                assert_eq!(list.pop_min(tx)?, Some((2, 2)));
+                assert_eq!(list.pop_min(tx)?, Some((3, 3)));
+                assert_eq!(list.pop_min(tx)?, None);
+                assert!(list.is_empty(tx)?);
+                Ok(())
+            });
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_preserve_all_keys() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let list = ctx.atomic(|tx| TmList::create(tx));
+        let stats = sim.run_parallel(4, htm_runtime::RetryPolicy::default(), |ctx| {
+            let tid = ctx.thread_id() as u64;
+            for i in 0..50u64 {
+                ctx.atomic(|tx| list.insert(tx, i * 4 + tid, tid));
+            }
+        });
+        assert!(stats.committed_blocks() >= 200);
+        let mut ctx = sim.seq_ctx();
+        ctx.atomic(|tx| {
+            assert_eq!(list.len(tx)?, 200);
+            let mut prev = None;
+            list.for_each(tx, |k, _| {
+                if let Some(p) = prev {
+                    assert!(k > p, "order violated: {p} then {k}");
+                }
+                prev = Some(k);
+                Ok(())
+            })
+        });
+    }
+}

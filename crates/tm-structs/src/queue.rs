@@ -1,0 +1,197 @@
+//! Transactional FIFO queue (the port of STAMP's `queue.c`).
+//!
+//! Used by intruder (packet and decoded-flow queues) and labyrinth (the
+//! work list of path requests). Linked representation: push/pop touch only
+//! the ends, keeping transactional footprints minimal.
+//!
+//! Layout:
+//!
+//! ```text
+//! header: [0] head   [1] tail   [2] size
+//! node:   [0] next   [1] value
+//! ```
+
+use htm_core::{TxResult, WordAddr};
+use htm_runtime::Tx;
+
+const HDR_HEAD: u32 = 0;
+const HDR_TAIL: u32 = 1;
+const HDR_SIZE: u32 = 2;
+const HDR_WORDS: u32 = 3;
+
+const NODE_NEXT: u32 = 0;
+const NODE_VALUE: u32 = 1;
+const NODE_WORDS: u32 = 2;
+
+/// Handle to a transactional FIFO queue of `u64` values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TmQueue {
+    hdr: WordAddr,
+}
+
+impl TmQueue {
+    /// Allocates an empty queue.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn create(tx: &mut Tx<'_>) -> TxResult<TmQueue> {
+        let hdr = tx.alloc(HDR_WORDS);
+        tx.store_addr(hdr.offset(HDR_HEAD), WordAddr::NULL)?;
+        tx.store_addr(hdr.offset(HDR_TAIL), WordAddr::NULL)?;
+        tx.store(hdr.offset(HDR_SIZE), 0)?;
+        Ok(TmQueue { hdr })
+    }
+
+    /// Wraps an existing header address.
+    pub fn from_raw(hdr: WordAddr) -> TmQueue {
+        TmQueue { hdr }
+    }
+
+    /// The header address (to publish the queue to other threads).
+    pub fn as_raw(&self) -> WordAddr {
+        self.hdr
+    }
+
+    /// Number of queued values.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        tx.load(self.hdr.offset(HDR_SIZE))
+    }
+
+    /// Whether the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Enqueues `value` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn push(&self, tx: &mut Tx<'_>, value: u64) -> TxResult<()> {
+        let node = tx.alloc(NODE_WORDS);
+        tx.store_addr(node.offset(NODE_NEXT), WordAddr::NULL)?;
+        tx.store(node.offset(NODE_VALUE), value)?;
+        let tail = tx.load_addr(self.hdr.offset(HDR_TAIL))?;
+        if tail.is_null() {
+            tx.store_addr(self.hdr.offset(HDR_HEAD), node)?;
+        } else {
+            tx.store_addr(tail.offset(NODE_NEXT), node)?;
+        }
+        tx.store_addr(self.hdr.offset(HDR_TAIL), node)?;
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        tx.store(self.hdr.offset(HDR_SIZE), size + 1)
+    }
+
+    /// Dequeues from the head.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn pop(&self, tx: &mut Tx<'_>) -> TxResult<Option<u64>> {
+        let head = tx.load_addr(self.hdr.offset(HDR_HEAD))?;
+        if head.is_null() {
+            return Ok(None);
+        }
+        let value = tx.load(head.offset(NODE_VALUE))?;
+        let next = tx.load_addr(head.offset(NODE_NEXT))?;
+        tx.store_addr(self.hdr.offset(HDR_HEAD), next)?;
+        if next.is_null() {
+            tx.store_addr(self.hdr.offset(HDR_TAIL), WordAddr::NULL)?;
+        }
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        tx.store(self.hdr.offset(HDR_SIZE), size - 1)?;
+        tx.free(head, NODE_WORDS);
+        Ok(Some(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_machine::Platform;
+    use htm_runtime::{RetryPolicy, Sim};
+
+    #[test]
+    fn fifo_order() {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let mut ctx = sim.seq_ctx();
+        let q = ctx.atomic(|tx| TmQueue::create(tx));
+        ctx.atomic(|tx| {
+            assert_eq!(q.pop(tx)?, None);
+            for v in 1..=5u64 {
+                q.push(tx, v)?;
+            }
+            assert_eq!(q.len(tx)?, 5);
+            for v in 1..=5u64 {
+                assert_eq!(q.pop(tx)?, Some(v));
+            }
+            assert_eq!(q.pop(tx)?, None);
+            assert!(q.is_empty(tx)?);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let sim = Sim::of(Platform::Power8.config());
+        let mut ctx = sim.seq_ctx();
+        let q = ctx.atomic(|tx| TmQueue::create(tx));
+        ctx.atomic(|tx| {
+            q.push(tx, 1)?;
+            q.push(tx, 2)?;
+            assert_eq!(q.pop(tx)?, Some(1));
+            q.push(tx, 3)?;
+            assert_eq!(q.pop(tx)?, Some(2));
+            assert_eq!(q.pop(tx)?, Some(3));
+            assert_eq!(q.pop(tx)?, None);
+            // Tail must be reset: a push after drain works.
+            q.push(tx, 4)?;
+            assert_eq!(q.pop(tx)?, Some(4));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_items() {
+        let sim = Sim::of(Platform::Zec12.config());
+        let mut ctx = sim.seq_ctx();
+        let q = ctx.atomic(|tx| TmQueue::create(tx));
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        let popped = std::sync::atomic::AtomicU64::new(0);
+        sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+            let tid = ctx.thread_id() as u64;
+            if tid < 2 {
+                // Producers: 100 items each, values 1..=100.
+                for v in 1..=100u64 {
+                    ctx.atomic(|tx| q.push(tx, v));
+                }
+            } else {
+                // Consumers: drain until they have seen 100 items each.
+                let mut got = 0;
+                while got < 100 {
+                    if let Some(v) = ctx.atomic(|tx| q.pop(tx)) {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                        popped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        got += 1;
+                    }
+                }
+            }
+        });
+        assert_eq!(popped.load(std::sync::atomic::Ordering::Relaxed), 200);
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 2 * (100 * 101) / 2);
+        let mut ctx = sim.seq_ctx();
+        ctx.atomic(|tx| {
+            assert!(q.is_empty(tx)?);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,685 @@
+//! Transactional red-black tree (the port of STAMP's `rbtree.c`).
+//!
+//! STAMP uses red-black trees pervasively: vacation's relation tables,
+//! intruder's fragment maps, yada's element sets. The paper's Section-4
+//! analysis hinges on this structure: a lookup/update walks `O(log n)`
+//! *chained* cache lines, which inflates transactional footprints and —
+//! on POWER8's 8 KB TMCAM — causes the capacity-overflow aborts that the
+//! hash-table rewrite removes.
+//!
+//! Layout:
+//!
+//! ```text
+//! header: [0] root      [1] size
+//! node:   [0] parent    [1] left    [2] right
+//!         [3] color (0 = red, 1 = black)
+//!         [4] key       [5] value
+//! ```
+
+use htm_core::{TxResult, WordAddr};
+use htm_runtime::Tx;
+
+const HDR_ROOT: u32 = 0;
+const HDR_SIZE: u32 = 1;
+const HDR_WORDS: u32 = 2;
+
+const N_PARENT: u32 = 0;
+const N_LEFT: u32 = 1;
+const N_RIGHT: u32 = 2;
+const N_COLOR: u32 = 3;
+const N_KEY: u32 = 4;
+const N_VALUE: u32 = 5;
+/// Words occupied by one tree node.
+pub const NODE_WORDS: u32 = 6;
+
+const RED: u64 = 0;
+const BLACK: u64 = 1;
+
+/// Handle to a transactional red-black tree with `u64` keys and values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TmRbTree {
+    hdr: WordAddr,
+}
+
+impl TmRbTree {
+    /// Allocates an empty tree.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn create(tx: &mut Tx<'_>) -> TxResult<TmRbTree> {
+        let hdr = tx.alloc(HDR_WORDS);
+        tx.store_addr(hdr.offset(HDR_ROOT), WordAddr::NULL)?;
+        tx.store(hdr.offset(HDR_SIZE), 0)?;
+        Ok(TmRbTree { hdr })
+    }
+
+    /// Wraps an existing header address.
+    pub fn from_raw(hdr: WordAddr) -> TmRbTree {
+        TmRbTree { hdr }
+    }
+
+    /// The header address (to publish the tree to other threads).
+    pub fn as_raw(&self) -> WordAddr {
+        self.hdr
+    }
+
+    /// Number of entries.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        tx.load(self.hdr.offset(HDR_SIZE))
+    }
+
+    /// Whether the tree is empty.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    // -- small accessors ------------------------------------------------
+
+    fn root(&self, tx: &mut Tx<'_>) -> TxResult<WordAddr> {
+        tx.load_addr(self.hdr.offset(HDR_ROOT))
+    }
+    fn set_root(&self, tx: &mut Tx<'_>, n: WordAddr) -> TxResult<()> {
+        tx.store_addr(self.hdr.offset(HDR_ROOT), n)
+    }
+    fn parent(tx: &mut Tx<'_>, n: WordAddr) -> TxResult<WordAddr> {
+        tx.load_addr(n.offset(N_PARENT))
+    }
+    fn left(tx: &mut Tx<'_>, n: WordAddr) -> TxResult<WordAddr> {
+        tx.load_addr(n.offset(N_LEFT))
+    }
+    fn right(tx: &mut Tx<'_>, n: WordAddr) -> TxResult<WordAddr> {
+        tx.load_addr(n.offset(N_RIGHT))
+    }
+    fn set_parent(tx: &mut Tx<'_>, n: WordAddr, p: WordAddr) -> TxResult<()> {
+        tx.store_addr(n.offset(N_PARENT), p)
+    }
+    fn set_left(tx: &mut Tx<'_>, n: WordAddr, c: WordAddr) -> TxResult<()> {
+        tx.store_addr(n.offset(N_LEFT), c)
+    }
+    fn set_right(tx: &mut Tx<'_>, n: WordAddr, c: WordAddr) -> TxResult<()> {
+        tx.store_addr(n.offset(N_RIGHT), c)
+    }
+    fn is_black(tx: &mut Tx<'_>, n: WordAddr) -> TxResult<bool> {
+        if n.is_null() {
+            return Ok(true); // leaves are black
+        }
+        Ok(tx.load(n.offset(N_COLOR))? == BLACK)
+    }
+    fn set_color(tx: &mut Tx<'_>, n: WordAddr, color: u64) -> TxResult<()> {
+        tx.store(n.offset(N_COLOR), color)
+    }
+    fn key(tx: &mut Tx<'_>, n: WordAddr) -> TxResult<u64> {
+        tx.load(n.offset(N_KEY))
+    }
+
+    fn find_node(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<WordAddr> {
+        let mut cur = self.root(tx)?;
+        while !cur.is_null() {
+            let k = Self::key(tx, cur)?;
+            cur = if key == k {
+                return Ok(cur);
+            } else if key < k {
+                Self::left(tx, cur)?
+            } else {
+                Self::right(tx, cur)?
+            };
+        }
+        Ok(WordAddr::NULL)
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn get(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let n = self.find_node(tx, key)?;
+        if n.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(tx.load(n.offset(N_VALUE))?))
+        }
+    }
+
+    /// Whether `key` is present.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn contains(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<bool> {
+        Ok(!self.find_node(tx, key)?.is_null())
+    }
+
+    fn rotate_left(&self, tx: &mut Tx<'_>, x: WordAddr) -> TxResult<()> {
+        let y = Self::right(tx, x)?;
+        let yl = Self::left(tx, y)?;
+        Self::set_right(tx, x, yl)?;
+        if !yl.is_null() {
+            Self::set_parent(tx, yl, x)?;
+        }
+        let xp = Self::parent(tx, x)?;
+        Self::set_parent(tx, y, xp)?;
+        if xp.is_null() {
+            self.set_root(tx, y)?;
+        } else if Self::left(tx, xp)? == x {
+            Self::set_left(tx, xp, y)?;
+        } else {
+            Self::set_right(tx, xp, y)?;
+        }
+        Self::set_left(tx, y, x)?;
+        Self::set_parent(tx, x, y)
+    }
+
+    fn rotate_right(&self, tx: &mut Tx<'_>, x: WordAddr) -> TxResult<()> {
+        let y = Self::left(tx, x)?;
+        let yr = Self::right(tx, y)?;
+        Self::set_left(tx, x, yr)?;
+        if !yr.is_null() {
+            Self::set_parent(tx, yr, x)?;
+        }
+        let xp = Self::parent(tx, x)?;
+        Self::set_parent(tx, y, xp)?;
+        if xp.is_null() {
+            self.set_root(tx, y)?;
+        } else if Self::right(tx, xp)? == x {
+            Self::set_right(tx, xp, y)?;
+        } else {
+            Self::set_left(tx, xp, y)?;
+        }
+        Self::set_right(tx, y, x)?;
+        Self::set_parent(tx, x, y)
+    }
+
+    /// Inserts `key → value` if absent. Returns whether it was inserted.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn insert(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<bool> {
+        // BST descent.
+        let mut parent = WordAddr::NULL;
+        let mut cur = self.root(tx)?;
+        let mut went_left = false;
+        while !cur.is_null() {
+            let k = Self::key(tx, cur)?;
+            if key == k {
+                return Ok(false);
+            }
+            parent = cur;
+            went_left = key < k;
+            cur = if went_left { Self::left(tx, cur)? } else { Self::right(tx, cur)? };
+        }
+        let z = tx.alloc(NODE_WORDS);
+        tx.store(z.offset(N_KEY), key)?;
+        tx.store(z.offset(N_VALUE), value)?;
+        Self::set_left(tx, z, WordAddr::NULL)?;
+        Self::set_right(tx, z, WordAddr::NULL)?;
+        Self::set_parent(tx, z, parent)?;
+        Self::set_color(tx, z, RED)?;
+        if parent.is_null() {
+            self.set_root(tx, z)?;
+        } else if went_left {
+            Self::set_left(tx, parent, z)?;
+        } else {
+            Self::set_right(tx, parent, z)?;
+        }
+        self.insert_fixup(tx, z)?;
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        tx.store(self.hdr.offset(HDR_SIZE), size + 1)?;
+        Ok(true)
+    }
+
+    /// Inserts or updates, returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn put(&self, tx: &mut Tx<'_>, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let n = self.find_node(tx, key)?;
+        if !n.is_null() {
+            let old = tx.load(n.offset(N_VALUE))?;
+            tx.store(n.offset(N_VALUE), value)?;
+            return Ok(Some(old));
+        }
+        self.insert(tx, key, value)?;
+        Ok(None)
+    }
+
+    fn insert_fixup(&self, tx: &mut Tx<'_>, mut z: WordAddr) -> TxResult<()> {
+        loop {
+            let p = Self::parent(tx, z)?;
+            if p.is_null() || Self::is_black(tx, p)? {
+                break;
+            }
+            let g = Self::parent(tx, p)?; // grandparent exists: red p is not root
+            if Self::left(tx, g)? == p {
+                let u = Self::right(tx, g)?;
+                if !Self::is_black(tx, u)? {
+                    Self::set_color(tx, p, BLACK)?;
+                    Self::set_color(tx, u, BLACK)?;
+                    Self::set_color(tx, g, RED)?;
+                    z = g;
+                } else {
+                    if Self::right(tx, p)? == z {
+                        z = p;
+                        self.rotate_left(tx, z)?;
+                    }
+                    let p = Self::parent(tx, z)?;
+                    let g = Self::parent(tx, p)?;
+                    Self::set_color(tx, p, BLACK)?;
+                    Self::set_color(tx, g, RED)?;
+                    self.rotate_right(tx, g)?;
+                }
+            } else {
+                let u = Self::left(tx, g)?;
+                if !Self::is_black(tx, u)? {
+                    Self::set_color(tx, p, BLACK)?;
+                    Self::set_color(tx, u, BLACK)?;
+                    Self::set_color(tx, g, RED)?;
+                    z = g;
+                } else {
+                    if Self::left(tx, p)? == z {
+                        z = p;
+                        self.rotate_right(tx, z)?;
+                    }
+                    let p = Self::parent(tx, z)?;
+                    let g = Self::parent(tx, p)?;
+                    Self::set_color(tx, p, BLACK)?;
+                    Self::set_color(tx, g, RED)?;
+                    self.rotate_left(tx, g)?;
+                }
+            }
+        }
+        let root = self.root(tx)?;
+        Self::set_color(tx, root, BLACK)
+    }
+
+    /// Replaces the subtree rooted at `u` with `v` (which may be null).
+    fn transplant(&self, tx: &mut Tx<'_>, u: WordAddr, v: WordAddr) -> TxResult<()> {
+        let up = Self::parent(tx, u)?;
+        if up.is_null() {
+            self.set_root(tx, v)?;
+        } else if Self::left(tx, up)? == u {
+            Self::set_left(tx, up, v)?;
+        } else {
+            Self::set_right(tx, up, v)?;
+        }
+        if !v.is_null() {
+            Self::set_parent(tx, v, up)?;
+        }
+        Ok(())
+    }
+
+    fn min_node(tx: &mut Tx<'_>, mut n: WordAddr) -> TxResult<WordAddr> {
+        loop {
+            let l = Self::left(tx, n)?;
+            if l.is_null() {
+                return Ok(n);
+            }
+            n = l;
+        }
+    }
+
+    /// The smallest key and its value, if any.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn min(&self, tx: &mut Tx<'_>) -> TxResult<Option<(u64, u64)>> {
+        let root = self.root(tx)?;
+        if root.is_null() {
+            return Ok(None);
+        }
+        let n = Self::min_node(tx, root)?;
+        Ok(Some((Self::key(tx, n)?, tx.load(n.offset(N_VALUE))?)))
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<u64>> {
+        let z = self.find_node(tx, key)?;
+        if z.is_null() {
+            return Ok(None);
+        }
+        let value = tx.load(z.offset(N_VALUE))?;
+
+        // CLRS delete with explicit x_parent (x may be null).
+        let (x, x_parent, removed_black) = {
+            let zl = Self::left(tx, z)?;
+            let zr = Self::right(tx, z)?;
+            if zl.is_null() {
+                let xp = Self::parent(tx, z)?;
+                let black = Self::is_black(tx, z)?;
+                self.transplant(tx, z, zr)?;
+                (zr, xp, black)
+            } else if zr.is_null() {
+                let xp = Self::parent(tx, z)?;
+                let black = Self::is_black(tx, z)?;
+                self.transplant(tx, z, zl)?;
+                (zl, xp, black)
+            } else {
+                let y = Self::min_node(tx, zr)?;
+                let y_black = Self::is_black(tx, y)?;
+                let x = Self::right(tx, y)?;
+                let x_parent;
+                if Self::parent(tx, y)? == z {
+                    x_parent = y;
+                } else {
+                    x_parent = Self::parent(tx, y)?;
+                    self.transplant(tx, y, x)?;
+                    let zr = Self::right(tx, z)?;
+                    Self::set_right(tx, y, zr)?;
+                    Self::set_parent(tx, zr, y)?;
+                }
+                self.transplant(tx, z, y)?;
+                let zl = Self::left(tx, z)?;
+                Self::set_left(tx, y, zl)?;
+                Self::set_parent(tx, zl, y)?;
+                let z_color = tx.load(z.offset(N_COLOR))?;
+                Self::set_color(tx, y, z_color)?;
+                (x, x_parent, y_black)
+            }
+        };
+        if removed_black {
+            self.delete_fixup(tx, x, x_parent)?;
+        }
+        let size = tx.load(self.hdr.offset(HDR_SIZE))?;
+        tx.store(self.hdr.offset(HDR_SIZE), size - 1)?;
+        tx.free(z, NODE_WORDS);
+        Ok(Some(value))
+    }
+
+    fn delete_fixup(&self, tx: &mut Tx<'_>, mut x: WordAddr, mut xp: WordAddr) -> TxResult<()> {
+        loop {
+            let root = self.root(tx)?;
+            if x == root || !Self::is_black(tx, x)? {
+                break;
+            }
+            // x is black (possibly null) and not the root; xp is its parent.
+            if Self::left(tx, xp)? == x {
+                let mut w = Self::right(tx, xp)?;
+                if !Self::is_black(tx, w)? {
+                    Self::set_color(tx, w, BLACK)?;
+                    Self::set_color(tx, xp, RED)?;
+                    self.rotate_left(tx, xp)?;
+                    w = Self::right(tx, xp)?;
+                }
+                let wl = Self::left(tx, w)?;
+                let wr = Self::right(tx, w)?;
+                if Self::is_black(tx, wl)? && Self::is_black(tx, wr)? {
+                    Self::set_color(tx, w, RED)?;
+                    x = xp;
+                    xp = Self::parent(tx, x)?;
+                } else {
+                    if Self::is_black(tx, wr)? {
+                        Self::set_color(tx, wl, BLACK)?;
+                        Self::set_color(tx, w, RED)?;
+                        self.rotate_right(tx, w)?;
+                        w = Self::right(tx, xp)?;
+                    }
+                    let xp_color = tx.load(xp.offset(N_COLOR))?;
+                    Self::set_color(tx, w, xp_color)?;
+                    Self::set_color(tx, xp, BLACK)?;
+                    let wr = Self::right(tx, w)?;
+                    Self::set_color(tx, wr, BLACK)?;
+                    self.rotate_left(tx, xp)?;
+                    x = self.root(tx)?;
+                    xp = WordAddr::NULL;
+                }
+            } else {
+                let mut w = Self::left(tx, xp)?;
+                if !Self::is_black(tx, w)? {
+                    Self::set_color(tx, w, BLACK)?;
+                    Self::set_color(tx, xp, RED)?;
+                    self.rotate_right(tx, xp)?;
+                    w = Self::left(tx, xp)?;
+                }
+                let wl = Self::left(tx, w)?;
+                let wr = Self::right(tx, w)?;
+                if Self::is_black(tx, wl)? && Self::is_black(tx, wr)? {
+                    Self::set_color(tx, w, RED)?;
+                    x = xp;
+                    xp = Self::parent(tx, x)?;
+                } else {
+                    if Self::is_black(tx, wl)? {
+                        Self::set_color(tx, wr, BLACK)?;
+                        Self::set_color(tx, w, RED)?;
+                        self.rotate_left(tx, w)?;
+                        w = Self::left(tx, xp)?;
+                    }
+                    let xp_color = tx.load(xp.offset(N_COLOR))?;
+                    Self::set_color(tx, w, xp_color)?;
+                    Self::set_color(tx, xp, BLACK)?;
+                    let wl = Self::left(tx, w)?;
+                    Self::set_color(tx, wl, BLACK)?;
+                    self.rotate_right(tx, xp)?;
+                    x = self.root(tx)?;
+                    xp = WordAddr::NULL;
+                }
+            }
+        }
+        if !x.is_null() {
+            Self::set_color(tx, x, BLACK)?;
+        }
+        Ok(())
+    }
+
+    /// Applies `f(key, value)` to every entry in ascending key order
+    /// (iterative in-order walk via parent pointers — O(1) extra space).
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn for_each(
+        &self,
+        tx: &mut Tx<'_>,
+        mut f: impl FnMut(u64, u64) -> TxResult<()>,
+    ) -> TxResult<()> {
+        let root = self.root(tx)?;
+        if root.is_null() {
+            return Ok(());
+        }
+        let mut cur = Self::min_node(tx, root)?;
+        while !cur.is_null() {
+            f(Self::key(tx, cur)?, tx.load(cur.offset(N_VALUE))?)?;
+            // Successor.
+            let r = Self::right(tx, cur)?;
+            if !r.is_null() {
+                cur = Self::min_node(tx, r)?;
+            } else {
+                let mut child = cur;
+                let mut p = Self::parent(tx, cur)?;
+                while !p.is_null() && Self::right(tx, p)? == child {
+                    child = p;
+                    p = Self::parent(tx, p)?;
+                }
+                cur = p;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the red-black invariants (test support): BST order, red
+    /// nodes have black children, equal black heights, root is black.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn validate(&self, tx: &mut Tx<'_>) -> TxResult<()> {
+        let root = self.root(tx)?;
+        if root.is_null() {
+            return Ok(());
+        }
+        assert!(Self::is_black(tx, root)?, "root must be black");
+        let mut count = 0u64;
+        self.check_subtree(tx, root, None, None, &mut count)?;
+        assert_eq!(count, self.len(tx)?, "size field out of sync");
+        Ok(())
+    }
+
+    fn check_subtree(
+        &self,
+        tx: &mut Tx<'_>,
+        n: WordAddr,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        count: &mut u64,
+    ) -> TxResult<u32> {
+        if n.is_null() {
+            return Ok(1); // black height of a leaf
+        }
+        *count += 1;
+        let k = Self::key(tx, n)?;
+        if let Some(lo) = lo {
+            assert!(k > lo, "BST order violated");
+        }
+        if let Some(hi) = hi {
+            assert!(k < hi, "BST order violated");
+        }
+        let black = Self::is_black(tx, n)?;
+        let l = Self::left(tx, n)?;
+        let r = Self::right(tx, n)?;
+        if !black {
+            assert!(Self::is_black(tx, l)?, "red node with red left child");
+            assert!(Self::is_black(tx, r)?, "red node with red right child");
+        }
+        if !l.is_null() {
+            assert_eq!(Self::parent(tx, l)?, n, "broken parent link");
+        }
+        if !r.is_null() {
+            assert_eq!(Self::parent(tx, r)?, n, "broken parent link");
+        }
+        let bh_l = self.check_subtree(tx, l, lo, Some(k), count)?;
+        let bh_r = self.check_subtree(tx, r, Some(k), hi, count)?;
+        assert_eq!(bh_l, bh_r, "black-height mismatch at key {k}");
+        Ok(bh_l + black as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_machine::Platform;
+    use htm_runtime::{RetryPolicy, Sim};
+
+    fn fresh() -> (Sim, TmRbTree) {
+        let sim = Sim::of(Platform::IntelCore.config());
+        let tree = sim.seq_ctx().atomic(|tx| TmRbTree::create(tx));
+        (sim, tree)
+    }
+
+    #[test]
+    fn insert_lookup() {
+        let (sim, tree) = fresh();
+        let mut ctx = sim.seq_ctx();
+        ctx.atomic(|tx| {
+            for k in [50u64, 20, 80, 10, 30, 70, 90] {
+                assert!(tree.insert(tx, k, k + 1)?);
+            }
+            assert!(!tree.insert(tx, 50, 0)?);
+            for k in [50u64, 20, 80, 10, 30, 70, 90] {
+                assert_eq!(tree.get(tx, k)?, Some(k + 1));
+            }
+            assert_eq!(tree.get(tx, 55)?, None);
+            assert_eq!(tree.len(tx)?, 7);
+            tree.validate(tx)
+        });
+    }
+
+    #[test]
+    fn ascending_and_descending_insertions_stay_balanced() {
+        let (sim, tree) = fresh();
+        let mut ctx = sim.seq_ctx();
+        ctx.atomic(|tx| {
+            for k in 0..200u64 {
+                tree.insert(tx, k, k)?;
+            }
+            for k in (200..400u64).rev() {
+                tree.insert(tx, k, k)?;
+            }
+            tree.validate(tx)?;
+            let mut expect = 0u64;
+            tree.for_each(tx, |k, _| {
+                assert_eq!(k, expect);
+                expect += 1;
+                Ok(())
+            })?;
+            assert_eq!(expect, 400);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn removal_preserves_invariants() {
+        let (sim, tree) = fresh();
+        let mut ctx = sim.seq_ctx();
+        ctx.atomic(|tx| {
+            for k in 0..100u64 {
+                tree.insert(tx, (k * 37) % 100, k)?;
+            }
+            tree.validate(tx)?;
+            // Remove in a scrambled order, validating as we go.
+            for k in 0..100u64 {
+                let victim = (k * 61 + 13) % 100;
+                assert!(tree.remove(tx, victim)?.is_some(), "missing {victim}");
+                tree.validate(tx)?;
+            }
+            assert!(tree.is_empty(tx)?);
+            assert_eq!(tree.remove(tx, 5)?, None);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn min_and_put() {
+        let (sim, tree) = fresh();
+        let mut ctx = sim.seq_ctx();
+        ctx.atomic(|tx| {
+            assert_eq!(tree.min(tx)?, None);
+            tree.put(tx, 5, 1)?;
+            tree.put(tx, 2, 2)?;
+            assert_eq!(tree.min(tx)?, Some((2, 2)));
+            assert_eq!(tree.put(tx, 5, 9)?, Some(1));
+            assert_eq!(tree.get(tx, 5)?, Some(9));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_and_removes_keep_tree_valid() {
+        let (sim, tree) = fresh();
+        sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+            let tid = ctx.thread_id() as u64;
+            for i in 0..60u64 {
+                let k = i * 4 + tid;
+                ctx.atomic(|tx| tree.insert(tx, k, tid));
+            }
+            for i in (0..60u64).step_by(3) {
+                let k = i * 4 + tid;
+                ctx.atomic(|tx| tree.remove(tx, k));
+            }
+        });
+        let mut ctx = sim.seq_ctx();
+        ctx.atomic(|tx| {
+            tree.validate(tx)?;
+            assert_eq!(tree.len(tx)?, 4 * 40);
+            Ok(())
+        });
+    }
+}

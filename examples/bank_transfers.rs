@@ -1,0 +1,70 @@
+//! Bank-transfer demo: concurrent transfers between accounts with full
+//! conservation checking, showing conflict-detection granularity at work —
+//! the same workload conflicts more on zEC12's 256-byte lines than on
+//! Intel's 64-byte lines when accounts are packed tightly.
+//!
+//! ```sh
+//! cargo run --release --example bank_transfers
+//! ```
+
+use htm_compare::machine::Platform;
+use htm_compare::runtime::{RetryPolicy, Sim};
+use rand::{Rng, SeedableRng};
+
+const ACCOUNTS: u32 = 256;
+const INITIAL: u64 = 1000;
+const TRANSFERS: u32 = 4000;
+
+fn run(platform: Platform, aligned: bool) -> (f64, f64) {
+    let sim = Sim::of(platform.config());
+    let gran = sim.machine().config().granularity.max(64);
+    // Packed: one word per account (several accounts share a line).
+    // Aligned: one line per account.
+    let accounts: Vec<_> = if aligned {
+        (0..ACCOUNTS).map(|_| sim.alloc().alloc_aligned(1, gran)).collect()
+    } else {
+        let base = sim.alloc().alloc(ACCOUNTS);
+        (0..ACCOUNTS).map(|i| base.offset(i)).collect()
+    };
+    for a in &accounts {
+        sim.write_word(*a, INITIAL);
+    }
+    let accounts = std::sync::Arc::new(accounts);
+    let acc = std::sync::Arc::clone(&accounts);
+    let stats = sim.run_parallel(4, RetryPolicy::default(), move |ctx| {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7 + ctx.thread_id() as u64);
+        for _ in 0..TRANSFERS / 4 {
+            let from = rng.gen_range(0..ACCOUNTS) as usize;
+            let to = rng.gen_range(0..ACCOUNTS) as usize;
+            if from == to {
+                continue;
+            }
+            let amount = rng.gen_range(1..50);
+            ctx.atomic(|tx| {
+                let balance = tx.load(acc[from])?;
+                if balance >= amount {
+                    tx.store(acc[from], balance - amount)?;
+                    let t = tx.load(acc[to])?;
+                    tx.store(acc[to], t + amount)?;
+                }
+                Ok(())
+            });
+        }
+    });
+    let total: u64 = accounts.iter().map(|a| sim.read_word(*a)).sum();
+    assert_eq!(total, ACCOUNTS as u64 * INITIAL, "money conservation violated!");
+    (stats.abort_ratio() * 100.0, stats.serialization_ratio() * 100.0)
+}
+
+fn main() {
+    println!("Concurrent bank transfers (4 threads, {ACCOUNTS} accounts):\n");
+    println!("{:<20} {:>18} {:>18}", "platform", "packed abort%", "aligned abort%");
+    for platform in Platform::ALL {
+        let (packed, _) = run(platform, false);
+        let (aligned, _) = run(platform, true);
+        println!("{:<20} {:>17.1}% {:>17.1}%", platform.to_string(), packed, aligned);
+    }
+    println!("\nPacked accounts share conflict-detection lines: the coarser the");
+    println!("granularity (zEC12: 256 B), the more false conflicts — the paper's");
+    println!("kmeans alignment fix in miniature. All runs conserved every coin.");
+}

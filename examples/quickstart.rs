@@ -1,0 +1,56 @@
+//! Quickstart: run the same transactional counter workload on all four
+//! modelled HTM systems and compare their behaviour.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use htm_compare::machine::Platform;
+use htm_compare::runtime::{RetryPolicy, Sim};
+
+fn main() {
+    println!("A contended 8-counter workload on the four HTM systems:\n");
+    for platform in Platform::ALL {
+        let sim = Sim::of(platform.config());
+        // Eight counters, each on its own conflict-detection line.
+        let gran = sim.machine().config().granularity.max(64);
+        let counters = sim.alloc().alloc_aligned(8 * gran / 8, gran);
+        let stride = gran / 8;
+
+        let seq = sim.run_sequential(|ctx| {
+            for i in 0..8000u32 {
+                ctx.atomic(|tx| {
+                    let a = counters.offset((i % 8) * stride);
+                    let v = tx.load(a)?;
+                    tx.tick(40); // pretend to compute something
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+
+        let sim = Sim::of(platform.config());
+        let counters = sim.alloc().alloc_aligned(8 * gran / 8, gran);
+        let stats = sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+            let tid = ctx.thread_id();
+            for i in 0..2000u32 {
+                ctx.atomic(|tx| {
+                    let a = counters.offset(((i + tid * 3) % 8) * stride);
+                    let v = tx.load(a)?;
+                    tx.tick(40);
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+
+        let total: u64 = (0..8).map(|i| sim.read_word(counters.offset(i * stride))).sum();
+        assert_eq!(total, 8000, "transactions must not lose updates");
+        println!(
+            "{:<20} speed-up {:.2}x  aborts {:>5.1}%  serialized {:>4.1}%",
+            platform.to_string(),
+            seq as f64 / stats.cycles() as f64,
+            stats.abort_ratio() * 100.0,
+            stats.serialization_ratio() * 100.0,
+        );
+    }
+    println!("\nAll four systems committed every update; they differ only in cost.");
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper at --scale sim.
+# Text output lands in target/figout/, TSV data in target/results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p target/figout
+for b in table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10_11 \
+         prefetch_ablation ablation_policy ablation_tmcam \
+         ablation_subscription ablation_retry ablation_zec12_other; do
+  echo "== $b"
+  cargo run --release -p htm-bench --bin "$b" -- "$@" > "target/figout/$b.txt"
+done
+echo "All figures regenerated under target/figout/."

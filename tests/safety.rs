@@ -1,0 +1,156 @@
+//! Concurrency-safety integration tests: serializability and opacity of
+//! the transaction engine under adversarial contention, on every platform
+//! model and conflict policy.
+
+use htm_compare::core::ConflictPolicy;
+use htm_compare::machine::Platform;
+use htm_compare::runtime::{RetryPolicy, Sim, SimConfig};
+
+/// Concurrent random transfers between packed accounts must conserve the
+/// total on every platform (torn transactions would break it).
+#[test]
+fn money_conservation_under_heavy_contention() {
+    for platform in Platform::ALL {
+        let sim = Sim::of(platform.config());
+        let n = 16u32;
+        let base = sim.alloc().alloc(n);
+        for i in 0..n {
+            sim.write_word(base.offset(i), 100);
+        }
+        sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+            let tid = ctx.thread_id() as u64;
+            for i in 0..400u64 {
+                let from = ((i * 7 + tid) % n as u64) as u32;
+                let to = ((i * 13 + tid * 5) % n as u64) as u32;
+                if from == to {
+                    continue;
+                }
+                ctx.atomic(|tx| {
+                    let f = tx.load(base.offset(from))?;
+                    if f > 0 {
+                        tx.store(base.offset(from), f - 1)?;
+                        let t = tx.load(base.offset(to))?;
+                        tx.store(base.offset(to), t + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        });
+        let total: u64 = (0..n).map(|i| sim.read_word(base.offset(i))).sum();
+        assert_eq!(total, n as u64 * 100, "{platform}: money not conserved");
+    }
+}
+
+/// Same property under requester-loses resolution (the ablation policy).
+#[test]
+fn conservation_under_requester_loses() {
+    let sim = Sim::new(
+        SimConfig::new(Platform::IntelCore.config())
+            .mem_words(1 << 18)
+            .conflict_policy(ConflictPolicy::RequesterLoses),
+    );
+    let a = sim.alloc().alloc(1);
+    sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+        for _ in 0..500 {
+            ctx.atomic(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        }
+    });
+    assert_eq!(sim.read_word(a), 2000);
+}
+
+/// Opacity: within one transaction, two reads of an invariant pair must
+/// always be consistent, even while writers update both concurrently.
+/// A zombie transaction observing a torn pair would trip the assert.
+#[test]
+fn paired_invariant_never_observed_torn() {
+    for platform in Platform::ALL {
+        let sim = Sim::of(platform.config());
+        let gran = sim.machine().config().granularity.max(64);
+        // x and y on different lines; invariant: x + y == 1000.
+        let x = sim.alloc().alloc_aligned(1, gran);
+        let y = sim.alloc().alloc_aligned(1, gran);
+        sim.write_word(x, 400);
+        sim.write_word(y, 600);
+        sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+            let tid = ctx.thread_id();
+            for i in 0..300u64 {
+                if tid % 2 == 0 {
+                    // Writers move value between x and y.
+                    ctx.atomic(|tx| {
+                        let xv = tx.load(x)?;
+                        let delta = (i % 5) + 1;
+                        if xv >= delta {
+                            tx.store(x, xv - delta)?;
+                            let yv = tx.load(y)?;
+                            tx.store(y, yv + delta)?;
+                        }
+                        Ok(())
+                    });
+                } else {
+                    // Readers check the invariant transactionally.
+                    let (xv, yv) = ctx.atomic(|tx| Ok((tx.load(x)?, tx.load(y)?)));
+                    assert_eq!(xv + yv, 1000, "{platform}: torn read escaped isolation");
+                }
+            }
+        });
+        assert_eq!(sim.read_word(x) + sim.read_word(y), 1000, "{platform}");
+    }
+}
+
+/// Lazy subscription (Blue Gene/Q long-running) with constant lock
+/// fallbacks: transactions that keep running through an irrevocable
+/// section must never commit inconsistent state.
+#[test]
+fn lazy_subscription_is_safe_under_constant_fallbacks() {
+    use htm_compare::machine::{BgqMode, MachineConfig};
+    let sim = Sim::of(MachineConfig::blue_gene_q(BgqMode::LongRunning));
+    let x = sim.alloc().alloc_aligned(1, 64);
+    let y = sim.alloc().alloc_aligned(1, 64);
+    sim.write_word(x, 500);
+    sim.write_word(y, 500);
+    sim.run_parallel(4, RetryPolicy::uniform(0), |ctx| {
+        // Zero retries: every abort goes straight to the lock, so
+        // irrevocable sections constantly overlap running transactions.
+        let tid = ctx.thread_id();
+        for i in 0..400u64 {
+            if tid % 2 == 0 {
+                ctx.atomic(|tx| {
+                    let xv = tx.load(x)?;
+                    let d = i % 3 + 1;
+                    if xv >= d {
+                        tx.store(x, xv - d)?;
+                        let yv = tx.load(y)?;
+                        tx.store(y, yv + d)?;
+                    }
+                    Ok(())
+                });
+            } else {
+                let (xv, yv) = ctx.atomic(|tx| Ok((tx.load(x)?, tx.load(y)?)));
+                assert_eq!(xv + yv, 1000, "lazy subscription leaked a torn pair");
+            }
+        }
+    });
+    assert_eq!(sim.read_word(x) + sim.read_word(y), 1000);
+}
+
+/// The global-lock fallback must interoperate with hardware transactions:
+/// force constant fallbacks (zero retries) and check nothing is lost.
+#[test]
+fn lock_fallback_interoperates_with_transactions() {
+    let sim = Sim::of(Platform::Power8.config());
+    let a = sim.alloc().alloc(1);
+    let stats = sim.run_parallel(4, RetryPolicy::uniform(0), |ctx| {
+        for _ in 0..300 {
+            ctx.atomic(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        }
+    });
+    assert_eq!(sim.read_word(a), 1200);
+    // With zero retries, every abort serializes.
+    assert!(stats.committed_blocks() == 1200);
+}
