@@ -25,7 +25,7 @@ fn main() {
                     policy,
                     scale: opts.scale,
                     seed: opts.seed,
-                    use_hle: false,
+                    ..Default::default()
                 };
                 let r = stamp::run_bench(bench, Variant::Modified, &machine, &params);
                 speeds.push(r.speedup());

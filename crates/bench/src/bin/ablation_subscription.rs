@@ -26,7 +26,7 @@ fn main() {
                 policy: tuned_policy(Platform::BlueGeneQ, bench),
                 scale: opts.scale,
                 seed: opts.seed,
-                use_hle: false,
+                ..Default::default()
             };
             let r = stamp::run_bench(bench, Variant::Modified, &machine, &params);
             rows.push(vec![

@@ -24,7 +24,7 @@ fn main() {
                 policy: tuned_policy(Platform::Power8, bench),
                 scale: opts.scale,
                 seed: opts.seed,
-                use_hle: false,
+                ..Default::default()
             };
             let r = stamp::run_bench(bench, Variant::Original, &machine, &params);
             let cap = r.stats.abort_ratio_of(htm_core::AbortCategory::Capacity);

@@ -25,7 +25,7 @@ fn main() {
                 policy: tuned_policy(Platform::Zec12, bench),
                 scale: opts.scale,
                 seed: opts.seed,
-                use_hle: false,
+                ..Default::default()
             };
             let r = stamp::run_bench(bench, Variant::Modified, &machine, &params);
             let other = r.stats.abort_ratio_of(htm_core::AbortCategory::Other);

@@ -25,7 +25,7 @@ fn main() {
             policy: tuned_policy(Platform::IntelCore, bench),
             scale: opts.scale,
             seed: opts.seed,
-            use_hle: false,
+            ..Default::default()
         };
         let hle = stamp::hle::run_bench_hle(bench, &machine, &params).speedup();
         rows.push(vec![

@@ -41,7 +41,7 @@ fn main() {
                             policy: pol,
                             scale: opts.scale,
                             seed: opts.seed,
-                            use_hle: false,
+                            ..Default::default()
                         };
                         let r = stamp::run_bench(bench, Variant::Modified, &machine, &params);
                         if r.speedup() > best.1 {

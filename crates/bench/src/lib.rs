@@ -15,7 +15,7 @@
 use std::io::Write as _;
 
 use htm_machine::{BgqMode, MachineConfig, Platform};
-use htm_runtime::RetryPolicy;
+use htm_runtime::{FaultPlan, RetryPolicy};
 use stamp::{BenchId, BenchParams, BenchResult, Scale, Variant};
 
 /// Command-line options shared by the figure binaries.
@@ -35,11 +35,16 @@ impl Default for HarnessOpts {
     }
 }
 
-/// Parses harness options from `std::env::args`.
-///
-/// # Panics
-///
-/// Panics with a usage message on malformed arguments.
+/// Prints a CLI usage diagnostic to stderr and exits with status 2 (no
+/// panic, no backtrace: a malformed flag is a user error, not a bug).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("options: --scale tiny|sim|full   --seed N   --reps N");
+    std::process::exit(2);
+}
+
+/// Parses harness options from `std::env::args`, exiting with a diagnostic
+/// (status 2) on malformed arguments.
 pub fn parse_args() -> HarnessOpts {
     let mut opts = HarnessOpts::default();
     let mut args = std::env::args().skip(1);
@@ -50,20 +55,26 @@ pub fn parse_args() -> HarnessOpts {
                     Some("tiny") => Scale::Tiny,
                     Some("sim") => Scale::Sim,
                     Some("full") => Scale::Full,
-                    other => panic!("--scale tiny|sim|full (got {other:?})"),
+                    other => usage_error(&format!("--scale tiny|sim|full (got {other:?})")),
                 }
             }
             "--seed" => {
-                opts.seed = args.next().and_then(|s| s.parse().ok()).expect("--seed N");
+                opts.seed = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => usage_error("--seed needs an integer argument"),
+                };
             }
             "--reps" => {
-                opts.reps = args.next().and_then(|s| s.parse().ok()).expect("--reps N");
+                opts.reps = match args.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => usage_error("--reps needs an integer argument"),
+                };
             }
             "--help" | "-h" => {
                 println!("options: --scale tiny|sim|full   --seed N   --reps N");
                 std::process::exit(0);
             }
-            other => panic!("unknown option {other}; try --help"),
+            other => usage_error(&format!("unknown option {other}")),
         }
     }
     opts
@@ -161,6 +172,19 @@ pub fn run_cell(
     threads: u32,
     opts: &HarnessOpts,
 ) -> Cell {
+    run_cell_faulty(platform, bench, variant, threads, opts, FaultPlan::none())
+}
+
+/// Like [`run_cell`], with a fault-injection plan applied to the parallel
+/// runs (the `ablation_faults` robustness sweep).
+pub fn run_cell_faulty(
+    platform: Platform,
+    bench: BenchId,
+    variant: Variant,
+    threads: u32,
+    opts: &HarnessOpts,
+    faults: FaultPlan,
+) -> Cell {
     let machine = machine_for(platform, bench);
     let mut results = Vec::new();
     for rep in 0..opts.reps {
@@ -170,6 +194,7 @@ pub fn run_cell(
             scale: opts.scale,
             seed: opts.seed.wrapping_add(rep as u64 * 7919),
             use_hle: false,
+            faults,
         };
         results.push(stamp::run_bench(bench, variant, &machine, &params));
     }
@@ -205,17 +230,24 @@ pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) {
 }
 
 /// Appends TSV rows under `target/results/<name>.tsv` (used by
-/// `EXPERIMENTS.md` regeneration).
+/// `EXPERIMENTS.md` regeneration). Failure to save is reported on stderr
+/// but never aborts the run: the table was already printed.
 pub fn save_tsv(name: &str, header: &str, rows: &[String]) {
-    let dir = std::path::Path::new("target/results");
-    std::fs::create_dir_all(dir).expect("create target/results");
-    let path = dir.join(format!("{name}.tsv"));
-    let mut f = std::fs::File::create(&path).expect("create tsv");
-    writeln!(f, "{header}").unwrap();
-    for r in rows {
-        writeln!(f, "{r}").unwrap();
+    fn try_save(name: &str, header: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("target/results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.tsv"));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{header}")?;
+        for r in rows {
+            writeln!(f, "{r}")?;
+        }
+        Ok(path)
     }
-    println!("[saved {}]", path.display());
+    match try_save(name, header, rows) {
+        Ok(path) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not save target/results/{name}.tsv: {e}"),
+    }
 }
 
 /// Formats a float with two decimals.

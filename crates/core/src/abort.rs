@@ -141,6 +141,19 @@ impl AbortCategory {
         AbortCategory::LockConflict,
         AbortCategory::Unclassified,
     ];
+
+    /// This category's position in [`AbortCategory::ALL`] (the stable index
+    /// used by per-category counter arrays).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            AbortCategory::Capacity => 0,
+            AbortCategory::DataConflict => 1,
+            AbortCategory::Other => 2,
+            AbortCategory::LockConflict => 3,
+            AbortCategory::Unclassified => 4,
+        }
+    }
 }
 
 impl fmt::Display for AbortCategory {
@@ -239,6 +252,13 @@ mod tests {
         assert!(!AbortCause::Restriction.is_capacity());
         assert!(AbortCause::ConflictNonTx.is_conflict());
         assert!(!AbortCause::Explicit(1).is_conflict());
+    }
+
+    #[test]
+    fn category_index_matches_all_order() {
+        for (i, c) in AbortCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c}");
+        }
     }
 
     #[test]

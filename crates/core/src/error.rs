@@ -1,0 +1,97 @@
+//! Structured, panic-free error reporting for simulation runs.
+//!
+//! The simulator's internal invariant violations stay `panic!`s (they
+//! indicate bugs), but *user-reachable* failures — a worker panic inside
+//! benchmark code, a thread count the platform cannot provide, an invalid
+//! fault-injection plan — surface as [`SimError`] values so harness binaries
+//! can print a diagnostic and exit instead of unwinding mid-figure.
+
+use std::fmt;
+
+/// A simulation run failed in a reportable (non-bug) way.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A worker thread panicked while executing benchmark code. The runtime
+    /// has already rolled back the worker's in-flight transaction and
+    /// released the global lock if the worker held it, so sibling workers
+    /// complete normally; their results are discarded because the run is
+    /// unsound.
+    WorkerPanicked {
+        /// The panicking worker's thread id.
+        thread: u32,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// More worker threads were requested than the platform model (or the
+    /// simulator's slot table) provides.
+    TooManyThreads {
+        /// Requested worker count.
+        requested: u32,
+        /// Hardware threads (or slots) actually available.
+        available: u32,
+        /// What imposed the limit (platform name or "simulator slots").
+        limit: String,
+    },
+    /// A configuration value is out of range (e.g. a fault-injection
+    /// probability outside `[0, 1]`).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WorkerPanicked { thread, message } => {
+                write!(f, "worker thread {thread} panicked: {message}")
+            }
+            SimError::TooManyThreads { requested, available, limit } => {
+                write!(f, "{requested} worker threads requested but {limit} provides only {available}")
+            }
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result alias for operations that can fail with a [`SimError`].
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Renders a `catch_unwind` payload as text (the `&str`/`String` payloads
+/// `panic!` produces; anything else becomes a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = SimError::WorkerPanicked { thread: 3, message: "boom".into() };
+        assert!(e.to_string().contains("thread 3"));
+        assert!(e.to_string().contains("boom"));
+        let e = SimError::TooManyThreads { requested: 16, available: 8, limit: "Intel Core".into() };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("8"));
+        let e = SimError::InvalidConfig("p = 1.5".into());
+        assert!(e.to_string().contains("p = 1.5"));
+    }
+
+    #[test]
+    fn panic_message_extracts_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "static str");
+        let code = 7;
+        let p = std::panic::catch_unwind(move || panic!("formatted {code}")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "<non-string panic payload>");
+    }
+}

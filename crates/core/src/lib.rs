@@ -48,9 +48,11 @@ pub mod abort;
 pub mod addr;
 pub mod alloc;
 pub mod cost;
+pub mod error;
 pub mod mem;
 
 pub use abort::{Abort, AbortCategory, AbortCause, TxResult};
+pub use error::{panic_message, SimError, SimResult};
 pub use addr::{Geometry, LineId, WordAddr, WORD_BYTES};
 pub use alloc::{SimAlloc, ThreadAlloc};
 pub use cost::{Clock, CostModel};

@@ -73,6 +73,33 @@ impl SpecIdPool {
         self.pending.fetch_add(1, SeqCst);
     }
 
+    /// Charges the cost of one batched reclaim as if the free pool had been
+    /// found empty, without touching the pool (fault injection: forced
+    /// speculation-ID starvation stalls). Returns the simulated cycles the
+    /// caller must charge to its clock.
+    pub fn forced_stall(&self) -> u64 {
+        self.reclaims.fetch_add(1, SeqCst);
+        self.reclaim_cycles
+    }
+
+    /// Permanently removes up to `n` free IDs from the pool (fault
+    /// injection: speculation-ID starvation). At least one ID always
+    /// remains, so [`SpecIdPool::acquire`] can still make progress — the
+    /// pool degenerates into a serialization bottleneck, never a deadlock.
+    /// Returns how many IDs were actually removed.
+    pub fn drain(&self, n: u32) -> u32 {
+        loop {
+            let a = self.avail.load(SeqCst);
+            let take = n.min(a.saturating_sub(1));
+            if take == 0 {
+                return 0;
+            }
+            if self.avail.compare_exchange(a, a - take, SeqCst, SeqCst).is_ok() {
+                return take;
+            }
+        }
+    }
+
     /// Number of batch reclaims performed so far (diagnostics).
     pub fn reclaim_count(&self) -> u32 {
         self.reclaims.load(SeqCst)
@@ -115,6 +142,28 @@ mod tests {
         // One ID left free after the batch (2 reclaimed - 1 taken).
         assert_eq!(p.available(), 1);
         assert_eq!(p.acquire(), 0);
+    }
+
+    #[test]
+    fn drain_keeps_at_least_one_id() {
+        let p = pool(8);
+        assert_eq!(p.drain(4), 4);
+        assert_eq!(p.available(), 4);
+        assert_eq!(p.drain(100), 3, "drain stops at one remaining ID");
+        assert_eq!(p.available(), 1);
+        assert_eq!(p.drain(100), 0);
+        // The surviving ID still cycles through acquire/release/reclaim.
+        assert_eq!(p.acquire(), 0);
+        p.release();
+        assert_eq!(p.acquire(), 1000, "exhausted pool pays a reclaim");
+    }
+
+    #[test]
+    fn forced_stall_charges_without_consuming_ids() {
+        let p = pool(4);
+        assert_eq!(p.forced_stall(), 1000);
+        assert_eq!(p.available(), 4, "forced stall leaves the pool intact");
+        assert_eq!(p.reclaim_count(), 1);
     }
 
     #[test]

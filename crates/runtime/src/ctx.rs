@@ -63,6 +63,51 @@ impl Default for RetryPolicy {
     }
 }
 
+/// The livelock/lemming watchdog: a last line of defence behind the retry
+/// counters.
+///
+/// The Figure-1 mechanism already guarantees progress for a *single* block
+/// (the counters are finite, so every block eventually reaches the
+/// irrevocable fallback), but pathological schedules — and fault plans —
+/// can still make a thread churn through aborts at full speed. The watchdog
+/// tracks attempts per block and, past [`WatchdogConfig::starvation_bound`],
+/// *trips*: the block and the next [`WatchdogConfig::degraded_blocks`]
+/// blocks run irrevocably under the global lock (graceful degradation), and
+/// the thread's retry backoff is escalated by one doubling (capped at
+/// [`WatchdogConfig::escalation_cap`]).
+///
+/// The default bound (64) is far above what the default retry policies can
+/// reach (≤ 15 attempts per block), so default-configured runs never trip
+/// and stay bit-identical to a watchdog-free build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Attempts (per atomic block) after which the watchdog trips;
+    /// 0 disables the watchdog entirely.
+    pub starvation_bound: u32,
+    /// Atomic blocks forced into irrevocable execution after a trip.
+    pub degraded_blocks: u32,
+    /// Maximum extra backoff doublings accumulated from repeated trips.
+    pub escalation_cap: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig { starvation_bound: 64, degraded_blocks: 8, escalation_cap: 3 }
+    }
+}
+
+impl WatchdogConfig {
+    /// A disabled watchdog (no bound, no degradation, no escalation).
+    pub fn disabled() -> WatchdogConfig {
+        WatchdogConfig { starvation_bound: 0, degraded_blocks: 0, escalation_cap: 0 }
+    }
+
+    /// Whether `attempt` attempts on one block means starvation.
+    fn starved(&self, attempt: u32) -> bool {
+        self.starvation_bound > 0 && attempt >= self.starvation_bound
+    }
+}
+
 /// Blue Gene/Q's adaptation heuristic: transactions that fell back on the
 /// global lock too frequently are not allowed to retry on the next abort
 /// (Section 3 — the paper found it acts "too early" in intruder, driving a
@@ -112,6 +157,12 @@ pub struct ThreadCtx {
     bgq_adapt: BgqAdapt,
     constrained_arbiter: Arc<Mutex<()>>,
     hle: bool,
+    watchdog: WatchdogConfig,
+    /// Atomic blocks remaining in degraded (forced-irrevocable) mode.
+    degraded_left: u32,
+    /// Extra backoff doublings from watchdog trips (0 until the first trip,
+    /// so untripped runs are bit-identical to pre-watchdog behaviour).
+    trip_shift: u32,
 }
 
 impl std::fmt::Debug for ThreadCtx {
@@ -126,8 +177,19 @@ impl ThreadCtx {
         lock: GlobalLock,
         policy: RetryPolicy,
         constrained_arbiter: Arc<Mutex<()>>,
+        watchdog: WatchdogConfig,
     ) -> ThreadCtx {
-        ThreadCtx { eng, lock, policy, bgq_adapt: BgqAdapt::default(), constrained_arbiter, hle: false }
+        ThreadCtx {
+            eng,
+            lock,
+            policy,
+            bgq_adapt: BgqAdapt::default(),
+            constrained_arbiter,
+            hle: false,
+            watchdog,
+            degraded_left: 0,
+            trip_shift: 0,
+        }
     }
 
     /// Routes subsequent [`ThreadCtx::atomic`] calls through hardware lock
@@ -180,6 +242,16 @@ impl ThreadCtx {
     /// Replaces the retry policy (tuning sweeps).
     pub fn set_policy(&mut self, policy: RetryPolicy) {
         self.policy = policy;
+    }
+
+    /// The livelock-watchdog configuration in force.
+    pub fn watchdog(&self) -> WatchdogConfig {
+        self.watchdog
+    }
+
+    /// Replaces the watchdog configuration (robustness experiments).
+    pub fn set_watchdog(&mut self, watchdog: WatchdogConfig) {
+        self.watchdog = watchdog;
     }
 
     /// Charges `cycles` of simulated compute to this thread (scaled by SMT
@@ -292,6 +364,17 @@ impl ThreadCtx {
 
         let cfg = self.eng.machine().config();
         let is_bgq = cfg.platform == Platform::BlueGeneQ;
+        // Graceful degradation after a watchdog trip: skip speculation
+        // entirely for a while instead of burning attempts a starved thread
+        // has no hope of committing.
+        if self.degraded_left > 0 {
+            self.degraded_left -= 1;
+            let r = self.run_degraded(&mut body);
+            if is_bgq {
+                self.bgq_adapt.record(true);
+            }
+            return r;
+        }
         let lazy_subscription =
             is_bgq && cfg.bgq_mode == Some(BgqMode::LongRunning);
         let mut lock_retries = self.policy.lock_retries;
@@ -354,7 +437,14 @@ impl ThreadCtx {
                     // translates into real absence, decorrelating the
                     // contenders.
                     attempt += 1;
-                    let ceiling = 32u64 << attempt.min(7);
+                    if self.watchdog.starved(attempt) {
+                        let r = self.watchdog_trip(&mut body);
+                        if is_bgq {
+                            self.bgq_adapt.record(true);
+                        }
+                        return r;
+                    }
+                    let ceiling = 32u64 << (attempt.min(7) + self.trip_shift);
                     let pause = rand::Rng::gen_range(self.eng.rng_mut(), 0..ceiling);
                     self.tick(pause);
                 }
@@ -417,17 +507,64 @@ impl ThreadCtx {
     }
 
     /// The fallback path: acquire the global lock and run irrevocably.
+    ///
+    /// An `Err` from the body here is a program bug (irrevocable execution
+    /// cannot abort), but it must not wedge the simulation: the lock is
+    /// released *before* panicking, so sibling workers — and the executor's
+    /// panic recovery — are never left spinning on a dead holder.
     fn run_irrevocable<R>(&mut self, body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
         let cost = self.eng.machine().config().cost;
         let tag = self.thread_id() as u64 + 1;
         let waited = self.lock.acquire(self.eng.mem(), tag, self.eng.clock(), &cost);
         self.eng.stats.lock_wait_cycles += waited;
         self.eng.begin_irrevocable();
-        let r = body(&mut Tx { eng: &mut self.eng })
-            .expect("irrevocable execution cannot abort");
-        self.eng.end_irrevocable();
-        self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
+        match body(&mut Tx { eng: &mut self.eng }) {
+            Ok(r) => {
+                self.eng.end_irrevocable();
+                let delay = self.eng.fault_lock_release_delay();
+                if delay > 0 {
+                    // Injected convoy: hold the lock past the body's end.
+                    self.eng.clock().tick(delay);
+                }
+                self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
+                r
+            }
+            Err(abort) => {
+                self.eng.abandon_irrevocable();
+                self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
+                panic!("irrevocable execution cannot abort (body returned {abort})");
+            }
+        }
+    }
+
+    /// A watchdog trip: record it, escalate backoff, enter degraded mode and
+    /// run the starved block irrevocably.
+    fn watchdog_trip<R>(&mut self, body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
+        self.eng.stats.watchdog_trips += 1;
+        self.trip_shift = (self.trip_shift + 1).min(self.watchdog.escalation_cap);
+        self.degraded_left = self.watchdog.degraded_blocks;
+        self.run_degraded(body)
+    }
+
+    /// Runs one block in degraded mode (irrevocably), accounting the time
+    /// and the commit to the degradation counters.
+    fn run_degraded<R>(&mut self, body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
+        let start = self.eng.clock().now();
+        let r = self.run_irrevocable(body);
+        self.eng.stats.degraded_cycles += self.eng.clock().now() - start;
+        self.eng.stats.degraded_commits += 1;
         r
+    }
+
+    /// Rolls back any in-flight transaction and force-releases the global
+    /// lock if this thread holds it. Called by the executor after a worker
+    /// panic so surviving workers cannot hang on state the dead thread left
+    /// behind.
+    pub(crate) fn panic_cleanup(&mut self) {
+        self.eng.panic_cleanup();
+        let cost = self.eng.machine().config().cost;
+        let tag = self.thread_id() as u64 + 1;
+        self.lock.force_release_if_held_by(self.eng.mem(), tag, self.eng.clock(), &cost);
     }
 
     // ------------------------------------------------------------------
@@ -450,10 +587,15 @@ impl ThreadCtx {
         if self.eng.mode() == ExecMode::Sequential {
             return self.atomic(body);
         }
+        if self.degraded_left > 0 {
+            self.degraded_left -= 1;
+            return self.run_degraded(&mut body);
+        }
         // Lock-busy aborts re-elide after the lock frees (as the standard
         // elision runtimes do); only a *data* abort re-executes with the
         // lock held. Without this, one fallback dooms every elided peer,
         // whose fallbacks doom the next wave — a permanent convoy.
+        let mut attempts = 0u32;
         loop {
             let cost = self.eng.machine().config().cost;
             let waited = self.lock.wait_released(self.eng.mem(), self.eng.clock(), &cost);
@@ -467,6 +609,13 @@ impl ThreadCtx {
                     // data: re-elide those too.
                     if !lock_related && cause != AbortCause::ConflictNonTx {
                         return self.run_irrevocable(&mut body);
+                    }
+                    attempts += 1;
+                    if self.watchdog.starved(attempts) {
+                        // The re-elide loop has no retry counter of its own,
+                        // so under an injected abort storm the watchdog is
+                        // its only exit.
+                        return self.watchdog_trip(&mut body);
                     }
                 }
             }
@@ -500,12 +649,22 @@ impl ThreadCtx {
         loop {
             let escalated = attempts >= 4;
             let _token = escalated.then(|| self.constrained_arbiter.clone());
-            let _guard = _token.as_ref().map(|t| t.lock().unwrap());
+            // A panicked peer may have poisoned the arbiter; the token is
+            // just a serialization point, so the poison carries no meaning
+            // and is safely discarded.
+            let _guard = _token.as_ref().map(|t| t.lock().unwrap_or_else(|p| p.into_inner()));
             match self.attempt_constrained(&mut body) {
                 Outcome::Committed(r) => return r,
                 Outcome::Aborted(cause) => {
                     self.classify_and_record(cause, false);
                     attempts += 1;
+                    if self.watchdog.starved(attempts) && attempts == self.watchdog.starvation_bound {
+                        // Constrained transactions have no fallback to
+                        // degrade to (the architecture forbids one); record
+                        // the starvation so diagnostics can see it even
+                        // though the loop must keep going.
+                        self.eng.stats.watchdog_trips += 1;
+                    }
                     // Hardware-style exponential backoff.
                     let cost = self.eng.machine().config().cost;
                     self.eng.clock().tick(cost.spin_poll << attempts.min(5));
@@ -640,6 +799,18 @@ mod tests {
         assert_eq!(p.persistent_retries, 3);
         assert_eq!(p.transient_retries, 3);
         assert_eq!(p.bgq_retries, 3);
+    }
+
+    #[test]
+    fn watchdog_defaults_never_trip_default_policies() {
+        let w = WatchdogConfig::default();
+        let p = RetryPolicy::default();
+        // The most attempts a default-policy block can make before the
+        // fallback: one per retry across all three counters.
+        let max_attempts = p.lock_retries + p.persistent_retries + p.transient_retries;
+        assert!(!w.starved(max_attempts), "default watchdog must not alter default runs");
+        assert!(w.starved(w.starvation_bound));
+        assert!(!WatchdogConfig::disabled().starved(u32::MAX));
     }
 
     #[test]

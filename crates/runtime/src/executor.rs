@@ -6,14 +6,19 @@
 //! speed-up baseline) and once with N workers under the retry mechanism;
 //! speed-up = sequential cycles / max worker cycles.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
-use htm_core::{ConflictPolicy, Geometry, SimAlloc, ThreadAlloc, TxMemory, WordAddr};
+use htm_core::{
+    panic_message, ConflictPolicy, Geometry, SimAlloc, SimError, SimResult, ThreadAlloc, TxMemory,
+    WordAddr,
+};
 use htm_machine::{Machine, MachineConfig};
 
-use crate::ctx::{RetryPolicy, ThreadCtx};
+use crate::ctx::{RetryPolicy, ThreadCtx, WatchdogConfig};
+use crate::faults::{FaultPlan, FaultState};
 use crate::lock::GlobalLock;
-use crate::stats::RunStats;
+use crate::stats::{RunStats, ThreadStats};
 use crate::trace::SeqTracer;
 use crate::tx::{ExecMode, TxnEngine};
 
@@ -39,6 +44,12 @@ pub struct SimConfig {
     /// proportional to its simulated duration, so conflict exposure tracks
     /// the cost model.
     pub yield_interval: u32,
+    /// Deterministic fault-injection plan (empty by default: injects
+    /// nothing, costs nothing, leaves runs bit-identical).
+    pub faults: FaultPlan,
+    /// Livelock-watchdog configuration (the default never fires under the
+    /// default retry policies; see [`WatchdogConfig`]).
+    pub watchdog: WatchdogConfig,
 }
 
 impl SimConfig {
@@ -51,6 +62,8 @@ impl SimConfig {
             seed: 0x5EED_0001,
             trace_footprints: false,
             yield_interval: 160,
+            faults: FaultPlan::none(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -83,6 +96,18 @@ impl SimConfig {
         self.yield_interval = every_accesses;
         self
     }
+
+    /// Sets the fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> SimConfig {
+        self.faults = plan;
+        self
+    }
+
+    /// Sets the livelock-watchdog configuration.
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> SimConfig {
+        self.watchdog = watchdog;
+        self
+    }
 }
 
 /// One simulation instance: memory + platform + allocator + global lock.
@@ -109,14 +134,35 @@ impl std::fmt::Debug for Sim {
 }
 
 impl Sim {
-    /// Builds a simulation instance.
-    pub fn new(cfg: SimConfig) -> Sim {
+    /// Builds a simulation instance, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the fault plan contains a
+    /// probability outside `[0, 1]`.
+    pub fn try_new(cfg: SimConfig) -> SimResult<Sim> {
+        cfg.faults.validate()?;
         let geometry = Geometry::new(cfg.machine.granularity);
         let mem = Arc::new(TxMemory::new(cfg.mem_words, geometry));
         let machine = Arc::new(Machine::new(cfg.machine.clone()));
+        if cfg.faults.spec_id_drain > 0 {
+            if let Some(pool) = machine.spec_ids() {
+                pool.drain(cfg.faults.spec_id_drain);
+            }
+        }
         let alloc = Arc::new(SimAlloc::new(1, cfg.mem_words));
         let lock = GlobalLock::new(&alloc, cfg.machine.granularity);
-        Sim { mem, machine, alloc, lock, cfg, constrained_arbiter: Arc::new(Mutex::new(())) }
+        Ok(Sim { mem, machine, alloc, lock, cfg, constrained_arbiter: Arc::new(Mutex::new(())) })
+    }
+
+    /// Builds a simulation instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use [`Sim::try_new`] where the
+    /// caller wants to handle that as an error.
+    pub fn new(cfg: SimConfig) -> Sim {
+        Sim::try_new(cfg).unwrap_or_else(|e| panic!("Sim::new: {e}"))
     }
 
     /// Convenience: a simulation of `machine` with default settings.
@@ -155,6 +201,13 @@ impl Sim {
     }
 
     fn make_ctx(&self, thread_id: u32, num_threads: u32, mode: ExecMode, policy: RetryPolicy) -> ThreadCtx {
+        // The sequential baseline is never fault-injected: it defines
+        // correct output and the speed-up denominator.
+        let faults = if mode == ExecMode::Hardware {
+            FaultState::new(&self.cfg.faults, thread_id)
+        } else {
+            None
+        };
         let eng = TxnEngine::new(
             Arc::clone(&self.mem),
             Arc::clone(&self.machine),
@@ -166,8 +219,9 @@ impl Sim {
             self.cfg.seed,
             self.cfg.trace_footprints,
             if mode == ExecMode::Hardware && num_threads > 1 { self.cfg.yield_interval } else { 0 },
+            faults,
         );
-        ThreadCtx::new(eng, self.lock, policy, Arc::clone(&self.constrained_arbiter))
+        ThreadCtx::new(eng, self.lock, policy, Arc::clone(&self.constrained_arbiter), self.cfg.watchdog)
     }
 
     /// A sequential-mode context on the calling thread (baseline runs and
@@ -202,22 +256,59 @@ impl Sim {
     ///
     /// # Panics
     ///
-    /// Panics if `num_threads` exceeds the platform's hardware threads or
-    /// the simulator's slot limit.
+    /// Panics on any error [`Sim::try_run_parallel`] reports: too many
+    /// workers for the platform, or a worker panic.
     pub fn run_parallel<F>(&self, num_threads: u32, policy: RetryPolicy, work: F) -> RunStats
     where
         F: Fn(&mut ThreadCtx) + Sync,
     {
-        assert!(num_threads >= 1, "need at least one worker");
-        assert!(
-            num_threads <= self.machine.config().hw_threads(),
-            "{} has only {} hardware threads",
-            self.machine.config().name,
-            self.machine.config().hw_threads()
-        );
-        assert!((num_threads as usize) <= htm_core::MAX_SLOTS);
+        self.try_run_parallel(num_threads, policy, work)
+            .unwrap_or_else(|e| panic!("run_parallel: {e}"))
+    }
+
+    /// Like [`Sim::run_parallel`], but reports failures as structured
+    /// errors instead of panicking.
+    ///
+    /// A panicking worker cannot hang the run: the panic is caught, the
+    /// worker's in-flight transaction is rolled back, a global lock it held
+    /// is force-released (so sibling workers still terminate), and the first
+    /// panic is reported as [`SimError::WorkerPanicked`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TooManyThreads`] when `num_threads` exceeds the
+    /// platform's hardware threads or the simulator's slot limit;
+    /// [`SimError::InvalidConfig`] when `num_threads` is 0;
+    /// [`SimError::WorkerPanicked`] when a worker panicked.
+    pub fn try_run_parallel<F>(
+        &self,
+        num_threads: u32,
+        policy: RetryPolicy,
+        work: F,
+    ) -> SimResult<RunStats>
+    where
+        F: Fn(&mut ThreadCtx) + Sync,
+    {
+        if num_threads < 1 {
+            return Err(SimError::InvalidConfig("need at least one worker".into()));
+        }
+        if num_threads > self.machine.config().hw_threads() {
+            return Err(SimError::TooManyThreads {
+                requested: num_threads,
+                available: self.machine.config().hw_threads(),
+                limit: format!("{} (hardware threads)", self.machine.config().name),
+            });
+        }
+        if num_threads as usize > htm_core::MAX_SLOTS {
+            return Err(SimError::TooManyThreads {
+                requested: num_threads,
+                available: htm_core::MAX_SLOTS as u32,
+                limit: "the simulator slot table".into(),
+            });
+        }
         let work = &work;
-        let mut stats = Vec::with_capacity(num_threads as usize);
+        let mut stats: Vec<ThreadStats> = Vec::with_capacity(num_threads as usize);
+        let mut first_error: Option<SimError> = None;
         // All workers start together: without this, thread-spawn skew lets
         // early workers finish short workloads before any concurrency (and
         // hence any conflict) materializes.
@@ -232,16 +323,50 @@ impl Sim {
                     let core = machine.config().core_of(tid);
                     machine.cores().thread_started(core);
                     start.wait();
-                    work(&mut ctx);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| work(&mut ctx)));
+                    let result = match outcome {
+                        Ok(()) => Ok(ctx.take_stats()),
+                        Err(payload) => {
+                            // Clean up what the dead worker left behind so
+                            // the siblings can finish; a second panic here
+                            // must not escape either.
+                            let _ = catch_unwind(AssertUnwindSafe(|| ctx.panic_cleanup()));
+                            Err(SimError::WorkerPanicked {
+                                thread: tid,
+                                message: panic_message(payload.as_ref()),
+                            })
+                        }
+                    };
                     machine.cores().thread_stopped(core);
-                    ctx.take_stats()
+                    result
                 }));
             }
             for h in handles {
-                stats.push(h.join().expect("worker panicked"));
+                // The closure catches worker panics, so join only fails if
+                // the *cleanup* path itself died; surface that as a panic
+                // message rather than unwinding through the scope.
+                match h.join() {
+                    Ok(Ok(s)) => stats.push(s),
+                    Ok(Err(e)) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                    Err(payload) => {
+                        if first_error.is_none() {
+                            first_error = Some(SimError::WorkerPanicked {
+                                thread: u32::MAX,
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
             }
         });
-        RunStats::new(stats)
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(RunStats::new(stats)),
+        }
     }
 
     /// Runs `work` once sequentially (the speed-up denominator), returning
@@ -396,6 +521,205 @@ mod tests {
             s.run_parallel(16, RetryPolicy::default(), |_| {});
         }));
         assert!(r.is_err(), "Intel Core has only 8 hardware threads");
+    }
+
+    #[test]
+    fn try_run_parallel_reports_thread_limit_as_error() {
+        let s = sim(Platform::IntelCore);
+        match s.try_run_parallel(16, RetryPolicy::default(), |_| {}) {
+            Err(SimError::TooManyThreads { requested: 16, available: 8, .. }) => {}
+            other => panic!("expected TooManyThreads, got {other:?}"),
+        }
+        assert!(matches!(
+            s.try_run_parallel(0, RetryPolicy::default(), |_| {}),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn worker_panic_is_caught_and_siblings_complete() {
+        let s = sim(Platform::IntelCore);
+        let a = s.alloc().alloc(1);
+        let err = s
+            .try_run_parallel(4, RetryPolicy::default(), |ctx| {
+                if ctx.thread_id() == 2 {
+                    panic!("injected test panic");
+                }
+                for _ in 0..200 {
+                    ctx.atomic(|tx| {
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)
+                    });
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::WorkerPanicked { thread: 2, ref message } => {
+                assert!(message.contains("injected test panic"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked from thread 2, got {other:?}"),
+        }
+        // The three surviving workers finished their full workload: the
+        // dead thread wedged neither the lock nor the conflict tables.
+        assert_eq!(s.read_word(a), 600);
+    }
+
+    #[test]
+    fn panicking_lock_holder_does_not_hang_siblings() {
+        let s = sim(Platform::IntelCore);
+        let a = s.alloc().alloc(1);
+        // Thread 0 panics *inside* an irrevocable section (forced by a
+        // zero-retry policy under guaranteed contention on one word), i.e.
+        // while holding the global lock.
+        let err = s
+            .try_run_parallel(4, RetryPolicy::uniform(0), |ctx| {
+                for i in 0..200u64 {
+                    ctx.atomic(|tx| {
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)
+                    });
+                    if ctx.thread_id() == 0 && i == 50 {
+                        panic!("holder dies");
+                    }
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::WorkerPanicked { thread: 0, .. }), "{err:?}");
+        assert!(!s.lock().is_locked(s.mem()), "panic recovery must free the global lock");
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected_at_build() {
+        let cfg = SimConfig::new(Platform::IntelCore.config())
+            .faults(crate::FaultPlan::none().doom_at_commit(2.0));
+        assert!(matches!(Sim::try_new(cfg), Err(SimError::InvalidConfig(_))));
+    }
+
+    fn faulty_sim(p: Platform, plan: crate::FaultPlan) -> Sim {
+        Sim::new(SimConfig::new(p.config()).mem_words(1 << 18).faults(plan))
+    }
+
+    #[test]
+    fn all_fault_kinds_preserve_correct_results() {
+        let plan = crate::FaultPlan::none()
+            .transient_abort_per_begin(0.2)
+            .capacity_abort_per_begin(0.1)
+            .transient_abort_per_access(0.05)
+            .doom_at_commit(0.1)
+            .lock_release_delay(200);
+        for p in Platform::ALL {
+            let s = faulty_sim(p, plan);
+            let a = s.alloc().alloc(1);
+            let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+                for _ in 0..300 {
+                    ctx.atomic(|tx| {
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)
+                    });
+                }
+            });
+            assert_eq!(s.read_word(a), 1200, "{p}: faults must not corrupt results");
+            assert_eq!(stats.committed_blocks(), 1200, "{p}");
+            assert!(stats.injected_faults() > 0, "{p}: plan must actually fire");
+        }
+    }
+
+    #[test]
+    fn persistent_abort_storm_degrades_to_lock_and_completes() {
+        // 100% capacity aborts: no hardware transaction can ever commit, so
+        // every block must reach the irrevocable fallback.
+        let plan = crate::FaultPlan::none().capacity_abort_per_begin(1.0);
+        let s = faulty_sim(Platform::IntelCore, plan);
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+            for _ in 0..100 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 400);
+        assert_eq!(stats.hw_commits(), 0, "no hardware commit can survive the storm");
+        assert_eq!(stats.irrevocable_commits(), 400);
+    }
+
+    #[test]
+    fn abort_storm_trips_the_watchdog_under_huge_retry_budgets() {
+        // With effectively unbounded retries the Figure-1 counters would
+        // spin ~forever on a 100% abort plan; the watchdog must cut in.
+        let plan = crate::FaultPlan::none().transient_abort_per_begin(1.0);
+        let cfg = SimConfig::new(Platform::IntelCore.config())
+            .mem_words(1 << 18)
+            .faults(plan)
+            .watchdog(WatchdogConfig { starvation_bound: 16, degraded_blocks: 4, escalation_cap: 3 });
+        let s = Sim::new(cfg);
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(2, RetryPolicy::uniform(1_000_000), |ctx| {
+            for _ in 0..50 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 100);
+        assert!(stats.watchdog_trips() > 0, "the watchdog must have fired");
+        assert!(stats.degraded_commits() > 0);
+        assert!(stats.degraded_cycles() > 0);
+        assert_eq!(stats.committed_blocks(), 100);
+    }
+
+    #[test]
+    fn spec_id_faults_only_affect_platforms_with_a_pool() {
+        let plan = crate::FaultPlan::none()
+            .spec_id_abort_per_begin(0.3)
+            .spec_id_stall_per_begin(0.3)
+            .spec_id_drain(120);
+        for p in [Platform::BlueGeneQ, Platform::IntelCore] {
+            let s = faulty_sim(p, plan);
+            let a = s.alloc().alloc(1);
+            let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+                for _ in 0..200 {
+                    ctx.atomic(|tx| {
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)
+                    });
+                }
+            });
+            assert_eq!(s.read_word(a), 800, "{p}");
+            if p == Platform::BlueGeneQ {
+                assert!(stats.injected_faults() > 0);
+                assert!(
+                    stats.threads.iter().map(|t| t.spec_id_wait_cycles).sum::<u64>() > 0,
+                    "drained pool + forced stalls must cost spec-id wait time"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_default() {
+        let run = |with_explicit_empty_plan: bool| {
+            let mut cfg = SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18).seed(7);
+            if with_explicit_empty_plan {
+                cfg = cfg.faults(crate::FaultPlan::none());
+            }
+            let s = Sim::new(cfg);
+            let a = s.alloc().alloc(1);
+            let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+                for _ in 0..300 {
+                    ctx.atomic(|tx| {
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)
+                    });
+                }
+            });
+            (stats.committed_blocks(), stats.injected_faults(), s.read_word(a))
+        };
+        // Committed blocks and results must agree exactly; cycle counts are
+        // schedule-dependent under real threads, so they are not compared.
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

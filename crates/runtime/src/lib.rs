@@ -13,6 +13,9 @@
 //! * [`lock`] — the global fallback lock, living in simulated memory so
 //!   lock acquisitions abort subscribed transactions through the ordinary
 //!   conflict mechanism,
+//! * [`faults`] — deterministic fault injection ([`FaultPlan`]) forcing the
+//!   rare branches of the retry machine (spurious aborts, capacity storms,
+//!   speculation-ID starvation, delayed lock release) on demand,
 //! * [`executor`] — [`Sim`], building a platform instance and running
 //!   workloads sequentially (the speed-up baseline) or on worker threads,
 //! * [`stats`] — speed-ups, abort-ratio breakdowns (Figure 3),
@@ -46,13 +49,15 @@
 
 pub mod ctx;
 pub mod executor;
+pub mod faults;
 pub mod lock;
 pub mod stats;
 pub mod trace;
 pub mod tx;
 
-pub use ctx::{RetryPolicy, ThreadCtx, LOCK_HELD_ABORT};
+pub use ctx::{RetryPolicy, ThreadCtx, WatchdogConfig, LOCK_HELD_ABORT};
 pub use executor::{Sim, SimConfig};
+pub use faults::FaultPlan;
 pub use lock::GlobalLock;
 pub use stats::{percentile, RunStats, ThreadStats};
 pub use trace::SeqTracer;

@@ -92,6 +92,25 @@ impl GlobalLock {
         mem.nontx_store(None, self.addr, 0);
     }
 
+    /// Releases the lock only if `owner_tag` currently holds it. Recovery
+    /// path after a worker panic: the dead holder can no longer release, and
+    /// without this every sibling would spin on the lock forever. Returns
+    /// whether a release happened.
+    pub(crate) fn force_release_if_held_by(
+        &self,
+        mem: &TxMemory,
+        owner_tag: u64,
+        clock: &Clock,
+        cost: &CostModel,
+    ) -> bool {
+        if mem.read_word(self.addr) == owner_tag {
+            self.release(mem, clock, cost);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Spins until the lock is observed free (lemming-effect avoidance,
     /// Figure 1 line 9). Returns the simulated cycles spent waiting.
     pub(crate) fn wait_released(&self, mem: &TxMemory, clock: &Clock, cost: &CostModel) -> u64 {
@@ -154,6 +173,17 @@ mod tests {
         assert!(mem.doom_cause(s).is_some(), "subscriber must be doomed by acquisition");
         mem.finish_slot(s);
         lock.release(&mem, &clock, &cost);
+    }
+
+    #[test]
+    fn force_release_only_affects_the_named_holder() {
+        let (mem, lock, clock, cost) = setup();
+        lock.acquire(&mem, 3, &clock, &cost);
+        assert!(!lock.force_release_if_held_by(&mem, 2, &clock, &cost), "wrong tag: no-op");
+        assert!(lock.is_locked(&mem));
+        assert!(lock.force_release_if_held_by(&mem, 3, &clock, &cost));
+        assert!(!lock.is_locked(&mem));
+        assert!(!lock.force_release_if_held_by(&mem, 3, &clock, &cost), "already free");
     }
 
     #[test]

@@ -33,6 +33,18 @@ pub struct ThreadStats {
     pub lock_wait_cycles: u64,
     /// Final value of the thread's simulated clock.
     pub cycles: u64,
+    /// Faults injected into this thread by the run's
+    /// [`FaultPlan`](crate::FaultPlan) (0 under the empty plan).
+    pub injected_faults: u64,
+    /// Times the livelock watchdog tripped: an atomic block exhausted its
+    /// starvation bound and was forced into degraded (irrevocable)
+    /// execution.
+    pub watchdog_trips: u64,
+    /// Atomic blocks committed in degraded mode after a watchdog trip
+    /// (a subset of [`ThreadStats::irrevocable_commits`]).
+    pub degraded_commits: u64,
+    /// Simulated cycles spent executing in degraded mode.
+    pub degraded_cycles: u64,
     /// Footprints (distinct load lines, distinct store lines) of committed
     /// transactions, recorded only when tracing is enabled.
     pub footprints: Vec<(u32, u32)>,
@@ -41,8 +53,7 @@ pub struct ThreadStats {
 impl ThreadStats {
     /// Records one abort in `category`.
     pub fn record_abort(&mut self, category: AbortCategory) {
-        let idx = AbortCategory::ALL.iter().position(|c| *c == category).unwrap();
-        self.aborts[idx] += 1;
+        self.aborts[category.index()] += 1;
     }
 
     /// Total aborts across categories.
@@ -86,8 +97,29 @@ impl RunStats {
 
     /// Aborts in one Figure-3 category, summed over threads.
     pub fn aborts_in(&self, category: AbortCategory) -> u64 {
-        let idx = AbortCategory::ALL.iter().position(|c| *c == category).unwrap();
+        let idx = category.index();
         self.threads.iter().map(|t| t.aborts[idx]).sum()
+    }
+
+    /// Injected faults summed over threads (0 under the empty plan).
+    pub fn injected_faults(&self) -> u64 {
+        self.threads.iter().map(|t| t.injected_faults).sum()
+    }
+
+    /// Livelock-watchdog trips summed over threads.
+    pub fn watchdog_trips(&self) -> u64 {
+        self.threads.iter().map(|t| t.watchdog_trips).sum()
+    }
+
+    /// Degraded-mode commits summed over threads (a subset of
+    /// [`RunStats::irrevocable_commits`]).
+    pub fn degraded_commits(&self) -> u64 {
+        self.threads.iter().map(|t| t.degraded_commits).sum()
+    }
+
+    /// Simulated cycles spent in degraded mode, summed over threads.
+    pub fn degraded_cycles(&self) -> u64 {
+        self.threads.iter().map(|t| t.degraded_cycles).sum()
     }
 
     /// The paper's transaction-abort ratio: aborted transactions as a
@@ -225,6 +257,23 @@ mod tests {
         assert_eq!(percentile(&mut [], 90.0), 0);
         let mut v = vec![5, 1, 9, 3];
         assert_eq!(percentile(&mut v, 50.0), 3);
+    }
+
+    #[test]
+    fn robustness_counters_sum_over_threads() {
+        let a = ThreadStats {
+            injected_faults: 3,
+            watchdog_trips: 1,
+            degraded_commits: 2,
+            degraded_cycles: 500,
+            ..Default::default()
+        };
+        let b = ThreadStats { injected_faults: 4, degraded_cycles: 100, ..Default::default() };
+        let s = RunStats::new(vec![a, b]);
+        assert_eq!(s.injected_faults(), 7);
+        assert_eq!(s.watchdog_trips(), 1);
+        assert_eq!(s.degraded_commits(), 2);
+        assert_eq!(s.degraded_cycles(), 600);
     }
 
     #[test]

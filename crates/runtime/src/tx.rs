@@ -27,6 +27,7 @@ use htm_core::{
 };
 use htm_machine::{Machine, Prefetcher, Tracker};
 
+use crate::faults::FaultState;
 use crate::stats::ThreadStats;
 use crate::trace::SeqTracer;
 
@@ -88,6 +89,9 @@ pub struct TxnEngine {
     constrained: Option<ConstrainedState>,
     holds_spec_id: bool,
     pending_frees: Vec<(WordAddr, u32)>,
+    /// Fault-injection state; `None` under the empty plan (the default), in
+    /// which case no injection code beyond this `Option` check runs.
+    faults: Option<FaultState>,
     /// Forced-yield cadence in simulated cycles (see
     /// `SimConfig::yield_interval`); 0 = never.
     yield_interval: u32,
@@ -126,6 +130,7 @@ impl TxnEngine {
         seed: u64,
         trace_footprints: bool,
         yield_interval: u32,
+        faults: Option<FaultState>,
     ) -> TxnEngine {
         assert!((thread_id as usize) < htm_core::MAX_SLOTS, "too many worker threads");
         let core = machine.config().core_of(thread_id);
@@ -155,6 +160,7 @@ impl TxnEngine {
             constrained: None,
             holds_spec_id: false,
             pending_frees: Vec::new(),
+            faults,
             yield_interval,
             next_yield_at: std::cell::Cell::new(0),
             yield_rng: std::cell::Cell::new(seed | 1),
@@ -245,6 +251,23 @@ impl TxnEngine {
         self.mem.begin_slot(self.slot);
         self.charge(cfg.cost.tbegin);
         self.state = BlockState::HardwareTx;
+        // Fault injection (constrained transactions are exempt: the
+        // architecture guarantees their completion). A begin fault
+        // pre-dooms the transaction; it surfaces at the first access or at
+        // the commit point, like a hardware abort delivered asynchronously.
+        if self.constrained.is_none() && self.faults.is_some() {
+            if self.faults.as_mut().is_some_and(|f| f.stall_spec_id()) {
+                if let Some(pool) = self.machine.spec_ids() {
+                    let waited = pool.forced_stall();
+                    self.clock.tick(waited);
+                    self.stats.spec_id_wait_cycles += waited;
+                }
+            }
+            if let Some(cause) = self.faults.as_mut().and_then(|f| f.on_begin()) {
+                self.stats.injected_faults += 1;
+                self.aborted = Some(cause);
+            }
+        }
     }
 
     /// Attempts to commit the current hardware transaction (`tend`).
@@ -264,6 +287,15 @@ impl TxnEngine {
         if let Some(cause) = self.aborted {
             self.rollback_hw();
             return Err(cause);
+        }
+        // Doomed-at-commit fault: the transaction survived its whole body
+        // and dies at the commit point (the costliest abort timing).
+        if self.constrained.is_none() {
+            if let Some(cause) = self.faults.as_mut().and_then(|f| f.on_commit()) {
+                self.stats.injected_faults += 1;
+                self.rollback_hw();
+                return Err(cause);
+            }
         }
         match self.mem.start_commit(self.slot) {
             Ok(()) => {
@@ -347,6 +379,27 @@ impl TxnEngine {
         self.state = BlockState::Idle;
     }
 
+    /// Abandons an irrevocable block without counting a commit (the body
+    /// failed; the caller releases the lock and reports the error).
+    pub(crate) fn abandon_irrevocable(&mut self) {
+        assert_eq!(self.state, BlockState::Irrevocable);
+        self.state = BlockState::Idle;
+    }
+
+    /// Best-effort recovery after benchmark code panicked mid-block: rolls
+    /// back an in-flight hardware transaction (releasing its lines, core
+    /// registration and speculation ID) or abandons an irrevocable section,
+    /// so sibling workers are not wedged on the dead worker's state. The
+    /// caller additionally force-releases the global lock.
+    pub(crate) fn panic_cleanup(&mut self) {
+        match self.state {
+            BlockState::HardwareTx => self.rollback_hw(),
+            BlockState::Irrevocable => self.abandon_irrevocable(),
+            BlockState::Sequential => self.state = BlockState::Idle,
+            BlockState::Idle => {}
+        }
+    }
+
     /// Begins a sequential-mode block (baseline runs and footprint traces).
     pub(crate) fn begin_sequential(&mut self) {
         assert_eq!(self.state, BlockState::Idle, "nested atomic blocks are not supported");
@@ -372,6 +425,23 @@ impl TxnEngine {
     fn fail<T>(&mut self, cause: AbortCause) -> TxResult<T> {
         self.aborted = Some(cause);
         Err(Abort::new(cause))
+    }
+
+    /// Draws a per-access injected fault, if fault injection is active and
+    /// the current transaction is not constrained.
+    fn injected_access_fault(&mut self) -> Option<AbortCause> {
+        if self.constrained.is_some() {
+            return None;
+        }
+        let cause = self.faults.as_mut().and_then(|f| f.on_access())?;
+        self.stats.injected_faults += 1;
+        Some(cause)
+    }
+
+    /// Extra cycles the fault plan asks irrevocable sections to hold the
+    /// global lock after their body finishes (0 without fault injection).
+    pub(crate) fn fault_lock_release_delay(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.lock_release_delay())
     }
 
     /// Forced interleaving: on hosts with fewer cores than workers, OS
@@ -477,6 +547,9 @@ impl TxnEngine {
                     return Ok(self.mem.nontx_load(Some(self.slot), addr));
                 }
                 self.charge(cfg_cost.load + cfg_cost.tx_load_extra);
+                if let Some(cause) = self.injected_access_fault() {
+                    return self.fail(cause);
+                }
                 if let Some(&v) = self.write_buf.get(&addr) {
                     self.maybe_yield();
                     return Ok(v); // store-to-load forwarding
@@ -543,6 +616,9 @@ impl TxnEngine {
                     return Ok(());
                 }
                 self.charge(cost.store + cost.tx_store_extra);
+                if let Some(cause) = self.injected_access_fault() {
+                    return self.fail(cause);
+                }
                 let line = self.mem.line_of(addr);
                 if !self.write_lines.contains(&line) {
                     let already_read = self.read_lines.contains(&line);
@@ -865,7 +941,7 @@ mod tests {
         let mem = Arc::new(TxMemory::new(1 << 16, Geometry::new(cfg.granularity)));
         let machine = Arc::new(Machine::new(cfg));
         let alloc = ThreadAlloc::new(Arc::new(SimAlloc::new(1, 1 << 16)));
-        TxnEngine::new(mem, machine, alloc, 0, 1, mode, ConflictPolicy::RequesterWins, 42, false, 0)
+        TxnEngine::new(mem, machine, alloc, 0, 1, mode, ConflictPolicy::RequesterWins, 42, false, 0, None)
     }
 
     #[test]
@@ -969,6 +1045,7 @@ mod tests {
             1,
             false,
             0,
+            None,
         );
         let mut e1 = TxnEngine::new(
             mem,
@@ -981,6 +1058,7 @@ mod tests {
             2,
             false,
             0,
+            None,
         );
         let a = WordAddr(100);
         e0.begin_hw(false, false);
@@ -1050,6 +1128,7 @@ mod tests {
                 7,
                 false,
                 0,
+                None,
             )
         };
         let mut e0 = mk(0, &mem, &machine);
@@ -1155,6 +1234,100 @@ mod tests {
         e.load(WordAddr(16)).unwrap();
         assert_eq!(e.read_lines.len(), 2);
         e.commit_hw().unwrap();
+    }
+
+    fn engine_with_faults(p: Platform, plan: crate::faults::FaultPlan) -> TxnEngine {
+        let cfg = p.config();
+        let mem = Arc::new(TxMemory::new(1 << 16, Geometry::new(cfg.granularity)));
+        let machine = Arc::new(Machine::new(cfg));
+        let alloc = ThreadAlloc::new(Arc::new(SimAlloc::new(1, 1 << 16)));
+        let faults = FaultState::new(&plan, 0);
+        TxnEngine::new(
+            mem,
+            machine,
+            alloc,
+            0,
+            1,
+            ExecMode::Hardware,
+            ConflictPolicy::RequesterWins,
+            42,
+            false,
+            0,
+            faults,
+        )
+    }
+
+    #[test]
+    fn injected_begin_fault_dooms_the_transaction() {
+        let plan = crate::faults::FaultPlan::none().capacity_abort_per_begin(1.0);
+        let mut e = engine_with_faults(Platform::IntelCore, plan);
+        e.begin_hw(false, false);
+        assert_eq!(e.load(WordAddr(8)).unwrap_err().cause, AbortCause::CapacityWrite);
+        e.rollback_hw();
+        assert_eq!(e.stats.injected_faults, 1);
+    }
+
+    #[test]
+    fn injected_begin_fault_surfaces_at_commit_for_empty_bodies() {
+        let plan = crate::faults::FaultPlan::none().transient_abort_per_begin(1.0);
+        let mut e = engine_with_faults(Platform::IntelCore, plan);
+        e.begin_hw(false, false);
+        assert_eq!(e.commit_hw(), Err(AbortCause::Restriction), "even a no-access body aborts");
+    }
+
+    #[test]
+    fn injected_commit_doom_rolls_back_buffered_stores() {
+        let plan = crate::faults::FaultPlan::none().doom_at_commit(1.0);
+        let mut e = engine_with_faults(Platform::IntelCore, plan);
+        let a = WordAddr(64);
+        e.begin_hw(false, false);
+        e.store(a, 9).unwrap();
+        assert_eq!(e.commit_hw(), Err(AbortCause::ConflictTxStore));
+        assert_eq!(e.mem.read_word(a), 0, "doomed commit must not publish stores");
+        assert_eq!(e.stats.hw_commits, 0);
+        assert_eq!(e.stats.injected_faults, 1);
+    }
+
+    #[test]
+    fn injected_access_faults_fire_on_loads_and_stores() {
+        let plan = crate::faults::FaultPlan::none().transient_abort_per_access(1.0);
+        let mut e = engine_with_faults(Platform::Power8, plan);
+        e.begin_hw(false, false);
+        assert_eq!(e.load(WordAddr(0)).unwrap_err().cause, AbortCause::Restriction);
+        e.rollback_hw();
+        e.begin_hw(false, false);
+        assert_eq!(e.store(WordAddr(0), 1).unwrap_err().cause, AbortCause::Restriction);
+        e.rollback_hw();
+        assert_eq!(e.stats.injected_faults, 2);
+    }
+
+    #[test]
+    fn constrained_transactions_are_exempt_from_injection() {
+        let plan = crate::faults::FaultPlan::none()
+            .capacity_abort_per_begin(1.0)
+            .transient_abort_per_access(1.0)
+            .doom_at_commit(1.0);
+        let mut e = engine_with_faults(Platform::Zec12, plan);
+        e.begin_hw(false, true);
+        e.load(WordAddr(0)).unwrap();
+        e.store(WordAddr(1), 2).unwrap();
+        e.commit_hw().unwrap();
+        assert_eq!(e.stats.injected_faults, 0);
+    }
+
+    #[test]
+    fn panic_cleanup_releases_lines_and_state() {
+        let mut e = engine(ExecMode::Hardware);
+        let a = WordAddr(128);
+        e.begin_hw(false, false);
+        e.store(a, 5).unwrap();
+        e.panic_cleanup();
+        assert_eq!(e.mem.read_word(a), 0, "panic rollback discards stores");
+        // The slot is clean: a fresh transaction on the same line works.
+        e.begin_hw(false, false);
+        e.store(a, 7).unwrap();
+        e.commit_hw().unwrap();
+        assert_eq!(e.mem.read_word(a), 7);
     }
 
     #[test]

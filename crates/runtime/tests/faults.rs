@@ -1,0 +1,227 @@
+//! Property tests for fault injection and the progress guarantees of the
+//! retry mechanism (DESIGN.md §4).
+//!
+//! The properties, over *random* fault plans:
+//!
+//! 1. **Termination** — every run completes: the retry machine plus the
+//!    irrevocable fallback (and, for pathological retry budgets, the
+//!    watchdog) guarantee progress no matter what the plan injects.
+//! 2. **Correctness under faults** — injected aborts never corrupt results:
+//!    a contended counter ends exactly at its expected value, and every
+//!    block commits exactly once.
+//! 3. **Opacity** — no transaction (committed or doomed) observes a state
+//!    in which a two-word invariant is torn.
+//! 4. **Empty plan is free** — a run configured with `FaultPlan::none()`
+//!    is indistinguishable from a run with no plan at all.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use htm_machine::Platform;
+use htm_runtime::{FaultPlan, RetryPolicy, Sim, SimConfig, WatchdogConfig};
+use proptest::prelude::*;
+
+fn platform(idx: u8) -> Platform {
+    Platform::ALL[idx as usize % Platform::ALL.len()]
+}
+
+/// A random fault plan. Probabilities are kept below 1 for the per-begin
+/// and per-access streams so hardware commits stay *possible* (the
+/// always-abort regime gets its own dedicated tests).
+fn plan(
+    (seed, tb, cb, sb, ss, ta, dc, drain, delay): (u64, f64, f64, f64, f64, f64, f64, u32, u64),
+) -> FaultPlan {
+    FaultPlan::none()
+        .seed(seed)
+        .transient_abort_per_begin(tb * 0.6)
+        .capacity_abort_per_begin(cb * 0.6)
+        .spec_id_abort_per_begin(sb * 0.5)
+        .spec_id_stall_per_begin(ss)
+        .transient_abort_per_access(ta * 0.3)
+        .doom_at_commit(dc * 0.5)
+        .spec_id_drain(drain)
+        .lock_release_delay(delay)
+}
+
+fn plan_strategy() -> impl Strategy<
+    Value = (u64, f64, f64, f64, f64, f64, f64, u32, u64),
+> {
+    (
+        (any::<u64>(), 0.0..1.0, 0.0..1.0, 0.0..1.0),
+        (0.0..1.0, 0.0..1.0, 0.0..1.0),
+        (0u32..128, 0u64..2000),
+    )
+        .prop_map(|((seed, tb, cb, sb), (ss, ta, dc), (drain, delay))| {
+            (seed, tb, cb, sb, ss, ta, dc, drain, delay)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random plans on random platforms terminate with exact results.
+    #[test]
+    fn random_plans_terminate_with_correct_results(
+        raw in plan_strategy(),
+        pidx in 0u8..4,
+        threads in 1u32..5,
+    ) {
+        let p = platform(pidx);
+        let s = Sim::new(
+            SimConfig::new(p.config()).mem_words(1 << 18).faults(plan(raw)),
+        );
+        let a = s.alloc().alloc(1);
+        let per_thread = 60u64;
+        let stats = s.run_parallel(threads, RetryPolicy::default(), |ctx| {
+            for _ in 0..per_thread {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        let expected = per_thread * threads as u64;
+        prop_assert_eq!(s.read_word(a), expected);
+        prop_assert_eq!(stats.committed_blocks(), expected);
+    }
+
+    /// No transaction — committed or doomed — ever reads a torn state:
+    /// two words updated together always sum to the same total inside
+    /// every successful pair of loads.
+    #[test]
+    fn random_plans_preserve_opacity(
+        raw in plan_strategy(),
+        pidx in 0u8..4,
+    ) {
+        const TOTAL: u64 = 1000;
+        let p = platform(pidx);
+        let s = Sim::new(
+            SimConfig::new(p.config()).mem_words(1 << 18).faults(plan(raw)),
+        );
+        // Two words on distinct conflict-granularity lines, moved in
+        // lockstep: x + y == TOTAL is the opacity probe.
+        let g = p.config().granularity.max(64);
+        let x = s.alloc().alloc_aligned(1, g);
+        let y = s.alloc().alloc_aligned(1, g);
+        s.write_word(x, TOTAL);
+        let torn = AtomicBool::new(false);
+        let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+            let tid = ctx.thread_id() as u64;
+            for i in 0..50u64 {
+                ctx.atomic(|tx| {
+                    let vx = tx.load(x)?;
+                    let vy = tx.load(y)?;
+                    if vx + vy != TOTAL {
+                        torn.store(true, Ordering::SeqCst);
+                    }
+                    let amount = (tid * 13 + i) % 7;
+                    let moved = amount.min(vx);
+                    tx.store(x, vx - moved)?;
+                    tx.store(y, vy + moved)
+                });
+            }
+        });
+        prop_assert!(!torn.load(Ordering::SeqCst), "a transaction observed a torn invariant");
+        prop_assert_eq!(s.read_word(x) + s.read_word(y), TOTAL);
+        prop_assert_eq!(stats.committed_blocks(), 200);
+    }
+
+    /// Always-abort storms terminate on every platform even with retry
+    /// budgets that would otherwise spin for ~a million attempts: the
+    /// watchdog degrades execution to the global lock.
+    #[test]
+    fn abort_storms_terminate_under_any_watchdog(
+        bound in 1u32..40,
+        degraded in 0u32..16,
+        pidx in 0u8..4,
+    ) {
+        let p = platform(pidx);
+        let cfg = SimConfig::new(p.config())
+            .mem_words(1 << 18)
+            .faults(FaultPlan::none().transient_abort_per_begin(1.0))
+            .watchdog(WatchdogConfig {
+                starvation_bound: bound,
+                degraded_blocks: degraded,
+                escalation_cap: 3,
+            });
+        let s = Sim::new(cfg);
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(2, RetryPolicy::uniform(1_000_000), |ctx| {
+            for _ in 0..20 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        prop_assert_eq!(s.read_word(a), 40);
+        prop_assert_eq!(stats.hw_commits(), 0);
+        prop_assert_eq!(stats.irrevocable_commits(), 40);
+        prop_assert!(stats.watchdog_trips() >= 1);
+    }
+
+    /// An explicitly-set empty plan changes nothing: same commits, same
+    /// results, zero injected faults.
+    #[test]
+    fn empty_plan_is_indistinguishable(seed in any::<u64>()) {
+        let run = |explicit: bool| {
+            let mut cfg =
+                SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18).seed(seed);
+            if explicit {
+                cfg = cfg.faults(FaultPlan::none());
+            }
+            let s = Sim::new(cfg);
+            let a = s.alloc().alloc(1);
+            let stats = s.run_parallel(2, RetryPolicy::default(), |ctx| {
+                for _ in 0..100 {
+                    ctx.atomic(|tx| {
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)
+                    });
+                }
+            });
+            (s.read_word(a), stats.committed_blocks(), stats.injected_faults())
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}
+
+/// The zEC12 constrained path is exempt from injection and still commits
+/// everything in hardware under an otherwise total abort storm.
+#[test]
+fn constrained_transactions_survive_total_storms() {
+    let plan = FaultPlan::none()
+        .transient_abort_per_begin(1.0)
+        .transient_abort_per_access(1.0)
+        .doom_at_commit(1.0);
+    let s = Sim::new(SimConfig::new(Platform::Zec12.config()).mem_words(1 << 18).faults(plan));
+    let a = s.alloc().alloc_aligned(1, 256);
+    let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+        for _ in 0..100 {
+            ctx.atomic_constrained(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        }
+    });
+    assert_eq!(s.read_word(a), 400);
+    assert_eq!(stats.hw_commits(), 400);
+    assert_eq!(stats.injected_faults(), 0, "constrained txs must never be injected");
+}
+
+/// Sequential baselines are never fault-injected, whatever the plan says.
+#[test]
+fn sequential_baseline_is_never_injected() {
+    let plan = FaultPlan::none().transient_abort_per_begin(1.0).doom_at_commit(1.0);
+    let s = Sim::new(SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18).faults(plan));
+    let a = s.alloc().alloc(1);
+    let cycles = s.run_sequential(|ctx| {
+        for _ in 0..50 {
+            ctx.atomic(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        }
+    });
+    assert_eq!(s.read_word(a), 50);
+    assert!(cycles > 0);
+}

@@ -10,7 +10,7 @@
 use std::sync::{Barrier, Mutex};
 
 use htm_machine::MachineConfig;
-use htm_runtime::{RetryPolicy, RunStats, SeqTracer, Sim, SimConfig, ThreadCtx};
+use htm_runtime::{FaultPlan, RetryPolicy, RunStats, SeqTracer, Sim, SimConfig, ThreadCtx};
 
 /// Input scale for a benchmark.
 ///
@@ -42,6 +42,9 @@ pub struct BenchParams {
     /// Run atomic blocks through Intel hardware lock elision instead of
     /// RTM (the Figure-7 comparison; Intel Core only).
     pub use_hle: bool,
+    /// Fault-injection plan for the parallel run (empty by default; the
+    /// sequential baseline is never injected).
+    pub faults: FaultPlan,
 }
 
 impl Default for BenchParams {
@@ -52,6 +55,7 @@ impl Default for BenchParams {
             scale: Scale::Sim,
             seed: 42,
             use_hle: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -128,7 +132,10 @@ impl PhaseBarrier {
 
     /// Sizes the barrier for `threads` workers.
     pub fn size_for(&self, threads: u32) {
-        *self.inner.lock().unwrap() = Some(std::sync::Arc::new(Barrier::new(threads as usize)));
+        // Poison recovery: the guarded value is just a handle, valid even if
+        // a panicking worker died mid-access.
+        *self.inner.lock().unwrap_or_else(|p| p.into_inner()) =
+            Some(std::sync::Arc::new(Barrier::new(threads as usize)));
     }
 
     /// Waits for all workers (no-op when sized for one thread).
@@ -140,7 +147,7 @@ impl PhaseBarrier {
         let b = self
             .inner
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .as_ref()
             .expect("phase barrier not sized")
             .clone();
@@ -202,8 +209,20 @@ pub fn run_parallel_opt<W: Workload>(
     seed: u64,
     use_hle: bool,
 ) -> RunStats {
+    run_parallel_inner(make, machine, threads, policy, seed, use_hle, FaultPlan::none())
+}
+
+fn run_parallel_inner<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    threads: u32,
+    policy: RetryPolicy,
+    seed: u64,
+    use_hle: bool,
+    faults: FaultPlan,
+) -> RunStats {
     let w = make();
-    let sim = Sim::new(sim_config(&w, machine, seed));
+    let sim = Sim::new(sim_config(&w, machine, seed).faults(faults));
     w.setup(&sim);
     w.prepare(threads);
     let stats = sim.run_parallel(threads, policy, |ctx| {
@@ -221,13 +240,14 @@ pub fn measure<W: Workload>(
     params: &BenchParams,
 ) -> BenchResult {
     let seq_cycles = run_sequential(make, machine, params.seed);
-    let stats = run_parallel_opt(
+    let stats = run_parallel_inner(
         make,
         machine,
         params.threads,
         params.policy,
         params.seed,
         params.use_hle,
+        params.faults,
     );
     BenchResult { seq_cycles, stats }
 }

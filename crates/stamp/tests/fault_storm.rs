@@ -1,0 +1,48 @@
+//! The headline robustness guarantee (DESIGN.md §4): under a fault plan
+//! where *every* hardware transaction is doomed at begin with a persistent
+//! cause, every STAMP benchmark still completes through the irrevocable
+//! global-lock fallback, produces verified-correct output (each workload's
+//! `verify` panics on corruption), and never panics.
+
+use htm_machine::Platform;
+use htm_runtime::FaultPlan;
+use stamp::{BenchId, BenchParams, Scale, Variant};
+
+#[test]
+fn every_benchmark_survives_a_total_persistent_abort_storm() {
+    let storm = FaultPlan::none().capacity_abort_per_begin(1.0);
+    for id in BenchId::ALL {
+        let machine = Platform::IntelCore.config();
+        let params = BenchParams {
+            threads: 2,
+            scale: Scale::Tiny,
+            faults: storm,
+            ..Default::default()
+        };
+        let r = stamp::run_bench(id, Variant::Modified, &machine, &params);
+        assert_eq!(
+            r.stats.hw_commits(),
+            0,
+            "{id}: no hardware transaction can commit under a 100% abort plan"
+        );
+        assert!(
+            r.stats.committed_blocks() == 0 || r.stats.irrevocable_commits() > 0,
+            "{id}: all progress must come from the irrevocable fallback"
+        );
+        assert!(r.stats.injected_faults() > 0 || r.stats.committed_blocks() == 0, "{id}");
+    }
+}
+
+#[test]
+fn empty_plan_reproduces_bit_identical_measurements() {
+    // The fig2/fig5 regeneration path: same seed + empty plan must yield
+    // identical commit/abort counts run over run (cycle totals can differ
+    // across OS schedules; the figure pipeline averages those).
+    let run = || {
+        let machine = Platform::Zec12.config();
+        let params = BenchParams { threads: 2, scale: Scale::Tiny, ..Default::default() };
+        let r = stamp::run_bench(BenchId::Ssca2, Variant::Modified, &machine, &params);
+        (r.seq_cycles, r.stats.committed_blocks(), r.stats.injected_faults())
+    };
+    assert_eq!(run(), run());
+}
