@@ -9,7 +9,14 @@
 //! result staying correct at every point (the workload's own `verify`
 //! panics on corruption).
 //!
-//! Run: `cargo run --release -p htm-bench --bin ablation_faults`
+//! With `--certify`, every cell is additionally run with the
+//! serializability certifier enabled (the run panics if the committed
+//! schedule fails to serialize) and the table/TSV gain the certifier's
+//! event count plus its host-time overhead relative to the plain run.
+//!
+//! Run: `cargo run --release -p htm-bench --bin ablation_faults [--certify]`
+
+use std::time::Instant;
 
 use htm_bench::{f2, parse_args, pct, render_table, save_tsv, tuned_policy};
 use htm_machine::Platform;
@@ -18,10 +25,15 @@ use stamp::{BenchId, BenchParams, Variant};
 
 fn main() {
     let opts = parse_args();
-    let headers: Vec<String> = ["benchmark", "p(abort)/begin", "speedup", "abort%", "serial%", "injected"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let mut headers: Vec<String> =
+        ["benchmark", "p(abort)/begin", "speedup", "abort%", "serial%", "injected"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    if opts.certify {
+        headers.push("cert events".to_string());
+        headers.push("cert ovh%".to_string());
+    }
     let mut rows = Vec::new();
     let mut tsv = Vec::new();
     for bench in [BenchId::Ssca2, BenchId::KmeansLow, BenchId::VacationLow] {
@@ -35,22 +47,40 @@ fn main() {
                 faults: FaultPlan::none().transient_abort_per_begin(p),
                 ..Default::default()
             };
+            let plain_start = Instant::now();
             let r = stamp::run_bench(bench, Variant::Modified, &machine, &params);
-            rows.push(vec![
+            let plain_host = plain_start.elapsed().as_secs_f64();
+            let mut row = vec![
                 bench.label().to_string(),
                 format!("{p}"),
                 f2(r.speedup()),
                 pct(r.abort_ratio()),
                 pct(r.stats.serialization_ratio()),
                 r.stats.injected_faults().to_string(),
-            ]);
-            tsv.push(format!(
+            ];
+            let mut line = format!(
                 "{bench}\t{p}\t{:.4}\t{:.4}\t{:.4}\t{}",
                 r.speedup(),
                 r.abort_ratio(),
                 r.stats.serialization_ratio(),
                 r.stats.injected_faults(),
-            ));
+            );
+            if opts.certify {
+                // Same cell with the certifier on: `run_bench` panics if
+                // the committed schedule is not conflict-serializable, so
+                // reaching the report below *is* the pass.
+                let cert_params = BenchParams { certify: true, ..params };
+                let cert_start = Instant::now();
+                let c = stamp::run_bench(bench, Variant::Modified, &machine, &cert_params);
+                let cert_host = cert_start.elapsed().as_secs_f64();
+                let report = c.stats.certify.as_ref().expect("--certify run carries a report");
+                let overhead = (cert_host / plain_host.max(1e-9) - 1.0) * 100.0;
+                row.push(report.events.to_string());
+                row.push(format!("{overhead:.0}"));
+                line.push_str(&format!("\t{}\t{overhead:.2}", report.events));
+            }
+            rows.push(row);
+            tsv.push(line);
         }
     }
     render_table(
@@ -58,9 +88,10 @@ fn main() {
         &headers,
         &rows,
     );
-    save_tsv(
-        "ablation_faults",
-        "bench\tprob\tspeedup\tabort_ratio\tserialization_ratio\tinjected_faults",
-        &tsv,
-    );
+    let header = if opts.certify {
+        "bench\tprob\tspeedup\tabort_ratio\tserialization_ratio\tinjected_faults\tcert_events\tcert_overhead_pct"
+    } else {
+        "bench\tprob\tspeedup\tabort_ratio\tserialization_ratio\tinjected_faults"
+    };
+    save_tsv("ablation_faults", header, &tsv);
 }

@@ -1,0 +1,76 @@
+//! Certifier overhead: what the online serializability check costs
+//! (DESIGN.md §5).
+//!
+//! Runs every STAMP benchmark twice per platform — certifier off, then on —
+//! and reports the certifier's captured event/edge counts and the host
+//! wall-time overhead of capture + the post-run conflict-graph sweep.
+//! Every certified run must serialize cleanly; the binary panics otherwise.
+//!
+//! Run: `cargo run --release -p htm-bench --bin certify_overhead`
+
+use std::time::Instant;
+
+use htm_bench::{f2, machine_for, parse_args, render_table, save_tsv, tuned_policy};
+use htm_machine::Platform;
+use stamp::{BenchId, BenchParams, Variant};
+
+fn main() {
+    let opts = parse_args();
+    let headers: Vec<String> =
+        ["platform", "benchmark", "events", "edges", "violations", "host ovh%"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let mut rows = Vec::new();
+    let mut tsv = Vec::new();
+    for platform in [Platform::IntelCore, Platform::Zec12] {
+        for bench in BenchId::ALL {
+            let machine = machine_for(platform, bench);
+            let params = BenchParams {
+                threads: 4,
+                policy: tuned_policy(platform, bench),
+                scale: opts.scale,
+                seed: opts.seed,
+                ..Default::default()
+            };
+            let plain_start = Instant::now();
+            let plain = stamp::run_bench(bench, Variant::Modified, &machine, &params);
+            let plain_host = plain_start.elapsed().as_secs_f64();
+
+            let cert_params = BenchParams { certify: true, ..params };
+            let cert_start = Instant::now();
+            let cert = stamp::run_bench(bench, Variant::Modified, &machine, &cert_params);
+            let cert_host = cert_start.elapsed().as_secs_f64();
+
+            // Certification must never *relax* the run: the plain run has
+            // no report, the certified one must have a clean one. (Block
+            // counts are not compared: benchmarks with dynamically
+            // discovered work, e.g. yada, legitimately commit a
+            // schedule-dependent number of blocks.)
+            assert!(plain.stats.certify.is_none());
+            let report = cert.stats.certify.as_ref().expect("certified run carries a report");
+            assert!(report.ok(), "{platform} {bench}:\n{report}");
+            let overhead = (cert_host / plain_host.max(1e-9) - 1.0) * 100.0;
+            rows.push(vec![
+                platform.to_string(),
+                bench.label().to_string(),
+                report.events.to_string(),
+                report.edges.to_string(),
+                report.violations.len().to_string(),
+                f2(overhead),
+            ]);
+            tsv.push(format!(
+                "{platform}\t{bench}\t{}\t{}\t{}\t{overhead:.2}",
+                report.events,
+                report.edges,
+                report.violations.len(),
+            ));
+        }
+    }
+    render_table("Certifier overhead (4 threads, certifier off vs on)", &headers, &rows);
+    save_tsv(
+        "certify_overhead",
+        "platform\tbench\tcert_events\tcert_edges\tviolations\thost_overhead_pct",
+        &tsv,
+    );
+}

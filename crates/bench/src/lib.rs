@@ -27,19 +27,25 @@ pub struct HarnessOpts {
     pub seed: u64,
     /// Repetitions to average (`--reps N`; the paper used 4).
     pub reps: u32,
+    /// Run every parallel measurement with the serializability certifier
+    /// enabled (`--certify`): each run's committed schedule is checked for
+    /// conflict-serializability and the harness panics on a violation.
+    pub certify: bool,
 }
 
 impl Default for HarnessOpts {
     fn default() -> HarnessOpts {
-        HarnessOpts { scale: Scale::Sim, seed: 42, reps: 1 }
+        HarnessOpts { scale: Scale::Sim, seed: 42, reps: 1, certify: false }
     }
 }
+
+const USAGE: &str = "options: --scale tiny|sim|full   --seed N   --reps N   --certify";
 
 /// Prints a CLI usage diagnostic to stderr and exits with status 2 (no
 /// panic, no backtrace: a malformed flag is a user error, not a bug).
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("options: --scale tiny|sim|full   --seed N   --reps N");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -70,8 +76,9 @@ pub fn parse_args() -> HarnessOpts {
                     None => usage_error("--reps needs an integer argument"),
                 };
             }
+            "--certify" => opts.certify = true,
             "--help" | "-h" => {
-                println!("options: --scale tiny|sim|full   --seed N   --reps N");
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => usage_error(&format!("unknown option {other}")),
@@ -195,6 +202,7 @@ pub fn run_cell_faulty(
             seed: opts.seed.wrapping_add(rep as u64 * 7919),
             use_hle: false,
             faults,
+            certify: opts.certify,
         };
         results.push(stamp::run_bench(bench, variant, &machine, &params));
     }

@@ -50,6 +50,7 @@ pub mod alloc;
 pub mod cost;
 pub mod error;
 pub mod mem;
+pub mod verify;
 
 pub use abort::{Abort, AbortCategory, AbortCause, TxResult};
 pub use error::{panic_message, SimError, SimResult};
@@ -57,6 +58,7 @@ pub use addr::{Geometry, LineId, WordAddr, WORD_BYTES};
 pub use alloc::{SimAlloc, ThreadAlloc};
 pub use cost::{Clock, CostModel};
 pub use mem::{ConflictPolicy, DoomOutcome, SlotId, TxMemory, MAX_SLOTS};
+pub use verify::{CertifyReport, EventKind, TxEvent, Violation};
 
 /// Reinterprets an `f64` as a simulated memory word.
 ///

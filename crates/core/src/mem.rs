@@ -29,7 +29,7 @@
 //! the doom necessarily precedes the read and the re-check aborts the
 //! transaction before the value escapes.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::SeqCst};
 
 use crate::abort::AbortCause;
 use crate::addr::{Geometry, LineId, WordAddr};
@@ -115,6 +115,10 @@ pub struct TxMemory {
     lines: Vec<LineState>,
     slots: Vec<AtomicU32>,
     geometry: Geometry,
+    /// Test-only sabotage switch: when set, writers skip dooming concurrent
+    /// readers, deliberately breaking conflict detection so the runtime
+    /// certifier can be shown to catch real serializability violations.
+    test_skip_reader_doom: AtomicBool,
 }
 
 impl std::fmt::Debug for TxMemory {
@@ -146,7 +150,38 @@ impl TxMemory {
         });
         let mut slots = Vec::with_capacity(MAX_SLOTS);
         slots.resize_with(MAX_SLOTS, || AtomicU32::new(INACTIVE));
-        TxMemory { words: w, lines, slots, geometry }
+        TxMemory { words: w, lines, slots, geometry, test_skip_reader_doom: AtomicBool::new(false) }
+    }
+
+    /// Deliberately disables writer-dooms-readers conflict detection.
+    ///
+    /// Certifier tests flip this on to prove that a broken conflict policy
+    /// (lost updates, non-serializable histories) is detected; it must never
+    /// be set outside tests.
+    #[doc(hidden)]
+    pub fn set_test_skip_reader_doom(&self, on: bool) {
+        self.test_skip_reader_doom.store(on, SeqCst);
+    }
+
+    /// FNV-1a digest over the whole word arena.
+    ///
+    /// Used by the differential oracle (parallel vs sequential) and the
+    /// determinism/replay tests to compare final memory states cheaply.
+    pub fn digest(&self) -> u64 {
+        self.digest_excluding(&[])
+    }
+
+    /// FNV-1a digest over the arena with the given words hashed as zero —
+    /// for callers whose arenas contain instrumentation slots (e.g. a
+    /// lock's simulated-time stamp) that are timing, not program data.
+    pub fn digest_excluding(&self, skip: &[WordAddr]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (i, w) in self.words.iter().enumerate() {
+            let v = if skip.iter().any(|a| a.0 as usize == i) { 0 } else { w.load(SeqCst) };
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// The conflict-detection geometry this memory was built with.
@@ -374,6 +409,9 @@ impl TxMemory {
         // Ownership acquired: doom all other readers. New readers will see
         // our writer tag and resolve against us, so claim-then-scan plus
         // the readers' bit-then-check order misses no conflict.
+        if self.test_skip_reader_doom.load(SeqCst) {
+            return Ok(());
+        }
         let readers = ls.readers.load(SeqCst) & !slot.mask();
         if readers != 0 {
             for victim in BitIter(readers) {
@@ -480,9 +518,7 @@ impl TxMemory {
         new: u64,
     ) -> Result<u64, u64> {
         self.invalidate_line_for_nontx(self.line_of(addr), by);
-        self.word(addr)
-            .compare_exchange(expected, new, SeqCst, SeqCst)
-            .map_err(|observed| observed)
+        self.word(addr).compare_exchange(expected, new, SeqCst, SeqCst)
     }
 
     /// Non-transactional fetch-add on `addr` by `by`, returning the previous
@@ -533,7 +569,7 @@ impl TxMemory {
         *spins += 1;
         assert!(*spins < SPIN_LIMIT, "conflict-protocol deadlock (spin limit exceeded)");
         std::hint::spin_loop();
-        if *spins % 1024 == 0 {
+        if (*spins).is_multiple_of(1024) {
             std::thread::yield_now();
         }
     }
@@ -823,6 +859,34 @@ mod tests {
         assert!(m.doom_cause(SlotId(0)).is_some());
         assert!(m.doom_cause(SlotId(1)).is_some());
         assert_eq!(m.doom_cause(SlotId(2)), None, "committing txs cannot be doomed");
+    }
+
+    #[test]
+    fn digest_tracks_word_contents() {
+        let m = mem();
+        let d0 = m.digest();
+        m.write_word(WordAddr(3), 77);
+        let d1 = m.digest();
+        assert_ne!(d0, d1, "digest must change when memory changes");
+        m.write_word(WordAddr(3), 0);
+        assert_eq!(m.digest(), d0, "digest is a pure function of the words");
+    }
+
+    #[test]
+    fn broken_policy_hook_skips_reader_dooms() {
+        let m = mem();
+        let (r, w) = (SlotId(0), SlotId(1));
+        m.begin_slot(r);
+        m.begin_slot(w);
+        let line = m.line_of(WordAddr(100));
+        m.tx_read_line(r, line, ConflictPolicy::RequesterWins).unwrap();
+        m.set_test_skip_reader_doom(true);
+        m.tx_claim_line(w, line, ConflictPolicy::RequesterWins).unwrap();
+        assert_eq!(m.doom_cause(r), None, "sabotaged writer must leave the reader running");
+        m.set_test_skip_reader_doom(false);
+        m.finish_slot(r);
+        m.release_writer(line, w);
+        m.finish_slot(w);
     }
 
     /// Two threads hammer disjoint lines; no transaction may ever be doomed.

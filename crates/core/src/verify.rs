@@ -1,0 +1,208 @@
+//! Event and report types for the runtime correctness certifier.
+//!
+//! The simulator's value proposition is that its HTM models provide
+//! *opacity*: committed transactions appear to execute atomically in some
+//! serial order, and every transactional read observes the value written by
+//! the most recent writer in that order. The certifier (implemented in
+//! `htm-runtime::certify`) checks this claim on every certified run by
+//! recording one [`TxEvent`] per committed atomic block and sweeping the
+//! events in commit order afterwards. This module holds only the shared
+//! data types, so that `htm-core` stays free of execution-engine concerns
+//! while higher layers (runtime, stamp, bench) can all speak the same
+//! report language.
+
+use std::fmt;
+
+use crate::addr::WordAddr;
+
+/// What kind of atomic block produced a [`TxEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A committed hardware transaction.
+    Hardware {
+        /// POWER8 rollback-only transaction: its loads are untracked by the
+        /// hardware, so the value-based read check does not apply to it.
+        rot: bool,
+    },
+    /// An irrevocable global-lock block (including degraded-mode blocks
+    /// executed after a watchdog trip).
+    Irrevocable,
+    /// A single non-transactional store or successful CAS issued through the
+    /// runtime outside any atomic block (coherence-visible, participates in
+    /// the serialization order like a one-store transaction).
+    NonTx,
+}
+
+/// One committed atomic block's footprint, as recorded by the runtime.
+///
+/// `reads` holds the *first* value the block observed at each address
+/// (excluding reads satisfied from the block's own write buffer); `writes`
+/// holds the final value flushed per address. `seq` is drawn from a global
+/// commit clock at the block's linearization point, so sorting all events by
+/// `seq` yields the runtime's claimed serial order.
+#[derive(Clone, Debug)]
+pub struct TxEvent {
+    /// Thread that executed the block.
+    pub thread: u32,
+    /// Commit timestamp from the shared commit clock (unique per event).
+    pub seq: u64,
+    /// The execution path that produced the event.
+    pub kind: EventKind,
+    /// `(address, first observed value)` per address read.
+    pub reads: Vec<(WordAddr, u64)>,
+    /// `(address, final written value)` per address written.
+    pub writes: Vec<(WordAddr, u64)>,
+}
+
+/// A single certifier finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A block read a value that a *previous* serialized writer produced,
+    /// not the most recent one: a lost update / non-serializable overlap.
+    StaleRead {
+        /// Commit seq of the reading block.
+        reader_seq: u64,
+        /// Thread of the reading block.
+        reader_thread: u32,
+        /// Address involved.
+        addr: WordAddr,
+        /// The value the block actually observed.
+        observed: u64,
+        /// The value the most recent serialized writer produced.
+        expected: u64,
+        /// Commit seq of the stale writer whose value leaked through.
+        stale_writer_seq: u64,
+    },
+    /// A block read a value that *no* serialized writer (nor the initial
+    /// memory image) ever produced at that address.
+    WildRead {
+        /// Commit seq of the reading block.
+        reader_seq: u64,
+        /// Thread of the reading block.
+        reader_thread: u32,
+        /// Address involved.
+        addr: WordAddr,
+        /// The value the block observed.
+        observed: u64,
+    },
+    /// The conflict graph over the committed events contains a cycle: there
+    /// is no serial order consistent with all observed dependencies.
+    ConflictCycle {
+        /// Commit seqs of the events on one witness cycle, in edge order.
+        witness: Vec<u64>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::StaleRead { reader_seq, reader_thread, addr, observed, expected, stale_writer_seq } => {
+                write!(
+                    f,
+                    "stale read: block seq={reader_seq} (thread {reader_thread}) read {observed:#x} \
+                     at {addr:?} from stale writer seq={stale_writer_seq}, expected {expected:#x}"
+                )
+            }
+            Violation::WildRead { reader_seq, reader_thread, addr, observed } => {
+                write!(
+                    f,
+                    "wild read: block seq={reader_seq} (thread {reader_thread}) read {observed:#x} \
+                     at {addr:?}, a value no serialized writer produced"
+                )
+            }
+            Violation::ConflictCycle { witness } => {
+                write!(f, "conflict-graph cycle through commit seqs {witness:?}")
+            }
+        }
+    }
+}
+
+/// Result of certifying one parallel run.
+///
+/// Attached to `RunStats` when certification is enabled, so every caller —
+/// STAMP oracle tests, the fault-storm suite, the bench harness — can gate
+/// on [`CertifyReport::ok`] without re-deriving anything.
+#[derive(Clone, Debug, Default)]
+pub struct CertifyReport {
+    /// Number of committed events examined.
+    pub events: usize,
+    /// Number of conflict-graph edges built during the sweep.
+    pub edges: usize,
+    /// All violations found (empty for a correct run).
+    pub violations: Vec<Violation>,
+    /// Whether any per-thread event log hit its bound and dropped events;
+    /// a truncated certification is still sound for the events it kept but
+    /// is not a complete proof for the run.
+    pub truncated: bool,
+    /// Global-lock acquisitions observed during the run (diagnostics: every
+    /// irrevocable event corresponds to one acquisition).
+    pub lock_acquisitions: u64,
+}
+
+impl CertifyReport {
+    /// True when the run certified clean: no stale reads, no wild reads, no
+    /// conflict-graph cycle.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for CertifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "certify: {} events, {} edges, {} violation(s){}{}",
+            self.events,
+            self.edges,
+            self.violations.len(),
+            if self.truncated { " [truncated]" } else { "" },
+            if self.ok() { " — OK" } else { " — FAILED" },
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_ok() {
+        let r = CertifyReport::default();
+        assert!(r.ok());
+        assert!(r.to_string().contains("OK"));
+    }
+
+    #[test]
+    fn violations_fail_and_display() {
+        let r = CertifyReport {
+            events: 2,
+            edges: 1,
+            violations: vec![Violation::StaleRead {
+                reader_seq: 2,
+                reader_thread: 1,
+                addr: WordAddr(8),
+                observed: 5,
+                expected: 6,
+                stale_writer_seq: 1,
+            }],
+            truncated: false,
+            lock_acquisitions: 0,
+        };
+        assert!(!r.ok());
+        let s = r.to_string();
+        assert!(s.contains("FAILED"));
+        assert!(s.contains("stale read"));
+    }
+
+    #[test]
+    fn cycle_and_wild_read_display() {
+        let c = Violation::ConflictCycle { witness: vec![1, 2, 1] };
+        assert!(c.to_string().contains("cycle"));
+        let w = Violation::WildRead { reader_seq: 3, reader_thread: 0, addr: WordAddr(1), observed: 9 };
+        assert!(w.to_string().contains("wild read"));
+    }
+}

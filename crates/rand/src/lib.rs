@@ -173,9 +173,33 @@ pub mod rngs {
     /// xoshiro256++ — the small, fast generator rand 0.8 uses for
     /// `SmallRng` on 64-bit platforms. Deterministic, not
     /// cryptographically secure.
+    ///
+    /// Beyond the rand 0.8 surface, this vendored version counts how many
+    /// 64-bit words have been drawn ([`SmallRng::draws`]) and can fast-forward
+    /// the stream ([`SmallRng::skip`]); deterministic record/replay uses both
+    /// to re-align a generator with a recorded execution without re-running
+    /// the code that consumed the skipped draws.
     #[derive(Clone, Debug)]
     pub struct SmallRng {
         s: [u64; 4],
+        draws: u64,
+    }
+
+    impl SmallRng {
+        /// Number of 64-bit words drawn since seeding. Every `Rng` sample in
+        /// this vendored crate consumes exactly one word, so this doubles as
+        /// a sample counter.
+        pub fn draws(&self) -> u64 {
+            self.draws
+        }
+
+        /// Advances the stream by `n` draws without using the values.
+        pub fn skip(&mut self, n: u64) {
+            use super::RngCore;
+            for _ in 0..n {
+                let _ = self.next_u64();
+            }
+        }
     }
 
     fn splitmix64(state: &mut u64) -> u64 {
@@ -195,12 +219,13 @@ pub mod rngs {
                 splitmix64(&mut st),
                 splitmix64(&mut st),
             ];
-            SmallRng { s }
+            SmallRng { s, draws: 0 }
         }
     }
 
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
             let s = &mut self.s;
             let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
@@ -297,6 +322,23 @@ mod tests {
         let mut r = SmallRng::seed_from_u64(5);
         let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
         assert!((2000..3000).contains(&hits), "hits: {hits}");
+    }
+
+    #[test]
+    fn draws_counts_every_sample_and_skip_fast_forwards() {
+        let mut a = SmallRng::seed_from_u64(21);
+        assert_eq!(a.draws(), 0);
+        let _ = a.gen::<u64>();
+        let _ = a.gen_range(0..100u32);
+        let _ = a.gen::<f64>();
+        assert_eq!(a.draws(), 3, "each sample consumes exactly one word");
+
+        let mut b = SmallRng::seed_from_u64(21);
+        b.skip(3);
+        assert_eq!(b.draws(), 3);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "skip must land on the same stream");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! [`ThreadCtx::atomic_constrained`] (zEC12 constrained transactions) and
 //! [`ThreadCtx::try_rollback_only`] (POWER8 rollback-only transactions).
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use rand::rngs::SmallRng;
@@ -24,6 +25,7 @@ use htm_core::{Abort, AbortCategory, AbortCause, TxMemory, TxResult, WordAddr};
 use htm_machine::{BgqMode, Machine, Platform};
 
 use crate::lock::GlobalLock;
+use crate::replay::{AttemptRecord, BlockOutcome, BlockRecord, Turnstile};
 use crate::stats::ThreadStats;
 use crate::tx::{ExecMode, Tx, TxnEngine};
 
@@ -145,6 +147,13 @@ enum Outcome<R> {
     Aborted(AbortCause),
 }
 
+/// Replay state: this thread's recorded blocks plus the global turnstile
+/// serializing commits in recorded order.
+struct Replayer {
+    blocks: VecDeque<BlockRecord>,
+    turnstile: Turnstile,
+}
+
 /// Per-worker-thread execution context.
 ///
 /// Owns the thread's [`TxnEngine`] plus the retry-mechanism state, and is
@@ -163,6 +172,10 @@ pub struct ThreadCtx {
     /// Extra backoff doublings from watchdog trips (0 until the first trip,
     /// so untripped runs are bit-identical to pre-watchdog behaviour).
     trip_shift: u32,
+    /// Recorded atomic blocks (record mode only).
+    recorder: Option<Vec<BlockRecord>>,
+    /// Trace being replayed (replay mode only).
+    replayer: Option<Replayer>,
 }
 
 impl std::fmt::Debug for ThreadCtx {
@@ -189,7 +202,33 @@ impl ThreadCtx {
             watchdog,
             degraded_left: 0,
             trip_shift: 0,
+            recorder: None,
+            replayer: None,
         }
+    }
+
+    /// Starts recording this thread's atomic-block decision stream.
+    pub(crate) fn enable_recording(&mut self) {
+        self.recorder = Some(Vec::new());
+        self.eng.set_log_allocs(true);
+    }
+
+    /// Takes the recorded blocks (end of a record-mode run).
+    pub(crate) fn take_recording(&mut self) -> Vec<BlockRecord> {
+        self.recorder.take().unwrap_or_default()
+    }
+
+    /// Puts this thread into replay mode, following `blocks` and the shared
+    /// commit `turnstile`.
+    pub(crate) fn enable_replay(&mut self, blocks: Vec<BlockRecord>, turnstile: Turnstile) {
+        self.replayer = Some(Replayer { blocks: blocks.into(), turnstile });
+        self.eng.set_replay_mode(true);
+    }
+
+    /// Recorded blocks the replayed workload did not consume (0 for a
+    /// faithful replay).
+    pub(crate) fn replay_leftover(&self) -> usize {
+        self.replayer.as_ref().map_or(0, |r| r.blocks.len())
     }
 
     /// Routes subsequent [`ThreadCtx::atomic`] calls through hardware lock
@@ -305,6 +344,7 @@ impl ThreadCtx {
     pub fn write_word(&self, addr: WordAddr, value: u64) {
         self.eng.charge(self.eng.machine().config().cost.store);
         self.eng.mem().nontx_store(None, addr, value);
+        self.eng.cert_nontx_write(addr, value);
     }
 
     /// Non-transactional CAS outside atomic blocks (lock-free baselines).
@@ -314,7 +354,11 @@ impl ThreadCtx {
     /// Returns the observed value when it differs from `expected`.
     pub fn cas_word(&self, addr: WordAddr, expected: u64, new: u64) -> Result<u64, u64> {
         self.eng.clock().tick(self.eng.machine().config().cost.lock_op);
-        self.eng.mem().nontx_cas(None, addr, expected, new)
+        let r = self.eng.mem().nontx_cas(None, addr, expected, new);
+        if r.is_ok() {
+            self.eng.cert_nontx_write(addr, new);
+        }
+        r
     }
 
     /// Deterministic per-thread random-number generator.
@@ -356,10 +400,14 @@ impl ThreadCtx {
         }
         if self.eng.mode() == ExecMode::Sequential {
             self.eng.begin_sequential();
-            let r = body(&mut Tx { eng: &mut self.eng })
-                .expect("sequential execution cannot abort");
+            let r =
+                body(&mut Tx { eng: &mut self.eng }).expect("sequential execution cannot abort");
             self.eng.end_sequential();
             return r;
+        }
+
+        if self.replayer.is_some() {
+            return self.replay_block(&mut body);
         }
 
         let cfg = self.eng.machine().config();
@@ -370,13 +418,20 @@ impl ThreadCtx {
         if self.degraded_left > 0 {
             self.degraded_left -= 1;
             let r = self.run_degraded(&mut body);
+            self.record_block(
+                Vec::new(),
+                BlockOutcome::Irrevocable {
+                    order: self.eng.last_commit_seq(),
+                    degraded: true,
+                    trip: false,
+                },
+            );
             if is_bgq {
                 self.bgq_adapt.record(true);
             }
             return r;
         }
-        let lazy_subscription =
-            is_bgq && cfg.bgq_mode == Some(BgqMode::LongRunning);
+        let lazy_subscription = is_bgq && cfg.bgq_mode == Some(BgqMode::LongRunning);
         let mut lock_retries = self.policy.lock_retries;
         let mut persistent_retries = self.policy.persistent_retries;
         let mut transient_retries = self.policy.transient_retries;
@@ -390,6 +445,7 @@ impl ThreadCtx {
         };
         let reports_persistence = cfg.reports_persistence;
         let mut attempt = 0u32;
+        let mut rec_attempts: Vec<AttemptRecord> = Vec::new();
 
         loop {
             // Figure 1 line 9: wait for the lock (lemming avoidance).
@@ -402,19 +458,25 @@ impl ThreadCtx {
                 // Jitter after a lock wait: all doomed waiters are released
                 // at the same instant, and restarting them in lockstep
                 // recreates the conflict that serialized them.
-                let jitter = rand::Rng::gen_range(self.eng.rng_mut(), 0..512u64);
+                let jitter = rand::Rng::gen_range(self.eng.sched_rng_mut(), 0..512u64);
                 self.tick(jitter);
             }
 
+            let snap = self.attempt_snapshot();
             match self.attempt_hw(&mut body, lazy_subscription, false, false) {
                 Outcome::Committed(r) => {
+                    self.record_block(
+                        rec_attempts,
+                        BlockOutcome::Hw { order: self.eng.last_commit_seq() },
+                    );
                     if is_bgq {
                         self.bgq_adapt.record(false);
                     }
                     return r;
                 }
                 Outcome::Aborted(cause) => {
-                    let lock_related = self.classify_and_record(cause, is_bgq);
+                    let (category, lock_related) = self.classify_and_record(cause, is_bgq);
+                    self.record_attempt(&mut rec_attempts, snap, cause, category);
                     let retry = if is_bgq {
                         consume(&mut bgq_retries)
                     } else if lock_related {
@@ -426,6 +488,14 @@ impl ThreadCtx {
                     };
                     if !retry {
                         let r = self.run_irrevocable(&mut body);
+                        self.record_block(
+                            rec_attempts,
+                            BlockOutcome::Irrevocable {
+                                order: self.eng.last_commit_seq(),
+                                degraded: false,
+                                trip: false,
+                            },
+                        );
                         if is_bgq {
                             self.bgq_adapt.record(true);
                         }
@@ -439,14 +509,137 @@ impl ThreadCtx {
                     attempt += 1;
                     if self.watchdog.starved(attempt) {
                         let r = self.watchdog_trip(&mut body);
+                        self.record_block(
+                            rec_attempts,
+                            BlockOutcome::Irrevocable {
+                                order: self.eng.last_commit_seq(),
+                                degraded: true,
+                                trip: true,
+                            },
+                        );
                         if is_bgq {
                             self.bgq_adapt.record(true);
                         }
                         return r;
                     }
                     let ceiling = 32u64 << (attempt.min(7) + self.trip_shift);
-                    let pause = rand::Rng::gen_range(self.eng.rng_mut(), 0..ceiling);
+                    let pause = rand::Rng::gen_range(self.eng.sched_rng_mut(), 0..ceiling);
                     self.tick(pause);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Record/replay plumbing
+    // ------------------------------------------------------------------
+
+    /// Snapshot taken before a hardware attempt so an abort can be recorded
+    /// with the workload-RNG draws and allocations its body consumed.
+    /// `None` when not recording (the common case: zero overhead).
+    fn attempt_snapshot(&mut self) -> Option<(u64, u64)> {
+        if self.recorder.is_some() {
+            // Drop allocation entries left over from the previous block's
+            // committed attempt (committed bodies re-execute on replay).
+            let _ = self.eng.take_alloc_log();
+            Some((self.eng.rng_draws(), self.eng.stats.injected_faults))
+        } else {
+            None
+        }
+    }
+
+    fn record_attempt(
+        &mut self,
+        rec: &mut Vec<AttemptRecord>,
+        snap: Option<(u64, u64)>,
+        cause: AbortCause,
+        category: AbortCategory,
+    ) {
+        if let Some((draws0, faults0)) = snap {
+            rec.push(AttemptRecord {
+                cause: cause.encode(),
+                category: category.index() as u8,
+                faults: (self.eng.stats.injected_faults - faults0) as u32,
+                draws: self.eng.rng_draws() - draws0,
+                allocs: self.eng.take_alloc_log(),
+            });
+        }
+    }
+
+    fn record_block(&mut self, attempts: Vec<AttemptRecord>, outcome: BlockOutcome) {
+        if let Some(rec) = &mut self.recorder {
+            rec.push(BlockRecord { attempts, outcome });
+        }
+    }
+
+    /// Replays one atomic block from the trace: re-applies the aborted
+    /// attempts' bookkeeping (statistics, RNG draws, allocations) without
+    /// re-executing their bodies, then executes the committing body once,
+    /// serialized by the turnstile in recorded commit order.
+    fn replay_block<R>(&mut self, body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
+        let rec = self
+            .replayer
+            .as_mut()
+            .expect("replay_block without a replayer")
+            .blocks
+            .pop_front()
+            .expect("replay diverged: the workload produced more atomic blocks than the trace");
+        for a in &rec.attempts {
+            self.eng.stats.record_abort(AbortCategory::ALL[a.category as usize]);
+            self.eng.stats.injected_faults += a.faults as u64;
+            self.eng.skip_rng_draws(a.draws);
+            for &words in &a.allocs {
+                let _ = self.eng.alloc_mut().alloc(words);
+            }
+        }
+        let turnstile = self.replayer.as_ref().expect("replayer present").turnstile.clone();
+        turnstile.await_turn(rec.outcome.order());
+        let r = match rec.outcome {
+            BlockOutcome::Hw { .. } => self.replay_committed_hw(body, false),
+            BlockOutcome::Constrained { .. } => self.replay_committed_hw(body, true),
+            BlockOutcome::Irrevocable { degraded, trip, .. } => {
+                if trip {
+                    self.eng.stats.watchdog_trips += 1;
+                }
+                if degraded {
+                    self.run_degraded(body)
+                } else {
+                    self.run_irrevocable(body)
+                }
+            }
+        };
+        turnstile.advance();
+        r
+    }
+
+    /// Executes a block recorded as a hardware commit. The turnstile
+    /// serializes all replayed blocks, so the attempt cannot conflict with
+    /// another transaction and commits on its recorded path; unexpected
+    /// aborts (e.g. a racing non-transactional store from workload code
+    /// outside any atomic block) are retried with the workload RNG restored
+    /// so the body's draw stream stays identical.
+    fn replay_committed_hw<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+        constrained: bool,
+    ) -> R {
+        let mut tries = 0u32;
+        loop {
+            let saved_rng = self.eng.clone_workload_rng();
+            let out = if constrained {
+                self.attempt_constrained(body)
+            } else {
+                self.attempt_hw(body, false, false, false)
+            };
+            match out {
+                Outcome::Committed(r) => return r,
+                Outcome::Aborted(cause) => {
+                    tries += 1;
+                    assert!(
+                        tries < 1024,
+                        "replay diverged: a serialized attempt keeps aborting ({cause})"
+                    );
+                    self.eng.restore_workload_rng(saved_rng);
                 }
             }
         }
@@ -486,8 +679,9 @@ impl ThreadCtx {
     }
 
     /// Classifies an abort into its Figure-3 category, records it, and
-    /// returns whether it is lock-related (for the retry decision).
-    fn classify_and_record(&mut self, cause: AbortCause, is_bgq: bool) -> bool {
+    /// returns the category plus whether the abort is lock-related (for the
+    /// retry decision).
+    fn classify_and_record(&mut self, cause: AbortCause, is_bgq: bool) -> (AbortCategory, bool) {
         let lock_held_now = self.lock.is_locked(self.eng.mem());
         let explicit_lock = cause == AbortCause::Explicit(LOCK_HELD_ABORT);
         let lock_related = explicit_lock || lock_held_now;
@@ -503,7 +697,7 @@ impl ThreadCtx {
             AbortCategory::Other
         };
         self.eng.stats.record_abort(category);
-        lock_related
+        (category, lock_related)
     }
 
     /// The fallback path: acquire the global lock and run irrevocably.
@@ -587,35 +781,74 @@ impl ThreadCtx {
         if self.eng.mode() == ExecMode::Sequential {
             return self.atomic(body);
         }
+        if self.replayer.is_some() {
+            return self.replay_block(&mut body);
+        }
         if self.degraded_left > 0 {
             self.degraded_left -= 1;
-            return self.run_degraded(&mut body);
+            let r = self.run_degraded(&mut body);
+            self.record_block(
+                Vec::new(),
+                BlockOutcome::Irrevocable {
+                    order: self.eng.last_commit_seq(),
+                    degraded: true,
+                    trip: false,
+                },
+            );
+            return r;
         }
         // Lock-busy aborts re-elide after the lock frees (as the standard
         // elision runtimes do); only a *data* abort re-executes with the
         // lock held. Without this, one fallback dooms every elided peer,
         // whose fallbacks doom the next wave — a permanent convoy.
         let mut attempts = 0u32;
+        let mut rec_attempts: Vec<AttemptRecord> = Vec::new();
         loop {
             let cost = self.eng.machine().config().cost;
             let waited = self.lock.wait_released(self.eng.mem(), self.eng.clock(), &cost);
             self.eng.stats.lock_wait_cycles += waited;
+            let snap = self.attempt_snapshot();
             match self.attempt_hw(&mut body, false, false, false) {
-                Outcome::Committed(r) => return r,
+                Outcome::Committed(r) => {
+                    self.record_block(
+                        rec_attempts,
+                        BlockOutcome::Hw { order: self.eng.last_commit_seq() },
+                    );
+                    return r;
+                }
                 Outcome::Aborted(cause) => {
-                    let lock_related = self.classify_and_record(cause, false);
+                    let (category, lock_related) = self.classify_and_record(cause, false);
+                    self.record_attempt(&mut rec_attempts, snap, cause, category);
                     // Non-transactional conflicts come from a peer's
                     // irrevocable section (the convoy), not from program
                     // data: re-elide those too.
                     if !lock_related && cause != AbortCause::ConflictNonTx {
-                        return self.run_irrevocable(&mut body);
+                        let r = self.run_irrevocable(&mut body);
+                        self.record_block(
+                            rec_attempts,
+                            BlockOutcome::Irrevocable {
+                                order: self.eng.last_commit_seq(),
+                                degraded: false,
+                                trip: false,
+                            },
+                        );
+                        return r;
                     }
                     attempts += 1;
                     if self.watchdog.starved(attempts) {
                         // The re-elide loop has no retry counter of its own,
                         // so under an injected abort storm the watchdog is
                         // its only exit.
-                        return self.watchdog_trip(&mut body);
+                        let r = self.watchdog_trip(&mut body);
+                        self.record_block(
+                            rec_attempts,
+                            BlockOutcome::Irrevocable {
+                                order: self.eng.last_commit_seq(),
+                                degraded: true,
+                                trip: true,
+                            },
+                        );
+                        return r;
                     }
                 }
             }
@@ -645,7 +878,11 @@ impl ThreadCtx {
         if self.eng.mode() == ExecMode::Sequential {
             return self.atomic(body);
         }
+        if self.replayer.is_some() {
+            return self.replay_block(&mut body);
+        }
         let mut attempts = 0u32;
+        let mut rec_attempts: Vec<AttemptRecord> = Vec::new();
         loop {
             let escalated = attempts >= 4;
             let _token = escalated.then(|| self.constrained_arbiter.clone());
@@ -653,12 +890,21 @@ impl ThreadCtx {
             // just a serialization point, so the poison carries no meaning
             // and is safely discarded.
             let _guard = _token.as_ref().map(|t| t.lock().unwrap_or_else(|p| p.into_inner()));
+            let snap = self.attempt_snapshot();
             match self.attempt_constrained(&mut body) {
-                Outcome::Committed(r) => return r,
+                Outcome::Committed(r) => {
+                    self.record_block(
+                        rec_attempts,
+                        BlockOutcome::Constrained { order: self.eng.last_commit_seq() },
+                    );
+                    return r;
+                }
                 Outcome::Aborted(cause) => {
-                    self.classify_and_record(cause, false);
+                    let (category, _) = self.classify_and_record(cause, false);
+                    self.record_attempt(&mut rec_attempts, snap, cause, category);
                     attempts += 1;
-                    if self.watchdog.starved(attempts) && attempts == self.watchdog.starvation_bound {
+                    if self.watchdog.starved(attempts) && attempts == self.watchdog.starvation_bound
+                    {
                         // Constrained transactions have no fallback to
                         // degrade to (the architecture forbids one); record
                         // the starvation so diagnostics can see it even
@@ -705,6 +951,11 @@ impl ThreadCtx {
         if self.eng.mode() == ExecMode::Sequential {
             return Some(self.atomic(body));
         }
+        assert!(
+            !self.eng.is_record_or_replay(),
+            "record/replay does not support rollback-only transactions \
+             (their untracked loads cannot be certified or re-ordered)"
+        );
         self.eng.begin_hw(true, false);
         match body(&mut Tx { eng: &mut self.eng }) {
             Ok(r) => match self.eng.commit_hw() {
@@ -736,6 +987,11 @@ impl ThreadCtx {
         if self.eng.mode() == ExecMode::Sequential {
             return Ok(self.atomic(body));
         }
+        assert!(
+            !self.eng.is_record_or_replay(),
+            "record/replay does not support bare hardware attempts \
+             (caller-managed retries are not captured in the trace)"
+        );
         self.eng.begin_hw(false, false);
         match body(&mut Tx { eng: &mut self.eng }) {
             Ok(r) => match self.eng.commit_hw() {

@@ -7,17 +7,19 @@
 //! speed-up = sequential cycles / max worker cycles.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
 
 use htm_core::{
-    panic_message, ConflictPolicy, Geometry, SimAlloc, SimError, SimResult, ThreadAlloc, TxMemory,
-    WordAddr,
+    panic_message, ConflictPolicy, Geometry, SimAlloc, SimError, SimResult, ThreadAlloc, TxEvent,
+    TxMemory, WordAddr,
 };
 use htm_machine::{Machine, MachineConfig};
 
 use crate::ctx::{RetryPolicy, ThreadCtx, WatchdogConfig};
 use crate::faults::{FaultPlan, FaultState};
 use crate::lock::GlobalLock;
+use crate::replay::{BlockRecord, ScheduleTrace, Turnstile};
 use crate::stats::{RunStats, ThreadStats};
 use crate::trace::SeqTracer;
 use crate::tx::{ExecMode, TxnEngine};
@@ -50,6 +52,11 @@ pub struct SimConfig {
     /// Livelock-watchdog configuration (the default never fires under the
     /// default retry policies; see [`WatchdogConfig`]).
     pub watchdog: WatchdogConfig,
+    /// Run the online correctness certifier: committed atomic blocks record
+    /// their read/write sets and commit order, and each parallel run's
+    /// [`RunStats`] carries a [`CertifyReport`](htm_core::CertifyReport)
+    /// checking conflict-serializability and read freshness.
+    pub certify: bool,
 }
 
 impl SimConfig {
@@ -64,6 +71,7 @@ impl SimConfig {
             yield_interval: 160,
             faults: FaultPlan::none(),
             watchdog: WatchdogConfig::default(),
+            certify: false,
         }
     }
 
@@ -108,6 +116,29 @@ impl SimConfig {
         self.watchdog = watchdog;
         self
     }
+
+    /// Enables the online correctness certifier (see [`SimConfig::certify`]).
+    pub fn certify(mut self, on: bool) -> SimConfig {
+        self.certify = on;
+        self
+    }
+}
+
+/// How a parallel run executes: normally, recording a schedule trace, or
+/// replaying one.
+#[derive(Clone, Copy)]
+enum RunMode<'t> {
+    Normal,
+    Record,
+    Replay(&'t ScheduleTrace),
+}
+
+/// What one worker thread hands back to the executor.
+struct WorkerOut {
+    stats: ThreadStats,
+    cert: Option<(Vec<TxEvent>, bool)>,
+    recording: Vec<BlockRecord>,
+    replay_leftover: usize,
 }
 
 /// One simulation instance: memory + platform + allocator + global lock.
@@ -200,10 +231,18 @@ impl Sim {
         self.mem.write_word(addr, value)
     }
 
-    fn make_ctx(&self, thread_id: u32, num_threads: u32, mode: ExecMode, policy: RetryPolicy) -> ThreadCtx {
+    fn make_ctx(
+        &self,
+        thread_id: u32,
+        num_threads: u32,
+        mode: ExecMode,
+        policy: RetryPolicy,
+        inject_faults: bool,
+    ) -> ThreadCtx {
         // The sequential baseline is never fault-injected: it defines
-        // correct output and the speed-up denominator.
-        let faults = if mode == ExecMode::Hardware {
+        // correct output and the speed-up denominator. Replay strips faults
+        // too — the recorded abort stream already contains their effects.
+        let faults = if mode == ExecMode::Hardware && inject_faults {
             FaultState::new(&self.cfg.faults, thread_id)
         } else {
             None
@@ -221,14 +260,20 @@ impl Sim {
             if mode == ExecMode::Hardware && num_threads > 1 { self.cfg.yield_interval } else { 0 },
             faults,
         );
-        ThreadCtx::new(eng, self.lock, policy, Arc::clone(&self.constrained_arbiter), self.cfg.watchdog)
+        ThreadCtx::new(
+            eng,
+            self.lock,
+            policy,
+            Arc::clone(&self.constrained_arbiter),
+            self.cfg.watchdog,
+        )
     }
 
     /// A sequential-mode context on the calling thread (baseline runs and
     /// setup phases). Its `atomic` runs bodies directly with no
     /// transactional overhead.
     pub fn seq_ctx(&self) -> ThreadCtx {
-        self.make_ctx(0, 1, ExecMode::Sequential, RetryPolicy::default())
+        self.make_ctx(0, 1, ExecMode::Sequential, RetryPolicy::default(), false)
     }
 
     /// A sequential context that records per-block footprints at the given
@@ -239,13 +284,30 @@ impl Sim {
         ctx
     }
 
+    /// Takes the footprint tracer out of a traced context after the run, or
+    /// `None` if the context was not created with [`Sim::seq_ctx_traced`]
+    /// (or the tracer was already taken).
+    pub fn try_take_tracer(&self, ctx: &mut ThreadCtx) -> Option<SeqTracer> {
+        ctx.engine_mut().tracer.take()
+    }
+
     /// Takes the footprint tracer out of a traced context after the run.
     ///
     /// # Panics
     ///
     /// Panics if `ctx` was not created with [`Sim::seq_ctx_traced`].
     pub fn take_tracer(&self, ctx: &mut ThreadCtx) -> SeqTracer {
-        ctx.engine_mut().tracer.take().expect("context has no tracer")
+        self.try_take_tracer(ctx).expect("context has no tracer")
+    }
+
+    /// FNV-1a digest of the simulated memory (cheap cross-run equality
+    /// check for the differential oracle and replay tests).
+    ///
+    /// The global lock's simulated-release-timestamp slot is excluded: it
+    /// records *timing* (like the cycle counters), which legitimately
+    /// differs between a run and its replay, not program data.
+    pub fn memory_digest(&self) -> u64 {
+        self.mem.digest_excluding(&[self.lock.time_slot()])
     }
 
     /// Runs `work` on `num_threads` workers under the Figure-1 retry
@@ -289,6 +351,67 @@ impl Sim {
     where
         F: Fn(&mut ThreadCtx) + Sync,
     {
+        self.run_parallel_core(num_threads, policy, work, RunMode::Normal).map(|(stats, _)| stats)
+    }
+
+    /// Runs `work` like [`Sim::try_run_parallel`] while recording every
+    /// thread's atomic-block decision stream, returning the statistics plus
+    /// a [`ScheduleTrace`] that [`Sim::replay`] can re-execute
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Sim::try_run_parallel`].
+    pub fn record_parallel<F>(
+        &self,
+        num_threads: u32,
+        policy: RetryPolicy,
+        work: F,
+    ) -> SimResult<(RunStats, ScheduleTrace)>
+    where
+        F: Fn(&mut ThreadCtx) + Sync,
+    {
+        self.run_parallel_core(num_threads, policy, work, RunMode::Record)
+            .map(|(stats, trace)| (stats, trace.expect("record mode produces a trace")))
+    }
+
+    /// Re-executes a recorded run: `work` must be the same workload the
+    /// trace was recorded from, on a freshly-built identical `Sim`. Aborted
+    /// attempts are re-applied from the trace (not re-executed) and the
+    /// committing bodies run serialized in recorded commit order, so the
+    /// deterministic [`RunStats`] counters (commits, aborts, injected
+    /// faults, watchdog trips) and the final memory image match the
+    /// recorded run. Fault injection, the watchdog and zEC12 restriction
+    /// draws are disabled — those decisions are already in the trace.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Sim::try_run_parallel`], plus
+    /// [`SimError::InvalidConfig`] when the workload does not consume
+    /// exactly the recorded blocks (replay divergence).
+    pub fn replay<F>(
+        &self,
+        trace: &ScheduleTrace,
+        policy: RetryPolicy,
+        work: F,
+    ) -> SimResult<RunStats>
+    where
+        F: Fn(&mut ThreadCtx) + Sync,
+    {
+        self.run_parallel_core(trace.threads(), policy, work, RunMode::Replay(trace))
+            .map(|(stats, _)| stats)
+    }
+
+    fn run_parallel_core<F>(
+        &self,
+        num_threads: u32,
+        policy: RetryPolicy,
+        work: F,
+        mode: RunMode<'_>,
+    ) -> SimResult<(RunStats, Option<ScheduleTrace>)>
+    where
+        F: Fn(&mut ThreadCtx) + Sync,
+    {
         if num_threads < 1 {
             return Err(SimError::InvalidConfig("need at least one worker".into()));
         }
@@ -306,8 +429,16 @@ impl Sim {
                 limit: "the simulator slot table".into(),
             });
         }
+        let record = matches!(mode, RunMode::Record);
+        let replay = matches!(mode, RunMode::Replay(_));
+        // One commit clock per run: certification and recording both stamp
+        // each commit's position in the global serialization order. In the
+        // default configuration neither is active and the engines keep their
+        // zero-overhead path.
+        let commit_clock = (self.cfg.certify || record).then(|| Arc::new(AtomicU64::new(1)));
+        let turnstile = Turnstile::new();
         let work = &work;
-        let mut stats: Vec<ThreadStats> = Vec::with_capacity(num_threads as usize);
+        let mut outs: Vec<WorkerOut> = Vec::with_capacity(num_threads as usize);
         let mut first_error: Option<SimError> = None;
         // All workers start together: without this, thread-spawn skew lets
         // early workers finish short workloads before any concurrency (and
@@ -316,7 +447,20 @@ impl Sim {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(num_threads as usize);
             for tid in 0..num_threads {
-                let mut ctx = self.make_ctx(tid, num_threads, ExecMode::Hardware, policy);
+                let mut ctx = self.make_ctx(tid, num_threads, ExecMode::Hardware, policy, !replay);
+                if let Some(clock) = &commit_clock {
+                    ctx.engine_mut().set_commit_clock(Arc::clone(clock));
+                }
+                if self.cfg.certify {
+                    ctx.engine_mut().enable_certify();
+                }
+                match mode {
+                    RunMode::Normal => {}
+                    RunMode::Record => ctx.enable_recording(),
+                    RunMode::Replay(trace) => {
+                        ctx.enable_replay(trace.thread_blocks(tid), turnstile.clone());
+                    }
+                }
                 let machine = Arc::clone(&self.machine);
                 let start = Arc::clone(&start);
                 handles.push(scope.spawn(move || {
@@ -325,7 +469,12 @@ impl Sim {
                     start.wait();
                     let outcome = catch_unwind(AssertUnwindSafe(|| work(&mut ctx)));
                     let result = match outcome {
-                        Ok(()) => Ok(ctx.take_stats()),
+                        Ok(()) => Ok(WorkerOut {
+                            cert: ctx.engine_mut().take_cert(),
+                            recording: ctx.take_recording(),
+                            replay_leftover: ctx.replay_leftover(),
+                            stats: ctx.take_stats(),
+                        }),
                         Err(payload) => {
                             // Clean up what the dead worker left behind so
                             // the siblings can finish; a second panic here
@@ -346,7 +495,7 @@ impl Sim {
                 // the *cleanup* path itself died; surface that as a panic
                 // message rather than unwinding through the scope.
                 match h.join() {
-                    Ok(Ok(s)) => stats.push(s),
+                    Ok(Ok(o)) => outs.push(o),
                     Ok(Err(e)) => {
                         if first_error.is_none() {
                             first_error = Some(e);
@@ -363,10 +512,35 @@ impl Sim {
                 }
             }
         });
-        match first_error {
-            Some(e) => Err(e),
-            None => Ok(RunStats::new(stats)),
+        if let Some(e) = first_error {
+            return Err(e);
         }
+        let leftover: usize = outs.iter().map(|o| o.replay_leftover).sum();
+        if leftover > 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "replay diverged: {leftover} recorded atomic blocks were never consumed \
+                 (the workload does not match the trace)"
+            )));
+        }
+        let mut threads = Vec::with_capacity(outs.len());
+        let mut per_thread = Vec::with_capacity(outs.len());
+        let mut events: Vec<TxEvent> = Vec::new();
+        let mut truncated = false;
+        for o in outs {
+            threads.push(o.stats);
+            per_thread.push(o.recording);
+            if let Some((ev, tr)) = o.cert {
+                events.extend(ev);
+                truncated |= tr;
+            }
+        }
+        let mut stats = RunStats::new(threads);
+        if self.cfg.certify {
+            stats.certify =
+                Some(crate::certify::certify(events, truncated, self.lock.acquisitions(&self.mem)));
+        }
+        let trace = record.then(|| ScheduleTrace::assemble(self.cfg.seed, per_thread));
+        Ok((stats, trace))
     }
 
     /// Runs `work` once sequentially (the speed-up denominator), returning
@@ -460,7 +634,11 @@ mod tests {
         // zEC12's modelled "cache-fetch-related" transient aborts can fire
         // even on disjoint data; what must be zero are data conflicts and
         // capacity overflows.
-        assert_eq!(stats.aborts_in(AbortCategory::DataConflict), 0, "disjoint lines must not conflict");
+        assert_eq!(
+            stats.aborts_in(AbortCategory::DataConflict),
+            0,
+            "disjoint lines must not conflict"
+        );
         assert_eq!(stats.aborts_in(AbortCategory::Capacity), 0);
         for t in 0..n {
             assert_eq!(s.read_word(base.offset(32 * t)), 1000);
@@ -649,10 +827,10 @@ mod tests {
         // With effectively unbounded retries the Figure-1 counters would
         // spin ~forever on a 100% abort plan; the watchdog must cut in.
         let plan = crate::FaultPlan::none().transient_abort_per_begin(1.0);
-        let cfg = SimConfig::new(Platform::IntelCore.config())
-            .mem_words(1 << 18)
-            .faults(plan)
-            .watchdog(WatchdogConfig { starvation_bound: 16, degraded_blocks: 4, escalation_cap: 3 });
+        let cfg =
+            SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18).faults(plan).watchdog(
+                WatchdogConfig { starvation_bound: 16, degraded_blocks: 4, escalation_cap: 3 },
+            );
         let s = Sim::new(cfg);
         let a = s.alloc().alloc(1);
         let stats = s.run_parallel(2, RetryPolicy::uniform(1_000_000), |ctx| {

@@ -297,7 +297,8 @@ mod tests {
             .spec_id_abort_per_begin(1.0);
         let mut s = FaultState::new(&both, 0).unwrap();
         assert_eq!(s.on_begin(), Some(AbortCause::CapacityWrite));
-        let transient = FaultPlan::none().transient_abort_per_begin(1.0).spec_id_abort_per_begin(1.0);
+        let transient =
+            FaultPlan::none().transient_abort_per_begin(1.0).spec_id_abort_per_begin(1.0);
         let mut s = FaultState::new(&transient, 0).unwrap();
         assert_eq!(s.on_begin(), Some(AbortCause::Restriction));
         let spec = FaultPlan::none().spec_id_abort_per_begin(1.0);

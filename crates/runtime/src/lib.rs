@@ -20,7 +20,14 @@
 //!   workloads sequentially (the speed-up baseline) or on worker threads,
 //! * [`stats`] — speed-ups, abort-ratio breakdowns (Figure 3),
 //!   serialization ratios,
-//! * [`trace`] — the footprint tracer behind Figures 10 and 11.
+//! * [`trace`] — the footprint tracer behind Figures 10 and 11,
+//! * [`certify`] — the runtime correctness certifier: committed atomic
+//!   blocks log their read/write sets and commit order, and a post-run
+//!   sweep checks conflict-serializability and read freshness
+//!   ([`CertifyReport`]),
+//! * [`replay`] — deterministic record/replay: `Sim::record_parallel`
+//!   captures a [`ScheduleTrace`] of every scheduling decision and
+//!   `Sim::replay` re-executes it bit-identically.
 //!
 //! ## Example: a transactional counter on every platform
 //!
@@ -47,18 +54,23 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod certify;
 pub mod ctx;
 pub mod executor;
 pub mod faults;
 pub mod lock;
+pub mod replay;
 pub mod stats;
 pub mod trace;
 pub mod tx;
 
+pub use certify::certify;
 pub use ctx::{RetryPolicy, ThreadCtx, WatchdogConfig, LOCK_HELD_ABORT};
 pub use executor::{Sim, SimConfig};
 pub use faults::FaultPlan;
+pub use htm_core::CertifyReport;
 pub use lock::GlobalLock;
+pub use replay::ScheduleTrace;
 pub use stats::{percentile, RunStats, ThreadStats};
 pub use trace::SeqTracer;
 pub use tx::{ExecMode, Tx};

@@ -28,12 +28,24 @@ impl GlobalLock {
     /// no program data shares its conflict-detection line.
     pub(crate) fn new(alloc: &SimAlloc, granularity: u32) -> GlobalLock {
         let align = granularity.max(64);
-        let words = (align / htm_core::WORD_BYTES as u32).max(2);
+        let words = (align / htm_core::WORD_BYTES as u32).max(3);
         GlobalLock { addr: alloc.alloc_aligned(words, align) }
     }
 
-    fn time_slot(&self) -> WordAddr {
+    pub(crate) fn time_slot(&self) -> WordAddr {
         self.addr.offset(1)
+    }
+
+    fn count_slot(&self) -> WordAddr {
+        self.addr.offset(2)
+    }
+
+    /// Number of successful acquisitions so far (certifier input: an upper
+    /// bound on the irrevocable sections the conflict graph should contain).
+    /// Like the timestamp, the counter is simulation instrumentation written
+    /// with plain stores under the lock, invisible to conflict detection.
+    pub fn acquisitions(&self, mem: &TxMemory) -> u64 {
+        mem.read_word(self.count_slot())
     }
 
     /// Address of the lock word; transactions subscribe by loading it.
@@ -50,7 +62,13 @@ impl GlobalLock {
     /// Spins until the lock is free, then acquires it with a
     /// non-transactional CAS (dooming all subscribed transactions).
     /// Returns the simulated cycles spent waiting.
-    pub(crate) fn acquire(&self, mem: &TxMemory, owner_tag: u64, clock: &Clock, cost: &CostModel) -> u64 {
+    pub(crate) fn acquire(
+        &self,
+        mem: &TxMemory,
+        owner_tag: u64,
+        clock: &Clock,
+        cost: &CostModel,
+    ) -> u64 {
         debug_assert_ne!(owner_tag, 0, "owner tag 0 means unlocked");
         let mut waited = 0u64;
         let mut polls = 0u64;
@@ -71,6 +89,10 @@ impl GlobalLock {
                     // Serialization costs simulated time: resume no earlier
                     // than the previous holder's release.
                     clock.advance_to(mem.read_word(self.time_slot()));
+                    // Plain read-modify-write is race-free here: only the
+                    // lock holder touches the counter.
+                    let n = mem.read_word(self.count_slot());
+                    mem.write_word(self.count_slot(), n + 1);
                     return waited;
                 }
             }
@@ -78,7 +100,7 @@ impl GlobalLock {
             waited += cost.spin_poll;
             polls += 1;
             std::hint::spin_loop();
-            if polls % 512 == 0 {
+            if polls.is_multiple_of(512) {
                 std::thread::yield_now();
             }
         }
@@ -123,7 +145,7 @@ impl GlobalLock {
             waited += cost.spin_poll;
             polls += 1;
             std::hint::spin_loop();
-            if polls % 512 == 0 {
+            if polls.is_multiple_of(512) {
                 std::thread::yield_now();
             }
         }
@@ -184,6 +206,17 @@ mod tests {
         assert!(lock.force_release_if_held_by(&mem, 3, &clock, &cost));
         assert!(!lock.is_locked(&mem));
         assert!(!lock.force_release_if_held_by(&mem, 3, &clock, &cost), "already free");
+    }
+
+    #[test]
+    fn acquisitions_count_successful_acquires() {
+        let (mem, lock, clock, cost) = setup();
+        assert_eq!(lock.acquisitions(&mem), 0);
+        for _ in 0..3 {
+            lock.acquire(&mem, 1, &clock, &cost);
+            lock.release(&mem, &clock, &cost);
+        }
+        assert_eq!(lock.acquisitions(&mem), 3);
     }
 
     #[test]

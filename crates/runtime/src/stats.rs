@@ -13,7 +13,7 @@
 //! * **transaction footprints** — distinct load/store lines per committed
 //!   transaction, for the Figure 10/11 scatter plots.
 
-use htm_core::AbortCategory;
+use htm_core::{AbortCategory, CertifyReport};
 
 /// Counters collected by one worker thread.
 #[derive(Clone, Debug, Default)]
@@ -67,12 +67,15 @@ impl ThreadStats {
 pub struct RunStats {
     /// Per-thread statistics, indexed by thread id.
     pub threads: Vec<ThreadStats>,
+    /// Correctness-certifier report, present when the run was executed with
+    /// certification enabled ([`SimConfig::certify`](crate::SimConfig)).
+    pub certify: Option<CertifyReport>,
 }
 
 impl RunStats {
     /// Builds aggregate stats from per-thread results.
     pub fn new(threads: Vec<ThreadStats>) -> RunStats {
-        RunStats { threads }
+        RunStats { threads, certify: None }
     }
 
     /// Parallel runtime: the maximum simulated clock over workers.
@@ -189,7 +192,8 @@ mod tests {
     use super::*;
 
     fn stats_with(commits: u64, irr: u64, aborts: &[(AbortCategory, u64)]) -> RunStats {
-        let mut t = ThreadStats { hw_commits: commits, irrevocable_commits: irr, ..Default::default() };
+        let mut t =
+            ThreadStats { hw_commits: commits, irrevocable_commits: irr, ..Default::default() };
         for &(cat, n) in aborts {
             for _ in 0..n {
                 t.record_abort(cat);
@@ -239,10 +243,8 @@ mod tests {
 
     #[test]
     fn cycles_is_max_over_threads() {
-        let mut a = ThreadStats::default();
-        a.cycles = 100;
-        let mut b = ThreadStats::default();
-        b.cycles = 250;
+        let a = ThreadStats { cycles: 100, ..Default::default() };
+        let b = ThreadStats { cycles: 250, ..Default::default() };
         let s = RunStats::new(vec![a, b]);
         assert_eq!(s.cycles(), 250);
     }

@@ -85,24 +85,35 @@ impl SeqTracer {
         self.in_block = false;
     }
 
+    /// Abandons the current block without taking a sample (panic recovery:
+    /// the body died mid-block, so its partial footprint is meaningless).
+    pub fn abandon_block(&mut self) {
+        for s in self.cur_loads.iter_mut().chain(self.cur_stores.iter_mut()) {
+            s.clear();
+        }
+        self.in_block = false;
+    }
+
     /// All samples recorded at granularity index `i` (same order as
-    /// [`SeqTracer::granularities`]).
+    /// [`SeqTracer::granularities`]); empty for an out-of-range index.
     pub fn samples(&self, i: usize) -> &[(u32, u32)] {
-        &self.samples[i]
+        self.samples.get(i).map_or(&[], Vec::as_slice)
     }
 
     /// 90-percentile transactional load size in bytes at granularity `i`
-    /// (the x-axis of Figure 10).
+    /// (the x-axis of Figure 10); 0 for an out-of-range index.
     pub fn p90_load_bytes(&self, i: usize) -> u64 {
+        let Some(geom) = self.geoms.get(i) else { return 0 };
         let mut v: Vec<u32> = self.samples[i].iter().map(|&(l, _)| l).collect();
-        crate::stats::percentile(&mut v, 90.0) as u64 * self.geoms[i].line_bytes() as u64
+        crate::stats::percentile(&mut v, 90.0) as u64 * geom.line_bytes() as u64
     }
 
     /// 90-percentile transactional store size in bytes at granularity `i`
-    /// (the x-axis of Figure 11).
+    /// (the x-axis of Figure 11); 0 for an out-of-range index.
     pub fn p90_store_bytes(&self, i: usize) -> u64 {
+        let Some(geom) = self.geoms.get(i) else { return 0 };
         let mut v: Vec<u32> = self.samples[i].iter().map(|&(_, s)| s).collect();
-        crate::stats::percentile(&mut v, 90.0) as u64 * self.geoms[i].line_bytes() as u64
+        crate::stats::percentile(&mut v, 90.0) as u64 * geom.line_bytes() as u64
     }
 }
 
@@ -156,6 +167,27 @@ mod tests {
         }
         assert_eq!(t.p90_load_bytes(0), 9 * 64);
         assert_eq!(t.p90_store_bytes(0), 0);
+    }
+
+    #[test]
+    fn abandoned_block_takes_no_sample() {
+        let mut t = SeqTracer::new(&[64]);
+        t.begin_block();
+        t.record_load(WordAddr(0));
+        t.abandon_block();
+        assert!(t.samples(0).is_empty());
+        // Recording resumes cleanly after the abandon.
+        t.begin_block();
+        t.end_block();
+        assert_eq!(t.samples(0), &[(0, 0)]);
+    }
+
+    #[test]
+    fn out_of_range_granularity_is_safe() {
+        let t = SeqTracer::new(&[64]);
+        assert!(t.samples(5).is_empty());
+        assert_eq!(t.p90_load_bytes(5), 0);
+        assert_eq!(t.p90_store_bytes(5), 0);
     }
 
     #[test]

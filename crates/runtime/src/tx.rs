@@ -15,18 +15,21 @@
 //! * implements POWER8 suspend/resume and rollback-only transactions and
 //!   zEC12 constrained-transaction limit checking.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use htm_core::{
-    Abort, AbortCause, Clock, ConflictPolicy, LineId, SlotId, ThreadAlloc, TxMemory, TxResult,
-    WordAddr,
+    Abort, AbortCause, Clock, ConflictPolicy, LineId, SlotId, ThreadAlloc, TxEvent, TxMemory,
+    TxResult, WordAddr,
 };
 use htm_machine::{Machine, Prefetcher, Tracker};
 
+use crate::certify::CertCapture;
 use crate::faults::FaultState;
 use crate::stats::ThreadStats;
 use crate::trace::SeqTracer;
@@ -102,6 +105,24 @@ pub struct TxnEngine {
     smt_slowdown: std::cell::Cell<Option<f64>>,
     charge_frac: std::cell::Cell<f64>,
     trace_footprints: bool,
+    /// Decorrelated scheduling RNG: retry backoff, jitter and the zEC12
+    /// restriction draw come from here so the *workload* RNG stream depends
+    /// only on body executions (a prerequisite for record/replay).
+    sched_rng: SmallRng,
+    /// Shared commit clock; set when certification or recording is on.
+    /// Starts at 1 — seq 0 is reserved for the initial memory image.
+    commit_clock: Option<Arc<AtomicU64>>,
+    /// Seq of this engine's most recent committed block (0 = none yet).
+    last_commit_seq: u64,
+    /// Certifier capture state (RefCell: non-transactional stores are
+    /// captured from `&self` contexts).
+    cert: Option<RefCell<CertCapture>>,
+    /// `Tx::alloc` sizes issued since the last snapshot (record mode only).
+    alloc_log: Vec<u32>,
+    log_allocs: bool,
+    /// Replay mode: probabilistic scheduling decisions (zEC12 restriction
+    /// draws) are disabled — the trace already contains their outcomes.
+    replay_mode: bool,
     pub(crate) stats: ThreadStats,
     pub(crate) tracer: Option<SeqTracer>,
 }
@@ -147,7 +168,9 @@ impl TxnEngine {
             state: BlockState::Idle,
             policy,
             clock: Clock::new(),
-            rng: SmallRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(thread_id as u64 + 1))),
+            rng: SmallRng::seed_from_u64(
+                seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(thread_id as u64 + 1)),
+            ),
             alloc,
             tracker,
             prefetcher,
@@ -167,6 +190,15 @@ impl TxnEngine {
             smt_slowdown: std::cell::Cell::new(None),
             charge_frac: std::cell::Cell::new(0.0),
             trace_footprints,
+            sched_rng: SmallRng::seed_from_u64(
+                seed ^ (0xA5A5_5A5A_C3C3_3C3Du64.wrapping_mul(thread_id as u64 + 1)),
+            ),
+            commit_clock: None,
+            last_commit_seq: 0,
+            cert: None,
+            alloc_log: Vec::new(),
+            log_allocs: false,
+            replay_mode: false,
             stats: ThreadStats::default(),
             tracer: None,
         }
@@ -203,8 +235,82 @@ impl TxnEngine {
         &mut self.rng
     }
 
+    pub(crate) fn sched_rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.sched_rng
+    }
+
     pub(crate) fn alloc_mut(&mut self) -> &mut ThreadAlloc {
         &mut self.alloc
+    }
+
+    // ------------------------------------------------------------------
+    // Certification and record/replay plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn set_commit_clock(&mut self, clock: Arc<AtomicU64>) {
+        self.commit_clock = Some(clock);
+    }
+
+    pub(crate) fn enable_certify(&mut self) {
+        self.cert = Some(RefCell::new(CertCapture::new(self.thread_id)));
+    }
+
+    /// Takes the certifier capture, returning its events and whether any
+    /// bound was hit.
+    pub(crate) fn take_cert(&mut self) -> Option<(Vec<TxEvent>, bool)> {
+        self.cert.take().map(|c| c.into_inner().take())
+    }
+
+    pub(crate) fn set_log_allocs(&mut self, on: bool) {
+        self.log_allocs = on;
+    }
+
+    pub(crate) fn take_alloc_log(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.alloc_log)
+    }
+
+    pub(crate) fn set_replay_mode(&mut self, on: bool) {
+        self.replay_mode = on;
+    }
+
+    pub(crate) fn is_record_or_replay(&self) -> bool {
+        self.log_allocs || self.replay_mode
+    }
+
+    pub(crate) fn rng_draws(&self) -> u64 {
+        self.rng.draws()
+    }
+
+    pub(crate) fn skip_rng_draws(&mut self, n: u64) {
+        self.rng.skip(n);
+    }
+
+    pub(crate) fn clone_workload_rng(&self) -> SmallRng {
+        self.rng.clone()
+    }
+
+    pub(crate) fn restore_workload_rng(&mut self, rng: SmallRng) {
+        self.rng = rng;
+    }
+
+    pub(crate) fn last_commit_seq(&self) -> u64 {
+        self.last_commit_seq
+    }
+
+    /// Draws the next commit timestamp (0 when no clock is installed).
+    fn draw_commit_seq(&self) -> u64 {
+        self.commit_clock.as_ref().map_or(0, |c| c.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Captures a non-transactional store as a single-write event. The seq
+    /// is drawn right after the store executed: the store's invalidation
+    /// dooms every in-flight reader of the line (and spins out committing
+    /// ones), so all committed old-value readers already hold smaller seqs.
+    pub(crate) fn cert_nontx_write(&self, addr: WordAddr, value: u64) {
+        if let Some(cert) = &self.cert {
+            let seq = self.draw_commit_seq();
+            cert.borrow_mut().nontx_write(seq, addr, value);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -251,6 +357,9 @@ impl TxnEngine {
         self.mem.begin_slot(self.slot);
         self.charge(cfg.cost.tbegin);
         self.state = BlockState::HardwareTx;
+        if let Some(c) = &mut self.cert {
+            c.get_mut().begin_block();
+        }
         // Fault injection (constrained transactions are exempt: the
         // architecture guarantees their completion). A begin fault
         // pre-dooms the transaction; it surfaces at the first access or at
@@ -299,6 +408,17 @@ impl TxnEngine {
         }
         match self.mem.start_commit(self.slot) {
             Ok(()) => {
+                // Linearization point: the slot is COMMITTING and still
+                // holds its lines; every non-transactional or irrevocable
+                // access to them spins until the flush below completes, so
+                // no observer can serialize between this draw and the flush.
+                let seq = self.draw_commit_seq();
+                if seq != 0 {
+                    self.last_commit_seq = seq;
+                }
+                if let Some(c) = &mut self.cert {
+                    c.get_mut().commit_hw(seq, self.rollback_only, &self.write_buf);
+                }
                 for (&addr, &value) in &self.write_buf {
                     self.mem.write_word(addr, value);
                 }
@@ -312,9 +432,10 @@ impl TxnEngine {
                 self.end_tx_bookkeeping();
                 self.stats.hw_commits += 1;
                 if self.trace_footprints {
-                    self.stats
-                        .footprints
-                        .push((self.tracker.load_lines() as u32, self.tracker.store_lines() as u32));
+                    self.stats.footprints.push((
+                        self.tracker.load_lines() as u32,
+                        self.tracker.store_lines() as u32,
+                    ));
                 }
                 Ok(())
             }
@@ -365,11 +486,22 @@ impl TxnEngine {
         self.read_lines.clear();
         self.write_lines.clear();
         self.state = BlockState::Irrevocable;
+        if let Some(c) = &mut self.cert {
+            c.get_mut().begin_block();
+        }
     }
 
     /// Ends an irrevocable block.
     pub(crate) fn end_irrevocable(&mut self) {
         assert_eq!(self.state, BlockState::Irrevocable);
+        // Linearization point: the caller still holds the global lock.
+        let seq = self.draw_commit_seq();
+        if seq != 0 {
+            self.last_commit_seq = seq;
+        }
+        if let Some(c) = &mut self.cert {
+            c.get_mut().commit_irrevocable(seq);
+        }
         self.stats.irrevocable_commits += 1;
         if self.trace_footprints {
             self.stats
@@ -395,7 +527,14 @@ impl TxnEngine {
         match self.state {
             BlockState::HardwareTx => self.rollback_hw(),
             BlockState::Irrevocable => self.abandon_irrevocable(),
-            BlockState::Sequential => self.state = BlockState::Idle,
+            BlockState::Sequential => {
+                // A traced block died mid-flight: discard its partial
+                // footprint instead of leaving the tracer wedged in-block.
+                if let Some(t) = &mut self.tracer {
+                    t.abandon_block();
+                }
+                self.state = BlockState::Idle;
+            }
             BlockState::Idle => {}
         }
     }
@@ -498,7 +637,8 @@ impl TxnEngine {
                 // Randomized quantum in [iv/2, 3iv/2): fixed quanta
                 // phase-lock with fixed-cost transaction sequences.
                 let quantum = iv / 2 + x % iv;
-                self.next_yield_at.set(self.next_yield_at.get().max(now.saturating_sub(4 * iv)) + quantum);
+                self.next_yield_at
+                    .set(self.next_yield_at.get().max(now.saturating_sub(4 * iv)) + quantum);
                 std::thread::yield_now();
             }
         }
@@ -535,7 +675,11 @@ impl TxnEngine {
                 if self.trace_footprints {
                     self.read_lines.insert(self.mem.line_of(addr));
                 }
-                Ok(self.mem.nontx_load(Some(self.slot), addr))
+                let value = self.mem.nontx_load(Some(self.slot), addr);
+                if let Some(c) = &mut self.cert {
+                    c.get_mut().on_irr_read(addr, value);
+                }
+                Ok(value)
             }
             BlockState::HardwareTx => {
                 if let Some(cause) = self.aborted {
@@ -574,6 +718,13 @@ impl TxnEngine {
                 if let Some(cause) = self.mem.doom_cause(self.slot) {
                     return self.fail(cause);
                 }
+                // Rollback-only loads are untracked by the hardware, so the
+                // certifier's value check does not apply to them.
+                if !self.rollback_only {
+                    if let Some(c) = &mut self.cert {
+                        c.get_mut().on_read(addr, value);
+                    }
+                }
                 // Yield *after* the access: quantum boundaries must be able
                 // to land while the line is held, or transactions with
                 // expensive begins execute atomically on the host and
@@ -604,6 +755,9 @@ impl TxnEngine {
                     self.write_lines.insert(self.mem.line_of(addr));
                 }
                 self.mem.nontx_store(Some(self.slot), addr, value);
+                if let Some(c) = &mut self.cert {
+                    c.get_mut().on_irr_write(addr, value);
+                }
                 Ok(())
             }
             BlockState::HardwareTx => {
@@ -613,6 +767,10 @@ impl TxnEngine {
                 if self.suspend_depth > 0 {
                     self.charge(cost.store);
                     self.mem.nontx_store(Some(self.slot), addr, value);
+                    // Suspended stores have non-transactional semantics:
+                    // they publish immediately, outside this transaction's
+                    // serialization point.
+                    self.cert_nontx_write(addr, value);
                     return Ok(());
                 }
                 self.charge(cost.store + cost.tx_store_extra);
@@ -631,8 +789,14 @@ impl TxnEngine {
                     self.write_lines.insert(line);
                     self.charge_constrained_access(addr);
                     // zEC12's transient "cache-fetch-related" implementation
-                    // restriction (Section 5.1) fires on store activity.
-                    if restriction_p > 0.0 && self.rng.gen::<f64>() < restriction_p {
+                    // restriction (Section 5.1) fires on store activity. The
+                    // draw comes from the scheduling RNG (not the workload
+                    // RNG) and is suppressed during replay: the recorded
+                    // schedule already contains its outcomes.
+                    if restriction_p > 0.0
+                        && !self.replay_mode
+                        && self.sched_rng.gen::<f64>() < restriction_p
+                    {
                         return self.fail(AbortCause::Restriction);
                     }
                     self.maybe_prefetch(line)?;
@@ -899,6 +1063,9 @@ impl Tx<'_> {
     /// Allocates `words` of simulated memory (non-transactional, like
     /// STAMP's `TM_MALLOC`; never aborts).
     pub fn alloc(&mut self, words: u32) -> WordAddr {
+        if self.eng.log_allocs {
+            self.eng.alloc_log.push(words);
+        }
         self.eng.alloc.alloc(words)
     }
 
@@ -941,7 +1108,19 @@ mod tests {
         let mem = Arc::new(TxMemory::new(1 << 16, Geometry::new(cfg.granularity)));
         let machine = Arc::new(Machine::new(cfg));
         let alloc = ThreadAlloc::new(Arc::new(SimAlloc::new(1, 1 << 16)));
-        TxnEngine::new(mem, machine, alloc, 0, 1, mode, ConflictPolicy::RequesterWins, 42, false, 0, None)
+        TxnEngine::new(
+            mem,
+            machine,
+            alloc,
+            0,
+            1,
+            mode,
+            ConflictPolicy::RequesterWins,
+            42,
+            false,
+            0,
+            None,
+        )
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Determinism regression tests (DESIGN.md §5).
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. With the empty fault plan and disjoint per-thread data, repeated runs
+//!    of the same configuration are bit-identical in every
+//!    schedule-independent counter and in the final memory image.
+//! 2. A run recorded under a seeded fault plan replays bit-identically from
+//!    its [`ScheduleTrace`]: same commits, aborts, injected faults,
+//!    watchdog trips, and the same memory digest — including after a
+//!    save/load round trip of the trace through disk.
+
+use htm_core::WordAddr;
+use htm_machine::Platform;
+use htm_runtime::{
+    FaultPlan, RetryPolicy, RunStats, ScheduleTrace, Sim, SimConfig, ThreadCtx, WatchdogConfig,
+};
+
+/// The schedule-independent slice of the statistics: everything except the
+/// simulated clocks and lock-wait times, which legitimately vary with OS
+/// scheduling.
+fn deterministic_counters(stats: &RunStats) -> Vec<(u64, u64, [u64; 5], u64, u64, u64)> {
+    stats
+        .threads
+        .iter()
+        .map(|t| {
+            (
+                t.hw_commits,
+                t.irrevocable_commits,
+                t.aborts,
+                t.injected_faults,
+                t.watchdog_trips,
+                t.degraded_commits,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn empty_fault_plan_runs_are_bit_identical_across_three_runs() {
+    let run = || {
+        let cfg = SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18).seed(0xD5EED);
+        let sim = Sim::new(cfg);
+        // One isolated line per thread, pre-allocated before the parallel
+        // phase, eight lines apart: Intel's streamer prefetches two lines
+        // past a confirmed stride (and the lock-line-then-data-line access
+        // pattern confirms one), so narrow spacing would let one thread's
+        // prefetch land in the other's write set and race.
+        let base = sim.alloc().alloc_aligned(2 * 64, 64);
+        let stats = sim.run_parallel(2, RetryPolicy::default(), |ctx| {
+            let a = base.offset(64 * ctx.thread_id());
+            for i in 0..400u64 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v.wrapping_mul(31).wrapping_add(i))
+                });
+            }
+        });
+        (deterministic_counters(&stats), sim.memory_digest())
+    };
+    let first = run();
+    assert_eq!(first, run());
+    assert_eq!(first, run());
+}
+
+fn contended_sim(plan: FaultPlan, watchdog: WatchdogConfig) -> (Sim, WordAddr) {
+    let cfg = SimConfig::new(Platform::IntelCore.config())
+        .mem_words(1 << 18)
+        .seed(0x7EC0)
+        .faults(plan)
+        .watchdog(watchdog);
+    let sim = Sim::new(cfg);
+    // Eight words on one conflict-detection line: every block conflicts.
+    let base = sim.alloc().alloc_aligned(8, 64);
+    (sim, base)
+}
+
+/// Schedule-sensitive workload: each block mixes the thread id into a
+/// randomly chosen shared word, so the final memory image depends on the
+/// exact commit interleaving — which is exactly what replay must reproduce.
+/// The in-transaction RNG draw also exercises the recorded draw-skip logic
+/// for aborted attempts.
+fn contended_work(base: WordAddr) -> impl Fn(&mut ThreadCtx) + Sync {
+    move |ctx: &mut ThreadCtx| {
+        let tid = ctx.thread_id() as u64;
+        for _ in 0..150 {
+            ctx.atomic(|tx| {
+                let idx = rand::Rng::gen_range(tx.rng(), 0..8u32);
+                let v = tx.load(base.offset(idx))?;
+                tx.store(base.offset(idx), v.wrapping_mul(31).wrapping_add(tid + 1))
+            });
+        }
+    }
+}
+
+#[test]
+fn recorded_fault_injected_run_replays_bit_identically() {
+    let plan = FaultPlan::none()
+        .transient_abort_per_begin(0.2)
+        .capacity_abort_per_begin(0.05)
+        .doom_at_commit(0.05);
+
+    let (sim, base) = contended_sim(plan, WatchdogConfig::default());
+    let (recorded, trace) =
+        sim.record_parallel(4, RetryPolicy::default(), contended_work(base)).expect("record");
+    let recorded_digest = sim.memory_digest();
+    assert!(recorded.injected_faults() > 0, "the plan must actually fire");
+    assert!(trace.blocks() == 600, "150 blocks x 4 threads");
+    assert_eq!(trace.aborted_attempts() as u64, recorded.total_aborts());
+
+    // Round-trip the trace through disk before replaying it.
+    let path = std::env::temp_dir().join("htm-determinism-replay-trace.txt");
+    trace.save(&path).expect("save trace");
+    let trace = ScheduleTrace::load(&path).expect("load trace");
+    let _ = std::fs::remove_file(&path);
+
+    let (sim2, base2) = contended_sim(plan, WatchdogConfig::default());
+    assert_eq!(base, base2, "identical setup must allocate identically");
+    let replayed =
+        sim2.replay(&trace, RetryPolicy::default(), contended_work(base2)).expect("replay");
+
+    assert_eq!(deterministic_counters(&recorded), deterministic_counters(&replayed));
+    assert_eq!(recorded_digest, sim2.memory_digest(), "memory images must match");
+}
+
+#[test]
+fn watchdog_trips_and_degraded_blocks_replay_faithfully() {
+    // 100% abort storm + huge retry budget: progress comes only from
+    // watchdog trips and degraded execution — the rarest paths in the
+    // retry machine, all of which must round-trip through the trace.
+    let plan = FaultPlan::none().transient_abort_per_begin(1.0);
+    let watchdog = WatchdogConfig { starvation_bound: 16, degraded_blocks: 4, escalation_cap: 3 };
+
+    let (sim, base) = contended_sim(plan, watchdog);
+    let (recorded, trace) = sim
+        .record_parallel(2, RetryPolicy::uniform(1_000_000), contended_work(base))
+        .expect("record");
+    let recorded_digest = sim.memory_digest();
+    assert!(recorded.watchdog_trips() > 0, "the storm must trip the watchdog");
+    assert_eq!(recorded.hw_commits(), 0);
+
+    let (sim2, base2) = contended_sim(plan, watchdog);
+    let replayed = sim2
+        .replay(&trace, RetryPolicy::uniform(1_000_000), contended_work(base2))
+        .expect("replay");
+
+    assert_eq!(deterministic_counters(&recorded), deterministic_counters(&replayed));
+    assert_eq!(recorded_digest, sim2.memory_digest());
+}
+
+#[test]
+fn replay_rejects_a_mismatched_workload() {
+    let (sim, base) = contended_sim(FaultPlan::none(), WatchdogConfig::default());
+    let (_, trace) =
+        sim.record_parallel(2, RetryPolicy::default(), contended_work(base)).expect("record");
+
+    // A workload that executes no atomic blocks leaves every recorded
+    // block unconsumed — reported as divergence, not silently accepted.
+    let (sim2, _) = contended_sim(FaultPlan::none(), WatchdogConfig::default());
+    let err = sim2.replay(&trace, RetryPolicy::default(), |_ctx: &mut ThreadCtx| {}).unwrap_err();
+    assert!(err.to_string().contains("replay diverged"), "{err}");
+
+    // A workload that executes more atomic blocks than the trace recorded
+    // runs off the end of its decision stream.
+    let (sim3, base3) = contended_sim(FaultPlan::none(), WatchdogConfig::default());
+    let err = sim3
+        .replay(&trace, RetryPolicy::default(), |ctx: &mut ThreadCtx| {
+            contended_work(base3)(ctx);
+            ctx.atomic(|tx| {
+                let v = tx.load(base3)?;
+                tx.store(base3, v + 1)
+            });
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("replay diverged"), "{err}");
+}
+
+#[test]
+fn certified_record_and_replay_both_certify_clean() {
+    // Certification composes with record/replay: the recorded schedule and
+    // its serialized replay must both be conflict-serializable.
+    let cfg =
+        SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18).seed(0xCE47).certify(true);
+    let sim = Sim::new(cfg.clone());
+    let base = sim.alloc().alloc_aligned(8, 64);
+    let (recorded, trace) =
+        sim.record_parallel(4, RetryPolicy::default(), contended_work(base)).expect("record");
+    let report = recorded.certify.as_ref().expect("certifier on");
+    assert!(report.ok(), "{report}");
+
+    let sim2 = Sim::new(cfg);
+    let base2 = sim2.alloc().alloc_aligned(8, 64);
+    let replayed =
+        sim2.replay(&trace, RetryPolicy::default(), contended_work(base2)).expect("replay");
+    let report = replayed.certify.as_ref().expect("certifier on");
+    assert!(report.ok(), "{report}");
+    assert_eq!(sim.memory_digest(), sim2.memory_digest());
+}

@@ -42,9 +42,7 @@ fn plan(
         .lock_release_delay(delay)
 }
 
-fn plan_strategy() -> impl Strategy<
-    Value = (u64, f64, f64, f64, f64, f64, f64, u32, u64),
-> {
+fn plan_strategy() -> impl Strategy<Value = (u64, f64, f64, f64, f64, f64, f64, u32, u64)> {
     (
         (any::<u64>(), 0.0..1.0, 0.0..1.0, 0.0..1.0),
         (0.0..1.0, 0.0..1.0, 0.0..1.0),

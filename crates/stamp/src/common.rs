@@ -45,6 +45,10 @@ pub struct BenchParams {
     /// Fault-injection plan for the parallel run (empty by default; the
     /// sequential baseline is never injected).
     pub faults: FaultPlan,
+    /// Run the parallel phase under the correctness certifier and panic if
+    /// the committed schedule is not conflict-serializable (the report also
+    /// lands in [`RunStats::certify`]).
+    pub certify: bool,
 }
 
 impl Default for BenchParams {
@@ -56,6 +60,7 @@ impl Default for BenchParams {
             seed: 42,
             use_hle: false,
             faults: FaultPlan::none(),
+            certify: false,
         }
     }
 }
@@ -114,6 +119,17 @@ pub trait Workload: Sync {
 
     /// Checks the run's result; panics on corruption.
     fn verify(&self, sim: &Sim);
+
+    /// Optional *schedule-independent* digest of the workload's result,
+    /// used by the differential oracle ([`run_oracle`]) to cross-check a
+    /// sequential and a parallel run of the same inputs. `None` (the
+    /// default) skips the cross-check: most workloads' raw memory images
+    /// legitimately depend on commit order (e.g. insertion order inside a
+    /// bucket), so the digest must hash an order-normalized view.
+    fn result_digest(&self, sim: &Sim) -> Option<u64> {
+        let _ = sim;
+        None
+    }
 }
 
 /// Re-usable inter-phase barrier for multi-phase workloads (genome's three
@@ -209,9 +225,10 @@ pub fn run_parallel_opt<W: Workload>(
     seed: u64,
     use_hle: bool,
 ) -> RunStats {
-    run_parallel_inner(make, machine, threads, policy, seed, use_hle, FaultPlan::none())
+    run_parallel_inner(make, machine, threads, policy, seed, use_hle, FaultPlan::none(), false)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_parallel_inner<W: Workload>(
     make: &dyn Fn() -> W,
     machine: &MachineConfig,
@@ -220,9 +237,10 @@ fn run_parallel_inner<W: Workload>(
     seed: u64,
     use_hle: bool,
     faults: FaultPlan,
+    certify: bool,
 ) -> RunStats {
     let w = make();
-    let sim = Sim::new(sim_config(&w, machine, seed).faults(faults));
+    let sim = Sim::new(sim_config(&w, machine, seed).faults(faults).certify(certify));
     w.setup(&sim);
     w.prepare(threads);
     let stats = sim.run_parallel(threads, policy, |ctx| {
@@ -230,6 +248,9 @@ fn run_parallel_inner<W: Workload>(
         w.work(ctx)
     });
     w.verify(&sim);
+    if let Some(report) = &stats.certify {
+        assert!(report.ok(), "{}: certifier found violations:\n{report}", w.name());
+    }
     stats
 }
 
@@ -248,8 +269,52 @@ pub fn measure<W: Workload>(
         params.seed,
         params.use_hle,
         params.faults,
+        params.certify,
     );
     BenchResult { seq_cycles, stats }
+}
+
+/// Differential oracle for one cell: runs the workload sequentially (the
+/// reference), then in parallel with the correctness certifier enabled;
+/// both runs pass the workload's own `verify`, the parallel schedule must
+/// be conflict-serializable, and — when the workload defines a
+/// schedule-independent [`Workload::result_digest`] — the two results must
+/// hash identically. Returns the certified parallel statistics.
+///
+/// # Panics
+///
+/// Panics on any oracle failure: workload corruption, certifier
+/// violations, or a sequential/parallel digest mismatch.
+pub fn run_oracle<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    threads: u32,
+    policy: RetryPolicy,
+    seed: u64,
+    faults: FaultPlan,
+) -> RunStats {
+    // Sequential reference (never fault-injected: it defines correctness).
+    let w = make();
+    let sim = Sim::new(sim_config(&w, machine, seed));
+    w.setup(&sim);
+    w.prepare(1);
+    sim.run_sequential(|ctx| w.work(ctx));
+    w.verify(&sim);
+    let seq_digest = w.result_digest(&sim);
+
+    // Certified parallel run on a fresh, identically-seeded simulation.
+    let w = make();
+    let sim = Sim::new(sim_config(&w, machine, seed).faults(faults).certify(true));
+    w.setup(&sim);
+    w.prepare(threads);
+    let stats = sim.run_parallel(threads, policy, |ctx| w.work(ctx));
+    w.verify(&sim);
+    let report = stats.certify.as_ref().expect("certifier was enabled");
+    assert!(report.ok(), "{}: certifier found violations:\n{report}", w.name());
+    if let (Some(s), Some(p)) = (seq_digest, w.result_digest(&sim)) {
+        assert_eq!(s, p, "{}: sequential and parallel result digests differ", w.name());
+    }
+    stats
 }
 
 /// Runs the workload sequentially under the footprint tracer, recording

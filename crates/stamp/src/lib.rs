@@ -31,7 +31,7 @@ pub mod intruder;
 pub mod labyrinth;
 pub mod yada;
 
-pub use common::{measure, run_parallel, run_sequential, trace_footprints};
+pub use common::{measure, run_oracle, run_parallel, run_sequential, trace_footprints};
 pub use common::{BenchParams, BenchResult, Scale, Workload};
 
 use htm_machine::MachineConfig;
@@ -205,6 +205,87 @@ pub fn run_bench(
         BenchId::Bayes => {
             let cfg = bayes::BayesConfig::at(scale);
             measure(&|| bayes::Bayes::new(cfg, seed), machine, params)
+        }
+    }
+}
+
+/// Runs one benchmark cell through the differential oracle
+/// ([`run_oracle`]): sequential reference + certified parallel run, with
+/// result-digest cross-checking where the workload supports it.
+///
+/// # Panics
+///
+/// Panics on workload corruption, certifier violations, or a
+/// sequential/parallel digest mismatch.
+pub fn run_bench_oracle(
+    id: BenchId,
+    variant: Variant,
+    machine: &MachineConfig,
+    params: &BenchParams,
+) -> htm_runtime::RunStats {
+    let seed = params.seed;
+    let scale = params.scale;
+    let gran = machine.granularity;
+    let platform = machine.platform;
+    let (threads, policy, faults) = (params.threads, params.policy, params.faults);
+    match id {
+        BenchId::KmeansHigh | BenchId::KmeansLow => {
+            let kv = match variant {
+                Variant::Original => kmeans::KmeansVariant::Original,
+                Variant::Modified => kmeans::KmeansVariant::Modified,
+            };
+            let cfg = if id == BenchId::KmeansHigh {
+                kmeans::KmeansConfig::high(scale, kv, gran)
+            } else {
+                kmeans::KmeansConfig::low(scale, kv, gran)
+            };
+            run_oracle(&|| kmeans::Kmeans::new(cfg, seed), machine, threads, policy, seed, faults)
+        }
+        BenchId::Ssca2 => {
+            let cfg = ssca2::Ssca2Config::at(scale);
+            run_oracle(&|| ssca2::Ssca2::new(cfg, seed), machine, threads, policy, seed, faults)
+        }
+        BenchId::VacationHigh | BenchId::VacationLow => {
+            let vv = match variant {
+                Variant::Original => vacation::VacationVariant::Original,
+                Variant::Modified => vacation::VacationVariant::Modified,
+            };
+            let cfg = if id == BenchId::VacationHigh {
+                vacation::VacationConfig::high(scale, vv)
+            } else {
+                vacation::VacationConfig::low(scale, vv)
+            };
+            run_oracle(&|| vacation::Vacation::new(cfg, seed), machine, threads, policy, seed, faults)
+        }
+        BenchId::Genome => {
+            let cfg = genome::GenomeConfig::at(
+                scale,
+                match variant {
+                    Variant::Original => genome::GenomeVariant::Original,
+                    Variant::Modified => genome::GenomeVariant::Modified { platform },
+                },
+            );
+            run_oracle(&|| genome::Genome::new(cfg, seed), machine, threads, policy, seed, faults)
+        }
+        BenchId::Intruder => {
+            let iv = match variant {
+                Variant::Original => intruder::IntruderVariant::Original,
+                Variant::Modified => intruder::IntruderVariant::Modified,
+            };
+            let cfg = intruder::IntruderConfig::at(scale, iv);
+            run_oracle(&|| intruder::Intruder::new(cfg, seed), machine, threads, policy, seed, faults)
+        }
+        BenchId::Labyrinth => {
+            let cfg = labyrinth::LabyrinthConfig::at(scale);
+            run_oracle(&|| labyrinth::Labyrinth::new(cfg, seed), machine, threads, policy, seed, faults)
+        }
+        BenchId::Yada => {
+            let cfg = yada::YadaConfig::at(scale);
+            run_oracle(&|| yada::Yada::new(cfg, seed), machine, threads, policy, seed, faults)
+        }
+        BenchId::Bayes => {
+            let cfg = bayes::BayesConfig::at(scale);
+            run_oracle(&|| bayes::Bayes::new(cfg, seed), machine, threads, policy, seed, faults)
         }
     }
 }

@@ -144,6 +144,29 @@ impl Workload for Ssca2 {
         }
         assert_eq!(total, cfg.n_edges as u64, "edges lost or duplicated");
     }
+
+    /// Each node's adjacency *multiset* is schedule-independent (only the
+    /// insertion order inside a node varies with the commit schedule), so
+    /// hashing the sorted per-node slots yields an order-normalized digest
+    /// the differential oracle can compare across runs.
+    fn result_digest(&self, sim: &Sim) -> Option<u64> {
+        let cfg = self.cfg;
+        let sh = self.shared.get().expect("setup not run");
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| h = (h ^ v).wrapping_mul(0x100_0000_01b3);
+        for n in 0..cfg.n_nodes {
+            let c = sim.read_word(sh.counts.offset(n));
+            let mut slots: Vec<u64> = (0..c as u32)
+                .map(|s| sim.read_word(sh.adj.offset(n * cfg.max_degree + s)))
+                .collect();
+            slots.sort_unstable();
+            mix(c);
+            for v in slots {
+                mix(v);
+            }
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,94 @@
+//! Differential-oracle acceptance matrix (DESIGN.md §5): every STAMP
+//! benchmark, on every platform model, must produce a conflict-serializable
+//! committed schedule — the certifier's conflict graph is acyclic and every
+//! transactional read observed the most recent serialized writer — while
+//! the workload's own `verify` passes and (where a workload defines a
+//! schedule-independent digest) the parallel result hashes identically to
+//! the sequential reference.
+
+use htm_machine::Platform;
+use htm_runtime::FaultPlan;
+use stamp::{run_bench_oracle, BenchId, BenchParams, Scale, Variant};
+
+fn oracle_params(threads: u32) -> BenchParams {
+    BenchParams { threads, scale: Scale::Tiny, ..Default::default() }
+}
+
+#[test]
+fn every_benchmark_certifies_on_every_platform() {
+    for p in Platform::ALL {
+        for id in BenchId::ALL {
+            let stats = run_bench_oracle(id, Variant::Modified, &p.config(), &oracle_params(2));
+            let report = stats.certify.as_ref().expect("oracle certifies");
+            assert!(report.ok(), "{p}/{id}:\n{report}");
+        }
+    }
+}
+
+#[test]
+fn certifier_handles_single_thread_and_high_thread_counts() {
+    for threads in [1u32, 8] {
+        for id in BenchId::ALL {
+            let stats = run_bench_oracle(
+                id,
+                Variant::Modified,
+                &Platform::IntelCore.config(),
+                &oracle_params(threads),
+            );
+            assert!(stats.certify.as_ref().is_some_and(|r| r.ok()), "{id} @ {threads}");
+        }
+    }
+}
+
+#[test]
+fn original_variants_certify_too() {
+    for id in BenchId::MODIFIED_SET {
+        let stats = run_bench_oracle(
+            id,
+            Variant::Original,
+            &Platform::Power8.config(),
+            &oracle_params(2),
+        );
+        assert!(stats.certify.as_ref().is_some_and(|r| r.ok()), "{id} (original)");
+    }
+}
+
+#[test]
+fn certifier_passes_under_a_fault_storm() {
+    // PR-1's fault storm forces heavy abort/fallback traffic through every
+    // execution path; the committed schedule must still serialize.
+    let storm = FaultPlan::none()
+        .transient_abort_per_begin(0.3)
+        .capacity_abort_per_begin(0.1)
+        .transient_abort_per_access(0.02)
+        .doom_at_commit(0.1)
+        .lock_release_delay(100);
+    for id in [BenchId::Ssca2, BenchId::Intruder, BenchId::Genome, BenchId::VacationHigh] {
+        let params = BenchParams { faults: storm, ..oracle_params(4) };
+        let stats =
+            run_bench_oracle(id, Variant::Modified, &Platform::IntelCore.config(), &params);
+        let report = stats.certify.as_ref().expect("oracle certifies");
+        assert!(report.ok(), "{id} under storm:\n{report}");
+        assert!(stats.injected_faults() > 0, "{id}: the storm must actually fire");
+    }
+}
+
+#[test]
+fn certified_measurement_populates_run_stats() {
+    // The BenchParams::certify flag routes through `measure` and attaches
+    // the report without disturbing the measured counters.
+    let machine = Platform::Zec12.config();
+    let base = oracle_params(2);
+    let plain = stamp::run_bench(BenchId::Ssca2, Variant::Modified, &machine, &base);
+    let certified = stamp::run_bench(
+        BenchId::Ssca2,
+        Variant::Modified,
+        &machine,
+        &BenchParams { certify: true, ..base },
+    );
+    assert!(plain.stats.certify.is_none());
+    let report = certified.stats.certify.as_ref().expect("certify flag set");
+    assert!(report.ok(), "{report}");
+    assert!(report.events > 0, "committed blocks must have been captured");
+    assert_eq!(plain.stats.committed_blocks(), certified.stats.committed_blocks());
+}
