@@ -1,0 +1,267 @@
+//! Abort-blame analysis: who aborted whom, on which line, how often — and
+//! which of those lines are victims of false sharing.
+//!
+//! Input is the attributed conflict stream a sanitized run records
+//! ([`ConflictEvent`]: victim thread, aggressor thread when known, conflict
+//! line, cause). The matrix answers the paper's practical tuning questions
+//! — is contention concentrated on one line? symmetric between threads? —
+//! and the false-sharing pass tells *spurious* contention (disjoint word
+//! footprints sharing a conflict-detection line) from real data conflicts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use htm_core::{ConflictEvent, LineId, WordAddr};
+
+/// Per-line / per-thread-pair conflict counts for one run.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictMatrix {
+    pairs: BTreeMap<(u32, Option<u32>), u64>,
+    lines: BTreeMap<LineId, u64>,
+    total: u64,
+}
+
+impl ConflictMatrix {
+    /// Folds a stream of attributed conflicts into a matrix.
+    pub fn from_events<I: IntoIterator<Item = ConflictEvent>>(events: I) -> ConflictMatrix {
+        let mut m = ConflictMatrix::default();
+        for e in events {
+            *m.pairs.entry((e.victim, e.aggressor)).or_insert(0) += 1;
+            *m.lines.entry(e.line).or_insert(0) += 1;
+            m.total += 1;
+        }
+        m
+    }
+
+    /// Builds the matrix from a sanitized run's statistics.
+    pub fn from_stats(stats: &htm_runtime::RunStats) -> ConflictMatrix {
+        ConflictMatrix::from_events(stats.conflicts())
+    }
+
+    /// Total attributed conflict aborts.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// How often `aggressor` doomed `victim` (`None` = a non-transactional
+    /// access or an unidentified aggressor).
+    pub fn pair(&self, victim: u32, aggressor: Option<u32>) -> u64 {
+        self.pairs.get(&(victim, aggressor)).copied().unwrap_or(0)
+    }
+
+    /// All (victim, aggressor) pairs with their counts, victim-ordered.
+    pub fn pairs(&self) -> impl Iterator<Item = ((u32, Option<u32>), u64)> + '_ {
+        self.pairs.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Conflict aborts attributed to `line`.
+    pub fn line(&self, line: LineId) -> u64 {
+        self.lines.get(&line).copied().unwrap_or(0)
+    }
+
+    /// All conflict lines sorted hottest-first (ties broken by line ID, so
+    /// the order is deterministic).
+    pub fn hot_lines(&self) -> Vec<(LineId, u64)> {
+        let mut v: Vec<(LineId, u64)> = self.lines.iter().map(|(&l, &c)| (l, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The hottest conflict line, if any conflict was attributed.
+    pub fn hottest(&self) -> Option<(LineId, u64)> {
+        self.hot_lines().into_iter().next()
+    }
+}
+
+impl fmt::Display for ConflictMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} attributed conflict abort(s)", self.total)?;
+        for ((victim, aggressor), n) in &self.pairs {
+            match aggressor {
+                Some(a) => writeln!(f, "  thread {a} doomed thread {victim}: {n}")?,
+                None => writeln!(f, "  non-tx access doomed thread {victim}: {n}")?,
+            }
+        }
+        for (line, n) in self.hot_lines() {
+            writeln!(f, "  {line:?}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A conflict line whose transactions touch disjoint words: the contention
+/// is an artifact of the conflict-detection granularity, not of the data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FalseSharing {
+    /// The falsely shared conflict-detection line.
+    pub line: LineId,
+    /// Conflict aborts attributed to the line.
+    pub conflicts: u64,
+    /// Distinct words on the line that were accessed, sorted.
+    pub words: Vec<WordAddr>,
+    /// Distinct per-block word footprints observed on the line.
+    pub footprints: usize,
+}
+
+impl fmt::Display for FalseSharing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "false sharing on {:?}: {} conflict(s), {} disjoint footprint(s) over {} word(s)",
+            self.line,
+            self.conflicts,
+            self.footprints,
+            self.words.len()
+        )
+    }
+}
+
+/// Finds false sharing: conflict lines (≥ `min_conflicts` attributed
+/// aborts) where two atomic blocks have **disjoint** word footprints with
+/// at least one writer — blocks that could never conflict at word
+/// granularity, yet abort each other at line granularity.
+///
+/// `blocks` are per-block *word*-granularity (load, store) footprints
+/// (trace at granularity 8 with
+/// [`SeqTracer::line_sets`](htm_runtime::SeqTracer::line_sets), where a
+/// "line" ID is the word address); `words_per_line` is the platform's
+/// conflict-detection granularity in words. Per-block resolution matters:
+/// over a whole run every thread may touch every word of a hot line, but a
+/// single transaction touches only its own object — block footprints are
+/// what the conflict hardware actually compares.
+pub fn detect_false_sharing(
+    matrix: &ConflictMatrix,
+    blocks: &[(Vec<u32>, Vec<u32>)],
+    words_per_line: u32,
+    min_conflicts: u64,
+) -> Vec<FalseSharing> {
+    let wpl = words_per_line.max(1);
+    let hot: Vec<(LineId, u64)> =
+        matrix.hot_lines().into_iter().filter(|&(_, c)| c >= min_conflicts).collect();
+
+    let mut findings = Vec::new();
+    for (line, conflicts) in hot {
+        // Distinct per-block footprints on this line (identical footprints
+        // collapse, so kmeans' 512 updates of 4 clusters become 4 entries).
+        let mut distinct: Vec<(Vec<u32>, bool)> = Vec::new();
+        for (loads, stores) in blocks {
+            let mut words: Vec<u32> =
+                loads.iter().chain(stores).filter(|&&w| w / wpl == line.0).copied().collect();
+            if words.is_empty() {
+                continue;
+            }
+            words.sort_unstable();
+            words.dedup();
+            let wrote = stores.iter().any(|&w| w / wpl == line.0);
+            match distinct.iter_mut().find(|(f, _)| *f == words) {
+                Some((_, w)) => *w |= wrote,
+                None => distinct.push((words, wrote)),
+            }
+        }
+        let disjoint_write_pair = distinct.iter().enumerate().any(|(i, a)| {
+            distinct[i + 1..].iter().any(|b| (a.1 || b.1) && a.0.iter().all(|w| !b.0.contains(w)))
+        });
+        if !disjoint_write_pair {
+            continue;
+        }
+        let mut words: Vec<WordAddr> =
+            distinct.iter().flat_map(|(f, _)| f.iter().map(|&w| WordAddr(w))).collect();
+        words.sort_unstable();
+        words.dedup();
+        findings.push(FalseSharing { line, conflicts, words, footprints: distinct.len() });
+    }
+    findings.sort_by(|a, b| b.conflicts.cmp(&a.conflicts).then(a.line.cmp(&b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_core::AbortCause;
+
+    fn ev(victim: u32, aggressor: Option<u32>, line: u32) -> ConflictEvent {
+        ConflictEvent { victim, aggressor, line: LineId(line), cause: AbortCause::ConflictTxStore }
+    }
+
+    /// A block footprint: (loaded words, stored words).
+    fn blk(loads: &[u32], stores: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        (loads.to_vec(), stores.to_vec())
+    }
+
+    #[test]
+    fn matrix_counts_pairs_and_lines() {
+        let m = ConflictMatrix::from_events([ev(0, Some(1), 5), ev(0, Some(1), 5), ev(1, None, 6)]);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.pair(0, Some(1)), 2);
+        assert_eq!(m.pair(1, None), 1);
+        assert_eq!(m.pair(2, None), 0);
+        assert_eq!(m.line(LineId(5)), 2);
+        assert_eq!(m.hottest(), Some((LineId(5), 2)));
+        assert_eq!(m.hot_lines(), vec![(LineId(5), 2), (LineId(6), 1)]);
+        let shown = m.to_string();
+        assert!(shown.contains("thread 1 doomed thread 0: 2"), "{shown}");
+    }
+
+    #[test]
+    fn disjoint_block_footprints_are_false_sharing() {
+        // 8 words per line; two blocks write different words of line 0.
+        let m = ConflictMatrix::from_events([ev(0, Some(1), 0), ev(1, Some(0), 0)]);
+        let blocks = vec![blk(&[], &[0]), blk(&[], &[4])];
+        let f = detect_false_sharing(&m, &blocks, 8, 1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, LineId(0));
+        assert_eq!(f[0].words, vec![WordAddr(0), WordAddr(4)]);
+        assert_eq!(f[0].footprints, 2);
+        assert_eq!(f[0].conflicts, 2);
+        assert!(f[0].to_string().contains("false sharing"));
+    }
+
+    #[test]
+    fn true_sharing_is_not_flagged() {
+        // Both blocks write the same word: a genuine conflict.
+        let m = ConflictMatrix::from_events([ev(0, Some(1), 0)]);
+        let blocks = vec![blk(&[3], &[3]), blk(&[3], &[3])];
+        assert!(detect_false_sharing(&m, &blocks, 8, 1).is_empty());
+    }
+
+    #[test]
+    fn read_only_disjoint_footprints_are_not_flagged() {
+        let m = ConflictMatrix::from_events([ev(0, Some(1), 0)]);
+        let blocks = vec![blk(&[0], &[]), blk(&[4], &[])];
+        assert!(detect_false_sharing(&m, &blocks, 8, 1).is_empty());
+    }
+
+    #[test]
+    fn cold_lines_are_skipped() {
+        let m = ConflictMatrix::from_events([ev(0, Some(1), 0)]);
+        let blocks = vec![blk(&[], &[0]), blk(&[], &[4])];
+        assert!(detect_false_sharing(&m, &blocks, 8, 10).is_empty(), "below min_conflicts");
+    }
+
+    #[test]
+    fn overlapping_plus_disjoint_pair_still_flags() {
+        // Two block shapes overlap on word 3, but a third is disjoint from
+        // both — the line still shows false sharing.
+        let m = ConflictMatrix::from_events([ev(0, Some(2), 0), ev(2, Some(0), 0)]);
+        let blocks = vec![blk(&[3], &[3]), blk(&[3, 4], &[3]), blk(&[5], &[5])];
+        let f = detect_false_sharing(&m, &blocks, 8, 1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].footprints, 3);
+    }
+
+    #[test]
+    fn identical_footprints_collapse() {
+        // kmeans-style: many blocks, few distinct shapes, disjoint records
+        // packed on one line.
+        let m = ConflictMatrix::from_events(vec![ev(0, Some(1), 0); 20]);
+        let mut blocks = Vec::new();
+        for _ in 0..100 {
+            blocks.push(blk(&[0, 1], &[0, 1]));
+            blocks.push(blk(&[4, 5], &[4, 5]));
+        }
+        let f = detect_false_sharing(&m, &blocks, 8, 1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].footprints, 2);
+        assert_eq!(f[0].words.len(), 4);
+    }
+}

@@ -1,0 +1,148 @@
+//! Static capacity prediction: replay traced per-block line footprints
+//! against a platform's capacity-tracking model.
+//!
+//! The paper measured capacity aborts by running each benchmark on real
+//! hardware; here we *predict* them from a sequential footprint trace
+//! ([`SeqTracer::line_sets`](htm_runtime::SeqTracer::line_sets)) and each
+//! machine's documented limits ([`TrackerKind::predict_abort`]): Blue
+//! Gene/Q's 20 MB L2 byte budget, zEC12's LRU-extension vector over the
+//! 96 KB L1, Intel's L1 eviction with set-associativity, POWER8's 64-entry
+//! TMCAM. Every tracker rule is monotone in the footprint, so "this block
+//! cannot commit in hardware on platform X" is a sound static verdict.
+
+use std::fmt;
+
+use htm_core::{AbortCause, LineId};
+use htm_machine::TrackerKind;
+
+/// Predicted capacity behaviour of one (benchmark × platform) cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CapacityCell {
+    /// Traced atomic blocks examined.
+    pub blocks: u64,
+    /// Blocks predicted to overflow the platform's tracking structure.
+    pub predicted: u64,
+    /// Predicted overflows blamed on the load footprint.
+    pub read_caused: u64,
+    /// Predicted overflows blamed on the store footprint.
+    pub write_caused: u64,
+}
+
+impl CapacityCell {
+    /// Fraction of blocks that cannot commit in hardware (0 when no block
+    /// was traced).
+    pub fn fraction(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.predicted as f64 / self.blocks as f64
+        }
+    }
+}
+
+impl fmt::Display for CapacityCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} block(s) predicted to overflow ({} read-caused, {} write-caused)",
+            self.predicted, self.blocks, self.read_caused, self.write_caused
+        )
+    }
+}
+
+/// Predicts capacity aborts for every traced block.
+///
+/// `blocks` are per-block (load-line, store-line) ID sets at the tracker's
+/// own line granularity (trace with granularity
+/// [`TrackerKind::line_bytes`]); `share` is the SMT share of the tracking
+/// structure (1 = thread owns it). `subscription_line` models the
+/// global-lock subscription read the runtime adds to every hardware
+/// transaction: that line joins each block's load set unless already
+/// present.
+pub fn predict_capacity(
+    kind: TrackerKind,
+    share: u32,
+    blocks: &[(Vec<u32>, Vec<u32>)],
+    subscription_line: Option<u32>,
+) -> CapacityCell {
+    let mut cell = CapacityCell { blocks: blocks.len() as u64, ..CapacityCell::default() };
+    for (loads, stores) in blocks {
+        let mut load_lines: Vec<LineId> = loads.iter().map(|&l| LineId(l)).collect();
+        if let Some(sub) = subscription_line {
+            if !loads.contains(&sub) {
+                load_lines.push(LineId(sub));
+            }
+        }
+        let store_lines: Vec<LineId> = stores.iter().map(|&l| LineId(l)).collect();
+        match kind.predict_abort(share, &load_lines, &store_lines) {
+            Some(AbortCause::CapacityRead) => {
+                cell.predicted += 1;
+                cell.read_caused += 1;
+            }
+            Some(_) => {
+                cell.predicted += 1;
+                cell.write_caused += 1;
+            }
+            None => {}
+        }
+    }
+    cell
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmcam(entries: u32) -> TrackerKind {
+        TrackerKind::Tmcam { entries, line_bytes: 128 }
+    }
+
+    #[test]
+    fn small_blocks_fit_large_blocks_overflow() {
+        let blocks = vec![
+            ((0..4u32).collect(), vec![100, 101]), // 6 lines: fits in 8
+            ((0..20u32).collect(), vec![]),        // 20 load lines: overflows
+        ];
+        let cell = predict_capacity(tmcam(8), 1, &blocks, None);
+        assert_eq!(cell.blocks, 2);
+        assert_eq!(cell.predicted, 1);
+        assert_eq!(cell.read_caused, 1);
+        assert_eq!(cell.write_caused, 0);
+        assert!((cell.fraction() - 0.5).abs() < 1e-12);
+        assert!(cell.to_string().contains("1/2"));
+    }
+
+    #[test]
+    fn subscription_line_tips_a_full_block_over() {
+        // Exactly at the 8-entry bound; the lock subscription adds a 9th.
+        let blocks = vec![((0..8u32).collect(), vec![])];
+        assert_eq!(predict_capacity(tmcam(8), 1, &blocks, None).predicted, 0);
+        assert_eq!(predict_capacity(tmcam(8), 1, &blocks, Some(u32::MAX)).predicted, 1);
+        // Already-subscribed line is not double-counted.
+        assert_eq!(predict_capacity(tmcam(8), 1, &blocks, Some(3)).predicted, 0);
+    }
+
+    #[test]
+    fn smt_share_shrinks_the_budget() {
+        let blocks = vec![((0..8u32).collect(), vec![])];
+        assert_eq!(predict_capacity(tmcam(16), 1, &blocks, None).predicted, 0);
+        assert_eq!(predict_capacity(tmcam(16), 4, &blocks, None).predicted, 1);
+    }
+
+    #[test]
+    fn union_overflow_is_write_blamed() {
+        // 5 loads + 5 stores overflow an 8-entry union bound, but the loads
+        // alone fit: blame falls on the store side.
+        let blocks = vec![((0..5u32).collect(), (10..15u32).collect())];
+        let cell = predict_capacity(tmcam(8), 1, &blocks, None);
+        assert_eq!(cell.predicted, 1);
+        assert_eq!(cell.write_caused, 1);
+    }
+
+    #[test]
+    fn empty_trace_predicts_nothing() {
+        let cell = predict_capacity(tmcam(8), 1, &[], None);
+        assert_eq!(cell.blocks, 0);
+        assert_eq!(cell.fraction(), 0.0);
+    }
+}

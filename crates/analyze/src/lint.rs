@@ -1,0 +1,416 @@
+//! The `htm-lint` rule engine: evaluates workload-health rules over one
+//! sanitized benchmark cell and gates CI on a configurable rule subset.
+//!
+//! Rules:
+//!
+//! * `race` — the happens-before sanitizer found unsynchronized accesses
+//!   (or its capture truncated, which may hide them): always an error,
+//! * `false-sharing` — conflict aborts on a line whose atomic blocks touch
+//!   disjoint words ([`detect_false_sharing`]),
+//! * `capacity-overflow` — the static capacity pass predicts that (almost)
+//!   no block can commit in hardware on this platform,
+//! * `hot-line` — one conflict line accounts for most attributed aborts,
+//! * `excessive-retry` — the run burned far more aborted blocks than
+//!   committed ones.
+
+use std::fmt;
+
+use crate::blame::{detect_false_sharing, ConflictMatrix};
+use crate::capacity::CapacityCell;
+use crate::json::Json;
+
+/// How bad a violation is. Ordering: `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth knowing, not worth acting on.
+    Info,
+    /// The workload likely leaves performance on the table.
+    Warning,
+    /// The workload is incorrect or cannot profit from HTM at all.
+    Error,
+}
+
+impl Severity {
+    fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Happens-before data race (or truncated race capture).
+    Race,
+    /// Conflicts caused by the detection granularity, not the data.
+    FalseSharing,
+    /// Statically predicted capacity overflow on this platform.
+    CapacityOverflow,
+    /// One line dominates the conflict-abort profile.
+    HotLine,
+    /// Aborted blocks dwarf committed ones.
+    ExcessiveRetry,
+}
+
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 5] = [
+        Rule::Race,
+        Rule::FalseSharing,
+        Rule::CapacityOverflow,
+        Rule::HotLine,
+        Rule::ExcessiveRetry,
+    ];
+
+    /// The rule's kebab-case name (CLI and JSON identifier).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Race => "race",
+            Rule::FalseSharing => "false-sharing",
+            Rule::CapacityOverflow => "capacity-overflow",
+            Rule::HotLine => "hot-line",
+            Rule::ExcessiveRetry => "excessive-retry",
+        }
+    }
+
+    /// Parses a kebab-case rule name.
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation in one (benchmark × platform) cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Severity of this instance.
+    pub severity: Severity,
+    /// Benchmark label (e.g. `"kmeans-high"`).
+    pub bench: String,
+    /// Platform label (e.g. `"zEC12"`).
+    pub platform: String,
+    /// The measured quantity the rule triggered on (count, fraction, or
+    /// ratio, per rule).
+    pub measure: f64,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("rule".into(), Json::str(self.rule.name())),
+            ("severity".into(), Json::str(self.severity.name())),
+            ("bench".into(), Json::str(&*self.bench)),
+            ("platform".into(), Json::str(&*self.platform)),
+            ("measure".into(), Json::Num(self.measure)),
+            ("detail".into(), Json::str(&*self.detail)),
+        ])
+    }
+
+    /// Deserializes from [`Violation::to_json`]'s shape.
+    pub fn from_json(v: &Json) -> Result<Violation, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        let text = |k: &str| {
+            field(k)?.as_str().map(str::to_owned).ok_or_else(|| format!("field {k:?} not a string"))
+        };
+        Ok(Violation {
+            rule: Rule::parse(&text("rule")?).ok_or("unknown rule")?,
+            severity: Severity::parse(&text("severity")?).ok_or("unknown severity")?,
+            bench: text("bench")?,
+            platform: text("platform")?,
+            measure: field("measure")?.as_f64().ok_or("measure not a number")?,
+            detail: text("detail")?,
+        })
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {} on {}: {}",
+            self.severity, self.rule, self.bench, self.platform, self.detail
+        )
+    }
+}
+
+/// Serializes a full lint report (all cells' violations).
+pub fn report_to_json(violations: &[Violation]) -> Json {
+    Json::Obj(vec![(
+        "violations".into(),
+        Json::Arr(violations.iter().map(Violation::to_json).collect()),
+    )])
+}
+
+/// Parses a report produced by [`report_to_json`].
+pub fn report_from_json(text: &str) -> Result<Vec<Violation>, String> {
+    let doc = Json::parse(text)?;
+    doc.get("violations")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"violations\" array")?
+        .iter()
+        .map(Violation::from_json)
+        .collect()
+}
+
+/// Tunable rule thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// `false-sharing`: minimum conflict aborts on a line before its word
+    /// footprints are examined.
+    pub false_sharing_min_conflicts: u64,
+    /// `capacity-overflow`: predicted-overflow block fraction that triggers
+    /// a warning.
+    pub capacity_warn_fraction: f64,
+    /// `capacity-overflow`: fraction that escalates to an error (HTM is
+    /// useless for the workload on this platform).
+    pub capacity_error_fraction: f64,
+    /// `hot-line`: minimum attributed conflicts before concentration is
+    /// judged.
+    pub hot_line_min_conflicts: u64,
+    /// `hot-line`: share of all conflicts on the hottest line that
+    /// triggers.
+    pub hot_line_share: f64,
+    /// `excessive-retry`: aborted-to-committed block ratio that triggers.
+    pub excessive_retry_ratio: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            false_sharing_min_conflicts: 16,
+            capacity_warn_fraction: 0.5,
+            capacity_error_fraction: 0.95,
+            hot_line_min_conflicts: 256,
+            hot_line_share: 0.75,
+            excessive_retry_ratio: 4.0,
+        }
+    }
+}
+
+/// Lints one sanitized (benchmark × platform) cell.
+///
+/// `word_blocks` are per-block word-granularity (load, store) footprints
+/// from a sequential trace (for the false-sharing check — pass `&[]` when
+/// no trace is available and the rule is skipped); `words_per_line` is the
+/// platform's conflict-detection granularity in words; `capacity` is the
+/// static prediction for this cell, or `None` when no footprint trace is
+/// available.
+pub fn lint_cell(
+    bench: &str,
+    platform: &str,
+    stats: &htm_runtime::RunStats,
+    capacity: Option<&CapacityCell>,
+    word_blocks: &[(Vec<u32>, Vec<u32>)],
+    words_per_line: u32,
+    th: &Thresholds,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mk = |rule: Rule, severity: Severity, measure: f64, detail: String| Violation {
+        rule,
+        severity,
+        bench: bench.to_owned(),
+        platform: platform.to_owned(),
+        measure,
+        detail,
+    };
+
+    let race = stats.race.as_ref();
+    if let Some(report) = race {
+        if !report.ok() {
+            let detail = if report.races.is_empty() {
+                "race capture truncated; races may be hidden".to_owned()
+            } else {
+                format!("{} distinct race(s); first: {}", report.races.len(), report.races[0])
+            };
+            out.push(mk(Rule::Race, Severity::Error, report.races.len() as f64, detail));
+        }
+    }
+
+    let matrix = ConflictMatrix::from_stats(stats);
+    for f in
+        detect_false_sharing(&matrix, word_blocks, words_per_line, th.false_sharing_min_conflicts)
+    {
+        out.push(mk(Rule::FalseSharing, Severity::Warning, f.conflicts as f64, f.to_string()));
+    }
+
+    if let Some(cap) = capacity {
+        let frac = cap.fraction();
+        if frac >= th.capacity_warn_fraction {
+            let severity = if frac >= th.capacity_error_fraction {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            out.push(mk(Rule::CapacityOverflow, severity, frac, format!("{cap}")));
+        }
+    }
+
+    if matrix.total() >= th.hot_line_min_conflicts {
+        if let Some((line, n)) = matrix.hottest() {
+            let share = n as f64 / matrix.total() as f64;
+            if share >= th.hot_line_share {
+                out.push(mk(
+                    Rule::HotLine,
+                    Severity::Info,
+                    share,
+                    format!(
+                        "{line:?} accounts for {n} of {} attributed conflict abort(s)",
+                        matrix.total()
+                    ),
+                ));
+            }
+        }
+    }
+
+    let committed = stats.committed_blocks();
+    if committed > 0 {
+        let ratio = stats.total_aborts() as f64 / committed as f64;
+        if ratio >= th.excessive_retry_ratio {
+            out.push(mk(
+                Rule::ExcessiveRetry,
+                Severity::Warning,
+                ratio,
+                format!(
+                    "{} abort(s) for {committed} committed block(s) ({ratio:.1}x)",
+                    stats.total_aborts()
+                ),
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(&b.rule)));
+    out
+}
+
+/// A CI gate: the set of rules whose violations fail the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gate {
+    rules: Vec<Rule>,
+}
+
+impl Gate {
+    /// Parses a comma-separated rule list (e.g.
+    /// `"race,capacity-overflow"`). An empty string gates on nothing.
+    pub fn parse(s: &str) -> Result<Gate, String> {
+        let mut rules = Vec::new();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let rule = Rule::parse(part).ok_or_else(|| format!("unknown lint rule {part:?}"))?;
+            if !rules.contains(&rule) {
+                rules.push(rule);
+            }
+        }
+        Ok(Gate { rules })
+    }
+
+    /// A gate on every rule.
+    pub fn all() -> Gate {
+        Gate { rules: Rule::ALL.to_vec() }
+    }
+
+    /// The gated rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The violations that fail this gate.
+    pub fn failing<'a>(&self, violations: &'a [Violation]) -> Vec<&'a Violation> {
+        violations.iter().filter(|v| self.rules.contains(&v.rule)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: Rule) -> Violation {
+        Violation {
+            rule,
+            severity: Severity::Warning,
+            bench: "kmeans-high".into(),
+            platform: "zEC12".into(),
+            measure: 0.5,
+            detail: "test \"detail\"".into(),
+        }
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::parse(r.name()), Some(r), "{r}");
+        }
+        assert_eq!(Rule::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn severities_are_ordered() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::parse("error"), Some(Severity::Error));
+        assert_eq!(Severity::parse("x"), None);
+    }
+
+    #[test]
+    fn violation_json_round_trips() {
+        let vs: Vec<Violation> = Rule::ALL.map(v).to_vec();
+        let text = report_to_json(&vs).to_string();
+        let back = report_from_json(&text).unwrap();
+        assert_eq!(back, vs);
+    }
+
+    #[test]
+    fn report_parse_rejects_wrong_shapes() {
+        assert!(report_from_json("{}").is_err());
+        assert!(report_from_json(r#"{"violations":[{}]}"#).is_err());
+        assert!(report_from_json(r#"{"violations":[{"rule":"not-a-rule"}]}"#).is_err());
+        assert!(report_from_json("[1]").is_err());
+    }
+
+    #[test]
+    fn gate_parses_and_filters() {
+        let g = Gate::parse("race, capacity-overflow,race").unwrap();
+        assert_eq!(g.rules(), &[Rule::Race, Rule::CapacityOverflow]);
+        let vs = vec![v(Rule::Race), v(Rule::HotLine)];
+        let failing = g.failing(&vs);
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].rule, Rule::Race);
+        assert!(Gate::parse("").unwrap().rules().is_empty());
+        assert!(Gate::parse("bogus").is_err());
+        assert_eq!(Gate::all().rules().len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn violation_displays_its_cell() {
+        let s = v(Rule::FalseSharing).to_string();
+        assert!(s.contains("false-sharing"), "{s}");
+        assert!(s.contains("kmeans-high"), "{s}");
+        assert!(s.contains("warning"), "{s}");
+    }
+}

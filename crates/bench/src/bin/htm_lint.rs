@@ -1,0 +1,245 @@
+//! `htm-lint` — workload lint driver.
+//!
+//! Runs STAMP benchmarks under the happens-before race sanitizer and the
+//! abort-blame/capacity analyzers, prints a per-cell health table plus the
+//! rule violations, and writes a machine-readable JSON report. With
+//! `--gate rule,rule` the process exits non-zero when a gated rule fires —
+//! that is the CI entry point.
+
+use htm_analyze::{lint, predict_capacity, CapacityCell, Gate, Thresholds, Violation};
+use htm_bench::{machine_for, render_table, tuned_policy};
+use htm_machine::{MachineConfig, Platform};
+use stamp::{BenchId, Scale, Variant, Workload};
+
+struct Opts {
+    scale: Scale,
+    seed: u64,
+    threads: u32,
+    variant: Variant,
+    benches: Vec<BenchId>,
+    platforms: Vec<Platform>,
+    gate: Gate,
+    json_path: String,
+    thresholds: Thresholds,
+}
+
+const USAGE: &str = "options: --scale tiny|sim|full   --seed N   --threads N \
+                     \n         --variant original|modified   --bench b1,b2,...   --platform p1,p2,... \
+                     \n         --gate rule1,rule2,...   --json PATH   --capacity-warn F";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_bench(s: &str) -> BenchId {
+    BenchId::ALL
+        .into_iter()
+        .find(|b| b.label() == s)
+        .unwrap_or_else(|| usage_error(&format!("unknown benchmark {s:?}")))
+}
+
+fn parse_platform(s: &str) -> Platform {
+    match s {
+        "bgq" | "blue-gene-q" => Platform::BlueGeneQ,
+        "zec12" => Platform::Zec12,
+        "intel" | "intel-core" => Platform::IntelCore,
+        "power8" => Platform::Power8,
+        other => usage_error(&format!("unknown platform {other:?} (bgq|zec12|intel|power8)")),
+    }
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        scale: Scale::Tiny,
+        seed: 42,
+        threads: 8,
+        variant: Variant::Modified,
+        benches: BenchId::ALL.to_vec(),
+        platforms: Platform::ALL.to_vec(),
+        gate: Gate::parse("").expect("empty gate"),
+        json_path: "target/results/htm_lint.json".into(),
+        thresholds: Thresholds::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| usage_error(&format!("{flag} needs an argument")))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = match next(&mut args, "--scale").as_str() {
+                    "tiny" => Scale::Tiny,
+                    "sim" => Scale::Sim,
+                    "full" => Scale::Full,
+                    other => usage_error(&format!("--scale tiny|sim|full (got {other:?})")),
+                }
+            }
+            "--seed" => {
+                opts.seed = next(&mut args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed needs an integer"));
+            }
+            "--threads" => {
+                opts.threads = next(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--threads needs an integer"));
+            }
+            "--variant" => {
+                opts.variant = match next(&mut args, "--variant").as_str() {
+                    "original" => Variant::Original,
+                    "modified" => Variant::Modified,
+                    other => usage_error(&format!("--variant original|modified (got {other:?})")),
+                }
+            }
+            "--bench" => {
+                opts.benches =
+                    next(&mut args, "--bench").split(',').map(parse_bench).collect();
+            }
+            "--platform" => {
+                opts.platforms =
+                    next(&mut args, "--platform").split(',').map(parse_platform).collect();
+            }
+            "--gate" => {
+                opts.gate = Gate::parse(&next(&mut args, "--gate"))
+                    .unwrap_or_else(|e| usage_error(&e));
+            }
+            "--json" => opts.json_path = next(&mut args, "--json"),
+            "--capacity-warn" => {
+                opts.thresholds.capacity_warn_fraction = next(&mut args, "--capacity-warn")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--capacity-warn needs a fraction"));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown option {other}")),
+        }
+    }
+    opts
+}
+
+/// Per-block (load, store) line-ID sets at `granularity` bytes, traced
+/// sequentially and cached. The cache key includes the machine's conflict
+/// granularity because workload *layout* can depend on it (kmeans aligns
+/// its accumulators to the conflict-line size), so traces are only shared
+/// between platforms whose layouts match.
+fn blocks_at(
+    traced: &mut Vec<((u32, u32), Vec<(Vec<u32>, Vec<u32>)>)>,
+    granularity: u32,
+    make: &dyn Fn() -> Box<dyn Workload>,
+    machine: &MachineConfig,
+    seed: u64,
+) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let key = (granularity, machine.granularity);
+    if let Some((_, b)) = traced.iter().find(|(k, _)| *k == key) {
+        return b.clone();
+    }
+    let tracer = stamp::trace_line_sets(&|| make(), machine, &[granularity], seed);
+    let b = tracer.line_sets(0).to_vec();
+    traced.push((key, b.clone()));
+    b
+}
+
+fn platform_label(p: Platform) -> &'static str {
+    match p {
+        Platform::BlueGeneQ => "bgq",
+        Platform::Zec12 => "zec12",
+        Platform::IntelCore => "intel",
+        Platform::Power8 => "power8",
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut violations: Vec<Violation> = Vec::new();
+
+    for &bench in &opts.benches {
+        // Traces are cached per (trace granularity, layout granularity);
+        // see `blocks_at`.
+        let mut traced: Vec<((u32, u32), Vec<(Vec<u32>, Vec<u32>)>)> = Vec::new();
+        for &platform in &opts.platforms {
+            let machine = machine_for(platform, bench);
+            let policy = tuned_policy(platform, bench);
+            let make =
+                stamp::workload_factory(bench, opts.variant, &machine, opts.scale, opts.seed);
+
+            let stats =
+                stamp::run_sanitized(&|| make(), &machine, opts.threads, policy, opts.seed);
+
+            let kind = machine.tracker;
+            let line_bytes = kind.line_bytes();
+            let blocks = blocks_at(&mut traced, line_bytes, &make, &machine, opts.seed);
+            // Word-granularity footprints feed the false-sharing check:
+            // blocks whose 8-byte words never overlap cannot truly
+            // conflict, whatever the detection line size says.
+            let word_blocks = blocks_at(&mut traced, 8, &make, &machine, opts.seed);
+            // Threads share a tracking structure once they outnumber
+            // cores; the lock-subscription read occupies one extra line
+            // (u32::MAX cannot collide with a real traced line).
+            let share = opts.threads.div_ceil(machine.cores).max(1);
+            let capacity: CapacityCell =
+                predict_capacity(kind, share, &blocks, Some(u32::MAX));
+
+            let cell = lint::lint_cell(
+                bench.label(),
+                platform_label(platform),
+                &stats,
+                Some(&capacity),
+                &word_blocks,
+                machine.granularity / 8,
+                &opts.thresholds,
+            );
+
+            let races = stats.race.as_ref().map_or(0, |r| r.races.len());
+            rows.push(vec![
+                bench.label().to_owned(),
+                platform_label(platform).to_owned(),
+                stats.committed_blocks().to_string(),
+                stats.total_aborts().to_string(),
+                races.to_string(),
+                format!("{:.0}%", capacity.fraction() * 100.0),
+                cell.len().to_string(),
+            ]);
+            violations.extend(cell);
+        }
+    }
+
+    let headers: Vec<String> = ["bench", "platform", "commits", "aborts", "races", "cap-pred", "violations"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    render_table("htm-lint", &headers, &rows);
+
+    if violations.is_empty() {
+        println!("\nno lint violations");
+    } else {
+        println!("\n{} violation(s):", violations.len());
+        for v in &violations {
+            println!("  {v}");
+        }
+    }
+
+    let json = lint::report_to_json(&violations).to_string();
+    if let Some(dir) = std::path::Path::new(&opts.json_path).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+        }
+    }
+    match std::fs::write(&opts.json_path, &json) {
+        Ok(()) => println!("[saved {}]", opts.json_path),
+        Err(e) => eprintln!("warning: could not save {}: {e}", opts.json_path),
+    }
+
+    let failing = opts.gate.failing(&violations);
+    if !failing.is_empty() {
+        eprintln!("\ngate {:?} failed:", opts.gate.rules());
+        for v in failing {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -203,6 +203,7 @@ pub fn run_cell_faulty(
             use_hle: false,
             faults,
             certify: opts.certify,
+            sanitize: false,
         };
         results.push(stamp::run_bench(bench, variant, &machine, &params));
     }

@@ -44,7 +44,10 @@ impl fmt::Display for SimError {
                 write!(f, "worker thread {thread} panicked: {message}")
             }
             SimError::TooManyThreads { requested, available, limit } => {
-                write!(f, "{requested} worker threads requested but {limit} provides only {available}")
+                write!(
+                    f,
+                    "{requested} worker threads requested but {limit} provides only {available}"
+                )
             }
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -77,7 +80,8 @@ mod tests {
         let e = SimError::WorkerPanicked { thread: 3, message: "boom".into() };
         assert!(e.to_string().contains("thread 3"));
         assert!(e.to_string().contains("boom"));
-        let e = SimError::TooManyThreads { requested: 16, available: 8, limit: "Intel Core".into() };
+        let e =
+            SimError::TooManyThreads { requested: 16, available: 8, limit: "Intel Core".into() };
         assert!(e.to_string().contains("16"));
         assert!(e.to_string().contains("8"));
         let e = SimError::InvalidConfig("p = 1.5".into());

@@ -13,7 +13,8 @@
 //!   conflicts through the cache coherence protocol, Section 2 of the paper),
 //! * [`alloc`] — non-transactional allocation of simulated memory,
 //! * [`abort`] — abort causes and the Figure-3 abort categories,
-//! * [`cost`] — the simulated-cycle cost model and per-thread clock.
+//! * [`cost`] — the simulated-cycle cost model and per-thread clock,
+//! * [`hb`] — vector-clock happens-before machinery for the race sanitizer.
 //!
 //! Higher layers add platform models (`htm-machine`), the transaction engine
 //! and Figure-1 retry mechanism (`htm-runtime`), transactional data
@@ -49,14 +50,19 @@ pub mod addr;
 pub mod alloc;
 pub mod cost;
 pub mod error;
+pub mod hb;
 pub mod mem;
 pub mod verify;
 
 pub use abort::{Abort, AbortCategory, AbortCause, TxResult};
-pub use error::{panic_message, SimError, SimResult};
 pub use addr::{Geometry, LineId, WordAddr, WORD_BYTES};
 pub use alloc::{SimAlloc, ThreadAlloc};
 pub use cost::{Clock, CostModel};
+pub use error::{panic_message, SimError, SimResult};
+pub use hb::{
+    detect_races, Access, ConflictEvent, DataRace, RaceAccess, RaceReport, Segment, SyncClock,
+    VectorClock,
+};
 pub use mem::{ConflictPolicy, DoomOutcome, SlotId, TxMemory, MAX_SLOTS};
 pub use verify::{CertifyReport, EventKind, TxEvent, Violation};
 

@@ -85,6 +85,11 @@ fn doomed_status(cause: AbortCause) -> u32 {
     DOOMED | (cause.encode() << 8)
 }
 
+/// Blame-word layout: bit 0 = record valid, bit 1 = aggressor slot present,
+/// bits 2..10 = aggressor slot, bits 32..64 = conflict line.
+const BLAME_VALID: u64 = 1;
+const BLAME_HAS_AGGRESSOR: u64 = 1 << 1;
+
 /// Outcome of an attempt to doom another slot's transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DoomOutcome {
@@ -114,6 +119,9 @@ pub struct TxMemory {
     words: Vec<AtomicU64>,
     lines: Vec<LineState>,
     slots: Vec<AtomicU32>,
+    /// Per-slot blame word for the abort-blame analyzer: who doomed this
+    /// slot last, and on which line (see [`TxMemory::blame_of`]).
+    blame: Vec<AtomicU64>,
     geometry: Geometry,
     /// Test-only sabotage switch: when set, writers skip dooming concurrent
     /// readers, deliberately breaking conflict detection so the runtime
@@ -150,7 +158,16 @@ impl TxMemory {
         });
         let mut slots = Vec::with_capacity(MAX_SLOTS);
         slots.resize_with(MAX_SLOTS, || AtomicU32::new(INACTIVE));
-        TxMemory { words: w, lines, slots, geometry, test_skip_reader_doom: AtomicBool::new(false) }
+        let mut blame = Vec::with_capacity(MAX_SLOTS);
+        blame.resize_with(MAX_SLOTS, || AtomicU64::new(0));
+        TxMemory {
+            words: w,
+            lines,
+            slots,
+            blame,
+            geometry,
+            test_skip_reader_doom: AtomicBool::new(false),
+        }
     }
 
     /// Deliberately disables writer-dooms-readers conflict detection.
@@ -245,6 +262,7 @@ impl TxMemory {
     ///
     /// Panics if the slot already has a live transaction (an engine bug).
     pub fn begin_slot(&self, slot: SlotId) {
+        self.blame[slot.0 as usize].store(0, SeqCst);
         let prev = self.slots[slot.0 as usize].swap(ACTIVE, SeqCst);
         assert_eq!(prev & STATE_MASK, INACTIVE, "slot {slot:?} began while busy");
     }
@@ -260,14 +278,43 @@ impl TxMemory {
         }
     }
 
-    /// Attempts to doom the transaction on `victim`.
+    /// Attempts to doom the transaction on `victim` without recording blame.
     pub fn try_doom(&self, victim: SlotId, cause: AbortCause) -> DoomOutcome {
+        self.doom_inner(victim, cause, 0)
+    }
+
+    /// Attempts to doom the transaction on `victim`, recording who did it
+    /// and on which line for the abort-blame analyzer (retrieved with
+    /// [`TxMemory::blame_of`]).
+    pub fn try_doom_from(
+        &self,
+        victim: SlotId,
+        cause: AbortCause,
+        aggressor: Option<SlotId>,
+        line: LineId,
+    ) -> DoomOutcome {
+        let blame = BLAME_VALID
+            | (line.0 as u64) << 32
+            | match aggressor {
+                Some(a) => BLAME_HAS_AGGRESSOR | (a.0 as u64) << 2,
+                None => 0,
+            };
+        self.doom_inner(victim, cause, blame)
+    }
+
+    fn doom_inner(&self, victim: SlotId, cause: AbortCause, blame: u64) -> DoomOutcome {
         let status = &self.slots[victim.0 as usize];
         loop {
             let s = status.load(SeqCst);
             match s & STATE_MASK {
                 ACTIVE => {
                     if status.compare_exchange(s, doomed_status(cause), SeqCst, SeqCst).is_ok() {
+                        if blame != 0 {
+                            // Written after the doom CAS: a victim polling
+                            // its status in this tiny window sees no blame
+                            // (acceptable — the record is diagnostic only).
+                            self.blame[victim.0 as usize].store(blame, SeqCst);
+                        }
                         return DoomOutcome::Doomed;
                     }
                 }
@@ -277,6 +324,20 @@ impl TxMemory {
                 other => unreachable!("corrupt slot status {other:#x}"),
             }
         }
+    }
+
+    /// Returns the blame recorded when `victim` was last doomed (since its
+    /// last [`TxMemory::begin_slot`]): the aggressor's slot, if it had one,
+    /// and the conflict line. `None` when the doom carried no blame (e.g.
+    /// [`TxMemory::doom_all_active`]) or the slot was never doomed.
+    pub fn blame_of(&self, victim: SlotId) -> Option<(Option<SlotId>, LineId)> {
+        let b = self.blame[victim.0 as usize].load(SeqCst);
+        if b & BLAME_VALID == 0 {
+            return None;
+        }
+        let aggressor =
+            if b & BLAME_HAS_AGGRESSOR != 0 { Some(SlotId(((b >> 2) & 0xff) as u8)) } else { None };
+        Some((aggressor, LineId((b >> 32) as u32)))
     }
 
     /// Transitions `slot` from Active to Committing.
@@ -337,23 +398,25 @@ impl TxMemory {
             let owner = SlotId((w - 1) as u8);
             match policy {
                 ConflictPolicy::RequesterLoses => return Err(AbortCause::ConflictTxStore),
-                ConflictPolicy::RequesterWins => match self.try_doom(owner, AbortCause::ConflictTxLoad) {
-                    DoomOutcome::Doomed | DoomOutcome::AlreadyDoomed => {
-                        // The owner's stores are buffered; the arena still
-                        // holds committed values, so reading is safe even
-                        // before the owner rolls back.
-                        return Ok(());
+                ConflictPolicy::RequesterWins => {
+                    match self.try_doom_from(owner, AbortCause::ConflictTxLoad, Some(slot), line) {
+                        DoomOutcome::Doomed | DoomOutcome::AlreadyDoomed => {
+                            // The owner's stores are buffered; the arena still
+                            // holds committed values, so reading is safe even
+                            // before the owner rolls back.
+                            return Ok(());
+                        }
+                        DoomOutcome::Committing => {
+                            // Wait for the commit flush to finish, then read the
+                            // committed value.
+                            self.spin(&mut spins);
+                        }
+                        DoomOutcome::Inactive => {
+                            // Stale tag about to be cleared; retry.
+                            self.spin(&mut spins);
+                        }
                     }
-                    DoomOutcome::Committing => {
-                        // Wait for the commit flush to finish, then read the
-                        // committed value.
-                        self.spin(&mut spins);
-                    }
-                    DoomOutcome::Inactive => {
-                        // Stale tag about to be cleared; retry.
-                        self.spin(&mut spins);
-                    }
-                },
+                }
             }
         }
     }
@@ -390,7 +453,12 @@ impl TxMemory {
                             return Err(AbortCause::ConflictTxStore);
                         }
                         ConflictPolicy::RequesterWins => {
-                            match self.try_doom(owner, AbortCause::ConflictTxStore) {
+                            match self.try_doom_from(
+                                owner,
+                                AbortCause::ConflictTxStore,
+                                Some(slot),
+                                line,
+                            ) {
                                 DoomOutcome::Doomed
                                 | DoomOutcome::AlreadyDoomed
                                 | DoomOutcome::Committing
@@ -417,7 +485,7 @@ impl TxMemory {
             for victim in BitIter(readers) {
                 // Committing/inactive readers linearize before our commit;
                 // no need to wait for them.
-                let _ = self.try_doom(victim, AbortCause::ConflictTxStore);
+                let _ = self.try_doom_from(victim, AbortCause::ConflictTxStore, Some(slot), line);
             }
         }
         Ok(())
@@ -490,7 +558,7 @@ impl TxMemory {
                 break;
             }
             let owner = SlotId((w - 1) as u8);
-            match self.try_doom(owner, AbortCause::ConflictNonTx) {
+            match self.try_doom_from(owner, AbortCause::ConflictNonTx, by, line) {
                 DoomOutcome::Doomed | DoomOutcome::AlreadyDoomed | DoomOutcome::Inactive => break,
                 DoomOutcome::Committing => self.spin(&mut spins),
             }
@@ -540,7 +608,7 @@ impl TxMemory {
                 break;
             }
             let owner = SlotId((w - 1) as u8);
-            match self.try_doom(owner, AbortCause::ConflictNonTx) {
+            match self.try_doom_from(owner, AbortCause::ConflictNonTx, by, line) {
                 DoomOutcome::Doomed | DoomOutcome::AlreadyDoomed | DoomOutcome::Inactive => break,
                 // Wait for the flush so our store lands after the commit.
                 DoomOutcome::Committing => self.spin(&mut spins),
@@ -549,7 +617,7 @@ impl TxMemory {
         let skip = by.map(|s| s.mask()).unwrap_or(0);
         let readers = ls.readers.load(SeqCst) & !skip;
         for victim in BitIter(readers) {
-            let _ = self.try_doom(victim, AbortCause::ConflictNonTx);
+            let _ = self.try_doom_from(victim, AbortCause::ConflictNonTx, by, line);
         }
     }
 
@@ -655,6 +723,57 @@ mod tests {
         m.start_commit(t).unwrap();
         assert_eq!(m.try_doom(t, AbortCause::ConflictTxStore), DoomOutcome::Committing);
         m.finish_slot(t);
+    }
+
+    #[test]
+    fn blame_records_aggressor_and_line() {
+        let m = mem();
+        let (r, w) = (SlotId(0), SlotId(1));
+        m.begin_slot(r);
+        m.begin_slot(w);
+        let line = m.line_of(WordAddr(100));
+        m.tx_read_line(r, line, ConflictPolicy::RequesterWins).unwrap();
+        assert_eq!(m.blame_of(r), None, "no blame before any doom");
+        m.tx_claim_line(w, line, ConflictPolicy::RequesterWins).unwrap();
+        assert_eq!(m.blame_of(r), Some((Some(w), line)));
+        assert_eq!(m.blame_of(w), None);
+        m.finish_slot(r);
+        m.finish_slot(w);
+        // A fresh begin clears the record.
+        m.begin_slot(r);
+        assert_eq!(m.blame_of(r), None);
+        m.finish_slot(r);
+    }
+
+    #[test]
+    fn blame_from_nontx_access_has_no_aggressor() {
+        let m = mem();
+        let w = SlotId(3);
+        m.begin_slot(w);
+        let addr = WordAddr(200);
+        m.tx_claim_line(w, m.line_of(addr), ConflictPolicy::RequesterWins).unwrap();
+        m.nontx_store(None, addr, 1);
+        assert_eq!(m.blame_of(w), Some((None, m.line_of(addr))));
+        m.finish_slot(w);
+    }
+
+    #[test]
+    fn blame_is_first_doom_wins() {
+        let m = mem();
+        let v = SlotId(0);
+        m.begin_slot(v);
+        let l1 = LineId(1);
+        let l2 = LineId(2);
+        assert_eq!(
+            m.try_doom_from(v, AbortCause::ConflictTxStore, Some(SlotId(1)), l1),
+            DoomOutcome::Doomed
+        );
+        assert_eq!(
+            m.try_doom_from(v, AbortCause::ConflictTxLoad, Some(SlotId(2)), l2),
+            DoomOutcome::AlreadyDoomed
+        );
+        assert_eq!(m.blame_of(v), Some((Some(SlotId(1)), l1)));
+        m.finish_slot(v);
     }
 
     #[test]
@@ -973,10 +1092,7 @@ mod proptests {
 
     fn ops() -> impl Strategy<Value = Vec<Op>> {
         prop::collection::vec(
-            prop_oneof![
-                (0u16..512).prop_map(Op::Read),
-                (0u16..512).prop_map(Op::Write),
-            ],
+            prop_oneof![(0u16..512).prop_map(Op::Read), (0u16..512).prop_map(Op::Write),],
             1..40,
         )
     }

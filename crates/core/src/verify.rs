@@ -96,7 +96,14 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::StaleRead { reader_seq, reader_thread, addr, observed, expected, stale_writer_seq } => {
+            Violation::StaleRead {
+                reader_seq,
+                reader_thread,
+                addr,
+                observed,
+                expected,
+                stale_writer_seq,
+            } => {
                 write!(
                     f,
                     "stale read: block seq={reader_seq} (thread {reader_thread}) read {observed:#x} \
@@ -202,7 +209,8 @@ mod tests {
     fn cycle_and_wild_read_display() {
         let c = Violation::ConflictCycle { witness: vec![1, 2, 1] };
         assert!(c.to_string().contains("cycle"));
-        let w = Violation::WildRead { reader_seq: 3, reader_thread: 0, addr: WordAddr(1), observed: 9 };
+        let w =
+            Violation::WildRead { reader_seq: 3, reader_thread: 0, addr: WordAddr(1), observed: 9 };
         assert!(w.to_string().contains("wild read"));
     }
 }

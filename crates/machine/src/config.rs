@@ -25,12 +25,8 @@ pub enum Platform {
 
 impl Platform {
     /// All four platforms in the paper's presentation order.
-    pub const ALL: [Platform; 4] = [
-        Platform::BlueGeneQ,
-        Platform::Zec12,
-        Platform::IntelCore,
-        Platform::Power8,
-    ];
+    pub const ALL: [Platform; 4] =
+        [Platform::BlueGeneQ, Platform::Zec12, Platform::IntelCore, Platform::Power8];
 
     /// The short label used in the paper's figures (BG, z12, IC, P8).
     pub fn short_name(self) -> &'static str {

@@ -69,6 +69,89 @@ impl TrackerKind {
             TrackerKind::ByteBudget { combined_bytes, .. } => combined_bytes,
         }
     }
+
+    /// The tracking granularity (line size) in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        match *self {
+            TrackerKind::SetAssoc { line_bytes, .. }
+            | TrackerKind::Tmcam { line_bytes, .. }
+            | TrackerKind::ByteBudget { line_bytes, .. } => line_bytes,
+        }
+    }
+
+    /// Static capacity prediction: would a transaction whose read set is
+    /// `load_lines` and write set is `store_lines` (line IDs at this
+    /// structure's granularity; duplicates are ignored) overflow this
+    /// structure, at the given SMT `share`?
+    ///
+    /// Every rule the stateful [`Tracker`] enforces is monotone in the
+    /// footprint counts, so the final-footprint check here agrees exactly
+    /// with feeding the accesses through a `Tracker` in *any* order —
+    /// which is what makes "this block cannot commit in HW on platform X"
+    /// a sound static verdict. Only the read/write attribution of the
+    /// returned cause is order-dependent: when the combined footprint
+    /// overflows a union-bounded structure (TMCAM, byte budget), the load
+    /// side is blamed only if the loads alone overflow.
+    pub fn predict_abort(
+        &self,
+        share: u32,
+        load_lines: &[LineId],
+        store_lines: &[LineId],
+    ) -> Option<AbortCause> {
+        let share = share.max(1);
+        let loads: std::collections::HashSet<LineId> = load_lines.iter().copied().collect();
+        let stores: std::collections::HashSet<LineId> = store_lines.iter().copied().collect();
+        let union = loads.union(&stores).count() as u64;
+        match *self {
+            TrackerKind::SetAssoc {
+                l1_bytes,
+                ways,
+                line_bytes,
+                load_total_bytes,
+                store_total_bytes,
+                store_set_assoc,
+            } => {
+                if loads.len() as u64 * line_bytes as u64 > load_total_bytes / share as u64 {
+                    return Some(AbortCause::CapacityRead);
+                }
+                if stores.len() as u64 * line_bytes as u64 > store_total_bytes / share as u64 {
+                    return Some(AbortCause::CapacityWrite);
+                }
+                if store_set_assoc {
+                    let n_sets = l1_bytes / (line_bytes * ways);
+                    let mut occupancy: HashMap<u32, u32> = HashMap::new();
+                    for l in &stores {
+                        let occ = occupancy.entry(l.0 % n_sets).or_insert(0);
+                        *occ += 1;
+                        if *occ > ways / share {
+                            return Some(AbortCause::CapacityWrite);
+                        }
+                    }
+                }
+                None
+            }
+            TrackerKind::Tmcam { entries, .. } => {
+                let bound = (entries / share).max(1) as u64;
+                if loads.len() as u64 > bound {
+                    Some(AbortCause::CapacityRead)
+                } else if union > bound {
+                    Some(AbortCause::CapacityWrite)
+                } else {
+                    None
+                }
+            }
+            TrackerKind::ByteBudget { combined_bytes, line_bytes } => {
+                let budget = combined_bytes / share as u64;
+                if loads.len() as u64 * line_bytes as u64 > budget {
+                    Some(AbortCause::CapacityRead)
+                } else if union * line_bytes as u64 > budget {
+                    Some(AbortCause::CapacityWrite)
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// Per-thread capacity tracker; reset at every transaction begin.
@@ -121,6 +204,11 @@ impl Tracker {
     /// Distinct lines stored so far in this transaction.
     pub fn store_lines(&self) -> u64 {
         self.store_lines
+    }
+
+    /// The capacity structure this tracker models.
+    pub fn kind(&self) -> TrackerKind {
+        self.kind
     }
 
     /// Records the first transactional load of `line`.
@@ -382,5 +470,81 @@ mod tests {
         let k = TrackerKind::Tmcam { entries: 64, line_bytes: 128 };
         assert_eq!(k.load_capacity_bytes(), 8192);
         assert_eq!(k.store_capacity_bytes(), 8192);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::config::Platform;
+    use proptest::prelude::*;
+
+    /// Feeds a footprint through a stateful tracker in a given interleaved
+    /// order; Some(cause) when any access overflows.
+    fn run_tracker(
+        kind: TrackerKind,
+        share: u32,
+        accesses: &[(LineId, bool)],
+    ) -> Option<AbortCause> {
+        let mut t = Tracker::new(kind);
+        t.begin(share);
+        let mut read = std::collections::HashSet::new();
+        let mut written = std::collections::HashSet::new();
+        for &(line, is_store) in accesses {
+            if is_store {
+                if written.insert(line) {
+                    if let Err(c) = t.on_first_store(line, read.contains(&line)) {
+                        return Some(c);
+                    }
+                }
+            } else if read.insert(line) {
+                if let Err(c) = t.on_first_load(line, written.contains(&line)) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+
+    fn arb_accesses() -> impl Strategy<Value = Vec<(u32, bool)>> {
+        // Line IDs drawn from a small range so footprints regularly cross
+        // each platform's (share-divided) bounds; at most 600 accesses.
+        prop::collection::vec((0u32..4000, any::<bool>()), 0..600)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The order-free static prediction agrees with the stateful
+        /// tracker on *whether* a footprint overflows, on all four
+        /// platforms, at every SMT share, in whatever order the accesses
+        /// arrive. (The read/write attribution of the cause is
+        /// order-dependent by design; only is_some is compared.)
+        #[test]
+        fn prediction_matches_stateful_tracker(
+            accesses in arb_accesses(),
+            share in 1u32..9,
+            platform_idx in 0usize..4,
+            reversed in any::<bool>(),
+        ) {
+            let platform = Platform::ALL[platform_idx];
+            let kind = platform.config().tracker;
+            let mut ordered: Vec<(LineId, bool)> =
+                accesses.iter().map(|&(l, s)| (LineId(l), s)).collect();
+            if reversed {
+                ordered.reverse();
+            }
+            let actual = run_tracker(kind, share, &ordered);
+            let loads: Vec<LineId> =
+                ordered.iter().filter(|&&(_, s)| !s).map(|&(l, _)| l).collect();
+            let stores: Vec<LineId> =
+                ordered.iter().filter(|&&(_, s)| s).map(|&(l, _)| l).collect();
+            let predicted = kind.predict_abort(share, &loads, &stores);
+            prop_assert!(
+                predicted.is_some() == actual.is_some(),
+                "platform {} share {}: predicted {:?}, actual {:?}",
+                platform, share, predicted, actual
+            );
+        }
     }
 }

@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex};
 
 use rand::rngs::SmallRng;
 
-use htm_core::{Abort, AbortCategory, AbortCause, TxMemory, TxResult, WordAddr};
+use htm_core::{Abort, AbortCategory, AbortCause, SyncClock, TxMemory, TxResult, WordAddr};
 use htm_machine::{BgqMode, Machine, Platform};
 
 use crate::lock::GlobalLock;
@@ -176,6 +176,9 @@ pub struct ThreadCtx {
     recorder: Option<Vec<BlockRecord>>,
     /// Trace being replayed (replay mode only).
     replayer: Option<Replayer>,
+    /// The global lock's vector clock (sanitizer runs only): irrevocable
+    /// sections on the same lock are release/acquire-ordered.
+    lock_sync: Option<Arc<SyncClock>>,
 }
 
 impl std::fmt::Debug for ThreadCtx {
@@ -204,7 +207,15 @@ impl ThreadCtx {
             trip_shift: 0,
             recorder: None,
             replayer: None,
+            lock_sync: None,
         }
+    }
+
+    /// Turns on the happens-before race sanitizer for this thread.
+    /// `lock_sync` is the run-wide vector clock of the global lock.
+    pub(crate) fn enable_sanitize(&mut self, lock_sync: Arc<SyncClock>) {
+        self.eng.enable_sanitize();
+        self.lock_sync = Some(lock_sync);
     }
 
     /// Starts recording this thread's atomic-block decision stream.
@@ -329,6 +340,18 @@ impl ThreadCtx {
         self.eng.alloc_mut().alloc_aligned(words, align_bytes)
     }
 
+    /// Allocates `words` on conflict-detection line(s) of their own: the
+    /// start is line-aligned and the size is rounded up to whole lines, so
+    /// no later allocation can share a line with this block. Use for hot
+    /// structure headers that would otherwise falsely conflict with
+    /// whatever happens to be allocated next to them.
+    pub fn alloc_line(&mut self, words: u32) -> WordAddr {
+        let gran = self.eng.machine().config().granularity.max(8);
+        let wpl = gran / 8;
+        let padded = words.div_ceil(wpl) * wpl;
+        self.eng.alloc_mut().alloc_aligned(padded, gran)
+    }
+
     /// Frees a block for reuse by this thread.
     pub fn free(&mut self, addr: WordAddr, words: u32) {
         self.eng.alloc_mut().free(addr, words);
@@ -337,6 +360,7 @@ impl ThreadCtx {
     /// Non-transactional load outside atomic blocks (charges one access).
     pub fn read_word(&self, addr: WordAddr) -> u64 {
         self.eng.charge(self.eng.machine().config().cost.load);
+        self.eng.hb_nontx_access(addr, false);
         self.eng.mem().nontx_load(None, addr)
     }
 
@@ -345,6 +369,7 @@ impl ThreadCtx {
         self.eng.charge(self.eng.machine().config().cost.store);
         self.eng.mem().nontx_store(None, addr, value);
         self.eng.cert_nontx_write(addr, value);
+        self.eng.hb_nontx_access(addr, true);
     }
 
     /// Non-transactional CAS outside atomic blocks (lock-free baselines).
@@ -358,7 +383,23 @@ impl ThreadCtx {
         if r.is_ok() {
             self.eng.cert_nontx_write(addr, new);
         }
+        // A CAS is a write when it succeeds, and still a read when it fails.
+        self.eng.hb_nontx_access(addr, r.is_ok());
         r
+    }
+
+    /// Release edge on `sync` for the race sanitizer (no-op when the
+    /// sanitizer is off). Synchronization constructs built on host
+    /// primitives — phase barriers, ad-hoc flags — call this *before* the
+    /// host-side wait/publish.
+    pub fn hb_release(&self, sync: &SyncClock) {
+        self.eng.hb_release(sync);
+    }
+
+    /// Acquire edge on `sync` for the race sanitizer (no-op when the
+    /// sanitizer is off); call *after* the host-side wait.
+    pub fn hb_acquire(&self, sync: &SyncClock) {
+        self.eng.hb_acquire(sync);
     }
 
     /// Deterministic per-thread random-number generator.
@@ -697,6 +738,7 @@ impl ThreadCtx {
             AbortCategory::Other
         };
         self.eng.stats.record_abort(category);
+        self.eng.record_conflict_blame(cause);
         (category, lock_related)
     }
 
@@ -711,6 +753,9 @@ impl ThreadCtx {
         let tag = self.thread_id() as u64 + 1;
         let waited = self.lock.acquire(self.eng.mem(), tag, self.eng.clock(), &cost);
         self.eng.stats.lock_wait_cycles += waited;
+        if let Some(sync) = &self.lock_sync {
+            self.eng.hb_acquire(sync);
+        }
         self.eng.begin_irrevocable();
         match body(&mut Tx { eng: &mut self.eng }) {
             Ok(r) => {
@@ -720,11 +765,17 @@ impl ThreadCtx {
                     // Injected convoy: hold the lock past the body's end.
                     self.eng.clock().tick(delay);
                 }
+                if let Some(sync) = &self.lock_sync {
+                    self.eng.hb_release(sync);
+                }
                 self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
                 r
             }
             Err(abort) => {
                 self.eng.abandon_irrevocable();
+                if let Some(sync) = &self.lock_sync {
+                    self.eng.hb_release(sync);
+                }
                 self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
                 panic!("irrevocable execution cannot abort (body returned {abort})");
             }

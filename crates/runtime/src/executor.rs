@@ -11,8 +11,8 @@ use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
 
 use htm_core::{
-    panic_message, ConflictPolicy, Geometry, SimAlloc, SimError, SimResult, ThreadAlloc, TxEvent,
-    TxMemory, WordAddr,
+    detect_races, panic_message, ConflictPolicy, Geometry, Segment, SimAlloc, SimError, SimResult,
+    SyncClock, ThreadAlloc, TxEvent, TxMemory, WordAddr,
 };
 use htm_machine::{Machine, MachineConfig};
 
@@ -57,6 +57,11 @@ pub struct SimConfig {
     /// [`RunStats`] carries a [`CertifyReport`](htm_core::CertifyReport)
     /// checking conflict-serializability and read freshness.
     pub certify: bool,
+    /// Run the happens-before race sanitizer: every thread captures its
+    /// accesses into vector-clocked segments, conflict aborts are
+    /// attributed to their aggressor, and each parallel run's [`RunStats`]
+    /// carries a [`RaceReport`](htm_core::RaceReport).
+    pub sanitize: bool,
 }
 
 impl SimConfig {
@@ -72,6 +77,7 @@ impl SimConfig {
             faults: FaultPlan::none(),
             watchdog: WatchdogConfig::default(),
             certify: false,
+            sanitize: false,
         }
     }
 
@@ -122,6 +128,13 @@ impl SimConfig {
         self.certify = on;
         self
     }
+
+    /// Enables the happens-before race sanitizer (see
+    /// [`SimConfig::sanitize`]).
+    pub fn sanitize(mut self, on: bool) -> SimConfig {
+        self.sanitize = on;
+        self
+    }
 }
 
 /// How a parallel run executes: normally, recording a schedule trace, or
@@ -137,6 +150,7 @@ enum RunMode<'t> {
 struct WorkerOut {
     stats: ThreadStats,
     cert: Option<(Vec<TxEvent>, bool)>,
+    hb: Option<(Vec<Segment>, bool)>,
     recording: Vec<BlockRecord>,
     replay_leftover: usize,
 }
@@ -281,6 +295,15 @@ impl Sim {
     pub fn seq_ctx_traced(&self, granularities: &[u32]) -> ThreadCtx {
         let mut ctx = self.seq_ctx();
         ctx.engine_mut().tracer = Some(SeqTracer::new(granularities));
+        ctx
+    }
+
+    /// Like [`Sim::seq_ctx_traced`], but the tracer also keeps each
+    /// block's distinct line IDs ([`SeqTracer::line_sets`]) for static
+    /// capacity prediction.
+    pub fn seq_ctx_traced_sets(&self, granularities: &[u32]) -> ThreadCtx {
+        let mut ctx = self.seq_ctx();
+        ctx.engine_mut().tracer = Some(SeqTracer::new(granularities).keep_line_sets());
         ctx
     }
 
@@ -436,6 +459,9 @@ impl Sim {
         // default configuration neither is active and the engines keep their
         // zero-overhead path.
         let commit_clock = (self.cfg.certify || record).then(|| Arc::new(AtomicU64::new(1)));
+        // One vector clock for the global fallback lock (sanitizer runs
+        // only): irrevocable sections release/acquire through it.
+        let lock_sync = self.cfg.sanitize.then(|| Arc::new(SyncClock::new()));
         let turnstile = Turnstile::new();
         let work = &work;
         let mut outs: Vec<WorkerOut> = Vec::with_capacity(num_threads as usize);
@@ -454,6 +480,9 @@ impl Sim {
                 if self.cfg.certify {
                     ctx.engine_mut().enable_certify();
                 }
+                if let Some(sync) = &lock_sync {
+                    ctx.enable_sanitize(Arc::clone(sync));
+                }
                 match mode {
                     RunMode::Normal => {}
                     RunMode::Record => ctx.enable_recording(),
@@ -471,6 +500,7 @@ impl Sim {
                     let result = match outcome {
                         Ok(()) => Ok(WorkerOut {
                             cert: ctx.engine_mut().take_cert(),
+                            hb: ctx.engine_mut().take_hb(),
                             recording: ctx.take_recording(),
                             replay_leftover: ctx.replay_leftover(),
                             stats: ctx.take_stats(),
@@ -526,6 +556,8 @@ impl Sim {
         let mut per_thread = Vec::with_capacity(outs.len());
         let mut events: Vec<TxEvent> = Vec::new();
         let mut truncated = false;
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut hb_truncated = false;
         for o in outs {
             threads.push(o.stats);
             per_thread.push(o.recording);
@@ -533,11 +565,18 @@ impl Sim {
                 events.extend(ev);
                 truncated |= tr;
             }
+            if let Some((segs, tr)) = o.hb {
+                segments.extend(segs);
+                hb_truncated |= tr;
+            }
         }
         let mut stats = RunStats::new(threads);
         if self.cfg.certify {
             stats.certify =
                 Some(crate::certify::certify(events, truncated, self.lock.acquisitions(&self.mem)));
+        }
+        if self.cfg.sanitize {
+            stats.race = Some(detect_races(segments, hb_truncated));
         }
         let trace = record.then(|| ScheduleTrace::assemble(self.cfg.seed, per_thread));
         Ok((stats, trace))

@@ -27,7 +27,11 @@
 //!   ([`CertifyReport`]),
 //! * [`replay`] — deterministic record/replay: `Sim::record_parallel`
 //!   captures a [`ScheduleTrace`] of every scheduling decision and
-//!   `Sim::replay` re-executes it bit-identically.
+//!   `Sim::replay` re-executes it bit-identically,
+//! * [`sanitize`] — the happens-before race sanitizer
+//!   (`SimConfig::sanitize`): per-thread vector-clocked access capture,
+//!   checked post-run by [`htm_core::detect_races`] into a
+//!   [`RaceReport`](htm_core::RaceReport) on [`RunStats`].
 //!
 //! ## Example: a transactional counter on every platform
 //!
@@ -60,6 +64,7 @@ pub mod executor;
 pub mod faults;
 pub mod lock;
 pub mod replay;
+pub mod sanitize;
 pub mod stats;
 pub mod trace;
 pub mod tx;

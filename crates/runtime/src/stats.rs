@@ -13,7 +13,7 @@
 //! * **transaction footprints** — distinct load/store lines per committed
 //!   transaction, for the Figure 10/11 scatter plots.
 
-use htm_core::{AbortCategory, CertifyReport};
+use htm_core::{AbortCategory, CertifyReport, ConflictEvent, RaceReport};
 
 /// Counters collected by one worker thread.
 #[derive(Clone, Debug, Default)]
@@ -48,6 +48,9 @@ pub struct ThreadStats {
     /// Footprints (distinct load lines, distinct store lines) of committed
     /// transactions, recorded only when tracing is enabled.
     pub footprints: Vec<(u32, u32)>,
+    /// Conflict aborts attributed to their aggressor thread and line,
+    /// recorded only under [`SimConfig::sanitize`](crate::SimConfig).
+    pub conflicts: Vec<ConflictEvent>,
 }
 
 impl ThreadStats {
@@ -70,12 +73,15 @@ pub struct RunStats {
     /// Correctness-certifier report, present when the run was executed with
     /// certification enabled ([`SimConfig::certify`](crate::SimConfig)).
     pub certify: Option<CertifyReport>,
+    /// Happens-before race report, present when the run was executed with
+    /// the sanitizer enabled ([`SimConfig::sanitize`](crate::SimConfig)).
+    pub race: Option<RaceReport>,
 }
 
 impl RunStats {
     /// Builds aggregate stats from per-thread results.
     pub fn new(threads: Vec<ThreadStats>) -> RunStats {
-        RunStats { threads, certify: None }
+        RunStats { threads, certify: None, race: None }
     }
 
     /// Parallel runtime: the maximum simulated clock over workers.
@@ -172,6 +178,12 @@ impl RunStats {
     /// All recorded footprints, concatenated across threads.
     pub fn footprints(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.threads.iter().flat_map(|t| t.footprints.iter().copied())
+    }
+
+    /// All attributed conflict events, concatenated across threads
+    /// (empty unless the run was sanitized).
+    pub fn conflicts(&self) -> impl Iterator<Item = ConflictEvent> + '_ {
+        self.threads.iter().flat_map(|t| t.conflicts.iter().copied())
     }
 }
 

@@ -11,6 +11,9 @@ use std::collections::HashSet;
 
 use htm_core::{Geometry, WordAddr};
 
+/// One atomic block's footprint: sorted distinct (load-line, store-line) IDs.
+pub type BlockLines = (Vec<u32>, Vec<u32>);
+
 /// Footprint recorder for sequential execution.
 #[derive(Debug)]
 pub struct SeqTracer {
@@ -18,6 +21,7 @@ pub struct SeqTracer {
     cur_loads: Vec<HashSet<u32>>,
     cur_stores: Vec<HashSet<u32>>,
     samples: Vec<Vec<(u32, u32)>>,
+    line_sets: Option<Vec<Vec<BlockLines>>>,
     in_block: bool,
 }
 
@@ -35,9 +39,19 @@ impl SeqTracer {
             cur_loads: vec![HashSet::new(); geoms.len()],
             cur_stores: vec![HashSet::new(); geoms.len()],
             samples: vec![Vec::new(); geoms.len()],
+            line_sets: None,
             geoms,
             in_block: false,
         }
+    }
+
+    /// Additionally keeps each block's distinct line IDs (sorted), not just
+    /// their counts. Capacity prediction needs the IDs themselves: on a
+    /// set-associative tracker two footprints of equal size can differ in
+    /// set conflicts.
+    pub fn keep_line_sets(mut self) -> SeqTracer {
+        self.line_sets = Some(vec![Vec::new(); self.geoms.len()]);
+        self
     }
 
     /// The granularities being traced, in creation order.
@@ -81,6 +95,13 @@ impl SeqTracer {
         }
         for i in 0..self.geoms.len() {
             self.samples[i].push((self.cur_loads[i].len() as u32, self.cur_stores[i].len() as u32));
+            if let Some(sets) = &mut self.line_sets {
+                let mut loads: Vec<u32> = self.cur_loads[i].iter().copied().collect();
+                let mut stores: Vec<u32> = self.cur_stores[i].iter().copied().collect();
+                loads.sort_unstable();
+                stores.sort_unstable();
+                sets[i].push((loads, stores));
+            }
         }
         self.in_block = false;
     }
@@ -98,6 +119,13 @@ impl SeqTracer {
     /// [`SeqTracer::granularities`]); empty for an out-of-range index.
     pub fn samples(&self, i: usize) -> &[(u32, u32)] {
         self.samples.get(i).map_or(&[], Vec::as_slice)
+    }
+
+    /// Per-block sorted (load-line, store-line) ID sets at granularity `i`;
+    /// empty unless the tracer was built with [`SeqTracer::keep_line_sets`]
+    /// (or for an out-of-range index).
+    pub fn line_sets(&self, i: usize) -> &[BlockLines] {
+        self.line_sets.as_ref().and_then(|s| s.get(i)).map_or(&[], Vec::as_slice)
     }
 
     /// 90-percentile transactional load size in bytes at granularity `i`
@@ -188,6 +216,24 @@ mod tests {
         assert!(t.samples(5).is_empty());
         assert_eq!(t.p90_load_bytes(5), 0);
         assert_eq!(t.p90_store_bytes(5), 0);
+    }
+
+    #[test]
+    fn line_sets_are_kept_only_on_request() {
+        let mut t = SeqTracer::new(&[8]);
+        t.begin_block();
+        t.record_load(WordAddr(0));
+        t.end_block();
+        assert!(t.line_sets(0).is_empty(), "off by default");
+
+        let mut t = SeqTracer::new(&[8]).keep_line_sets();
+        t.begin_block();
+        t.record_load(WordAddr(9));
+        t.record_load(WordAddr(0));
+        t.record_store(WordAddr(0));
+        t.end_block();
+        assert_eq!(t.line_sets(0), &[(vec![0, 9], vec![0])]);
+        assert!(t.line_sets(7).is_empty());
     }
 
     #[test]

@@ -24,13 +24,14 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use htm_core::{
-    Abort, AbortCause, Clock, ConflictPolicy, LineId, SlotId, ThreadAlloc, TxEvent, TxMemory,
-    TxResult, WordAddr,
+    Abort, AbortCause, Clock, ConflictPolicy, LineId, Segment, SlotId, SyncClock, ThreadAlloc,
+    TxEvent, TxMemory, TxResult, WordAddr,
 };
 use htm_machine::{Machine, Prefetcher, Tracker};
 
 use crate::certify::CertCapture;
 use crate::faults::FaultState;
+use crate::sanitize::HbCapture;
 use crate::stats::ThreadStats;
 use crate::trace::SeqTracer;
 
@@ -117,6 +118,9 @@ pub struct TxnEngine {
     /// Certifier capture state (RefCell: non-transactional stores are
     /// captured from `&self` contexts).
     cert: Option<RefCell<CertCapture>>,
+    /// Race-sanitizer capture state (RefCell: non-transactional accesses
+    /// are captured from `&self` contexts, like `cert`).
+    hb: Option<RefCell<HbCapture>>,
     /// `Tx::alloc` sizes issued since the last snapshot (record mode only).
     alloc_log: Vec<u32>,
     log_allocs: bool,
@@ -196,6 +200,7 @@ impl TxnEngine {
             commit_clock: None,
             last_commit_seq: 0,
             cert: None,
+            hb: None,
             alloc_log: Vec::new(),
             log_allocs: false,
             replay_mode: false,
@@ -259,6 +264,60 @@ impl TxnEngine {
     /// bound was hit.
     pub(crate) fn take_cert(&mut self) -> Option<(Vec<TxEvent>, bool)> {
         self.cert.take().map(|c| c.into_inner().take())
+    }
+
+    pub(crate) fn enable_sanitize(&mut self) {
+        self.hb = Some(RefCell::new(HbCapture::new(self.thread_id)));
+    }
+
+    /// Takes the sanitizer capture, returning its segments and whether any
+    /// bound was hit.
+    pub(crate) fn take_hb(&mut self) -> Option<(Vec<Segment>, bool)> {
+        self.hb.take().map(|h| h.into_inner().take())
+    }
+
+    /// Captures a non-transactional access from a `&self` context (plain
+    /// `read_word`/`write_word`/`cas_word` on the thread context).
+    pub(crate) fn hb_nontx_access(&self, addr: WordAddr, write: bool) {
+        if let Some(hb) = &self.hb {
+            let mut h = hb.borrow_mut();
+            if write {
+                h.nontx_write(addr);
+            } else {
+                h.nontx_read(addr);
+            }
+        }
+    }
+
+    /// Release edge on `sync` (no-op when the sanitizer is off).
+    pub(crate) fn hb_release(&self, sync: &SyncClock) {
+        if let Some(hb) = &self.hb {
+            hb.borrow_mut().release(sync);
+        }
+    }
+
+    /// Acquire edge on `sync` (no-op when the sanitizer is off).
+    pub(crate) fn hb_acquire(&self, sync: &SyncClock) {
+        if let Some(hb) = &self.hb {
+            hb.borrow_mut().acquire(sync);
+        }
+    }
+
+    /// Records who aborted this thread (and on which line) into the
+    /// conflict log, from the blame word the aggressor left on our slot.
+    /// No-op unless the sanitizer is on and the abort was a conflict.
+    pub(crate) fn record_conflict_blame(&mut self, cause: AbortCause) {
+        if self.hb.is_none() || !cause.is_conflict() {
+            return;
+        }
+        if let Some((aggressor, line)) = self.mem.blame_of(self.slot) {
+            self.stats.conflicts.push(htm_core::ConflictEvent {
+                victim: self.thread_id,
+                aggressor: aggressor.map(|s| s.0 as u32),
+                line,
+                cause,
+            });
+        }
     }
 
     pub(crate) fn set_log_allocs(&mut self, on: bool) {
@@ -419,6 +478,9 @@ impl TxnEngine {
                 if let Some(c) = &mut self.cert {
                     c.get_mut().commit_hw(seq, self.rollback_only, &self.write_buf);
                 }
+                if let Some(h) = &mut self.hb {
+                    h.get_mut().commit_tx();
+                }
                 for (&addr, &value) in &self.write_buf {
                     self.mem.write_word(addr, value);
                 }
@@ -451,6 +513,9 @@ impl TxnEngine {
     pub(crate) fn rollback_hw(&mut self) {
         assert_eq!(self.state, BlockState::HardwareTx, "rollback outside hardware tx");
         self.charge(self.machine.config().cost.abort);
+        if let Some(h) = &mut self.hb {
+            h.get_mut().rollback_tx();
+        }
         self.write_buf.clear();
         self.pending_frees.clear(); // aborted frees never happened
         self.release_lines();
@@ -679,6 +744,9 @@ impl TxnEngine {
                 if let Some(c) = &mut self.cert {
                     c.get_mut().on_irr_read(addr, value);
                 }
+                if let Some(h) = &mut self.hb {
+                    h.get_mut().irr_access(addr, false);
+                }
                 Ok(value)
             }
             BlockState::HardwareTx => {
@@ -688,6 +756,9 @@ impl TxnEngine {
                 if self.suspend_depth > 0 {
                     // Suspended-mode load: untracked, conflict-free for us.
                     self.charge(cfg_cost.load);
+                    if let Some(h) = &mut self.hb {
+                        h.get_mut().nontx_read(addr);
+                    }
                     return Ok(self.mem.nontx_load(Some(self.slot), addr));
                 }
                 self.charge(cfg_cost.load + cfg_cost.tx_load_extra);
@@ -725,6 +796,12 @@ impl TxnEngine {
                         c.get_mut().on_read(addr, value);
                     }
                 }
+                // Sanitizer: buffered until this attempt commits. Rollback-
+                // only loads are still ordered by the transaction's commit,
+                // so they count as transactional reads.
+                if let Some(h) = &mut self.hb {
+                    h.get_mut().tx_access(addr, false);
+                }
                 // Yield *after* the access: quantum boundaries must be able
                 // to land while the line is held, or transactions with
                 // expensive begins execute atomically on the host and
@@ -758,6 +835,9 @@ impl TxnEngine {
                 if let Some(c) = &mut self.cert {
                     c.get_mut().on_irr_write(addr, value);
                 }
+                if let Some(h) = &mut self.hb {
+                    h.get_mut().irr_access(addr, true);
+                }
                 Ok(())
             }
             BlockState::HardwareTx => {
@@ -771,6 +851,9 @@ impl TxnEngine {
                     // they publish immediately, outside this transaction's
                     // serialization point.
                     self.cert_nontx_write(addr, value);
+                    if let Some(h) = &mut self.hb {
+                        h.get_mut().nontx_write(addr);
+                    }
                     return Ok(());
                 }
                 self.charge(cost.store + cost.tx_store_extra);
@@ -802,6 +885,9 @@ impl TxnEngine {
                     self.maybe_prefetch(line)?;
                 } else if self.constrained.is_some() {
                     self.charge_constrained_access(addr);
+                }
+                if let Some(h) = &mut self.hb {
+                    h.get_mut().tx_access(addr, true);
                 }
                 self.write_buf.insert(addr, value);
                 self.maybe_yield();

@@ -1,0 +1,202 @@
+//! Integration tests for the happens-before race sanitizer
+//! (`SimConfig::sanitize`).
+//!
+//! Two obligations:
+//!
+//! 1. **Sensitivity** — a deliberately racy workload (unsynchronized
+//!    non-transactional accesses, and a non-transactional write racing a
+//!    transactional reader) must be flagged.
+//! 2. **Specificity** — race-free workloads must stay clean: all-atomic
+//!    counters, irrevocable fallbacks ordered by the global lock, a
+//!    fault-storm run that serializes heavily, and the same storm under
+//!    record/replay. False positives would make the lint gate useless.
+
+use htm_machine::Platform;
+use htm_runtime::{FaultPlan, RetryPolicy, Sim, SimConfig};
+
+fn sanitized(p: Platform) -> Sim {
+    Sim::new(SimConfig::new(p.config()).mem_words(1 << 18).sanitize(true))
+}
+
+#[test]
+fn unsynchronized_nontx_writes_are_flagged() {
+    let s = sanitized(Platform::IntelCore);
+    let a = s.alloc().alloc(1);
+    let stats = s.run_parallel(2, RetryPolicy::default(), |ctx| {
+        // Both threads blindly store to the same word outside any atomic
+        // block: a textbook write-write race.
+        ctx.write_word(a, ctx.thread_id() as u64 + 1);
+    });
+    let report = stats.race.expect("sanitizer was on");
+    assert!(!report.ok(), "racy workload must be flagged");
+    assert!(
+        report.races.iter().any(|r| r.addr == a && r.a.write && r.b.write),
+        "the race must name the contested word: {report}"
+    );
+}
+
+#[test]
+fn nontx_write_racing_transactional_reader_is_flagged() {
+    let s = sanitized(Platform::IntelCore);
+    let a = s.alloc().alloc(1);
+    let stats = s.run_parallel(2, RetryPolicy::default(), |ctx| {
+        if ctx.thread_id() == 0 {
+            // Thread 0 updates the word transactionally.
+            for _ in 0..50 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        } else {
+            // Thread 1 peeks at it with a plain load: unsynchronized
+            // against the commits, even though each commit is atomic.
+            for _ in 0..50 {
+                let _ = ctx.read_word(a);
+            }
+        }
+    });
+    let report = stats.race.expect("sanitizer was on");
+    assert!(!report.ok(), "non-tx read vs tx write must be flagged");
+    assert!(
+        report.races.iter().any(|r| r.addr == a && (r.a.tx != r.b.tx)),
+        "the race must pair a transactional and a non-transactional access: {report}"
+    );
+}
+
+#[test]
+fn all_transactional_counter_is_clean_on_every_platform() {
+    for p in Platform::ALL {
+        let s = sanitized(p);
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+            for _ in 0..300 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 1200, "{p}");
+        let report = stats.race.expect("sanitizer was on");
+        assert!(report.ok(), "{p}: atomic counter must be race-free:\n{report}");
+    }
+}
+
+#[test]
+fn irrevocable_fallbacks_are_ordered_by_the_lock() {
+    // Zero retries: every block falls back to the global lock, so every
+    // access is an irrevocable (transactional-side) access ordered by the
+    // lock's release/acquire edges.
+    let s = sanitized(Platform::IntelCore);
+    let a = s.alloc().alloc(1);
+    let stats = s.run_parallel(4, RetryPolicy::uniform(0), |ctx| {
+        for _ in 0..100 {
+            ctx.atomic(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        }
+    });
+    assert_eq!(s.read_word(a), 400);
+    assert!(stats.irrevocable_commits() > 0, "zero retries must serialize");
+    let report = stats.race.expect("sanitizer was on");
+    assert!(report.ok(), "lock-ordered irrevocable sections must be race-free:\n{report}");
+}
+
+#[test]
+fn racefree_fault_storm_stays_clean() {
+    // Heavy injected aborts force rollbacks, retries, degraded blocks and
+    // irrevocable fallbacks — every capture path at once. None of it is a
+    // data race, and none of it may be reported as one.
+    let plan = FaultPlan::none()
+        .transient_abort_per_begin(0.3)
+        .capacity_abort_per_begin(0.1)
+        .transient_abort_per_access(0.05)
+        .doom_at_commit(0.2)
+        .lock_release_delay(100);
+    for p in Platform::ALL {
+        let s = Sim::new(SimConfig::new(p.config()).mem_words(1 << 18).sanitize(true).faults(plan));
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+            for _ in 0..200 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 800, "{p}: faults must not corrupt results");
+        assert!(stats.injected_faults() > 0, "{p}: the storm must fire");
+        let report = stats.race.expect("sanitizer was on");
+        assert!(report.ok(), "{p}: fault storm must not fabricate races:\n{report}");
+    }
+}
+
+#[test]
+fn record_and_replay_of_a_fault_storm_stay_clean() {
+    let plan = FaultPlan::none().transient_abort_per_begin(0.4).doom_at_commit(0.2);
+    let cfg =
+        SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18).sanitize(true).faults(plan);
+    let work = |ctx: &mut htm_runtime::ThreadCtx| {
+        let a = htm_core::WordAddr(1 << 12);
+        for _ in 0..150 {
+            ctx.atomic(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        }
+    };
+
+    let rec_sim = Sim::new(cfg.clone());
+    let (rec_stats, trace) =
+        rec_sim.record_parallel(2, RetryPolicy::default(), work).expect("record run");
+    let rec_report = rec_stats.race.expect("sanitizer was on");
+    assert!(rec_report.ok(), "recorded storm must be race-free:\n{rec_report}");
+
+    let rep_sim = Sim::new(cfg);
+    let rep_stats = rep_sim.replay(&trace, RetryPolicy::default(), work).expect("replay run");
+    let rep_report = rep_stats.race.expect("sanitizer was on");
+    assert!(rep_report.ok(), "replayed storm must be race-free:\n{rep_report}");
+    assert_eq!(rec_sim.memory_digest(), rep_sim.memory_digest(), "replay must be faithful");
+}
+
+#[test]
+fn conflict_aborts_are_attributed_to_their_aggressor() {
+    let s = sanitized(Platform::IntelCore);
+    let a = s.alloc().alloc(1);
+    let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+        for _ in 0..1000 {
+            ctx.atomic(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        }
+    });
+    assert_eq!(s.read_word(a), 4000);
+    let events: Vec<_> = stats.conflicts().collect();
+    assert!(!events.is_empty(), "a hot word at 4 threads must produce attributed conflicts");
+    let line = s.mem().line_of(a);
+    assert!(
+        events.iter().any(|e| e.line == line),
+        "conflicts must name the hot line {line:?}: {events:?}"
+    );
+    for e in &events {
+        assert_ne!(Some(e.victim), e.aggressor, "no transaction dooms itself");
+        assert!(e.victim < 4);
+        if let Some(aggr) = e.aggressor {
+            assert!(aggr < 4);
+        }
+    }
+}
+
+#[test]
+fn sanitizer_off_means_no_report_and_no_events() {
+    let s = Sim::new(SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18));
+    let a = s.alloc().alloc(1);
+    let stats = s.run_parallel(2, RetryPolicy::default(), |ctx| {
+        ctx.write_word(a, ctx.thread_id() as u64);
+    });
+    assert!(stats.race.is_none(), "no report without sanitize");
+    assert_eq!(stats.conflicts().count(), 0);
+}

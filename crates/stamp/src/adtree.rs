@@ -40,13 +40,9 @@ impl Dataset {
             let mut r = 0u64;
             let mut prev = rng.gen_bool(0.5);
             for v in 0..n_vars {
-                let bit = if v == 0 {
-                    prev
-                } else if rng.gen_bool(0.8) {
-                    prev // strong correlation with the previous variable
-                } else {
-                    rng.gen_bool(0.5)
-                };
+                // First variable is free; later ones correlate strongly
+                // with their predecessor.
+                let bit = if v == 0 || rng.gen_bool(0.8) { prev } else { rng.gen_bool(0.5) };
                 if bit {
                     r |= 1 << v;
                 }
@@ -248,11 +244,8 @@ impl<'d> AdTree<'d> {
         for mask in 0..(1u32 << sorted.len()) {
             // Query for this parent configuration (+ child true/false).
             let mut q_base = Query::new();
-            let mut vars: Vec<(u32, bool)> = sorted
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, mask >> i & 1 == 1))
-                .collect();
+            let mut vars: Vec<(u32, bool)> =
+                sorted.iter().enumerate().map(|(i, &v)| (v, mask >> i & 1 == 1)).collect();
             vars.push((child, true));
             vars.sort_unstable_by_key(|&(v, _)| v);
             for &(v, val) in &vars {
@@ -261,11 +254,8 @@ impl<'d> AdTree<'d> {
             let n_child_true = self.count(&q_base) as f64;
 
             let mut q_cfg = Query::new();
-            let mut cfg: Vec<(u32, bool)> = sorted
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, mask >> i & 1 == 1))
-                .collect();
+            let mut cfg: Vec<(u32, bool)> =
+                sorted.iter().enumerate().map(|(i, &v)| (v, mask >> i & 1 == 1)).collect();
             cfg.sort_unstable_by_key(|&(v, _)| v);
             for &(v, val) in &cfg {
                 q_cfg = q_cfg.and(v, val);
@@ -297,9 +287,7 @@ mod tests {
 
     fn toy() -> Dataset {
         // 8 records over 3 vars; var2 == var0 always, var1 mixed.
-        let records = vec![
-            0b000, 0b101, 0b010, 0b111, 0b000, 0b101, 0b010, 0b111,
-        ];
+        let records = vec![0b000, 0b101, 0b010, 0b111, 0b000, 0b101, 0b010, 0b111];
         Dataset { n_vars: 3, records }
     }
 

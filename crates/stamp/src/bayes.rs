@@ -47,7 +47,9 @@ impl BayesConfig {
     pub fn at(scale: Scale) -> BayesConfig {
         match scale {
             Scale::Tiny => BayesConfig { n_vars: 16, max_parents: 4, n_tasks: 64, n_records: 256 },
-            Scale::Sim => BayesConfig { n_vars: 48, max_parents: 4, n_tasks: 1024, n_records: 1024 },
+            Scale::Sim => {
+                BayesConfig { n_vars: 48, max_parents: 4, n_tasks: 1024, n_records: 1024 }
+            }
             Scale::Full => {
                 BayesConfig { n_vars: 64, max_parents: 6, n_tasks: 16_384, n_records: 4096 }
             }
@@ -82,12 +84,7 @@ impl Bayes {
 /// Walks the ancestor closure of `var` transactionally; returns true if
 /// `probe` is an ancestor (inserting probe→var would create a cycle... the
 /// caller checks the reverse direction).
-fn is_ancestor(
-    tx: &mut Tx<'_>,
-    parents: &[TmList],
-    var: u64,
-    probe: u64,
-) -> TxResult<bool> {
+fn is_ancestor(tx: &mut Tx<'_>, parents: &[TmList], var: u64, probe: u64) -> TxResult<bool> {
     let mut stack = vec![var];
     let mut seen = std::collections::HashSet::new();
     seen.insert(var);
@@ -149,8 +146,7 @@ impl Workload for Bayes {
         // Each worker owns its lazily materialized ADTree (thread-private
         // read-only compute, as in STAMP).
         let mut adtree = AdTree::new(&sh.dataset, 6);
-        loop {
-            let Some(task) = ctx.atomic(|tx| sh.tasks.pop(tx)) else { break };
+        while let Some(task) = ctx.atomic(|tx| sh.tasks.pop(tx)) {
             let child = task >> 32;
             let parent = task & 0xffff_ffff;
             let did_insert = ctx.atomic(|tx| {
@@ -270,11 +266,11 @@ mod tests {
         let sim_cfg = BayesConfig { n_vars: 12, max_parents: 3, n_tasks: 256, n_records: 512 };
         let b = Bayes::new(sim_cfg, 77);
         let machine = Platform::IntelCore.config();
-        let r = crate::common::measure(&|| Bayes::new(sim_cfg, 77), &machine, &BenchParams {
-            threads: 2,
-            scale: Scale::Tiny,
-            ..Default::default()
-        });
+        let r = crate::common::measure(
+            &|| Bayes::new(sim_cfg, 77),
+            &machine,
+            &BenchParams { threads: 2, scale: Scale::Tiny, ..Default::default() },
+        );
         assert!(r.stats.committed_blocks() > 0);
         let _ = b;
     }

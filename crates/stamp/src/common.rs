@@ -9,6 +9,7 @@
 
 use std::sync::{Barrier, Mutex};
 
+use htm_core::SyncClock;
 use htm_machine::MachineConfig;
 use htm_runtime::{FaultPlan, RetryPolicy, RunStats, SeqTracer, Sim, SimConfig, ThreadCtx};
 
@@ -49,6 +50,10 @@ pub struct BenchParams {
     /// the committed schedule is not conflict-serializable (the report also
     /// lands in [`RunStats::certify`]).
     pub certify: bool,
+    /// Run the parallel phase under the happens-before race sanitizer; the
+    /// report lands in [`RunStats::race`] (not asserted here — the lint
+    /// layer decides severity).
+    pub sanitize: bool,
 }
 
 impl Default for BenchParams {
@@ -61,6 +66,7 @@ impl Default for BenchParams {
             use_hle: false,
             faults: FaultPlan::none(),
             certify: false,
+            sanitize: false,
         }
     }
 }
@@ -132,12 +138,40 @@ pub trait Workload: Sync {
     }
 }
 
+impl Workload for Box<dyn Workload> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn mem_words(&self) -> u32 {
+        (**self).mem_words()
+    }
+    fn setup(&self, sim: &Sim) {
+        (**self).setup(sim)
+    }
+    fn prepare(&self, threads: u32) {
+        (**self).prepare(threads)
+    }
+    fn work(&self, ctx: &mut ThreadCtx) {
+        (**self).work(ctx)
+    }
+    fn verify(&self, sim: &Sim) {
+        (**self).verify(sim)
+    }
+    fn result_digest(&self, sim: &Sim) -> Option<u64> {
+        (**self).result_digest(sim)
+    }
+}
+
 /// Re-usable inter-phase barrier for multi-phase workloads (genome's three
 /// phases). Sized by the framework before each run.
 #[derive(Debug, Default)]
 pub struct PhaseBarrier {
     inner: Mutex<Option<std::sync::Arc<Barrier>>>,
     max_clock: std::sync::atomic::AtomicU64,
+    /// Vector clock of the barrier for the race sanitizer: every thread
+    /// releases into it before blocking and acquires from it after, so all
+    /// pre-barrier accesses happen-before all post-barrier accesses.
+    sync: SyncClock,
 }
 
 impl PhaseBarrier {
@@ -183,7 +217,9 @@ impl PhaseBarrier {
     pub fn wait_sync(&self, ctx: &htm_runtime::ThreadCtx) {
         use std::sync::atomic::Ordering;
         self.max_clock.fetch_max(ctx.now(), Ordering::SeqCst);
+        ctx.hb_release(&self.sync);
         self.wait();
+        ctx.hb_acquire(&self.sync);
         ctx.advance_clock_to(self.max_clock.load(Ordering::SeqCst));
     }
 }
@@ -195,7 +231,11 @@ fn sim_config(w: &dyn Workload, machine: &MachineConfig, seed: u64) -> SimConfig
 }
 
 /// Runs `make()`'s workload once sequentially; returns its cycles.
-pub fn run_sequential<W: Workload>(make: &dyn Fn() -> W, machine: &MachineConfig, seed: u64) -> u64 {
+pub fn run_sequential<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    seed: u64,
+) -> u64 {
     let w = make();
     let sim = Sim::new(sim_config(&w, machine, seed));
     w.setup(&sim);
@@ -225,7 +265,30 @@ pub fn run_parallel_opt<W: Workload>(
     seed: u64,
     use_hle: bool,
 ) -> RunStats {
-    run_parallel_inner(make, machine, threads, policy, seed, use_hle, FaultPlan::none(), false)
+    run_parallel_inner(
+        make,
+        machine,
+        threads,
+        policy,
+        seed,
+        use_hle,
+        FaultPlan::none(),
+        false,
+        false,
+    )
+}
+
+/// Runs `make()`'s workload once with `threads` workers under the
+/// happens-before race sanitizer; the report is in the returned stats'
+/// [`RunStats::race`] (no assertion here — callers decide severity).
+pub fn run_sanitized<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    threads: u32,
+    policy: RetryPolicy,
+    seed: u64,
+) -> RunStats {
+    run_parallel_inner(make, machine, threads, policy, seed, false, FaultPlan::none(), false, true)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -238,9 +301,11 @@ fn run_parallel_inner<W: Workload>(
     use_hle: bool,
     faults: FaultPlan,
     certify: bool,
+    sanitize: bool,
 ) -> RunStats {
     let w = make();
-    let sim = Sim::new(sim_config(&w, machine, seed).faults(faults).certify(certify));
+    let sim =
+        Sim::new(sim_config(&w, machine, seed).faults(faults).certify(certify).sanitize(sanitize));
     w.setup(&sim);
     w.prepare(threads);
     let stats = sim.run_parallel(threads, policy, |ctx| {
@@ -270,6 +335,7 @@ pub fn measure<W: Workload>(
         params.use_hle,
         params.faults,
         params.certify,
+        params.sanitize,
     );
     BenchResult { seq_cycles, stats }
 }
@@ -330,6 +396,26 @@ pub fn trace_footprints<W: Workload>(
     w.setup(&sim);
     w.prepare(1);
     let mut ctx = sim.seq_ctx_traced(granularities);
+    w.work(&mut ctx);
+    let tracer = sim.take_tracer(&mut ctx);
+    w.verify(&sim);
+    tracer
+}
+
+/// Like [`trace_footprints`], but also keeps each block's distinct line
+/// IDs ([`SeqTracer::line_sets`]) so the capacity analyzer can replay the
+/// footprints against each platform's tracking-structure model.
+pub fn trace_line_sets<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    granularities: &[u32],
+    seed: u64,
+) -> SeqTracer {
+    let w = make();
+    let sim = Sim::new(sim_config(&w, machine, seed));
+    w.setup(&sim);
+    w.prepare(1);
+    let mut ctx = sim.seq_ctx_traced_sets(granularities);
     w.work(&mut ctx);
     let tracer = sim.take_tracer(&mut ctx);
     w.verify(&sim);

@@ -256,9 +256,8 @@ impl Workload for Genome {
         while i < range.end {
             let hi = (i + chunk).min(range.end);
             // Read the segment values (input data) before the transaction.
-            let segs: Vec<u64> = (i..hi)
-                .map(|j| ctx.read_word(sh.segments.offset(j as u32)))
-                .collect();
+            let segs: Vec<u64> =
+                (i..hi).map(|j| ctx.read_word(sh.segments.offset(j as u32))).collect();
             let inserted = ctx.atomic(|tx| {
                 let mut ins = Vec::new();
                 for &s in &segs {
@@ -382,11 +381,7 @@ impl Workload for Genome {
         for uid in 0..p3.n_unique {
             let back = sim.read_word(rec(uid).offset(REC_BACK));
             assert!(indegree[uid as usize] <= 1, "segment {uid} matched twice");
-            assert_eq!(
-                back != 0,
-                indegree[uid as usize] == 1,
-                "back flag of {uid} out of sync"
-            );
+            assert_eq!(back != 0, indegree[uid as usize] == 1, "back flag of {uid} out of sync");
         }
     }
 }

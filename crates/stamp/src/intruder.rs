@@ -131,10 +131,21 @@ impl Workload for Intruder {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut ctx = sim.seq_ctx();
         let use_hash = cfg.variant == IntruderVariant::Modified;
+        // The packet queue's header is written by every capture transaction
+        // and the flow map's header is read by every decode transaction;
+        // packed next to each other they false-share one conflict line and
+        // the two phases abort each other (htm-lint's hottest finding).
+        // Pre-allocate each header on its own line.
+        let buckets = cfg.n_flows.max(16);
+        let q_hdr = ctx.alloc_line(TmQueue::HEADER_WORDS);
+        let m_hdr = ctx.alloc_line(TmMap::header_words(use_hash, buckets));
         let (packets, flow_map) = {
             let mut created = None;
             ctx.atomic(|tx| {
-                created = Some((TmQueue::create(tx)?, TmMap::create(tx, use_hash, cfg.n_flows.max(16))?));
+                created = Some((
+                    TmQueue::create_at(tx, q_hdr)?,
+                    TmMap::create_at(tx, m_hdr, use_hash, buckets)?,
+                ));
                 Ok(())
             });
             created.unwrap()
@@ -153,7 +164,8 @@ impl Workload for Intruder {
             // Payload: random bytes; attack flows embed the signature at a
             // random fragment-aligned-ish offset.
             let total_chars = (n_frags * cfg.fragment_chars) as usize;
-            let mut payload: Vec<u8> = (0..total_chars).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+            let mut payload: Vec<u8> =
+                (0..total_chars).map(|_| rng.gen_range(b'a'..=b'z')).collect();
             if has_attack {
                 let at = rng.gen_range(0..=(total_chars - SIGNATURE.len()));
                 payload[at..at + SIGNATURE.len()].copy_from_slice(SIGNATURE);
@@ -195,9 +207,8 @@ impl Workload for Intruder {
         let wpf = self.words_per_fragment();
         let use_tree_frags = cfg.variant == IntruderVariant::Modified;
 
-        loop {
-            // Capture phase: one small transaction pops a packet.
-            let Some(pkt) = ctx.atomic(|tx| sh.packets.pop(tx)) else { break };
+        // Capture phase: one small transaction pops a packet.
+        while let Some(pkt) = ctx.atomic(|tx| sh.packets.pop(tx)) {
             let pkt = WordAddr::from_repr(pkt);
 
             // Decode phase: insert the fragment; extract the flow if
@@ -251,7 +262,8 @@ impl Workload for Intruder {
                     })?;
                 }
                 // Read payloads inside the transaction (the reassembly).
-                let mut payload = Vec::with_capacity((n_frags * cfg.fragment_chars as u64) as usize);
+                let mut payload =
+                    Vec::with_capacity((n_frags * cfg.fragment_chars as u64) as usize);
                 for f in &frags {
                     for w in 0..wpf {
                         let word = tx.load(f.offset(PKT_DATA + w))?;
@@ -345,11 +357,6 @@ mod tests {
         let orig = run(IntruderVariant::Original);
         let modi = run(IntruderVariant::Modified);
         let cap = |s: &htm_runtime::RunStats| s.aborts_in(htm_core::AbortCategory::Capacity);
-        assert!(
-            cap(&orig) >= cap(&modi),
-            "original {} vs modified {}",
-            cap(&orig),
-            cap(&modi)
-        );
+        assert!(cap(&orig) >= cap(&modi), "original {} vs modified {}", cap(&orig), cap(&modi));
     }
 }

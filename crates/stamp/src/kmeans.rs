@@ -179,8 +179,8 @@ impl Workload for Kmeans {
         for _iter in 0..cfg.iterations {
             // Snapshot the (stable) old centroids non-transactionally.
             let mut centers = vec![0.0f64; k * d];
-            for i in 0..k * d {
-                centers[i] = htm_core::word_to_f64(ctx.read_word(sh.old_centers.offset(i as u32)));
+            for (i, c) in centers.iter_mut().enumerate() {
+                *c = htm_core::word_to_f64(ctx.read_word(sh.old_centers.offset(i as u32)));
             }
             let mut point = vec![0.0f64; d];
             for p in range.clone() {

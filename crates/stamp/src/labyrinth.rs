@@ -85,7 +85,13 @@ pub struct Labyrinth {
 impl Labyrinth {
     /// Creates a labyrinth workload.
     pub fn new(cfg: LabyrinthConfig, seed: u64) -> Labyrinth {
-        Labyrinth { cfg, seed, shared: OnceLock::new(), routed: AtomicU64::new(0), failed: AtomicU64::new(0) }
+        Labyrinth {
+            cfg,
+            seed,
+            shared: OnceLock::new(),
+            routed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
     }
 
     fn neighbors(&self, idx: u32) -> impl Iterator<Item = u32> {
@@ -142,7 +148,7 @@ impl Workload for Labyrinth {
                 return i;
             }
         };
-        let queue = ctx.atomic(|tx| TmQueue::create(tx));
+        let queue = ctx.atomic(TmQueue::create);
         let mut requests = Vec::new();
         for _ in 0..cfg.n_requests {
             let src = pick_free(&mut rng, sim);
@@ -164,8 +170,7 @@ impl Workload for Labyrinth {
         let mut snapshot = vec![0u64; cells as usize];
         let mut dist = vec![u32::MAX; cells as usize];
 
-        loop {
-            let Some(req) = ctx.atomic(|tx| sh.queue.pop(tx)) else { break };
+        while let Some(req) = ctx.atomic(|tx| sh.queue.pop(tx)) {
             let req = WordAddr::from_repr(req);
             let routed_len = ctx.atomic(|tx| {
                 let src = tx.load(req.offset(REQ_SRC))? as u32;

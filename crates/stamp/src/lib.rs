@@ -31,7 +31,10 @@ pub mod intruder;
 pub mod labyrinth;
 pub mod yada;
 
-pub use common::{measure, run_oracle, run_parallel, run_sequential, trace_footprints};
+pub use common::{
+    measure, run_oracle, run_parallel, run_sanitized, run_sequential, trace_footprints,
+    trace_line_sets,
+};
 pub use common::{BenchParams, BenchResult, Scale, Workload};
 
 use htm_machine::MachineConfig;
@@ -255,7 +258,14 @@ pub fn run_bench_oracle(
             } else {
                 vacation::VacationConfig::low(scale, vv)
             };
-            run_oracle(&|| vacation::Vacation::new(cfg, seed), machine, threads, policy, seed, faults)
+            run_oracle(
+                &|| vacation::Vacation::new(cfg, seed),
+                machine,
+                threads,
+                policy,
+                seed,
+                faults,
+            )
         }
         BenchId::Genome => {
             let cfg = genome::GenomeConfig::at(
@@ -273,11 +283,25 @@ pub fn run_bench_oracle(
                 Variant::Modified => intruder::IntruderVariant::Modified,
             };
             let cfg = intruder::IntruderConfig::at(scale, iv);
-            run_oracle(&|| intruder::Intruder::new(cfg, seed), machine, threads, policy, seed, faults)
+            run_oracle(
+                &|| intruder::Intruder::new(cfg, seed),
+                machine,
+                threads,
+                policy,
+                seed,
+                faults,
+            )
         }
         BenchId::Labyrinth => {
             let cfg = labyrinth::LabyrinthConfig::at(scale);
-            run_oracle(&|| labyrinth::Labyrinth::new(cfg, seed), machine, threads, policy, seed, faults)
+            run_oracle(
+                &|| labyrinth::Labyrinth::new(cfg, seed),
+                machine,
+                threads,
+                policy,
+                seed,
+                faults,
+            )
         }
         BenchId::Yada => {
             let cfg = yada::YadaConfig::at(scale);
@@ -369,5 +393,82 @@ pub fn trace_bench(
             granularities,
             seed,
         ),
+    }
+}
+
+/// The workload constructor selected by `(id, variant)`, type-erased.
+///
+/// Analysis drivers (`htm-lint`) run every benchmark through
+/// [`run_sanitized`] and [`trace_line_sets`] with a single code path;
+/// `Box<dyn Workload>` itself implements [`Workload`], so the returned
+/// closure plugs straight into any `&dyn Fn() -> W` runner.
+pub fn workload_factory(
+    id: BenchId,
+    variant: Variant,
+    machine: &MachineConfig,
+    scale: Scale,
+    seed: u64,
+) -> Box<dyn Fn() -> Box<dyn Workload>> {
+    let gran = machine.granularity;
+    let platform = machine.platform;
+    match id {
+        BenchId::KmeansHigh | BenchId::KmeansLow => {
+            let kv = match variant {
+                Variant::Original => kmeans::KmeansVariant::Original,
+                Variant::Modified => kmeans::KmeansVariant::Modified,
+            };
+            let cfg = if id == BenchId::KmeansHigh {
+                kmeans::KmeansConfig::high(scale, kv, gran)
+            } else {
+                kmeans::KmeansConfig::low(scale, kv, gran)
+            };
+            Box::new(move || Box::new(kmeans::Kmeans::new(cfg, seed)))
+        }
+        BenchId::Ssca2 => {
+            let cfg = ssca2::Ssca2Config::at(scale);
+            Box::new(move || Box::new(ssca2::Ssca2::new(cfg, seed)))
+        }
+        BenchId::VacationHigh | BenchId::VacationLow => {
+            let vv = match variant {
+                Variant::Original => vacation::VacationVariant::Original,
+                Variant::Modified => vacation::VacationVariant::Modified,
+            };
+            let cfg = if id == BenchId::VacationHigh {
+                vacation::VacationConfig::high(scale, vv)
+            } else {
+                vacation::VacationConfig::low(scale, vv)
+            };
+            Box::new(move || Box::new(vacation::Vacation::new(cfg, seed)))
+        }
+        BenchId::Genome => {
+            let cfg = genome::GenomeConfig::at(
+                scale,
+                match variant {
+                    Variant::Original => genome::GenomeVariant::Original,
+                    Variant::Modified => genome::GenomeVariant::Modified { platform },
+                },
+            );
+            Box::new(move || Box::new(genome::Genome::new(cfg, seed)))
+        }
+        BenchId::Intruder => {
+            let iv = match variant {
+                Variant::Original => intruder::IntruderVariant::Original,
+                Variant::Modified => intruder::IntruderVariant::Modified,
+            };
+            let cfg = intruder::IntruderConfig::at(scale, iv);
+            Box::new(move || Box::new(intruder::Intruder::new(cfg, seed)))
+        }
+        BenchId::Labyrinth => {
+            let cfg = labyrinth::LabyrinthConfig::at(scale);
+            Box::new(move || Box::new(labyrinth::Labyrinth::new(cfg, seed)))
+        }
+        BenchId::Yada => {
+            let cfg = yada::YadaConfig::at(scale);
+            Box::new(move || Box::new(yada::Yada::new(cfg, seed)))
+        }
+        BenchId::Bayes => {
+            let cfg = bayes::BayesConfig::at(scale);
+            Box::new(move || Box::new(bayes::Bayes::new(cfg, seed)))
+        }
     }
 }

@@ -39,6 +39,37 @@ impl TmMap {
         }
     }
 
+    /// Header words the structure matching `use_hash` occupies (for
+    /// line-aligned pre-allocation with [`TmMap::create_at`]).
+    pub fn header_words(use_hash: bool, buckets: u32) -> u32 {
+        if use_hash {
+            TmHashTable::header_words(buckets)
+        } else {
+            TmRbTree::HEADER_WORDS
+        }
+    }
+
+    /// Initializes the structure matching `use_hash` at a pre-allocated
+    /// header of [`TmMap::header_words`] words — e.g. one on its own
+    /// conflict line, so the map's hot header never falsely conflicts with
+    /// a neighbouring structure.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn create_at(
+        tx: &mut Tx<'_>,
+        hdr: WordAddr,
+        use_hash: bool,
+        buckets: u32,
+    ) -> TxResult<TmMap> {
+        Ok(if use_hash {
+            TmMap::Hash(TmHashTable::create_at(tx, hdr, buckets)?)
+        } else {
+            TmMap::Tree(TmRbTree::create_at(tx, hdr)?)
+        })
+    }
+
     /// Inserts if absent; returns whether inserted.
     ///
     /// # Errors
@@ -143,9 +174,7 @@ mod tests {
     fn both_backends_agree() {
         let sim = Sim::of(Platform::IntelCore.config());
         let mut ctx = sim.seq_ctx();
-        let maps = ctx.atomic(|tx| {
-            Ok([TmMap::create(tx, false, 8)?, TmMap::create(tx, true, 8)?])
-        });
+        let maps = ctx.atomic(|tx| Ok([TmMap::create(tx, false, 8)?, TmMap::create(tx, true, 8)?]));
         for m in maps {
             ctx.atomic(|tx| {
                 assert!(m.is_empty(tx)?);

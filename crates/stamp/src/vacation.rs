@@ -207,8 +207,7 @@ impl Workload for Vacation {
         let sh = self.shared.get().expect("setup not run");
         let mut ctx = sim.seq_ctx();
         // Count reservations per (type, id) from all customer lists.
-        let mut reserved =
-            vec![0u64; (N_TYPES as usize) * cfg.n_relations as usize];
+        let mut reserved = vec![0u64; (N_TYPES as usize) * cfg.n_relations as usize];
         ctx.atomic(|tx| {
             for list in &sh.customers {
                 list.for_each(tx, |key, count| {
@@ -310,8 +309,7 @@ impl Vacation {
     fn cancel_customer(&self, ctx: &mut ThreadCtx, sh: &Shared, customer: u64) {
         ctx.atomic(|tx| {
             let list = &sh.customers[customer as usize];
-            loop {
-                let Some((key, count)) = list.pop_min(tx)? else { break };
+            while let Some((key, count)) = list.pop_min(tx)? {
                 let ty = key >> 32;
                 let id = key & 0xffff_ffff;
                 if let Some(rec) = sh.tables[ty as usize].get(tx, id)? {

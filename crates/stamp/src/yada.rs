@@ -158,7 +158,10 @@ impl Workload for Yada {
             }
         }
         self.initial_bad.store(bad, Ordering::Relaxed);
-        self.shared.set(Shared { work, refinements: AtomicU64::new(0) }).ok().expect("setup ran twice");
+        self.shared
+            .set(Shared { work, refinements: AtomicU64::new(0) })
+            .ok()
+            .expect("setup ran twice");
     }
 
     fn work(&self, ctx: &mut ThreadCtx) {
@@ -277,7 +280,7 @@ impl Workload for Yada {
                 // serialize whole refinements).
                 let mut new_bad = Vec::new();
                 for (k, &e) in fresh.iter().enumerate() {
-                    if bad_draws[k as usize] {
+                    if bad_draws[k] {
                         new_bad.push((prio_draws[k], e));
                     }
                 }

@@ -43,12 +43,8 @@ fn certifier_handles_single_thread_and_high_thread_counts() {
 #[test]
 fn original_variants_certify_too() {
     for id in BenchId::MODIFIED_SET {
-        let stats = run_bench_oracle(
-            id,
-            Variant::Original,
-            &Platform::Power8.config(),
-            &oracle_params(2),
-        );
+        let stats =
+            run_bench_oracle(id, Variant::Original, &Platform::Power8.config(), &oracle_params(2));
         assert!(stats.certify.as_ref().is_some_and(|r| r.ok()), "{id} (original)");
     }
 }
@@ -65,8 +61,7 @@ fn certifier_passes_under_a_fault_storm() {
         .lock_release_delay(100);
     for id in [BenchId::Ssca2, BenchId::Intruder, BenchId::Genome, BenchId::VacationHigh] {
         let params = BenchParams { faults: storm, ..oracle_params(4) };
-        let stats =
-            run_bench_oracle(id, Variant::Modified, &Platform::IntelCore.config(), &params);
+        let stats = run_bench_oracle(id, Variant::Modified, &Platform::IntelCore.config(), &params);
         let report = stats.certify.as_ref().expect("oracle certifies");
         assert!(report.ok(), "{id} under storm:\n{report}");
         assert!(stats.injected_faults() > 0, "{id}: the storm must actually fire");

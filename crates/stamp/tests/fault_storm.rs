@@ -13,12 +13,8 @@ fn every_benchmark_survives_a_total_persistent_abort_storm() {
     let storm = FaultPlan::none().capacity_abort_per_begin(1.0);
     for id in BenchId::ALL {
         let machine = Platform::IntelCore.config();
-        let params = BenchParams {
-            threads: 2,
-            scale: Scale::Tiny,
-            faults: storm,
-            ..Default::default()
-        };
+        let params =
+            BenchParams { threads: 2, scale: Scale::Tiny, faults: storm, ..Default::default() };
         let r = stamp::run_bench(id, Variant::Modified, &machine, &params);
         assert_eq!(
             r.stats.hw_commits(),

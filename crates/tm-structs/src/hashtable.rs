@@ -44,14 +44,33 @@ fn mix(key: u64) -> u64 {
 }
 
 impl TmHashTable {
+    /// Words occupied by a header with `n_buckets` chains (for aligned
+    /// pre-allocation).
+    pub fn header_words(n_buckets: u32) -> u32 {
+        HDR_BUCKETS + n_buckets.max(1)
+    }
+
     /// Allocates a table with `n_buckets` chains (rounded up to ≥ 1).
     ///
     /// # Errors
     ///
     /// Aborts like any transactional operation.
     pub fn create(tx: &mut Tx<'_>, n_buckets: u32) -> TxResult<TmHashTable> {
+        let hdr = tx.alloc(TmHashTable::header_words(n_buckets));
+        TmHashTable::create_at(tx, hdr, n_buckets)
+    }
+
+    /// Initializes a table at a pre-allocated header of
+    /// [`TmHashTable::header_words`]`(n_buckets)` words (see
+    /// [`TmQueue::create_at`] for when this matters).
+    ///
+    /// [`TmQueue::create_at`]: crate::TmQueue::create_at
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn create_at(tx: &mut Tx<'_>, hdr: WordAddr, n_buckets: u32) -> TxResult<TmHashTable> {
         let n = n_buckets.max(1);
-        let hdr = tx.alloc(HDR_BUCKETS + n);
         tx.store(hdr.offset(HDR_NBUCKETS), n as u64)?;
         for b in 0..n {
             tx.store_addr(hdr.offset(HDR_BUCKETS + b), WordAddr::NULL)?;

@@ -30,6 +30,9 @@ pub struct TmQueue {
 }
 
 impl TmQueue {
+    /// Words occupied by the queue header (for aligned pre-allocation).
+    pub const HEADER_WORDS: u32 = HDR_WORDS;
+
     /// Allocates an empty queue.
     ///
     /// # Errors
@@ -37,6 +40,18 @@ impl TmQueue {
     /// Aborts like any transactional operation.
     pub fn create(tx: &mut Tx<'_>) -> TxResult<TmQueue> {
         let hdr = tx.alloc(HDR_WORDS);
+        TmQueue::create_at(tx, hdr)
+    }
+
+    /// Initializes an empty queue at a pre-allocated header of
+    /// [`TmQueue::HEADER_WORDS`] words — e.g. one placed on its own
+    /// conflict line so the hot head/tail words never share a line with a
+    /// neighbouring structure.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn create_at(tx: &mut Tx<'_>, hdr: WordAddr) -> TxResult<TmQueue> {
         tx.store_addr(hdr.offset(HDR_HEAD), WordAddr::NULL)?;
         tx.store_addr(hdr.offset(HDR_TAIL), WordAddr::NULL)?;
         tx.store(hdr.offset(HDR_SIZE), 0)?;

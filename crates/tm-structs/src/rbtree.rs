@@ -42,6 +42,9 @@ pub struct TmRbTree {
 }
 
 impl TmRbTree {
+    /// Words occupied by the tree header (for aligned pre-allocation).
+    pub const HEADER_WORDS: u32 = HDR_WORDS;
+
     /// Allocates an empty tree.
     ///
     /// # Errors
@@ -49,6 +52,19 @@ impl TmRbTree {
     /// Aborts like any transactional operation.
     pub fn create(tx: &mut Tx<'_>) -> TxResult<TmRbTree> {
         let hdr = tx.alloc(HDR_WORDS);
+        TmRbTree::create_at(tx, hdr)
+    }
+
+    /// Initializes an empty tree at a pre-allocated header of
+    /// [`TmRbTree::HEADER_WORDS`] words (see [`TmQueue::create_at`] for
+    /// when this matters).
+    ///
+    /// [`TmQueue::create_at`]: crate::TmQueue::create_at
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn create_at(tx: &mut Tx<'_>, hdr: WordAddr) -> TxResult<TmRbTree> {
         tx.store_addr(hdr.offset(HDR_ROOT), WordAddr::NULL)?;
         tx.store(hdr.offset(HDR_SIZE), 0)?;
         Ok(TmRbTree { hdr })
