@@ -140,11 +140,7 @@ impl ConcurrentQueue {
     /// The transactional enqueue body: append at the tail if the tail's
     /// next pointer is null (the constrained-transaction-friendly fast
     /// path); signal `Explicit` abort otherwise so the caller falls back.
-    fn tx_enqueue_body(
-        &self,
-        tx: &mut htm_runtime::Tx<'_>,
-        node: WordAddr,
-    ) -> TxResult<bool> {
+    fn tx_enqueue_body(&self, tx: &mut htm_runtime::Tx<'_>, node: WordAddr) -> TxResult<bool> {
         let tail = WordAddr::from_repr(tx.load(self.hdr.offset(HDR_TAIL))?);
         let next = tx.load(tail.offset(NODE_NEXT))?;
         if next != 0 {
@@ -335,9 +331,8 @@ mod tests {
             });
             let mut all = seen.into_inner().unwrap();
             all.sort_unstable();
-            let expected: Vec<u64> = (0..4u64)
-                .flat_map(|t| (0..100u64).map(move |i| t * 1000 + i + 1))
-                .collect();
+            let expected: Vec<u64> =
+                (0..4u64).flat_map(|t| (0..100u64).map(move |i| t * 1000 + i + 1)).collect();
             let mut expected = expected;
             expected.sort_unstable();
             assert_eq!(all, expected, "{imp}: items lost or duplicated");

@@ -172,7 +172,7 @@ impl TlsLoop {
                         }
                         tx.tick(5);
                         polls += 1;
-                        if polls % 64 == 0 {
+                        if polls.is_multiple_of(64) {
                             std::thread::yield_now();
                         }
                         std::hint::spin_loop();
@@ -245,9 +245,6 @@ mod tests {
         };
         let without = run(false);
         let with = run(true);
-        assert!(
-            with < without,
-            "suspend/resume must reduce aborts: {with:.3} vs {without:.3}"
-        );
+        assert!(with < without, "suspend/resume must reduce aborts: {with:.3} vs {without:.3}");
     }
 }

@@ -58,7 +58,7 @@ fn bench_structures(c: &mut Criterion) {
         b.iter(|| {
             let sim = Sim::new(SimConfig::new(Platform::IntelCore.config()).mem_words(1 << 18));
             let mut ctx = sim.seq_ctx();
-            let t = ctx.atomic(|tx| TmRbTree::create(tx));
+            let t = ctx.atomic(TmRbTree::create);
             ctx.atomic(|tx| {
                 for k in 0..1000u64 {
                     t.insert(tx, (k * 2654435761) % 4096, k)?;
@@ -95,22 +95,13 @@ fn bench_stamp_cell(c: &mut Criterion) {
     for bench in [stamp::BenchId::KmeansLow, stamp::BenchId::Ssca2] {
         g.bench_with_input(BenchmarkId::from_parameter(bench.label()), &bench, |b, &id| {
             let machine = Platform::Zec12.config();
-            let params = stamp::BenchParams {
-                threads: 2,
-                scale: stamp::Scale::Tiny,
-                ..Default::default()
-            };
+            let params =
+                stamp::BenchParams { threads: 2, scale: stamp::Scale::Tiny, ..Default::default() };
             b.iter(|| stamp::run_bench(id, stamp::Variant::Modified, &machine, &params));
         });
     }
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tx_throughput,
-    bench_contended,
-    bench_structures,
-    bench_stamp_cell
-);
+criterion_group!(benches, bench_tx_throughput, bench_contended, bench_structures, bench_stamp_cell);
 criterion_main!(benches);

@@ -1,299 +1,33 @@
-//! # htm-bench — experiment harness
+//! # htm-bench — criterion micro-benchmarks of the simulator
 //!
-//! Regenerates every table and figure of *Nakaike et al., ISCA 2015* (see
-//! `DESIGN.md` §5 for the experiment index). Each `src/bin/*` binary prints
-//! one table/figure as aligned text and appends machine-readable TSV under
-//! `target/results/` for `EXPERIMENTS.md`.
-//!
-//! Shared here: CLI options, the per-cell measurement runner with tuned
-//! retry policies and per-benchmark Blue Gene/Q mode selection, geometric
-//! means, and table rendering.
+//! The twenty figure/table binaries that used to live here moved into the
+//! [`htm_exp`] experiment engine — run `htm-exp run <spec>` (see
+//! `htm-exp list`) instead of `cargo run -p htm-bench --bin <name>`.
+//! What remains is the criterion suite measuring *host* performance of the
+//! simulator itself (`benches/simulator.rs`) plus re-exports of the shared
+//! grid vocabulary for code that still imports it from here.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::io::Write as _;
-
-use htm_machine::{BgqMode, MachineConfig, Platform};
-use htm_runtime::{FaultPlan, RetryPolicy};
-use stamp::{BenchId, BenchParams, BenchResult, Scale, Variant};
-
-/// Command-line options shared by the figure binaries.
-#[derive(Clone, Debug)]
-pub struct HarnessOpts {
-    /// Input scale (`--scale tiny|sim|full`).
-    pub scale: Scale,
-    /// Input seed (`--seed N`).
-    pub seed: u64,
-    /// Repetitions to average (`--reps N`; the paper used 4).
-    pub reps: u32,
-    /// Run every parallel measurement with the serializability certifier
-    /// enabled (`--certify`): each run's committed schedule is checked for
-    /// conflict-serializability and the harness panics on a violation.
-    pub certify: bool,
-}
-
-impl Default for HarnessOpts {
-    fn default() -> HarnessOpts {
-        HarnessOpts { scale: Scale::Sim, seed: 42, reps: 1, certify: false }
-    }
-}
-
-const USAGE: &str = "options: --scale tiny|sim|full   --seed N   --reps N   --certify";
-
-/// Prints a CLI usage diagnostic to stderr and exits with status 2 (no
-/// panic, no backtrace: a malformed flag is a user error, not a bug).
-fn usage_error(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("{USAGE}");
-    std::process::exit(2);
-}
-
-/// Parses harness options from `std::env::args`, exiting with a diagnostic
-/// (status 2) on malformed arguments.
-pub fn parse_args() -> HarnessOpts {
-    let mut opts = HarnessOpts::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--scale" => {
-                opts.scale = match args.next().as_deref() {
-                    Some("tiny") => Scale::Tiny,
-                    Some("sim") => Scale::Sim,
-                    Some("full") => Scale::Full,
-                    other => usage_error(&format!("--scale tiny|sim|full (got {other:?})")),
-                }
-            }
-            "--seed" => {
-                opts.seed = match args.next().and_then(|s| s.parse().ok()) {
-                    Some(n) => n,
-                    None => usage_error("--seed needs an integer argument"),
-                };
-            }
-            "--reps" => {
-                opts.reps = match args.next().and_then(|s| s.parse().ok()) {
-                    Some(n) => n,
-                    None => usage_error("--reps needs an integer argument"),
-                };
-            }
-            "--certify" => opts.certify = true,
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
-            }
-            other => usage_error(&format!("unknown option {other}")),
-        }
-    }
-    opts
-}
-
-/// Geometric mean (the paper's average for speed-up figures).
-pub fn geomean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let log_sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
-    (log_sum / xs.len() as f64).exp()
-}
-
-/// The per-benchmark Blue Gene/Q running mode (the paper tuned the mode per
-/// benchmark): short-running for the short-transaction benchmarks — where
-/// paying L2 latency on loads beats the long-mode L1 invalidation at every
-/// begin — and long-running for the rest.
-pub fn bgq_mode_for(bench: BenchId) -> BgqMode {
-    match bench {
-        // ssca2's two-access transactions never profit from L1 buffering;
-        // everything else (including kmeans, whose transactional loads
-        // would each pay L2 latency in short-running mode) runs long.
-        BenchId::Ssca2 => BgqMode::ShortRunning,
-        _ => BgqMode::LongRunning,
-    }
-}
-
-/// The machine configuration for one (platform × benchmark) cell.
-pub fn machine_for(platform: Platform, bench: BenchId) -> MachineConfig {
-    match platform {
-        Platform::BlueGeneQ => MachineConfig::blue_gene_q(bgq_mode_for(bench)),
-        p => p.config(),
-    }
-}
-
-/// Tuned retry-policy table, standing in for the paper's per-cell grid
-/// search (regenerate with `cargo run -p htm-bench --release --bin tune`).
-pub fn tuned_policy(platform: Platform, bench: BenchId) -> RetryPolicy {
-    use BenchId::*;
-    use Platform::*;
-    // lock / persistent / transient / bgq
-    let (l, p, t, b) = match (platform, bench) {
-        // Large-footprint benchmarks: retrying persistent capacity aborts is
-        // wasted work (the paper set the persistent count to 1 for yada) —
-        // but Blue Gene/Q's capacity *fits* yada's cavities, so its single
-        // counter is set high there.
-        (BlueGeneQ, Yada) => (2, 1, 4, 4),
-        (_, Yada) | (_, Labyrinth) => (2, 1, 4, 2),
-        // Heavily conflicting small transactions: patience pays.
-        (_, KmeansHigh) | (_, KmeansLow) => (4, 2, 12, 10),
-        // Short, rarely-conflicting transactions.
-        (_, Ssca2) => (2, 1, 4, 4),
-        // POWER8 sees persistent capacity aborts in tree-heavy code that
-        // are actually worth a few retries (SMT sharing makes them
-        // transient, Section 3).
-        (Power8, Intruder) | (Power8, VacationHigh) | (Power8, VacationLow) => (4, 3, 8, 8),
-        _ => (4, 2, 8, 8),
-    };
-    RetryPolicy { lock_retries: l, persistent_retries: p, transient_retries: t, bgq_retries: b }
-}
-
-/// One measured cell of a figure.
-#[derive(Clone, Debug)]
-pub struct Cell {
-    /// Speed-up over sequential (averaged over reps).
-    pub speedup: f64,
-    /// Transaction-abort ratio.
-    pub abort_ratio: f64,
-    /// Figure-3 category shares (capacity, data, other, lock, unclassified),
-    /// as fractions of all transactions.
-    pub abort_shares: [f64; 5],
-    /// Serialization ratio (irrevocable / committed).
-    pub serialization: f64,
-}
-
-fn summarize(results: &[BenchResult]) -> Cell {
-    let n = results.len() as f64;
-    let speedup = results.iter().map(|r| r.speedup()).sum::<f64>() / n;
-    let abort_ratio = results.iter().map(|r| r.abort_ratio()).sum::<f64>() / n;
-    let mut abort_shares = [0.0; 5];
-    for (i, cat) in htm_core::AbortCategory::ALL.iter().enumerate() {
-        abort_shares[i] = results.iter().map(|r| r.stats.abort_ratio_of(*cat)).sum::<f64>() / n;
-    }
-    let serialization = results.iter().map(|r| r.stats.serialization_ratio()).sum::<f64>() / n;
-    Cell { speedup, abort_ratio, abort_shares, serialization }
-}
-
-/// Measures one (platform × benchmark × variant × threads) cell with the
-/// tuned retry policy, averaging `reps` runs (the paper averaged four).
-pub fn run_cell(
-    platform: Platform,
-    bench: BenchId,
-    variant: Variant,
-    threads: u32,
-    opts: &HarnessOpts,
-) -> Cell {
-    run_cell_faulty(platform, bench, variant, threads, opts, FaultPlan::none())
-}
-
-/// Like [`run_cell`], with a fault-injection plan applied to the parallel
-/// runs (the `ablation_faults` robustness sweep).
-pub fn run_cell_faulty(
-    platform: Platform,
-    bench: BenchId,
-    variant: Variant,
-    threads: u32,
-    opts: &HarnessOpts,
-    faults: FaultPlan,
-) -> Cell {
-    let machine = machine_for(platform, bench);
-    let mut results = Vec::new();
-    for rep in 0..opts.reps {
-        let params = BenchParams {
-            threads,
-            policy: tuned_policy(platform, bench),
-            scale: opts.scale,
-            seed: opts.seed.wrapping_add(rep as u64 * 7919),
-            use_hle: false,
-            faults,
-            certify: opts.certify,
-            sanitize: false,
-        };
-        results.push(stamp::run_bench(bench, variant, &machine, &params));
-    }
-    summarize(&results)
-}
-
-/// Renders an aligned text table.
-pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
-    let ncols = headers.len();
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate().take(ncols) {
-            widths[i] = widths[i].max(cell.len());
-        }
-    }
-    let line = |cells: &[String]| {
-        let mut s = String::new();
-        for (i, c) in cells.iter().enumerate().take(ncols) {
-            if i == 0 {
-                s.push_str(&format!("{:<w$}", c, w = widths[i]));
-            } else {
-                s.push_str(&format!("  {:>w$}", c, w = widths[i]));
-            }
-        }
-        s
-    };
-    println!("{}", line(headers));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
-    for row in rows {
-        println!("{}", line(row));
-    }
-}
-
-/// Appends TSV rows under `target/results/<name>.tsv` (used by
-/// `EXPERIMENTS.md` regeneration). Failure to save is reported on stderr
-/// but never aborts the run: the table was already printed.
-pub fn save_tsv(name: &str, header: &str, rows: &[String]) {
-    fn try_save(name: &str, header: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
-        let dir = std::path::Path::new("target/results");
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{name}.tsv"));
-        let mut f = std::fs::File::create(&path)?;
-        writeln!(f, "{header}")?;
-        for r in rows {
-            writeln!(f, "{r}")?;
-        }
-        Ok(path)
-    }
-    match try_save(name, header, rows) {
-        Ok(path) => println!("[saved {}]", path.display()),
-        Err(e) => eprintln!("warning: could not save target/results/{name}.tsv: {e}"),
-    }
-}
-
-/// Formats a float with two decimals.
-pub fn f2(x: f64) -> String {
-    format!("{x:.2}")
-}
-
-/// Formats a fraction as a percentage with one decimal.
-pub fn pct(x: f64) -> String {
-    format!("{:.1}", x * 100.0)
-}
+pub use htm_exp::sink::{f2, pct};
+pub use htm_exp::{
+    bgq_mode_for, geomean, machine_for, render_table_string, save_tsv, tuned_policy, Cell,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use htm_machine::{BgqMode, Platform};
+    use stamp::BenchId;
 
     #[test]
-    fn geomean_basics() {
+    fn shim_re_exports_the_grid_vocabulary() {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
-        assert_eq!(geomean(&[]), 0.0);
-    }
-
-    #[test]
-    fn tuned_policies_are_sane() {
-        for p in Platform::ALL {
-            for b in BenchId::ALL {
-                let pol = tuned_policy(p, b);
-                assert!(pol.transient_retries >= 1, "{p} {b}");
-            }
-        }
-    }
-
-    #[test]
-    fn bgq_modes() {
         assert_eq!(bgq_mode_for(BenchId::Ssca2), BgqMode::ShortRunning);
-        assert_eq!(bgq_mode_for(BenchId::Yada), BgqMode::LongRunning);
         assert_eq!(machine_for(Platform::BlueGeneQ, BenchId::Ssca2).granularity, 8);
+        assert!(tuned_policy(Platform::BlueGeneQ, BenchId::Yada).bgq_retries >= 4);
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.125), "12.5");
     }
 }

@@ -19,7 +19,7 @@
 //! Higher layers add platform models (`htm-machine`), the transaction engine
 //! and Figure-1 retry mechanism (`htm-runtime`), transactional data
 //! structures (`tm-structs`), the STAMP port (`stamp`) and the experiment
-//! harness (`htm-bench`).
+//! engine (`htm-exp`).
 //!
 //! ## Example
 //!

@@ -62,7 +62,7 @@ impl SlotId {
 /// All four real systems behave (to a first approximation) as
 /// *requester-wins*: the transaction that receives the invalidating
 /// coherence request is the one that aborts. `RequesterLoses` (self-abort on
-/// conflict) is provided as an ablation (`htm-bench --bin ablation_policy`).
+/// conflict) is provided as an ablation (`htm-exp run ablation_policy`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ConflictPolicy {
     /// The requesting access dooms the current owner (hardware-like).

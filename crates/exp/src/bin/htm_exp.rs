@@ -1,0 +1,263 @@
+//! `htm-exp` — the unified experiment CLI.
+//!
+//! One binary replaces the twenty legacy `htm-bench` binaries:
+//!
+//! ```text
+//! htm-exp list                       # catalogue of specs
+//! htm-exp run fig2 --smoke           # one spec, tiny inputs
+//! htm-exp run all --jobs 4           # the full grid, 4 workers
+//! htm-exp run lint --gate race,capacity-overflow
+//! htm-exp diff fig2                  # compare against saved TSV
+//! ```
+//!
+//! `run` prints each spec's tables to stdout, writes TSV/JSON artifacts
+//! under `target/results/`, and reuses cached cell results unless
+//! `--no-cache`. Exit status: 0 on success, 1 when a `--gate` rule fires
+//! or `diff` finds differences, 2 on usage errors.
+
+use htm_analyze::Gate;
+use htm_exp::{run_spec, specs, RunOpts};
+use stamp::Scale;
+
+const USAGE: &str = "usage: htm-exp <command> [options]
+commands:
+  list                 list available specs
+  run <spec>... | all  run specs (tables to stdout, TSV/JSON under target/results)
+  diff <spec>...       run specs, compare TSV against the saved files, don't overwrite
+options:
+  --scale tiny|sim|full   input scale (default: sim; lint defaults to tiny)
+  --smoke                 shorthand for --scale tiny
+  --seed N                root seed (default 42)
+  --reps N                repetitions averaged per figure cell (default 1)
+  --certify               run figure cells under the serializability certifier
+  --jobs N                scheduler worker threads (default: one per host core)
+  --no-cache              ignore and don't populate the result cache
+  --filter SUBSTR         only run cells whose id contains SUBSTR
+  --gate rule1,rule2,...  exit 1 if a gated lint rule fires
+  --results-dir PATH      artifact directory (default target/results)
+  --quiet                 suppress per-cell progress on stderr";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Cli {
+    command: String,
+    names: Vec<String>,
+    opts: RunOpts,
+    gate: Gate,
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        usage_error("missing command");
+    };
+    if command == "--help" || command == "-h" {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    let mut cli = Cli {
+        command,
+        names: Vec::new(),
+        opts: RunOpts::default(),
+        gate: Gate::parse("").expect("empty gate"),
+    };
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| usage_error(&format!("{flag} needs an argument")))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                cli.opts.scale = match next(&mut args, "--scale").as_str() {
+                    "tiny" => Scale::Tiny,
+                    "sim" => Scale::Sim,
+                    "full" => Scale::Full,
+                    other => usage_error(&format!("--scale tiny|sim|full (got {other:?})")),
+                };
+                cli.opts.scale_explicit = true;
+            }
+            "--smoke" => {
+                cli.opts.scale = Scale::Tiny;
+                cli.opts.scale_explicit = true;
+            }
+            "--seed" => {
+                cli.opts.seed = next(&mut args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed needs an integer"));
+            }
+            "--reps" => {
+                cli.opts.reps = next(&mut args, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--reps needs an integer"));
+            }
+            "--certify" => cli.opts.certify = true,
+            "--jobs" => {
+                cli.opts.jobs = next(&mut args, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--jobs needs an integer"));
+            }
+            "--no-cache" => cli.opts.use_cache = false,
+            "--filter" => cli.opts.filter = Some(next(&mut args, "--filter")),
+            "--gate" => {
+                cli.gate =
+                    Gate::parse(&next(&mut args, "--gate")).unwrap_or_else(|e| usage_error(&e));
+            }
+            "--results-dir" => {
+                let dir = std::path::PathBuf::from(next(&mut args, "--results-dir"));
+                cli.opts.cache_dir = dir.join("cache");
+                cli.opts.results_dir = dir;
+            }
+            "--quiet" => cli.opts.quiet = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => usage_error(&format!("unknown option {other}")),
+            name => cli.names.push(name.to_string()),
+        }
+    }
+    cli
+}
+
+fn resolve_specs(names: &[String]) -> Vec<&'static htm_exp::ExperimentSpec> {
+    if names.is_empty() {
+        usage_error("name one or more specs, or 'all'");
+    }
+    if names.len() == 1 && names[0] == "all" {
+        return specs::all().to_vec();
+    }
+    names
+        .iter()
+        .map(|n| {
+            specs::find(n)
+                .unwrap_or_else(|| usage_error(&format!("unknown spec {n:?} (try 'htm-exp list')")))
+        })
+        .collect()
+}
+
+fn cmd_list(opts: &RunOpts) {
+    let headers: Vec<String> = ["spec", "cells", "title"].iter().map(|s| s.to_string()).collect();
+    let rows: Vec<Vec<String>> = specs::all()
+        .iter()
+        .map(|s| {
+            let n = (s.build)(&opts.effective_for(s)).len();
+            vec![s.name.to_string(), n.to_string(), s.title.to_string()]
+        })
+        .collect();
+    print!("{}", htm_exp::render_table_string("htm-exp specs", &headers, &rows));
+    println!("\nrun with: htm-exp run <spec> [--smoke] (htm-exp run all for everything)");
+}
+
+fn cmd_run(cli: &Cli) -> i32 {
+    let mut gated = Vec::new();
+    for spec in resolve_specs(&cli.names) {
+        let run = run_spec(spec, &cli.opts);
+        print!("{}", run.sink.text);
+        match run.sink.flush_files(&cli.opts.results_dir) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("[saved {}]", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not write artifacts for {}: {e}", spec.name);
+                return 1;
+            }
+        }
+        if run.report.total > 0 && !cli.opts.quiet {
+            eprintln!(
+                "[{}] {} cells: {} computed, {} cached, {:.1}s",
+                spec.name,
+                run.report.total,
+                run.report.computed,
+                run.report.cached,
+                run.report.wall_s
+            );
+        }
+        gated.extend(run.sink.violations);
+    }
+    let failing = cli.gate.failing(&gated);
+    if !failing.is_empty() {
+        eprintln!("\ngate {:?} failed:", cli.gate.rules());
+        for v in failing {
+            eprintln!("  {v}");
+        }
+        return 1;
+    }
+    0
+}
+
+/// Compares freshly computed TSV against what's on disk, without
+/// overwriting: the cheap answer to "did this simulator change move any
+/// numbers?" (run the spec before the change, `diff` after).
+fn cmd_diff(cli: &Cli) -> i32 {
+    let mut changed = false;
+    for spec in resolve_specs(&cli.names) {
+        let run = run_spec(spec, &cli.opts);
+        if run.sink.tsv.is_empty() {
+            println!("[{}] no TSV artifacts to compare", spec.name);
+            continue;
+        }
+        for t in &run.sink.tsv {
+            let path = cli.opts.results_dir.join(format!("{}.tsv", t.name));
+            let mut fresh = vec![t.header.clone()];
+            fresh.extend(t.rows.iter().cloned());
+            let Ok(saved) = std::fs::read_to_string(&path) else {
+                println!(
+                    "[{}] {}: no saved file (run 'htm-exp run {}' first)",
+                    spec.name,
+                    path.display(),
+                    spec.name
+                );
+                changed = true;
+                continue;
+            };
+            let saved: Vec<String> = saved.lines().map(|l| l.to_string()).collect();
+            let diffs = diff_lines(&saved, &fresh);
+            if diffs.is_empty() {
+                println!("[{}] {}: no differences", spec.name, path.display());
+            } else {
+                changed = true;
+                println!("[{}] {}: {} line(s) differ", spec.name, path.display(), diffs.len());
+                for d in diffs {
+                    println!("  {d}");
+                }
+            }
+        }
+    }
+    i32::from(changed)
+}
+
+/// Line-level diff: `-` lines only in `old`, `+` lines only in `new`
+/// (order-preserving set difference — enough for keyed TSV rows).
+fn diff_lines(old: &[String], new: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for l in old {
+        if !new.contains(l) {
+            out.push(format!("- {l}"));
+        }
+    }
+    for l in new {
+        if !old.contains(l) {
+            out.push(format!("+ {l}"));
+        }
+    }
+    out
+}
+
+fn main() {
+    let cli = parse_cli();
+    let code = match cli.command.as_str() {
+        "list" => {
+            cmd_list(&cli.opts);
+            0
+        }
+        "run" => cmd_run(&cli),
+        "diff" => cmd_diff(&cli),
+        other => usage_error(&format!("unknown command {other:?}")),
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,151 @@
+//! Content-addressed result cache.
+//!
+//! Each finished cell is stored under `target/results/cache/` in a file
+//! named by the FNV-64 hash of its content key ([`crate::CellKind::key`]
+//! prefixed with [`CACHE_VERSION`]). The full key is stored alongside the
+//! result and verified on load, so a hash collision degrades to a miss,
+//! never a wrong answer. Because the key encodes *all* cell inputs:
+//!
+//! * an interrupted grid resumes exactly where it stopped (finished cells
+//!   load, unfinished ones recompute), and
+//! * specs sharing cells share results — `fig3` re-reads the grid `fig2`
+//!   measured.
+//!
+//! Bump [`CACHE_VERSION`] whenever a simulator change alters results
+//! without changing any cell parameter.
+
+use std::path::{Path, PathBuf};
+
+use htm_analyze::Json;
+
+use crate::cell::CellResult;
+
+/// Version prefix folded into every cache key; bump on simulator changes
+/// that alter results.
+pub const CACHE_VERSION: &str = "v1";
+
+/// 64-bit FNV-1a (dependency-free, stable across platforms and runs).
+pub fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A directory of cached cell results.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    enabled: bool,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir`; when disabled, loads miss and stores are
+    /// skipped (`--no-cache`).
+    pub fn new(dir: impl Into<PathBuf>, enabled: bool) -> ResultCache {
+        ResultCache { dir: dir.into(), enabled }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", fnv64(&format!("{CACHE_VERSION}|{key}"))))
+    }
+
+    /// Loads the result cached under `key`, if present and keyed
+    /// identically (a corrupt file or colliding hash is a miss).
+    pub fn load(&self, key: &str) -> Option<CellResult> {
+        if !self.enabled {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let json = Json::parse(&text).ok()?;
+        if json.get("key")?.as_str()? != format!("{CACHE_VERSION}|{key}") {
+            return None;
+        }
+        CellResult::from_json(json.get("result")?).ok()
+    }
+
+    /// Stores `result` under `key`. Best-effort: a full disk or read-only
+    /// tree degrades to recomputation next run, and the warning is printed
+    /// once per run by the engine.
+    pub fn store(&self, key: &str, id: &str, result: &CellResult) -> std::io::Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        std::fs::create_dir_all(&self.dir)?;
+        let json = Json::Obj(vec![
+            ("key".into(), Json::str(format!("{CACHE_VERSION}|{key}"))),
+            ("id".into(), Json::str(id)),
+            ("result".into(), result.to_json()),
+        ]);
+        // Write-then-rename so a cell finishing as the process dies never
+        // leaves a truncated entry behind.
+        let tmp = self.path_for(key).with_extension("tmp");
+        std::fs::write(&tmp, json.to_string())?;
+        std::fs::rename(&tmp, self.path_for(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(name: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!("htm-exp-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::new(dir, true)
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv64("stamp|a"), fnv64("stamp|b"));
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = temp_cache("roundtrip");
+        let mut r = CellResult::new();
+        r.put("speedup", 1.2345678901234567);
+        r.note("sum", "42".into());
+        cache.store("stamp|x", "cell-x", &r).unwrap();
+        assert_eq!(cache.load("stamp|x"), Some(r));
+        assert_eq!(cache.load("stamp|y"), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_mismatch_in_file_is_a_miss() {
+        let cache = temp_cache("mismatch");
+        let mut r = CellResult::new();
+        r.put("v", 1.0);
+        cache.store("key-a", "a", &r).unwrap();
+        // Simulate a hash collision: move a's entry to where b's would live.
+        let a = cache.dir().join(format!("{:016x}.json", fnv64(&format!("{CACHE_VERSION}|key-a"))));
+        let b = cache.dir().join(format!("{:016x}.json", fnv64(&format!("{CACHE_VERSION}|key-b"))));
+        std::fs::rename(a, b).unwrap();
+        assert_eq!(cache.load("key-b"), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = temp_cache("disabled");
+        let enabled = ResultCache::new(cache.dir().to_path_buf(), true);
+        let mut r = CellResult::new();
+        r.put("v", 2.0);
+        enabled.store("k", "id", &r).unwrap();
+        let disabled = ResultCache::new(cache.dir().to_path_buf(), false);
+        assert_eq!(disabled.load("k"), None);
+        disabled.store("k2", "id", &r).unwrap();
+        assert_eq!(enabled.load("k2"), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,48 @@
+//! # htm-exp — the experiment engine
+//!
+//! The paper's results are a grid — benchmarks × platforms × thread counts
+//! × retry policies (Figures 2–11, Table 1) — and this crate runs that grid
+//! as *one system* instead of twenty hand-rolled binaries:
+//!
+//! * [`spec`] — an [`ExperimentSpec`](spec::ExperimentSpec) declares a
+//!   figure/table as a list of independent [`CellSpec`](cell::CellSpec)s
+//!   plus a render function that turns cell results into the legacy tables
+//!   and TSV, bit for bit.
+//! * [`cell`] — the cell vocabulary: STAMP measurement cells, footprint
+//!   traces, the Figure-6 queue and Figure-9 TLS application cells, the
+//!   policy micro-benchmark, certifier-overhead pairs, and lint cells.
+//!   Every cell is self-contained (its seed is derived from the root seed
+//!   at build time) and computes without touching global state, so cells
+//!   run on any OS thread in any order.
+//! * [`engine`] — a work-stealing scheduler that spreads cells over host
+//!   cores; each cell builds its own `Sim`.
+//! * [`cache`] — a content-addressed result cache under
+//!   `target/results/cache/`: re-running a spec reuses every finished
+//!   cell, so an interrupted grid resumes where it stopped, and specs that
+//!   share cells (Figure 3 re-measures Figure 2's grid) share results.
+//! * [`sink`] — the unified output layer: aligned text tables, TSV files
+//!   (parent directories created, I/O errors reported), and
+//!   `htm-analyze`-style JSON.
+//! * [`specs`] — the registry porting all twenty legacy `htm-bench`
+//!   binaries (`fig2`…`fig10_11`, `table1`, the ablations, `tune`,
+//!   `lint`) to thin declarations.
+//!
+//! Run `htm-exp list` for the catalogue and `htm-exp run fig2 --smoke`
+//! for a quick start.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod cell;
+pub mod engine;
+pub mod grid;
+pub mod sink;
+pub mod spec;
+pub mod specs;
+
+pub use cell::{CellKind, CellResult, CellSpec, MachineTweak, StampCell};
+pub use engine::{run_spec, EngineReport, SpecRun};
+pub use grid::{bgq_mode_for, geomean, machine_for, run_cell, tuned_policy, Cell};
+pub use sink::{render_table_string, save_tsv, Sink};
+pub use spec::{ExperimentSpec, ResultSet, RunOpts};

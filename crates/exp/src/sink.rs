@@ -1,0 +1,177 @@
+//! The unified output sink: aligned text tables, TSV files, and JSON
+//! reports, deduplicated out of the twenty legacy binaries.
+//!
+//! Render functions append to a [`Sink`]; the engine prints the collected
+//! table text and flushes the file artifacts once the spec finishes, so a
+//! spec's output is reproducible as a single string (the golden tests
+//! compare it verbatim).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use htm_analyze::{Json, Violation};
+
+/// Renders an aligned text table into a string (leading blank line and
+/// title, exactly the legacy `render_table` layout).
+pub fn render_table_string(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate().take(ncols) {
+            if i == 0 {
+                s.push_str(&format!("{:<w$}", c, w = widths[i]));
+            } else {
+                s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+            }
+        }
+        s
+    };
+    out.push_str(&line(headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Writes TSV rows to `<dir>/<name>.tsv`, creating parent directories.
+/// Returns the path written. Unlike the legacy best-effort helper, I/O
+/// failure is an error the caller must handle.
+pub fn save_tsv(dir: &Path, name: &str, header: &str, rows: &[String]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.tsv"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    Ok(path)
+}
+
+/// One TSV artifact queued in a [`Sink`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TsvFile {
+    /// Basename (without extension) under the results directory.
+    pub name: String,
+    /// Header line.
+    pub header: String,
+    /// Data rows.
+    pub rows: Vec<String>,
+}
+
+/// Collects a spec's rendered output: table text, TSV files, JSON reports,
+/// and lint violations (for gating). The engine flushes it at the end of
+/// the run.
+#[derive(Debug, Default)]
+pub struct Sink {
+    /// Rendered table text, in emission order.
+    pub text: String,
+    /// TSV artifacts to write under the results directory.
+    pub tsv: Vec<TsvFile>,
+    /// JSON artifacts to write under the results directory
+    /// (`<name>.json`).
+    pub json: Vec<(String, Json)>,
+    /// Lint violations surfaced by this spec (empty for measurement
+    /// specs); the CLI's `--gate` evaluates these.
+    pub violations: Vec<Violation>,
+}
+
+impl Sink {
+    /// A fresh, empty sink.
+    pub fn new() -> Sink {
+        Sink::default()
+    }
+
+    /// Appends an aligned table.
+    pub fn table(&mut self, title: &str, headers: &[String], rows: &[Vec<String>]) {
+        self.text.push_str(&render_table_string(title, headers, rows));
+    }
+
+    /// Appends free-form text (static listings such as Figure 8).
+    pub fn raw(&mut self, text: &str) {
+        self.text.push_str(text);
+    }
+
+    /// Queues a TSV artifact.
+    pub fn tsv(&mut self, name: &str, header: &str, rows: Vec<String>) {
+        self.tsv.push(TsvFile { name: name.into(), header: header.into(), rows });
+    }
+
+    /// Queues a JSON artifact.
+    pub fn json(&mut self, name: &str, json: Json) {
+        self.json.push((name.into(), json));
+    }
+
+    /// Records violations for CLI gating.
+    pub fn report_violations(&mut self, v: Vec<Violation>) {
+        self.violations.extend(v);
+    }
+
+    /// Writes the queued TSV/JSON artifacts under `dir`, returning the
+    /// paths written.
+    pub fn flush_files(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        let mut written = Vec::new();
+        for t in &self.tsv {
+            written.push(save_tsv(dir, &t.name, &t.header, &t.rows)?);
+        }
+        for (name, json) in &self.json {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("{name}.json"));
+            std::fs::write(&path, json.to_string())?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout_matches_legacy() {
+        let headers = vec!["a".to_string(), "col".to_string()];
+        let rows = vec![vec!["x".to_string(), "1".to_string()]];
+        let s = render_table_string("t", &headers, &rows);
+        assert_eq!(s, "\n== t ==\na  col\n------\nx    1\n");
+    }
+
+    #[test]
+    fn save_tsv_creates_parents_and_reports_errors() {
+        let dir = std::env::temp_dir().join("htm-exp-test-sink").join("nested");
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = save_tsv(&dir, "x", "h", &["r1".into()]).unwrap();
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "h\nr1\n");
+        // A path that cannot be a directory yields Err, not silence.
+        let file = dir.join("x.tsv");
+        assert!(save_tsv(&file, "y", "h", &[]).is_err());
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.1234), "12.3");
+    }
+}

@@ -1,0 +1,116 @@
+//! Experiment declarations: a spec is a *pure description* — a builder
+//! from run options to cells, plus a renderer from cell results to output.
+//! All scheduling, caching, and I/O live in the engine; a spec never runs
+//! anything itself.
+
+use std::path::PathBuf;
+
+use stamp::Scale;
+
+use crate::cell::{CellResult, CellSpec};
+use crate::sink::Sink;
+
+/// Options shared by every spec run (the CLI surface).
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// Input scale for measurement cells.
+    pub scale: Scale,
+    /// Whether the user passed `--scale`/`--smoke` explicitly (when not,
+    /// a spec's [`default_scale`](ExperimentSpec::default_scale) wins).
+    pub scale_explicit: bool,
+    /// Root seed; each cell derives its own seed from it at build time.
+    pub seed: u64,
+    /// Repetitions averaged per measurement cell.
+    pub reps: u32,
+    /// Run STAMP cells under the serializability certifier.
+    pub certify: bool,
+    /// Worker threads for the scheduler (0 = one per host core).
+    pub jobs: usize,
+    /// Consult/populate the result cache (`--no-cache` clears this).
+    pub use_cache: bool,
+    /// Cache directory.
+    pub cache_dir: PathBuf,
+    /// Directory for TSV/JSON artifacts.
+    pub results_dir: PathBuf,
+    /// Substring filter on cell ids; a filtered run renders a generic
+    /// metrics table instead of the spec's figure (the figure needs the
+    /// full grid).
+    pub filter: Option<String>,
+    /// Suppress per-cell progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> RunOpts {
+        RunOpts {
+            scale: Scale::Sim,
+            scale_explicit: false,
+            seed: 42,
+            reps: 1,
+            certify: false,
+            jobs: 0,
+            use_cache: true,
+            cache_dir: PathBuf::from("target/results/cache"),
+            results_dir: PathBuf::from("target/results"),
+            filter: None,
+            quiet: false,
+        }
+    }
+}
+
+impl RunOpts {
+    /// The options a spec actually runs under: its default scale applies
+    /// unless the user set one explicitly.
+    pub fn effective_for(&self, spec: &ExperimentSpec) -> RunOpts {
+        let mut eff = self.clone();
+        if !self.scale_explicit {
+            if let Some(s) = spec.default_scale {
+                eff.scale = s;
+            }
+        }
+        eff
+    }
+}
+
+/// The computed results of a spec's cells, addressable by cell id.
+pub struct ResultSet<'a> {
+    /// The cells, in build order.
+    pub cells: &'a [CellSpec],
+    /// One result per cell, same order.
+    pub results: &'a [CellResult],
+}
+
+impl ResultSet<'_> {
+    /// The result for cell `id`; panics if the spec never built it (a
+    /// render/build mismatch is a programming error, not a user error).
+    pub fn get(&self, id: &str) -> &CellResult {
+        self.try_get(id).unwrap_or_else(|| panic!("no cell {id:?} in result set"))
+    }
+
+    /// The result for cell `id`, if built.
+    pub fn try_get(&self, id: &str) -> Option<&CellResult> {
+        self.cells.iter().position(|c| c.id == id).map(|i| &self.results[i])
+    }
+
+    /// Iterates `(cell, result)` pairs in build order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CellSpec, &CellResult)> {
+        self.cells.iter().zip(self.results.iter())
+    }
+}
+
+/// A declarative experiment: cells to measure plus a renderer.
+pub struct ExperimentSpec {
+    /// CLI name (`htm-exp run <name>`).
+    pub name: &'static str,
+    /// One-line description for `htm-exp list`.
+    pub title: &'static str,
+    /// Scale used when the user doesn't pass `--scale`/`--smoke`
+    /// (`None` = the global default, Sim).
+    pub default_scale: Option<Scale>,
+    /// Expands the run options into the cell grid. Must be deterministic:
+    /// the same options build the same cells in the same order.
+    pub build: fn(&RunOpts) -> Vec<CellSpec>,
+    /// Renders computed cells into tables/TSV/JSON. Must not measure
+    /// anything.
+    pub render: fn(&RunOpts, &ResultSet<'_>, &mut Sink),
+}

@@ -1,0 +1,458 @@
+//! Ablation specs: machine-parameter sweeps (prefetcher, TMCAM size,
+//! Blue Gene/Q subscription mode, zEC12 restriction rate), the
+//! conflict-resolution micro-benchmark, retry-policy sensitivity, and the
+//! fault-injection robustness sweep.
+//!
+//! Like the legacy binaries, these sweeps run each cell once at the root
+//! seed (`--reps` does not apply) and never under the certifier — except
+//! `ablation_faults`, whose `--certify` mode runs each cell as a
+//! certifier-overhead pair.
+
+use htm_machine::{BgqMode, Platform};
+use htm_runtime::RetryPolicy;
+use stamp::{BenchId, Scale, Variant};
+
+use crate::cell::{CellKind, CellSpec, MachineTweak, StampCell};
+use crate::grid::tuned_policy;
+use crate::sink::{f2, pct};
+use crate::spec::{ExperimentSpec, RunOpts};
+
+/// A single-run ablation cell (reps and certifier intentionally not
+/// honored, as in the legacy binaries).
+fn ablation_cell(
+    id: String,
+    platform: Platform,
+    bench: BenchId,
+    variant: Variant,
+    tweak: MachineTweak,
+    opts: &RunOpts,
+) -> CellSpec {
+    let mut c = StampCell::tuned(platform, bench, variant, 4, opts.scale, opts.seed);
+    c.tweak = tweak;
+    CellSpec::new(id, CellKind::Stamp(c))
+}
+
+/// Section 5.1: Intel hardware-prefetcher ablation on kmeans.
+pub static PREFETCH_ABLATION: ExperimentSpec = ExperimentSpec {
+    name: "prefetch_ablation",
+    title: "Intel Core hardware-prefetcher ablation (kmeans, 4 threads)",
+    default_scale: None,
+    build: |opts| {
+        let mut cells = Vec::new();
+        for bench in [BenchId::KmeansHigh, BenchId::KmeansLow] {
+            for prefetch in [true, false] {
+                cells.push(ablation_cell(
+                    format!("{}-prefetch-{}", bench.label(), if prefetch { "on" } else { "off" }),
+                    Platform::IntelCore,
+                    bench,
+                    Variant::Modified,
+                    MachineTweak::Prefetcher(prefetch),
+                    opts,
+                ));
+            }
+        }
+        cells
+    },
+    render: |_opts, set, sink| {
+        let headers: Vec<String> =
+            ["benchmark", "prefetch", "speedup", "abort%"].iter().map(|s| s.to_string()).collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        for bench in [BenchId::KmeansHigh, BenchId::KmeansLow] {
+            for prefetch in [true, false] {
+                let r = set.get(&format!(
+                    "{}-prefetch-{}",
+                    bench.label(),
+                    if prefetch { "on" } else { "off" }
+                ));
+                rows.push(vec![
+                    bench.label().to_string(),
+                    if prefetch { "on" } else { "off" }.to_string(),
+                    f2(r.get("speedup")),
+                    pct(r.get("abort_ratio")),
+                ]);
+                tsv.push(format!(
+                    "{bench}\t{prefetch}\t{:.4}\t{:.4}",
+                    r.get("speedup"),
+                    r.get("abort_ratio")
+                ));
+            }
+        }
+        sink.table(
+            "Section 5.1: Intel Core hardware-prefetcher ablation (kmeans, 4 threads)",
+            &headers,
+            &rows,
+        );
+        sink.tsv("prefetch_ablation", "bench\tprefetch\tspeedup\tabort_ratio", tsv);
+    },
+};
+
+fn policy_micro_ops(scale: Scale) -> u64 {
+    match scale {
+        Scale::Tiny => 500,
+        _ => 5000,
+    }
+}
+
+const POLICY_LABELS: [(&str, bool); 2] = [("requester-wins", true), ("requester-loses", false)];
+
+/// Requester-wins vs requester-loses conflict resolution on a contended
+/// counter.
+pub static ABLATION_POLICY: ExperimentSpec = ExperimentSpec {
+    name: "ablation_policy",
+    title: "conflict-resolution policy micro-benchmark (Intel model)",
+    default_scale: None,
+    build: |opts| {
+        let n_ops = policy_micro_ops(opts.scale);
+        POLICY_LABELS
+            .iter()
+            .map(|(label, rw)| {
+                CellSpec::new(
+                    format!("policy-{label}"),
+                    CellKind::PolicyMicro { requester_wins: *rw, n_ops },
+                )
+            })
+            .collect()
+    },
+    render: |_opts, set, sink| {
+        let headers: Vec<String> =
+            ["policy", "speedup", "abort%"].iter().map(|s| s.to_string()).collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        for (label, _) in POLICY_LABELS {
+            let r = set.get(&format!("policy-{label}"));
+            let (speedup, abort) = (r.get("speedup"), r.get("abort_ratio"));
+            rows.push(vec![label.to_string(), f2(speedup), pct(abort)]);
+            tsv.push(format!("{label}\t{speedup:.4}\t{abort:.4}"));
+        }
+        sink.table(
+            "Ablation: conflict-resolution policy (Intel model, 4 threads)",
+            &headers,
+            &rows,
+        );
+        sink.tsv("ablation_policy", "policy\tspeedup\tabort_ratio", tsv);
+    },
+};
+
+const TMCAM_BENCHES: [BenchId; 3] = [BenchId::VacationHigh, BenchId::Intruder, BenchId::Yada];
+const TMCAM_ENTRIES: [u32; 4] = [64, 128, 256, 512];
+
+/// POWER8 TMCAM size sweep (Section 7's capacity recommendation).
+pub static ABLATION_TMCAM: ExperimentSpec = ExperimentSpec {
+    name: "ablation_tmcam",
+    title: "POWER8 TMCAM size sweep (original STAMP, 4 threads)",
+    default_scale: None,
+    build: |opts| {
+        let mut cells = Vec::new();
+        for bench in TMCAM_BENCHES {
+            for entries in TMCAM_ENTRIES {
+                cells.push(ablation_cell(
+                    format!("{}-tmcam{entries}", bench.label()),
+                    Platform::Power8,
+                    bench,
+                    // The paper's capacity discussion is about the
+                    // *original* variants (the modified ones fit).
+                    Variant::Original,
+                    MachineTweak::TmcamEntries(entries),
+                    opts,
+                ));
+            }
+        }
+        cells
+    },
+    render: |_opts, set, sink| {
+        let headers: Vec<String> =
+            ["benchmark", "entries", "capacity", "speedup", "capacity-abort%"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        for bench in TMCAM_BENCHES {
+            for entries in TMCAM_ENTRIES {
+                let r = set.get(&format!("{}-tmcam{entries}", bench.label()));
+                let (speedup, cap) = (r.get("speedup"), r.get("share_capacity"));
+                rows.push(vec![
+                    bench.label().to_string(),
+                    entries.to_string(),
+                    format!("{} KB", entries as u64 * 128 / 1024),
+                    f2(speedup),
+                    pct(cap),
+                ]);
+                tsv.push(format!("{bench}\t{entries}\t{speedup:.4}\t{cap:.4}"));
+            }
+        }
+        sink.table(
+            "Ablation: POWER8 TMCAM size (original STAMP variants, 4 threads)",
+            &headers,
+            &rows,
+        );
+        sink.tsv("ablation_tmcam", "bench\tentries\tspeedup\tcapacity_abort_ratio", tsv);
+    },
+};
+
+const SUBSCRIPTION_BENCHES: [BenchId; 4] =
+    [BenchId::VacationHigh, BenchId::Intruder, BenchId::Genome, BenchId::Yada];
+const SUBSCRIPTION_MODES: [(&str, BgqMode); 2] = [
+    ("lazy (long-running)", BgqMode::LongRunning),
+    ("eager (short-running)", BgqMode::ShortRunning),
+];
+
+/// Blue Gene/Q lazy vs eager lock subscription (tied to the running mode,
+/// as on the real machine).
+pub static ABLATION_SUBSCRIPTION: ExperimentSpec = ExperimentSpec {
+    name: "ablation_subscription",
+    title: "Blue Gene/Q running mode / lock subscription ablation",
+    default_scale: None,
+    build: |opts| {
+        let mut cells = Vec::new();
+        for bench in SUBSCRIPTION_BENCHES {
+            for (label, mode) in SUBSCRIPTION_MODES {
+                let word = label.split_whitespace().next().unwrap();
+                cells.push(ablation_cell(
+                    format!("{}-{word}", bench.label()),
+                    Platform::BlueGeneQ,
+                    bench,
+                    Variant::Modified,
+                    MachineTweak::Bgq(mode),
+                    opts,
+                ));
+            }
+        }
+        cells
+    },
+    render: |_opts, set, sink| {
+        let headers: Vec<String> =
+            ["benchmark", "subscription", "speedup", "abort%", "serialization%"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        for bench in SUBSCRIPTION_BENCHES {
+            for (label, _) in SUBSCRIPTION_MODES {
+                let word = label.split_whitespace().next().unwrap();
+                let r = set.get(&format!("{}-{word}", bench.label()));
+                rows.push(vec![
+                    bench.label().to_string(),
+                    label.to_string(),
+                    f2(r.get("speedup")),
+                    pct(r.get("abort_ratio")),
+                    pct(r.get("serialization")),
+                ]);
+                tsv.push(format!(
+                    "{bench}\t{label}\t{:.4}\t{:.4}",
+                    r.get("speedup"),
+                    r.get("abort_ratio")
+                ));
+            }
+        }
+        sink.table("Ablation: Blue Gene/Q running mode / lock subscription", &headers, &rows);
+        sink.tsv("ablation_subscription", "bench\tmode\tspeedup\tabort_ratio", tsv);
+    },
+};
+
+const RETRY_BENCHES: [BenchId; 4] =
+    [BenchId::KmeansHigh, BenchId::VacationHigh, BenchId::Intruder, BenchId::Yada];
+const RETRY_POLICY_LABELS: [&str; 3] = ["noretry", "uniform4", "tuned"];
+
+fn retry_policy(which: &str, platform: Platform, bench: BenchId) -> RetryPolicy {
+    match which {
+        "noretry" => RetryPolicy::uniform(0),
+        "uniform4" => RetryPolicy::uniform(4),
+        _ => tuned_policy(platform, bench),
+    }
+}
+
+/// Retry-count sensitivity (Section 3's "huge impact" claim).
+pub static ABLATION_RETRY: ExperimentSpec = ExperimentSpec {
+    name: "ablation_retry",
+    title: "retry-policy sensitivity (no-retry vs uniform vs tuned)",
+    default_scale: None,
+    build: |opts| {
+        let mut cells = Vec::new();
+        for bench in RETRY_BENCHES {
+            for platform in Platform::ALL {
+                for which in RETRY_POLICY_LABELS {
+                    let mut c = StampCell::tuned(
+                        platform,
+                        bench,
+                        Variant::Modified,
+                        4,
+                        opts.scale,
+                        opts.seed,
+                    );
+                    c.policy = retry_policy(which, platform, bench);
+                    cells.push(CellSpec::new(
+                        format!(
+                            "{}-{}-{which}",
+                            bench.label(),
+                            crate::cell::platform_key(platform)
+                        ),
+                        CellKind::Stamp(c),
+                    ));
+                }
+            }
+        }
+        cells
+    },
+    render: |_opts, set, sink| {
+        let headers: Vec<String> =
+            ["cell", "no-retry", "uniform(4)", "tuned"].iter().map(|s| s.to_string()).collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        for bench in RETRY_BENCHES {
+            for platform in Platform::ALL {
+                let speeds: Vec<f64> = RETRY_POLICY_LABELS
+                    .iter()
+                    .map(|which| {
+                        set.get(&format!(
+                            "{}-{}-{which}",
+                            bench.label(),
+                            crate::cell::platform_key(platform)
+                        ))
+                        .get("speedup")
+                    })
+                    .collect();
+                tsv.push(format!(
+                    "{bench}\t{platform}\t{:.4}\t{:.4}\t{:.4}",
+                    speeds[0], speeds[1], speeds[2]
+                ));
+                rows.push(vec![
+                    format!("{bench} {}", platform.short_name()),
+                    f2(speeds[0]),
+                    f2(speeds[1]),
+                    f2(speeds[2]),
+                ]);
+            }
+        }
+        sink.table("Ablation: retry-policy sensitivity (4 threads)", &headers, &rows);
+        sink.tsv("ablation_retry", "bench\tplatform\tno_retry\tuniform4\ttuned", tsv);
+    },
+};
+
+const ZEC12_BENCHES: [BenchId; 3] = [BenchId::KmeansHigh, BenchId::VacationHigh, BenchId::Ssca2];
+const ZEC12_PROBS: [f64; 4] = [0.0, 0.002, 0.004, 0.012];
+
+/// zEC12 "cache-fetch-related" restriction-rate sweep.
+pub static ABLATION_ZEC12_OTHER: ExperimentSpec = ExperimentSpec {
+    name: "ablation_zec12_other",
+    title: "zEC12 cache-fetch-related abort-rate sweep",
+    default_scale: None,
+    build: |opts| {
+        let mut cells = Vec::new();
+        for bench in ZEC12_BENCHES {
+            for p in ZEC12_PROBS {
+                cells.push(ablation_cell(
+                    format!("{}-p{p}", bench.label()),
+                    Platform::Zec12,
+                    bench,
+                    Variant::Modified,
+                    MachineTweak::RestrictionPerStore(p),
+                    opts,
+                ));
+            }
+        }
+        cells
+    },
+    render: |_opts, set, sink| {
+        let headers: Vec<String> = ["benchmark", "p(restriction)/store", "speedup", "other-abort%"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        for bench in ZEC12_BENCHES {
+            for p in ZEC12_PROBS {
+                let r = set.get(&format!("{}-p{p}", bench.label()));
+                let (speedup, other) = (r.get("speedup"), r.get("share_other"));
+                rows.push(vec![bench.label().to_string(), format!("{p}"), f2(speedup), pct(other)]);
+                tsv.push(format!("{bench}\t{p}\t{speedup:.4}\t{other:.4}"));
+            }
+        }
+        sink.table("Ablation: zEC12 cache-fetch-related abort rate", &headers, &rows);
+        sink.tsv("ablation_zec12_other", "bench\tprob\tspeedup\tother_abort_ratio", tsv);
+    },
+};
+
+const FAULT_BENCHES: [BenchId; 3] = [BenchId::Ssca2, BenchId::KmeansLow, BenchId::VacationLow];
+const FAULT_PROBS: [f64; 6] = [0.0, 0.01, 0.05, 0.2, 0.5, 1.0];
+
+/// Injected transient-abort sweep on zEC12; with `--certify` each cell
+/// also runs under the certifier and reports its overhead.
+pub static ABLATION_FAULTS: ExperimentSpec = ExperimentSpec {
+    name: "ablation_faults",
+    title: "injected transient-abort sweep on zEC12 (use --certify for overhead columns)",
+    default_scale: None,
+    build: |opts| {
+        let mut cells = Vec::new();
+        for bench in FAULT_BENCHES {
+            for p in FAULT_PROBS {
+                let mut c = StampCell::tuned(
+                    Platform::Zec12,
+                    bench,
+                    Variant::Modified,
+                    4,
+                    opts.scale,
+                    opts.seed,
+                );
+                c.fault_transient_per_begin = p;
+                let kind = if opts.certify { CellKind::CertifyPair(c) } else { CellKind::Stamp(c) };
+                cells.push(CellSpec::new(format!("{}-p{p}", bench.label()), kind));
+            }
+        }
+        cells
+    },
+    render: |opts, set, sink| {
+        let mut headers: Vec<String> =
+            ["benchmark", "p(abort)/begin", "speedup", "abort%", "serial%", "injected"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        if opts.certify {
+            headers.push("cert events".to_string());
+            headers.push("cert ovh%".to_string());
+        }
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        for bench in FAULT_BENCHES {
+            for p in FAULT_PROBS {
+                let r = set.get(&format!("{}-p{p}", bench.label()));
+                let mut row = vec![
+                    bench.label().to_string(),
+                    format!("{p}"),
+                    f2(r.get("speedup")),
+                    pct(r.get("abort_ratio")),
+                    pct(r.get("serialization")),
+                    format!("{}", r.get("injected_faults") as u64),
+                ];
+                let mut line = format!(
+                    "{bench}\t{p}\t{:.4}\t{:.4}\t{:.4}\t{}",
+                    r.get("speedup"),
+                    r.get("abort_ratio"),
+                    r.get("serialization"),
+                    r.get("injected_faults") as u64,
+                );
+                if opts.certify {
+                    let overhead = r.get("cert_overhead_pct");
+                    row.push(format!("{}", r.get("cert_events") as u64));
+                    row.push(format!("{overhead:.0}"));
+                    line.push_str(&format!("\t{}\t{overhead:.2}", r.get("cert_events") as u64));
+                }
+                rows.push(row);
+                tsv.push(line);
+            }
+        }
+        sink.table(
+            "Robustness ablation: injected transient-abort rate on zEC12 (4 threads)",
+            &headers,
+            &rows,
+        );
+        let header = if opts.certify {
+            "bench\tprob\tspeedup\tabort_ratio\tserialization_ratio\tinjected_faults\tcert_events\tcert_overhead_pct"
+        } else {
+            "bench\tprob\tspeedup\tabort_ratio\tserialization_ratio\tinjected_faults"
+        };
+        sink.tsv("ablation_faults", header, tsv);
+    },
+};

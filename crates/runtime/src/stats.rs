@@ -63,6 +63,26 @@ impl ThreadStats {
     pub fn total_aborts(&self) -> u64 {
         self.aborts.iter().sum()
     }
+
+    /// Folds `other` into `self` as if this thread had executed both runs
+    /// back to back: counters sum, clocks add, and recorded footprints and
+    /// conflict events concatenate.
+    pub fn merge(&mut self, other: &ThreadStats) {
+        self.hw_commits += other.hw_commits;
+        self.irrevocable_commits += other.irrevocable_commits;
+        for (a, b) in self.aborts.iter_mut().zip(other.aborts.iter()) {
+            *a += b;
+        }
+        self.spec_id_wait_cycles += other.spec_id_wait_cycles;
+        self.lock_wait_cycles += other.lock_wait_cycles;
+        self.cycles += other.cycles;
+        self.injected_faults += other.injected_faults;
+        self.watchdog_trips += other.watchdog_trips;
+        self.degraded_commits += other.degraded_commits;
+        self.degraded_cycles += other.degraded_cycles;
+        self.footprints.extend_from_slice(&other.footprints);
+        self.conflicts.extend_from_slice(&other.conflicts);
+    }
 }
 
 /// Aggregated statistics for a whole run.
@@ -82,6 +102,55 @@ impl RunStats {
     /// Builds aggregate stats from per-thread results.
     pub fn new(threads: Vec<ThreadStats>) -> RunStats {
         RunStats { threads, certify: None, race: None }
+    }
+
+    /// Folds another run into this one, thread by thread, as if each
+    /// thread had executed both runs back to back: counters sum, clocks
+    /// add, and attached certifier/race reports combine (event counts sum,
+    /// violation and race lists concatenate, truncation is sticky).
+    ///
+    /// This is the central repeat-cell aggregator: harnesses that average
+    /// a cell over repetitions merge the runs' stats here and compute
+    /// ratio-of-averages metrics from the result, instead of summing
+    /// counters ad hoc per binary.
+    pub fn merge(&mut self, other: &RunStats) {
+        if self.threads.len() < other.threads.len() {
+            self.threads.resize_with(other.threads.len(), ThreadStats::default);
+        }
+        for (t, o) in self.threads.iter_mut().zip(other.threads.iter()) {
+            t.merge(o);
+        }
+        self.certify = match (self.certify.take(), &other.certify) {
+            (Some(mut a), Some(b)) => {
+                a.events += b.events;
+                a.edges += b.edges;
+                a.violations.extend(b.violations.iter().cloned());
+                a.truncated |= b.truncated;
+                a.lock_acquisitions += b.lock_acquisitions;
+                Some(a)
+            }
+            (a, b) => a.or_else(|| b.clone()),
+        };
+        self.race = match (self.race.take(), &other.race) {
+            (Some(mut a), Some(b)) => {
+                a.races.extend(b.races.iter().cloned());
+                a.segments.extend(b.segments.iter().cloned());
+                a.words_checked += b.words_checked;
+                a.truncated |= b.truncated;
+                Some(a)
+            }
+            (a, b) => a.or_else(|| b.clone()),
+        };
+    }
+
+    /// Merges a sequence of runs into one aggregate (empty input gives
+    /// empty stats).
+    pub fn merged<'a>(runs: impl IntoIterator<Item = &'a RunStats>) -> RunStats {
+        let mut acc = RunStats::default();
+        for r in runs {
+            acc.merge(r);
+        }
+        acc
     }
 
     /// Parallel runtime: the maximum simulated clock over workers.
@@ -288,6 +357,66 @@ mod tests {
         assert_eq!(s.watchdog_trips(), 1);
         assert_eq!(s.degraded_commits(), 2);
         assert_eq!(s.degraded_cycles(), 600);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_pads_threads() {
+        let mut a = RunStats::new(vec![ThreadStats {
+            hw_commits: 10,
+            irrevocable_commits: 1,
+            cycles: 100,
+            injected_faults: 2,
+            ..Default::default()
+        }]);
+        let mut bt = ThreadStats { hw_commits: 5, cycles: 30, ..Default::default() };
+        bt.record_abort(AbortCategory::Capacity);
+        let b = RunStats::new(vec![bt, ThreadStats { cycles: 70, ..Default::default() }]);
+        a.merge(&b);
+        assert_eq!(a.threads.len(), 2);
+        assert_eq!(a.hw_commits(), 15);
+        assert_eq!(a.irrevocable_commits(), 1);
+        assert_eq!(a.threads[0].cycles, 130);
+        assert_eq!(a.threads[1].cycles, 70);
+        assert_eq!(a.aborts_in(AbortCategory::Capacity), 1);
+        assert_eq!(a.injected_faults(), 2);
+    }
+
+    #[test]
+    fn merged_over_reps_matches_manual_sums() {
+        let one = |c: u64| {
+            RunStats::new(vec![ThreadStats { hw_commits: c, cycles: 10 * c, ..Default::default() }])
+        };
+        let runs = [one(1), one(2), one(3)];
+        let m = RunStats::merged(runs.iter());
+        assert_eq!(m.hw_commits(), 6);
+        assert_eq!(m.cycles(), 60);
+        assert_eq!(RunStats::merged([].into_iter()).hw_commits(), 0);
+    }
+
+    #[test]
+    fn merge_combines_reports() {
+        let report = |events| CertifyReport {
+            events,
+            edges: 1,
+            violations: Vec::new(),
+            truncated: false,
+            lock_acquisitions: 2,
+        };
+        let mut a = RunStats::new(vec![]);
+        a.certify = Some(report(3));
+        let mut b = RunStats::new(vec![]);
+        b.certify = Some(report(4));
+        a.merge(&b);
+        let c = a.certify.as_ref().unwrap();
+        assert_eq!((c.events, c.edges, c.lock_acquisitions), (7, 2, 4));
+
+        // One-sided reports survive a merge in either direction.
+        let mut lhs = RunStats::new(vec![]);
+        lhs.merge(&b);
+        assert_eq!(lhs.certify.as_ref().unwrap().events, 4);
+        let mut rhs = b.clone();
+        rhs.merge(&RunStats::new(vec![]));
+        assert_eq!(rhs.certify.as_ref().unwrap().events, 4);
     }
 
     #[test]

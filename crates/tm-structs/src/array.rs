@@ -22,11 +22,7 @@ impl TmArray {
     }
 
     /// Allocates with byte alignment (e.g. cache-line-aligned rows).
-    pub fn create_aligned(
-        ctx: &mut htm_runtime::ThreadCtx,
-        len: u32,
-        align_bytes: u32,
-    ) -> TmArray {
+    pub fn create_aligned(ctx: &mut htm_runtime::ThreadCtx, len: u32, align_bytes: u32) -> TmArray {
         assert!(len > 0, "empty array");
         TmArray { base: ctx.alloc_aligned(len, align_bytes), len }
     }

@@ -236,12 +236,9 @@ mod tests {
             Ok(())
         });
         let done = std::sync::atomic::AtomicU64::new(0);
-        sim.run_parallel(4, RetryPolicy::default(), |ctx| loop {
-            match ctx.atomic(|tx| h.pop(tx)) {
-                Some(_) => {
-                    done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
-                None => break,
+        sim.run_parallel(4, RetryPolicy::default(), |ctx| {
+            while ctx.atomic(|tx| h.pop(tx)).is_some() {
+                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
         });
         assert_eq!(done.load(std::sync::atomic::Ordering::Relaxed), 200);

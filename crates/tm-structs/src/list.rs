@@ -250,7 +250,7 @@ mod tests {
     fn with_list(f: impl FnOnce(&Sim, &mut htm_runtime::ThreadCtx, TmList)) {
         let sim = Sim::of(Platform::IntelCore.config());
         let mut ctx = sim.seq_ctx();
-        let list = ctx.atomic(|tx| TmList::create(tx));
+        let list = ctx.atomic(TmList::create);
         f(&sim, &mut ctx, list);
     }
 
@@ -326,7 +326,7 @@ mod tests {
     fn concurrent_inserts_preserve_all_keys() {
         let sim = Sim::of(Platform::IntelCore.config());
         let mut ctx = sim.seq_ctx();
-        let list = ctx.atomic(|tx| TmList::create(tx));
+        let list = ctx.atomic(TmList::create);
         let stats = sim.run_parallel(4, htm_runtime::RetryPolicy::default(), |ctx| {
             let tid = ctx.thread_id() as u64;
             for i in 0..50u64 {

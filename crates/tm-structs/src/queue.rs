@@ -139,7 +139,7 @@ mod tests {
     fn fifo_order() {
         let sim = Sim::of(Platform::IntelCore.config());
         let mut ctx = sim.seq_ctx();
-        let q = ctx.atomic(|tx| TmQueue::create(tx));
+        let q = ctx.atomic(TmQueue::create);
         ctx.atomic(|tx| {
             assert_eq!(q.pop(tx)?, None);
             for v in 1..=5u64 {
@@ -159,7 +159,7 @@ mod tests {
     fn interleaved_push_pop() {
         let sim = Sim::of(Platform::Power8.config());
         let mut ctx = sim.seq_ctx();
-        let q = ctx.atomic(|tx| TmQueue::create(tx));
+        let q = ctx.atomic(TmQueue::create);
         ctx.atomic(|tx| {
             q.push(tx, 1)?;
             q.push(tx, 2)?;
@@ -179,7 +179,7 @@ mod tests {
     fn concurrent_producers_consumers_conserve_items() {
         let sim = Sim::of(Platform::Zec12.config());
         let mut ctx = sim.seq_ctx();
-        let q = ctx.atomic(|tx| TmQueue::create(tx));
+        let q = ctx.atomic(TmQueue::create);
         let sum = std::sync::atomic::AtomicU64::new(0);
         let popped = std::sync::atomic::AtomicU64::new(0);
         sim.run_parallel(4, RetryPolicy::default(), |ctx| {

@@ -596,7 +596,7 @@ mod tests {
 
     fn fresh() -> (Sim, TmRbTree) {
         let sim = Sim::of(Platform::IntelCore.config());
-        let tree = sim.seq_ctx().atomic(|tx| TmRbTree::create(tx));
+        let tree = sim.seq_ctx().atomic(TmRbTree::create);
         (sim, tree)
     }
 

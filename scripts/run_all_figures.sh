@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Regenerates every table/figure of the paper at --scale sim.
-# Text output lands in target/figout/, TSV data in target/results/.
+# Regenerates every table/figure of the paper at --scale sim through the
+# htm-exp experiment engine (parallel cells + result cache; pass --no-cache
+# to force recomputation). Text output lands in target/figout/, TSV data in
+# target/results/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p target/figout
-for b in table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10_11 \
+cargo build --release -p htm-exp
+for s in table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10_11 \
          prefetch_ablation ablation_policy ablation_tmcam \
          ablation_subscription ablation_retry ablation_zec12_other; do
-  echo "== $b"
-  cargo run --release -p htm-bench --bin "$b" -- "$@" > "target/figout/$b.txt"
+  echo "== $s"
+  ./target/release/htm-exp run "$s" "$@" > "target/figout/$s.txt"
 done
 echo "All figures regenerated under target/figout/."
