@@ -41,6 +41,10 @@ pub enum AbortCause {
     /// The program executed an explicit `tabort` (e.g. the retry mechanism's
     /// line 27: the global lock was held when the transaction started).
     Explicit(u8),
+    /// A software (STM fallback) transaction failed value-based validation
+    /// of its read log at commit: a concurrent committer changed a value it
+    /// had observed. Counted separately from the hardware abort categories.
+    StmValidation,
 }
 
 impl AbortCause {
@@ -71,6 +75,7 @@ impl fmt::Display for AbortCause {
             AbortCause::Restriction => write!(f, "implementation restriction"),
             AbortCause::SpecIdExhausted => write!(f, "speculation IDs exhausted"),
             AbortCause::Explicit(code) => write!(f, "explicit tabort({code})"),
+            AbortCause::StmValidation => write!(f, "STM read-log validation failed"),
         }
     }
 }
@@ -92,6 +97,7 @@ impl AbortCause {
             AbortCause::Restriction => 6,
             AbortCause::SpecIdExhausted => 7,
             AbortCause::Explicit(code) => 8 + code as u32,
+            AbortCause::StmValidation => 264,
         }
     }
 
@@ -110,6 +116,7 @@ impl AbortCause {
             6 => AbortCause::Restriction,
             7 => AbortCause::SpecIdExhausted,
             v if (8..=8 + u8::MAX as u32).contains(&v) => AbortCause::Explicit((v - 8) as u8),
+            264 => AbortCause::StmValidation,
             other => panic!("corrupt abort cause encoding: {other}"),
         }
     }
@@ -214,6 +221,7 @@ mod tests {
             AbortCause::Explicit(0),
             AbortCause::Explicit(42),
             AbortCause::Explicit(255),
+            AbortCause::StmValidation,
         ];
         for c in causes {
             assert_eq!(AbortCause::decode(c.encode()), c, "{c:?}");

@@ -363,6 +363,26 @@ impl TxMemory {
         self.slots[slot.0 as usize].store(INACTIVE, SeqCst);
     }
 
+    /// Spins until no slot is mid-commit (`Committing`), ignoring `me`.
+    ///
+    /// Software-commit paths (the hybrid-TM STM fallback) call this after
+    /// acquiring the sequence lock: a hardware transaction that passed
+    /// `start_commit` before the lock CAS doomed the active subscribers can
+    /// no longer be aborted, and its flush must not land in the middle of
+    /// the software transaction's validation. Doomed transactions cannot
+    /// enter `Committing`, so once this returns no new committer can appear
+    /// while the caller holds the lock.
+    pub fn quiesce_committers(&self, me: Option<SlotId>) {
+        for (i, status) in self.slots.iter().enumerate() {
+            if me.is_some_and(|s| s.0 as usize == i) {
+                continue;
+            }
+            while status.load(SeqCst) & STATE_MASK == COMMITTING {
+                std::thread::yield_now();
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Transactional line protocol
     // ------------------------------------------------------------------

@@ -27,6 +27,11 @@ pub enum EventKind {
     /// An irrevocable global-lock block (including degraded-mode blocks
     /// executed after a watchdog trip).
     Irrevocable,
+    /// A software (STM fallback) transaction or a validated POWER8
+    /// rollback-only commit: reads are value-logged by the runtime and
+    /// revalidated under the sequence lock, so the certifier applies the
+    /// full read check.
+    Software,
     /// A single non-transactional store or successful CAS issued through the
     /// runtime outside any atomic block (coherence-visible, participates in
     /// the serialization order like a one-store transaction).

@@ -13,7 +13,7 @@ use std::time::Instant;
 use htm_analyze::{lint, predict_capacity, Json, Thresholds};
 use htm_core::ConflictPolicy;
 use htm_machine::{BgqMode, MachineConfig, Platform, TrackerKind};
-use htm_runtime::{FaultPlan, RetryPolicy, RunStats, Sim, SimConfig};
+use htm_runtime::{FallbackPolicy, FaultPlan, RetryPolicy, RunStats, Sim, SimConfig};
 use stamp::{BenchId, BenchParams, BenchResult, Scale, Variant};
 
 use crate::grid::{machine_for, tuned_policy, Cell};
@@ -93,6 +93,9 @@ pub struct StampCell {
     pub reps: u32,
     /// Run under the serializability certifier.
     pub certify: bool,
+    /// Fallback tier when the retry counters are exhausted (the hytm
+    /// comparison dimension).
+    pub fallback: FallbackPolicy,
 }
 
 impl StampCell {
@@ -117,6 +120,7 @@ impl StampCell {
             seed,
             reps: 1,
             certify: false,
+            fallback: FallbackPolicy::Lock,
         }
     }
 
@@ -153,13 +157,14 @@ impl StampCell {
             faults: FaultPlan::none().transient_abort_per_begin(self.fault_transient_per_begin),
             certify,
             sanitize: false,
+            fallback: self.fallback,
         }
     }
 
     fn key(&self) -> String {
         let p = self.policy;
         format!(
-            "{}|{}|{}|{}t|pol{},{},{},{}|{}|f{:?}|{}|s{}|r{}|c{}",
+            "{}|{}|{}|{}t|pol{},{},{},{}|{}|f{:?}|{}|s{}|r{}|c{}|fb{}",
             platform_key(self.platform),
             self.bench.label(),
             variant_key(self.variant),
@@ -174,6 +179,7 @@ impl StampCell {
             self.seed,
             self.reps,
             self.certify as u8,
+            self.fallback.key(),
         )
     }
 
@@ -344,6 +350,8 @@ pub enum CellKind {
         scale: Scale,
         /// Input seed.
         seed: u64,
+        /// Fallback tier the sanitized run exercises (the HyTM gate).
+        fallback: FallbackPolicy,
     },
 }
 
@@ -371,15 +379,18 @@ impl CellKind {
             CellKind::PolicyMicro { requester_wins, n_ops } => {
                 format!("policymicro|rw{requester_wins}|o{n_ops}")
             }
-            CellKind::Lint { bench, platform, variant, threads, scale, seed } => format!(
-                "lint|{}|{}|{}|{}t|{}|s{}",
-                bench.label(),
-                platform_key(*platform),
-                variant_key(*variant),
-                threads,
-                scale_key(*scale),
-                seed
-            ),
+            CellKind::Lint { bench, platform, variant, threads, scale, seed, fallback } => {
+                format!(
+                    "lint|{}|{}|{}|{}t|{}|s{}|fb{}",
+                    bench.label(),
+                    platform_key(*platform),
+                    variant_key(*variant),
+                    threads,
+                    scale_key(*scale),
+                    seed,
+                    fallback.key()
+                )
+            }
         }
     }
 
@@ -476,8 +487,8 @@ impl CellKind {
             CellKind::PolicyMicro { requester_wins, n_ops } => {
                 policy_micro(*requester_wins, *n_ops)
             }
-            CellKind::Lint { bench, platform, variant, threads, scale, seed } => {
-                lint_cell(*bench, *platform, *variant, *threads, *scale, *seed)
+            CellKind::Lint { bench, platform, variant, threads, scale, seed, fallback } => {
+                lint_cell(*bench, *platform, *variant, *threads, *scale, *seed, *fallback)
             }
         }
     }
@@ -496,6 +507,10 @@ fn stamp_result(cell: &Cell, merged: &RunStats) -> CellResult {
     out.put("total_aborts", merged.total_aborts() as f64);
     out.put("injected_faults", merged.injected_faults() as f64);
     out.put("watchdog_trips", merged.watchdog_trips() as f64);
+    out.put("stm_commits", merged.stm_commits() as f64);
+    out.put("stm_validation_aborts", merged.stm_validation_aborts() as f64);
+    out.put("rot_commits", merged.rot_commits() as f64);
+    out.put("fallback_lock_waits", merged.fallback_lock_waits() as f64);
     out
 }
 
@@ -542,6 +557,7 @@ fn policy_micro(requester_wins: bool, n_ops: u64) -> CellResult {
 /// One `htm-lint` cell: sanitized run, footprint traces at the conflict
 /// line size and at word granularity, static capacity prediction, and the
 /// rule engine. Violations are carried in the result as JSON.
+#[allow(clippy::too_many_arguments)]
 fn lint_cell(
     bench: BenchId,
     platform: Platform,
@@ -549,12 +565,13 @@ fn lint_cell(
     threads: u32,
     scale: Scale,
     seed: u64,
+    fallback: FallbackPolicy,
 ) -> CellResult {
     let machine = machine_for(platform, bench);
     let policy = tuned_policy(platform, bench);
     let make = stamp::workload_factory(bench, variant, &machine, scale, seed);
 
-    let stats = stamp::run_sanitized(&|| make(), &machine, threads, policy, seed);
+    let stats = stamp::run_sanitized_with(&|| make(), &machine, threads, policy, seed, fallback);
 
     let kind = machine.tracker;
     let line_bytes = kind.line_bytes();
@@ -702,8 +719,11 @@ mod tests {
         other.certify = true;
         assert_ne!(k, CellKind::Stamp(other.clone()).key());
         assert_ne!(CellKind::Stamp(other.clone()).key(), CellKind::CertifyPair(other).key());
-        let mut other = base;
+        let mut other = base.clone();
         other.tweak = MachineTweak::Prefetcher(false);
+        assert_ne!(k, CellKind::Stamp(other).key());
+        let mut other = base;
+        other.fallback = FallbackPolicy::Stm;
         assert_ne!(k, CellKind::Stamp(other).key());
     }
 

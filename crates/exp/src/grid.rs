@@ -5,7 +5,7 @@
 //! serves the whole grid.
 
 use htm_machine::{BgqMode, MachineConfig, Platform};
-use htm_runtime::{FaultPlan, RetryPolicy, RunStats};
+use htm_runtime::{FallbackPolicy, FaultPlan, RetryPolicy, RunStats};
 use stamp::{BenchId, BenchParams, BenchResult, Scale, Variant};
 
 /// Geometric mean (the paper's average for speed-up figures).
@@ -123,6 +123,7 @@ pub fn run_cell(
             faults: FaultPlan::none(),
             certify,
             sanitize: false,
+            fallback: FallbackPolicy::Lock,
         };
         results.push(stamp::run_bench(bench, variant, &machine, &params));
     }

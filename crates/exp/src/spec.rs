@@ -5,6 +5,7 @@
 
 use std::path::PathBuf;
 
+use htm_runtime::FallbackPolicy;
 use stamp::Scale;
 
 use crate::cell::{CellResult, CellSpec};
@@ -24,6 +25,10 @@ pub struct RunOpts {
     pub reps: u32,
     /// Run STAMP cells under the serializability certifier.
     pub certify: bool,
+    /// Fallback tier override for the tuned figure grids (`--fallback`);
+    /// `None` keeps each spec's own choice (the global lock for the
+    /// paper's figures, all three tiers for `hytm`).
+    pub fallback: Option<FallbackPolicy>,
     /// Worker threads for the scheduler (0 = one per host core).
     pub jobs: usize,
     /// Consult/populate the result cache (`--no-cache` clears this).
@@ -48,6 +53,7 @@ impl Default for RunOpts {
             seed: 42,
             reps: 1,
             certify: false,
+            fallback: None,
             jobs: 0,
             use_cache: true,
             cache_dir: PathBuf::from("target/results/cache"),

@@ -1,0 +1,123 @@
+//! The hybrid-TM comparison spec: every STAMP benchmark on all four
+//! platforms under the three fallback tiers — global lock (the paper's
+//! baseline), NOrec-style STM, and POWER8 rollback-only transactions
+//! (which degrade to the lock on platforms without ROT support).
+
+use htm_machine::Platform;
+use htm_runtime::FallbackPolicy;
+use stamp::{BenchId, Scale, Variant};
+
+use crate::cell::{platform_key, CellKind, CellSpec, StampCell};
+use crate::grid::geomean;
+use crate::sink::f2;
+use crate::spec::ExperimentSpec;
+
+const HYTM_THREADS: [u32; 2] = [2, 8];
+
+fn hytm_id(bench: BenchId, platform: Platform, threads: u32, fb: FallbackPolicy) -> String {
+    format!("{}-{}-{}t-{}", bench.label(), platform_key(platform), threads, fb.key())
+}
+
+/// The hybrid-TM fallback comparison grid. Honors `--reps` and
+/// `--certify` like the figure grids (certified runs assert
+/// conflict-serializability of the STM and ROT commit protocols).
+pub static HYTM: ExperimentSpec = ExperimentSpec {
+    name: "hytm",
+    title: "hybrid-TM fallback comparison: lock vs NOrec STM vs POWER8 ROT (default scale: tiny)",
+    // The full grid is 240 cells; tiny keeps a cold run short. `--scale`
+    // still overrides.
+    default_scale: Some(Scale::Tiny),
+    build: |opts| {
+        let mut cells = Vec::new();
+        for bench in BenchId::ALL {
+            for platform in Platform::ALL {
+                for threads in HYTM_THREADS {
+                    for fb in FallbackPolicy::ALL {
+                        let mut c = StampCell::tuned(
+                            platform,
+                            bench,
+                            Variant::Modified,
+                            threads,
+                            opts.scale,
+                            opts.seed,
+                        );
+                        c.fallback = fb;
+                        c.reps = opts.reps;
+                        c.certify = opts.certify;
+                        cells.push(CellSpec::new(
+                            hytm_id(bench, platform, threads, fb),
+                            CellKind::Stamp(c),
+                        ));
+                    }
+                }
+            }
+        }
+        cells
+    },
+    render: |_opts, set, sink| {
+        let headers: Vec<String> =
+            ["cell", "lock", "stm", "rot", "stm-commit", "stm-vabort", "rot-commit", "lock-waits"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        // Per-tier geomean inputs, collected over the 8-thread cells (the
+        // contended half of the grid, where the fallback tier matters).
+        let mut geo: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for bench in BenchId::ALL {
+            for platform in Platform::ALL {
+                for threads in HYTM_THREADS {
+                    let cell = |fb: FallbackPolicy| set.get(&hytm_id(bench, platform, threads, fb));
+                    let (lock, stm, rot) = (
+                        cell(FallbackPolicy::Lock),
+                        cell(FallbackPolicy::Stm),
+                        cell(FallbackPolicy::Rot),
+                    );
+                    let speeds = [lock.get("speedup"), stm.get("speedup"), rot.get("speedup")];
+                    if threads == 8 {
+                        for (g, s) in geo.iter_mut().zip(speeds) {
+                            g.push(s);
+                        }
+                    }
+                    rows.push(vec![
+                        format!("{bench} {} {threads}t", platform.short_name()),
+                        f2(speeds[0]),
+                        f2(speeds[1]),
+                        f2(speeds[2]),
+                        format!("{}", stm.get("stm_commits") as u64),
+                        format!("{}", stm.get("stm_validation_aborts") as u64),
+                        format!("{}", rot.get("rot_commits") as u64),
+                        format!("{}", stm.get("fallback_lock_waits") as u64),
+                    ]);
+                    tsv.push(format!(
+                        "{bench}\t{platform}\t{threads}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}",
+                        speeds[0],
+                        speeds[1],
+                        speeds[2],
+                        stm.get("stm_commits") as u64,
+                        stm.get("stm_validation_aborts") as u64,
+                        rot.get("rot_commits") as u64,
+                        stm.get("fallback_lock_waits") as u64,
+                    ));
+                }
+            }
+        }
+        sink.table(
+            "Hybrid-TM: speed-up by fallback tier (lock vs NOrec STM vs ROT)",
+            &headers,
+            &rows,
+        );
+        sink.raw(&format!(
+            "\ngeomean speed-up at 8 threads: lock {} / stm {} / rot {}\n",
+            f2(geomean(&geo[0])),
+            f2(geomean(&geo[1])),
+            f2(geomean(&geo[2])),
+        ));
+        sink.tsv(
+            "hytm",
+            "bench\tplatform\tthreads\tlock_speedup\tstm_speedup\trot_speedup\tstm_commits\tstm_validation_aborts\trot_commits\tfallback_lock_waits",
+            tsv,
+        );
+    },
+};

@@ -1,10 +1,12 @@
 //! The spec registry: all twenty legacy `htm-bench` binaries as
-//! declarative [`ExperimentSpec`]s. Each spec's render reproduces the
-//! legacy binary's table and TSV output bit for bit (the golden tests in
+//! declarative [`ExperimentSpec`]s, plus the `hytm` hybrid-TM fallback
+//! comparison. Each legacy spec's render reproduces the legacy binary's
+//! table and TSV output bit for bit (the golden tests in
 //! `tests/golden.rs` hold the line).
 
 mod ablations;
 mod figs;
+mod hytm;
 mod tools;
 
 use htm_machine::Platform;
@@ -19,7 +21,7 @@ pub fn all() -> &'static [&'static ExperimentSpec] {
     &ALL_SPECS
 }
 
-static ALL_SPECS: [&ExperimentSpec; 20] = [
+static ALL_SPECS: [&ExperimentSpec; 21] = [
     &tools::TABLE1,
     &figs::FIG2,
     &figs::FIG3,
@@ -38,6 +40,7 @@ static ALL_SPECS: [&ExperimentSpec; 20] = [
     &ablations::ABLATION_RETRY,
     &ablations::ABLATION_ZEC12_OTHER,
     &ablations::ABLATION_FAULTS,
+    &hytm::HYTM,
     &tools::CERTIFY_OVERHEAD,
     &tools::LINT,
 ];
@@ -71,6 +74,9 @@ pub(crate) fn grid_cell(
     let mut c = StampCell::tuned(platform, bench, variant, threads, opts.scale, opts.seed);
     c.reps = opts.reps;
     c.certify = opts.certify;
+    if let Some(fb) = opts.fallback {
+        c.fallback = fb;
+    }
     CellSpec::new(grid_id(bench, platform, variant, threads), CellKind::Stamp(c))
 }
 
@@ -79,8 +85,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_all_twenty_specs() {
-        assert_eq!(all().len(), 20);
+    fn registry_has_all_specs() {
+        assert_eq!(all().len(), 21);
         for name in [
             "table1",
             "fig2",
@@ -100,6 +106,7 @@ mod tests {
             "ablation_retry",
             "ablation_zec12_other",
             "ablation_faults",
+            "hytm",
             "certify_overhead",
             "lint",
         ] {

@@ -3,7 +3,7 @@
 
 use htm_analyze::lint;
 use htm_machine::Platform;
-use htm_runtime::RetryPolicy;
+use htm_runtime::{FallbackPolicy, RetryPolicy};
 use stamp::{BenchId, Scale, Variant};
 
 use crate::cell::{platform_key, CellKind, CellSpec, StampCell};
@@ -230,12 +230,31 @@ pub static CERTIFY_OVERHEAD: ExperimentSpec = ExperimentSpec {
     },
 };
 
-fn lint_id(bench: BenchId, platform: Platform) -> String {
-    format!("lint-{}-{}", bench.label(), platform_key(platform))
+fn lint_id(bench: BenchId, platform: Platform, fallback: FallbackPolicy) -> String {
+    match fallback {
+        FallbackPolicy::Lock => format!("lint-{}-{}", bench.label(), platform_key(platform)),
+        fb => format!("lint-{}-{}-{}", bench.label(), platform_key(platform), fb.key()),
+    }
+}
+
+/// The lint grid: the classic lock-fallback sweep over every (bench ×
+/// platform), plus the HyTM cells — each benchmark sanitized under the
+/// NOrec STM tier (Intel model) and the ROT tier (POWER8).
+fn lint_grid() -> Vec<(BenchId, Platform, FallbackPolicy)> {
+    let mut grid = Vec::new();
+    for bench in BenchId::ALL {
+        for platform in Platform::ALL {
+            grid.push((bench, platform, FallbackPolicy::Lock));
+        }
+        grid.push((bench, Platform::IntelCore, FallbackPolicy::Stm));
+        grid.push((bench, Platform::Power8, FallbackPolicy::Rot));
+    }
+    grid
 }
 
 /// The workload linter: race sanitizer + abort-blame/capacity analyzers +
-/// rule engine over the full grid; violations feed the CLI `--gate`.
+/// rule engine over the full grid (including the hybrid-TM fallback
+/// tiers); violations feed the CLI `--gate`.
 pub static LINT: ExperimentSpec = ExperimentSpec {
     name: "lint",
     title: "workload lint: sanitizer + analyzers + rule gate (default scale: tiny)",
@@ -243,11 +262,11 @@ pub static LINT: ExperimentSpec = ExperimentSpec {
     // run time); `--scale` still overrides.
     default_scale: Some(Scale::Tiny),
     build: |opts| {
-        let mut cells = Vec::new();
-        for bench in BenchId::ALL {
-            for platform in Platform::ALL {
-                cells.push(CellSpec::new(
-                    lint_id(bench, platform),
+        lint_grid()
+            .into_iter()
+            .map(|(bench, platform, fallback)| {
+                CellSpec::new(
+                    lint_id(bench, platform, fallback),
                     CellKind::Lint {
                         bench,
                         platform,
@@ -255,37 +274,44 @@ pub static LINT: ExperimentSpec = ExperimentSpec {
                         threads: 8,
                         scale: opts.scale,
                         seed: opts.seed,
+                        fallback,
                     },
-                ));
-            }
-        }
-        cells
+                )
+            })
+            .collect()
     },
     render: |_opts, set, sink| {
-        let headers: Vec<String> =
-            ["bench", "platform", "commits", "aborts", "races", "cap-pred", "violations"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let headers: Vec<String> = [
+            "bench",
+            "platform",
+            "fallback",
+            "commits",
+            "aborts",
+            "races",
+            "cap-pred",
+            "violations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let mut rows = Vec::new();
         let mut violations = Vec::new();
-        for bench in BenchId::ALL {
-            for platform in Platform::ALL {
-                let r = set.get(&lint_id(bench, platform));
-                rows.push(vec![
-                    bench.label().to_owned(),
-                    platform_key(platform).to_owned(),
-                    format!("{}", r.get("commits") as u64),
-                    format!("{}", r.get("aborts") as u64),
-                    format!("{}", r.get("races") as u64),
-                    format!("{:.0}%", r.get("cap_fraction") * 100.0),
-                    format!("{}", r.get("violations") as u64),
-                ]);
-                violations.extend(
-                    lint::report_from_json(r.get_note("violations"))
-                        .expect("lint violation JSON round-trips"),
-                );
-            }
+        for (bench, platform, fallback) in lint_grid() {
+            let r = set.get(&lint_id(bench, platform, fallback));
+            rows.push(vec![
+                bench.label().to_owned(),
+                platform_key(platform).to_owned(),
+                fallback.key().to_owned(),
+                format!("{}", r.get("commits") as u64),
+                format!("{}", r.get("aborts") as u64),
+                format!("{}", r.get("races") as u64),
+                format!("{:.0}%", r.get("cap_fraction") * 100.0),
+                format!("{}", r.get("violations") as u64),
+            ]);
+            violations.extend(
+                lint::report_from_json(r.get_note("violations"))
+                    .expect("lint violation JSON round-trips"),
+            );
         }
         sink.table("htm-lint", &headers, &rows);
         if violations.is_empty() {

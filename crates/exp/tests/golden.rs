@@ -20,7 +20,7 @@ use htm_exp::engine::compute_cells;
 use htm_exp::sink::{f2, render_table_string};
 use htm_exp::{specs, CellSpec, RunOpts};
 use htm_machine::Platform;
-use htm_runtime::FaultPlan;
+use htm_runtime::{FallbackPolicy, FaultPlan};
 use stamp::{BenchId, BenchParams, Scale, Variant};
 
 /// The small golden grid from the issue: 2 benches × 2 platforms × {1,4}
@@ -63,6 +63,7 @@ fn legacy_run_cell(
             faults: FaultPlan::none(),
             certify: false,
             sanitize: false,
+            fallback: FallbackPolicy::Lock,
         };
         results.push(stamp::run_bench(bench, variant, &machine, &params));
     }

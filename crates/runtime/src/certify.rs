@@ -131,6 +131,20 @@ impl CertCapture {
         self.push_event(EventKind::Hardware { rot }, seq, writes);
     }
 
+    /// Emits the event for a committed software transaction or a
+    /// software-validated ROT-tier transaction. The committer holds the
+    /// sequence lock at `seq`, its read log just revalidated, so the full
+    /// read check applies ([`EventKind::Software`]).
+    pub(crate) fn commit_soft(&mut self, seq: u64, write_buf: &HashMap<WordAddr, u64>) {
+        let mut writes: Vec<(WordAddr, u64)> = write_buf.iter().map(|(&a, &v)| (a, v)).collect();
+        writes.sort_unstable_by_key(|&(a, _)| a);
+        if writes.len() > MAX_ACCESSES_PER_EVENT {
+            writes.truncate(MAX_ACCESSES_PER_EVENT);
+            self.truncated = true;
+        }
+        self.push_event(EventKind::Software, seq, writes);
+    }
+
     /// Emits the event for a completed irrevocable block (the caller still
     /// holds the global lock, so `seq` is its linearization point).
     pub(crate) fn commit_irrevocable(&mut self, seq: u64) {
@@ -380,6 +394,36 @@ mod tests {
         let events = vec![ev(0, 1, &[(8, 0)], &[(8, 1)]), stale];
         let r = certify(events, false, 0);
         assert!(r.ok(), "rollback-only loads are untracked by hardware: {r}");
+    }
+
+    #[test]
+    fn software_commits_get_the_full_read_check() {
+        // Same lost-update shape as the rot exemption test, but as a
+        // software commit: the stale read must be flagged.
+        let mut stale = ev(1, 2, &[(8, 0)], &[(8, 5)]);
+        stale.kind = EventKind::Software;
+        let events = vec![ev(0, 1, &[(8, 0)], &[(8, 1)]), stale];
+        let r = certify(events, false, 0);
+        assert!(!r.ok(), "software reads are value-checked: {r}");
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::StaleRead { .. })), "{r}");
+    }
+
+    #[test]
+    fn capture_emits_software_events_with_sorted_writes() {
+        let mut c = CertCapture::new(1);
+        c.begin_block();
+        c.on_read(WordAddr(9), 3);
+        let mut buf = HashMap::new();
+        buf.insert(WordAddr(5), 50);
+        buf.insert(WordAddr(2), 20);
+        c.commit_soft(7, &buf);
+        let (events, truncated) = c.take();
+        assert!(!truncated);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Software);
+        assert_eq!(events[0].seq, 7);
+        assert_eq!(events[0].reads, vec![(WordAddr(9), 3)]);
+        assert_eq!(events[0].writes, vec![(WordAddr(2), 20), (WordAddr(5), 50)]);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::SmallRng;
 
 use htm_core::{Abort, AbortCategory, AbortCause, SyncClock, TxMemory, TxResult, WordAddr};
+use htm_hytm::{FallbackPolicy, ROT_RETRIES, STM_COMMIT_RETRIES};
 use htm_machine::{BgqMode, Machine, Platform};
 
 use crate::lock::GlobalLock;
@@ -163,6 +164,7 @@ pub struct ThreadCtx {
     eng: TxnEngine,
     lock: GlobalLock,
     policy: RetryPolicy,
+    fallback: FallbackPolicy,
     bgq_adapt: BgqAdapt,
     constrained_arbiter: Arc<Mutex<()>>,
     hle: bool,
@@ -192,6 +194,7 @@ impl ThreadCtx {
         eng: TxnEngine,
         lock: GlobalLock,
         policy: RetryPolicy,
+        fallback: FallbackPolicy,
         constrained_arbiter: Arc<Mutex<()>>,
         watchdog: WatchdogConfig,
     ) -> ThreadCtx {
@@ -199,6 +202,7 @@ impl ThreadCtx {
             eng,
             lock,
             policy,
+            fallback,
             bgq_adapt: BgqAdapt::default(),
             constrained_arbiter,
             hle: false,
@@ -292,6 +296,29 @@ impl ThreadCtx {
     /// Replaces the retry policy (tuning sweeps).
     pub fn set_policy(&mut self, policy: RetryPolicy) {
         self.policy = policy;
+    }
+
+    /// The fallback policy in force (what runs when the retry counters are
+    /// exhausted).
+    pub fn fallback(&self) -> FallbackPolicy {
+        self.fallback
+    }
+
+    /// Replaces the fallback policy.
+    pub fn set_fallback(&mut self, fallback: FallbackPolicy) {
+        self.fallback = fallback;
+    }
+
+    /// The fallback tier actually taken: [`FallbackPolicy::Rot`] needs
+    /// POWER8-style rollback-only transactions and degrades to the global
+    /// lock elsewhere.
+    fn effective_fallback(&self) -> FallbackPolicy {
+        match self.fallback {
+            FallbackPolicy::Rot if !self.eng.machine().config().has_rollback_only => {
+                FallbackPolicy::Lock
+            }
+            f => f,
+        }
     }
 
     /// The livelock-watchdog configuration in force.
@@ -528,15 +555,7 @@ impl ThreadCtx {
                         consume(&mut transient_retries)
                     };
                     if !retry {
-                        let r = self.run_irrevocable(&mut body);
-                        self.record_block(
-                            rec_attempts,
-                            BlockOutcome::Irrevocable {
-                                order: self.eng.last_commit_seq(),
-                                degraded: false,
-                                trip: false,
-                            },
-                        );
+                        let r = self.run_fallback(&mut body, rec_attempts);
                         if is_bgq {
                             self.bgq_adapt.record(true);
                         }
@@ -626,7 +645,12 @@ impl ThreadCtx {
             .pop_front()
             .expect("replay diverged: the workload produced more atomic blocks than the trace");
         for a in &rec.attempts {
-            self.eng.stats.record_abort(AbortCategory::ALL[a.category as usize]);
+            if a.cause == AbortCause::StmValidation.encode() {
+                // Software attempts bypass the hardware abort categories.
+                self.eng.stats.stm_validation_aborts += 1;
+            } else {
+                self.eng.stats.record_abort(AbortCategory::ALL[a.category as usize]);
+            }
             self.eng.stats.injected_faults += a.faults as u64;
             self.eng.skip_rng_draws(a.draws);
             for &words in &a.allocs {
@@ -638,6 +662,8 @@ impl ThreadCtx {
         let r = match rec.outcome {
             BlockOutcome::Hw { .. } => self.replay_committed_hw(body, false),
             BlockOutcome::Constrained { .. } => self.replay_committed_hw(body, true),
+            BlockOutcome::Stm { .. } => self.replay_committed_soft(body, false),
+            BlockOutcome::Rot { .. } => self.replay_committed_soft(body, true),
             BlockOutcome::Irrevocable { degraded, trip, .. } => {
                 if trip {
                     self.eng.stats.watchdog_trips += 1;
@@ -679,6 +705,33 @@ impl ThreadCtx {
                     assert!(
                         tries < 1024,
                         "replay diverged: a serialized attempt keeps aborting ({cause})"
+                    );
+                    self.eng.restore_workload_rng(saved_rng);
+                }
+            }
+        }
+    }
+
+    /// Executes a block recorded as a software (STM or ROT) commit. The
+    /// turnstile serializes replayed blocks, so validation passes and the
+    /// attempt commits on its recorded path; unexpected aborts are retried
+    /// with the workload RNG restored, as for hardware replays.
+    fn replay_committed_soft<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+        rot: bool,
+    ) -> R {
+        let mut tries = 0u32;
+        loop {
+            let saved_rng = self.eng.clone_workload_rng();
+            let out = if rot { self.attempt_rot(body) } else { self.attempt_stm(body) };
+            match out {
+                Outcome::Committed(r) => return r,
+                Outcome::Aborted(cause) => {
+                    tries += 1;
+                    assert!(
+                        tries < 1024,
+                        "replay diverged: a serialized software commit keeps aborting ({cause})"
                     );
                     self.eng.restore_workload_rng(saved_rng);
                 }
@@ -778,6 +831,235 @@ impl ThreadCtx {
                 }
                 self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
                 panic!("irrevocable execution cannot abort (body returned {abort})");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Hybrid-TM fallback tiers (htm-hytm)
+    // ------------------------------------------------------------------
+
+    /// Runs the fallback tier after the retry counters are exhausted,
+    /// according to the configured [`FallbackPolicy`].
+    fn run_fallback<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+        rec_attempts: Vec<AttemptRecord>,
+    ) -> R {
+        match self.effective_fallback() {
+            FallbackPolicy::Stm => self.run_stm_block(body, rec_attempts),
+            FallbackPolicy::Rot => self.run_rot_block(body, rec_attempts),
+            FallbackPolicy::Lock => {
+                let r = self.run_irrevocable(body);
+                self.record_block(
+                    rec_attempts,
+                    BlockOutcome::Irrevocable {
+                        order: self.eng.last_commit_seq(),
+                        degraded: false,
+                        trip: false,
+                    },
+                );
+                r
+            }
+        }
+    }
+
+    /// NOrec-style software fallback: the body runs instrumented (buffered
+    /// writes, value-logged reads), and commits under a brief critical
+    /// section on the global lock. Concurrent hardware transactions stay
+    /// live the whole time — the lock acquisition at commit dooms the
+    /// subscribed ones, exactly as an irrevocable section would, but only
+    /// for the duration of validation plus write-back.
+    ///
+    /// A validation failure costs one software attempt; after
+    /// [`STM_COMMIT_RETRIES`] of those the block degrades to the
+    /// irrevocable path, so progress is never worse than the lock fallback.
+    fn run_stm_block<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+        mut rec_attempts: Vec<AttemptRecord>,
+    ) -> R {
+        let mut stm_retries = STM_COMMIT_RETRIES;
+        loop {
+            let waited = {
+                let cost = self.eng.machine().config().cost;
+                self.lock.wait_released(self.eng.mem(), self.eng.clock(), &cost)
+            };
+            self.eng.stats.lock_wait_cycles += waited;
+            let snap = self.attempt_snapshot();
+            match self.attempt_stm(body) {
+                Outcome::Committed(r) => {
+                    self.record_block(
+                        rec_attempts,
+                        BlockOutcome::Stm { order: self.eng.last_commit_seq() },
+                    );
+                    return r;
+                }
+                Outcome::Aborted(_) => {
+                    // Every software abort surfaces as a validation failure
+                    // (the cause is uniform regardless of what invalidated
+                    // the read log), counted separately from the hardware
+                    // abort categories. Recording the uniform cause lets
+                    // replay re-apply the same counter.
+                    self.eng.stats.stm_validation_aborts += 1;
+                    self.record_attempt(
+                        &mut rec_attempts,
+                        snap,
+                        AbortCause::StmValidation,
+                        AbortCategory::Other,
+                    );
+                    if !consume(&mut stm_retries) {
+                        let r = self.run_irrevocable(body);
+                        self.record_block(
+                            rec_attempts,
+                            BlockOutcome::Irrevocable {
+                                order: self.eng.last_commit_seq(),
+                                degraded: false,
+                                trip: false,
+                            },
+                        );
+                        return r;
+                    }
+                    let pause = rand::Rng::gen_range(self.eng.sched_rng_mut(), 0..256u64);
+                    self.tick(pause);
+                }
+            }
+        }
+    }
+
+    /// One software attempt: instrumented execution, then commit under the
+    /// sequence lock.
+    fn attempt_stm<R>(&mut self, body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> Outcome<R> {
+        self.eng.begin_soft();
+        match body(&mut Tx { eng: &mut self.eng }) {
+            Ok(r) => match self.commit_stm() {
+                Ok(()) => Outcome::Committed(r),
+                Err(cause) => Outcome::Aborted(cause),
+            },
+            Err(abort) => {
+                self.eng.rollback_soft();
+                Outcome::Aborted(abort.cause)
+            }
+        }
+    }
+
+    /// The software-commit critical section: acquire the global lock (the
+    /// NOrec sequence lock — this dooms subscribed hardware transactions),
+    /// wait out hardware commits already past their subscription check, then
+    /// validate and write back. Read-only transactions take the lock too:
+    /// their commit point must be ordered against every other commit for the
+    /// serializability certifier.
+    fn commit_stm(&mut self) -> Result<(), AbortCause> {
+        let cost = self.eng.machine().config().cost;
+        let tag = self.thread_id() as u64 + 1;
+        let waited = self.lock.acquire(self.eng.mem(), tag, self.eng.clock(), &cost);
+        self.eng.stats.lock_wait_cycles += waited;
+        if waited > 0 {
+            self.eng.stats.fallback_lock_waits += 1;
+        }
+        if let Some(sync) = &self.lock_sync {
+            self.eng.hb_acquire(sync);
+        }
+        self.eng.quiesce_committers(false);
+        let r = self.eng.soft_commit_validated();
+        let delay = self.eng.fault_lock_release_delay();
+        if delay > 0 {
+            self.eng.clock().tick(delay);
+        }
+        if let Some(sync) = &self.lock_sync {
+            self.eng.hb_release(sync);
+        }
+        self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
+        r
+    }
+
+    /// POWER8 rollback-only fallback tier: stores go through the TMCAM
+    /// (hardware write buffering, writes-only capacity), loads are untracked
+    /// and value-logged in software. The commit validates the read log under
+    /// the global lock — rollback-only transactions detect no load
+    /// conflicts, so software validation stands in, NOrec-style. ROT
+    /// attempts do *not* subscribe to the lock: their own commit-time lock
+    /// acquisition would doom them.
+    fn run_rot_block<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+        mut rec_attempts: Vec<AttemptRecord>,
+    ) -> R {
+        let mut rot_retries = ROT_RETRIES;
+        loop {
+            let waited = {
+                let cost = self.eng.machine().config().cost;
+                self.lock.wait_released(self.eng.mem(), self.eng.clock(), &cost)
+            };
+            self.eng.stats.lock_wait_cycles += waited;
+            let snap = self.attempt_snapshot();
+            match self.attempt_rot(body) {
+                Outcome::Committed(r) => {
+                    self.record_block(
+                        rec_attempts,
+                        BlockOutcome::Rot { order: self.eng.last_commit_seq() },
+                    );
+                    return r;
+                }
+                Outcome::Aborted(cause) => {
+                    let category = if cause == AbortCause::StmValidation {
+                        self.eng.stats.stm_validation_aborts += 1;
+                        AbortCategory::Other
+                    } else {
+                        self.classify_and_record(cause, false).0
+                    };
+                    self.record_attempt(&mut rec_attempts, snap, cause, category);
+                    if !consume(&mut rot_retries) {
+                        let r = self.run_irrevocable(body);
+                        self.record_block(
+                            rec_attempts,
+                            BlockOutcome::Irrevocable {
+                                order: self.eng.last_commit_seq(),
+                                degraded: false,
+                                trip: false,
+                            },
+                        );
+                        return r;
+                    }
+                    let pause = rand::Rng::gen_range(self.eng.sched_rng_mut(), 0..256u64);
+                    self.tick(pause);
+                }
+            }
+        }
+    }
+
+    /// One rollback-only attempt: hardware-buffered stores, value-logged
+    /// loads, commit under the lock after software validation. The commit
+    /// excludes this engine's own slot from the committer quiesce — it *is*
+    /// mid-commit.
+    fn attempt_rot<R>(&mut self, body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> Outcome<R> {
+        self.eng.begin_rot();
+        match body(&mut Tx { eng: &mut self.eng }) {
+            Ok(r) => {
+                let cost = self.eng.machine().config().cost;
+                let tag = self.thread_id() as u64 + 1;
+                let waited = self.lock.acquire(self.eng.mem(), tag, self.eng.clock(), &cost);
+                self.eng.stats.lock_wait_cycles += waited;
+                if waited > 0 {
+                    self.eng.stats.fallback_lock_waits += 1;
+                }
+                if let Some(sync) = &self.lock_sync {
+                    self.eng.hb_acquire(sync);
+                }
+                self.eng.quiesce_committers(true);
+                let committed = self.eng.rot_commit_under_lock();
+                if let Some(sync) = &self.lock_sync {
+                    self.eng.hb_release(sync);
+                }
+                self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
+                match committed {
+                    Ok(()) => Outcome::Committed(r),
+                    Err(cause) => Outcome::Aborted(cause),
+                }
+            }
+            Err(abort) => {
+                self.eng.rollback_hw();
+                Outcome::Aborted(abort.cause)
             }
         }
     }

@@ -14,6 +14,7 @@ use htm_core::{
     detect_races, panic_message, ConflictPolicy, Geometry, Segment, SimAlloc, SimError, SimResult,
     SyncClock, ThreadAlloc, TxEvent, TxMemory, WordAddr,
 };
+use htm_hytm::FallbackPolicy;
 use htm_machine::{Machine, MachineConfig};
 
 use crate::ctx::{RetryPolicy, ThreadCtx, WatchdogConfig};
@@ -52,6 +53,11 @@ pub struct SimConfig {
     /// Livelock-watchdog configuration (the default never fires under the
     /// default retry policies; see [`WatchdogConfig`]).
     pub watchdog: WatchdogConfig,
+    /// What runs when the retry counters are exhausted: the global lock
+    /// (irrevocable execution, the paper's mechanism), a NOrec-style
+    /// software transaction, or a POWER8 rollback-only transaction with
+    /// software-validated loads. See [`FallbackPolicy`].
+    pub fallback: FallbackPolicy,
     /// Run the online correctness certifier: committed atomic blocks record
     /// their read/write sets and commit order, and each parallel run's
     /// [`RunStats`] carries a [`CertifyReport`](htm_core::CertifyReport)
@@ -76,6 +82,7 @@ impl SimConfig {
             yield_interval: 160,
             faults: FaultPlan::none(),
             watchdog: WatchdogConfig::default(),
+            fallback: FallbackPolicy::Lock,
             certify: false,
             sanitize: false,
         }
@@ -120,6 +127,12 @@ impl SimConfig {
     /// Sets the livelock-watchdog configuration.
     pub fn watchdog(mut self, watchdog: WatchdogConfig) -> SimConfig {
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Sets the fallback policy (see [`SimConfig::fallback`]).
+    pub fn fallback(mut self, fallback: FallbackPolicy) -> SimConfig {
+        self.fallback = fallback;
         self
     }
 
@@ -278,6 +291,7 @@ impl Sim {
             eng,
             self.lock,
             policy,
+            self.cfg.fallback,
             Arc::clone(&self.constrained_arbiter),
             self.cfg.watchdog,
         )
@@ -326,11 +340,13 @@ impl Sim {
     /// FNV-1a digest of the simulated memory (cheap cross-run equality
     /// check for the differential oracle and replay tests).
     ///
-    /// The global lock's simulated-release-timestamp slot is excluded: it
-    /// records *timing* (like the cycle counters), which legitimately
-    /// differs between a run and its replay, not program data.
+    /// The global lock's simulated-release-timestamp and acquisition-count
+    /// slots are excluded: both record *instrumentation* (timing, and how
+    /// often the lock was taken — a failed STM validation acquires it
+    /// without committing anything), which legitimately differs between a
+    /// run and its replay, not program data.
     pub fn memory_digest(&self) -> u64 {
-        self.mem.digest_excluding(&[self.lock.time_slot()])
+        self.mem.digest_excluding(&[self.lock.time_slot(), self.lock.count_slot()])
     }
 
     /// Runs `work` on `num_threads` workers under the Figure-1 retry
@@ -462,6 +478,12 @@ impl Sim {
         // One vector clock for the global fallback lock (sanitizer runs
         // only): irrevocable sections release/acquire through it.
         let lock_sync = self.cfg.sanitize.then(|| Arc::new(SyncClock::new()));
+        // One hybrid epoch (a sequence lock over in-place write-backs) per
+        // run, shared by every engine, created only when a software fallback
+        // tier can run: with the default lock fallback the epoch stays
+        // `None` and every engine keeps its zero-overhead read path.
+        let hybrid_epoch =
+            (self.cfg.fallback != FallbackPolicy::Lock).then(|| Arc::new(AtomicU64::new(0)));
         let turnstile = Turnstile::new();
         let work = &work;
         let mut outs: Vec<WorkerOut> = Vec::with_capacity(num_threads as usize);
@@ -476,6 +498,9 @@ impl Sim {
                 let mut ctx = self.make_ctx(tid, num_threads, ExecMode::Hardware, policy, !replay);
                 if let Some(clock) = &commit_clock {
                     ctx.engine_mut().set_commit_clock(Arc::clone(clock));
+                }
+                if let Some(epoch) = &hybrid_epoch {
+                    ctx.engine_mut().set_hybrid_epoch(Arc::clone(epoch));
                 }
                 if self.cfg.certify {
                     ctx.engine_mut().enable_certify();
@@ -1026,6 +1051,99 @@ mod tests {
             assert_eq!(r, Some(0));
         });
         assert_eq!(s.read_word(a), 1);
+    }
+
+    #[test]
+    fn stm_fallback_preserves_counter_exactness_on_every_platform() {
+        for p in Platform::ALL {
+            let s = Sim::new(
+                SimConfig::new(p.config()).mem_words(1 << 18).fallback(FallbackPolicy::Stm),
+            );
+            let a = s.alloc().alloc(1);
+            // Zero retries: every hardware abort drops straight into the
+            // software tier, so hardware and software commits interleave on
+            // the same hot word.
+            let stats = s.run_parallel(4, RetryPolicy::uniform(0), |ctx| {
+                for _ in 0..500 {
+                    ctx.atomic(|tx| {
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)
+                    });
+                }
+            });
+            assert_eq!(s.read_word(a), 2000, "{p}: lost updates under STM fallback");
+            assert_eq!(stats.committed_blocks(), 2000, "{p}");
+            assert!(stats.stm_commits() > 0, "{p}: contention must reach the software tier");
+        }
+    }
+
+    #[test]
+    fn rot_fallback_commits_on_power8() {
+        let s = Sim::new(
+            SimConfig::new(Platform::Power8.config())
+                .mem_words(1 << 18)
+                .fallback(FallbackPolicy::Rot),
+        );
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(4, RetryPolicy::uniform(0), |ctx| {
+            for _ in 0..500 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 2000, "lost updates under ROT fallback");
+        assert_eq!(stats.committed_blocks(), 2000);
+        assert!(stats.rot_commits() > 0, "contention must reach the ROT tier");
+    }
+
+    #[test]
+    fn rot_fallback_degrades_to_lock_without_rollback_only_support() {
+        let s = Sim::new(
+            SimConfig::new(Platform::IntelCore.config())
+                .mem_words(1 << 18)
+                .fallback(FallbackPolicy::Rot),
+        );
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(4, RetryPolicy::uniform(0), |ctx| {
+            for _ in 0..300 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 1200);
+        assert_eq!(stats.rot_commits(), 0, "Intel Core has no rollback-only transactions");
+        assert!(stats.irrevocable_commits() > 0, "degraded blocks serialize under the lock");
+    }
+
+    #[test]
+    fn stm_fallback_survives_a_persistent_abort_storm() {
+        // 100% capacity aborts kill every hardware attempt; the begin fault
+        // also fires on software begins, so blocks fall through STM to the
+        // irrevocable tier — results must still be exact.
+        let plan = crate::FaultPlan::none().capacity_abort_per_begin(1.0);
+        let s = Sim::new(
+            SimConfig::new(Platform::IntelCore.config())
+                .mem_words(1 << 18)
+                .faults(plan)
+                .fallback(FallbackPolicy::Stm),
+        );
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(4, RetryPolicy::default(), |ctx| {
+            for _ in 0..100 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(s.read_word(a), 400);
+        assert_eq!(stats.committed_blocks(), 400);
+        assert_eq!(stats.hw_commits(), 0, "no hardware commit can survive the storm");
+        assert!(stats.injected_faults() > 0);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! * [`ctx`] — [`ThreadCtx`] with the Figure-1 retry mechanism (three
 //!   tunable retry counters + global-lock fallback), Blue Gene/Q's
 //!   system-provided single-counter mechanism with adaptation and lazy
-//!   subscription, and the Section-6 processor-specific interfaces (HLE,
-//!   constrained transactions, rollback-only transactions),
+//!   subscription, the hybrid-TM fallback tiers ([`FallbackPolicy`]:
+//!   NOrec-style software transactions and POWER8 rollback-only commits,
+//!   from `htm-hytm`), and the Section-6 processor-specific interfaces
+//!   (HLE, constrained transactions, rollback-only transactions),
 //! * [`lock`] — the global fallback lock, living in simulated memory so
 //!   lock acquisitions abort subscribed transactions through the ordinary
 //!   conflict mechanism,
@@ -74,6 +76,7 @@ pub use ctx::{RetryPolicy, ThreadCtx, WatchdogConfig, LOCK_HELD_ABORT};
 pub use executor::{Sim, SimConfig};
 pub use faults::FaultPlan;
 pub use htm_core::CertifyReport;
+pub use htm_hytm::FallbackPolicy;
 pub use lock::GlobalLock;
 pub use replay::ScheduleTrace;
 pub use stats::{percentile, RunStats, ThreadStats};

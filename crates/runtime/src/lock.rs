@@ -36,7 +36,7 @@ impl GlobalLock {
         self.addr.offset(1)
     }
 
-    fn count_slot(&self) -> WordAddr {
+    pub(crate) fn count_slot(&self) -> WordAddr {
         self.addr.offset(2)
     }
 

@@ -56,6 +56,11 @@ pub(crate) enum BlockOutcome {
     Hw { order: u64 },
     /// Committed as a zEC12 constrained transaction.
     Constrained { order: u64 },
+    /// Committed as a software (STM fallback) transaction.
+    Stm { order: u64 },
+    /// Committed as a software-validated rollback-only (ROT tier)
+    /// transaction.
+    Rot { order: u64 },
     /// Committed irrevocably under the global lock. `degraded` marks
     /// watchdog-degraded blocks; `trip` marks the block that tripped it.
     Irrevocable { order: u64, degraded: bool, trip: bool },
@@ -66,6 +71,8 @@ impl BlockOutcome {
         match *self {
             BlockOutcome::Hw { order }
             | BlockOutcome::Constrained { order }
+            | BlockOutcome::Stm { order }
+            | BlockOutcome::Rot { order }
             | BlockOutcome::Irrevocable { order, .. } => order,
         }
     }
@@ -74,6 +81,8 @@ impl BlockOutcome {
         match self {
             BlockOutcome::Hw { .. } => BlockOutcome::Hw { order },
             BlockOutcome::Constrained { .. } => BlockOutcome::Constrained { order },
+            BlockOutcome::Stm { .. } => BlockOutcome::Stm { order },
+            BlockOutcome::Rot { .. } => BlockOutcome::Rot { order },
             BlockOutcome::Irrevocable { degraded, trip, .. } => {
                 BlockOutcome::Irrevocable { order, degraded, trip }
             }
@@ -173,6 +182,12 @@ impl ScheduleTrace {
                     BlockOutcome::Constrained { order } => {
                         let _ = writeln!(out, "commit cx {order}");
                     }
+                    BlockOutcome::Stm { order } => {
+                        let _ = writeln!(out, "commit stm {order}");
+                    }
+                    BlockOutcome::Rot { order } => {
+                        let _ = writeln!(out, "commit rot {order}");
+                    }
                     BlockOutcome::Irrevocable { order, degraded, trip } => {
                         let _ =
                             writeln!(out, "commit irr {order} {} {}", degraded as u8, trip as u8);
@@ -242,6 +257,12 @@ impl ScheduleTrace {
                         ("cx", [o]) => BlockOutcome::Constrained {
                             order: o.parse().map_err(|_| bad(n, "bad order"))?,
                         },
+                        ("stm", [o]) => {
+                            BlockOutcome::Stm { order: o.parse().map_err(|_| bad(n, "bad order"))? }
+                        }
+                        ("rot", [o]) => {
+                            BlockOutcome::Rot { order: o.parse().map_err(|_| bad(n, "bad order"))? }
+                        }
                         ("irr", [o, d, t]) => BlockOutcome::Irrevocable {
                             order: o.parse().map_err(|_| bad(n, "bad order"))?,
                             degraded: *d == "1",
@@ -368,10 +389,14 @@ mod tests {
                         },
                     },
                 ],
-                vec![BlockRecord {
-                    attempts: vec![],
-                    outcome: BlockOutcome::Constrained { order: 12 },
-                }],
+                vec![
+                    BlockRecord {
+                        attempts: vec![],
+                        outcome: BlockOutcome::Constrained { order: 12 },
+                    },
+                    BlockRecord { attempts: vec![], outcome: BlockOutcome::Stm { order: 14 } },
+                    BlockRecord { attempts: vec![], outcome: BlockOutcome::Rot { order: 15 } },
+                ],
             ],
         )
     }
@@ -382,8 +407,8 @@ mod tests {
         let mut orders: Vec<u64> =
             (0..t.threads()).flat_map(|i| t.thread_blocks(i)).map(|b| b.outcome.order()).collect();
         orders.sort_unstable();
-        assert_eq!(orders, vec![0, 1, 2]);
-        assert_eq!(t.blocks(), 3);
+        assert_eq!(orders, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.blocks(), 5);
         assert_eq!(t.aborted_attempts(), 1);
     }
 

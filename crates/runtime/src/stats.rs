@@ -22,6 +22,19 @@ pub struct ThreadStats {
     pub hw_commits: u64,
     /// Atomic blocks executed irrevocably under the global lock.
     pub irrevocable_commits: u64,
+    /// Software (NOrec-style STM fallback) transactions that committed,
+    /// under [`FallbackPolicy::Stm`](htm_hytm::FallbackPolicy).
+    pub stm_commits: u64,
+    /// Software-transaction attempts that failed value-based validation of
+    /// their read log (at commit or at an incremental revalidation).
+    pub stm_validation_aborts: u64,
+    /// POWER8 rollback-only transactions that committed, under
+    /// [`FallbackPolicy::Rot`](htm_hytm::FallbackPolicy).
+    pub rot_commits: u64,
+    /// Times a software-tier commit had to wait for the sequence lock
+    /// (contended STM/ROT commits; lock-tier acquisitions are not counted
+    /// here).
+    pub fallback_lock_waits: u64,
     /// Aborts per Figure-3 category (indexed by position in
     /// [`AbortCategory::ALL`]).
     pub aborts: [u64; 5],
@@ -70,6 +83,10 @@ impl ThreadStats {
     pub fn merge(&mut self, other: &ThreadStats) {
         self.hw_commits += other.hw_commits;
         self.irrevocable_commits += other.irrevocable_commits;
+        self.stm_commits += other.stm_commits;
+        self.stm_validation_aborts += other.stm_validation_aborts;
+        self.rot_commits += other.rot_commits;
+        self.fallback_lock_waits += other.fallback_lock_waits;
         for (a, b) in self.aborts.iter_mut().zip(other.aborts.iter()) {
             *a += b;
         }
@@ -168,6 +185,29 @@ impl RunStats {
         self.threads.iter().map(|t| t.irrevocable_commits).sum()
     }
 
+    /// Software (STM fallback) commits summed over threads.
+    pub fn stm_commits(&self) -> u64 {
+        self.threads.iter().map(|t| t.stm_commits).sum()
+    }
+
+    /// STM read-log validation failures summed over threads. Not part of
+    /// the Figure-3 hardware abort categories: a validation failure is a
+    /// software retry, not a hardware abort.
+    pub fn stm_validation_aborts(&self) -> u64 {
+        self.threads.iter().map(|t| t.stm_validation_aborts).sum()
+    }
+
+    /// Rollback-only (ROT tier) commits summed over threads.
+    pub fn rot_commits(&self) -> u64 {
+        self.threads.iter().map(|t| t.rot_commits).sum()
+    }
+
+    /// Contended software-tier commit lock acquisitions summed over
+    /// threads.
+    pub fn fallback_lock_waits(&self) -> u64 {
+        self.threads.iter().map(|t| t.fallback_lock_waits).sum()
+    }
+
     /// Total aborts summed over threads.
     pub fn total_aborts(&self) -> u64 {
         self.threads.iter().map(|t| t.total_aborts()).sum()
@@ -228,10 +268,12 @@ impl RunStats {
     }
 
     /// The serialization ratio: irrevocable commits as a fraction of all
-    /// committed atomic blocks.
+    /// committed atomic blocks. STM and ROT commits count as concurrent
+    /// (non-serialized) executions, so switching the fallback policy away
+    /// from the global lock lowers this ratio.
     pub fn serialization_ratio(&self) -> f64 {
         let irr = self.irrevocable_commits() as f64;
-        let all = irr + self.hw_commits() as f64;
+        let all = self.committed_blocks() as f64;
         if all == 0.0 {
             0.0
         } else {
@@ -239,9 +281,9 @@ impl RunStats {
         }
     }
 
-    /// All committed atomic blocks (hardware + irrevocable).
+    /// All committed atomic blocks (hardware + irrevocable + STM + ROT).
     pub fn committed_blocks(&self) -> u64 {
-        self.hw_commits() + self.irrevocable_commits()
+        self.hw_commits() + self.irrevocable_commits() + self.stm_commits() + self.rot_commits()
     }
 
     /// All recorded footprints, concatenated across threads.
@@ -357,6 +399,31 @@ mod tests {
         assert_eq!(s.watchdog_trips(), 1);
         assert_eq!(s.degraded_commits(), 2);
         assert_eq!(s.degraded_cycles(), 600);
+    }
+
+    #[test]
+    fn hytm_counters_sum_and_count_as_concurrent_commits() {
+        let a = ThreadStats {
+            hw_commits: 6,
+            irrevocable_commits: 1,
+            stm_commits: 2,
+            stm_validation_aborts: 5,
+            fallback_lock_waits: 3,
+            ..Default::default()
+        };
+        let b = ThreadStats { stm_commits: 1, rot_commits: 4, ..Default::default() };
+        let mut s = RunStats::new(vec![a.clone()]);
+        s.merge(&RunStats::new(vec![b]));
+        assert_eq!(s.stm_commits(), 3);
+        assert_eq!(s.stm_validation_aborts(), 5);
+        assert_eq!(s.rot_commits(), 4);
+        assert_eq!(s.fallback_lock_waits(), 3);
+        assert_eq!(s.committed_blocks(), 6 + 1 + 3 + 4);
+        // STM/ROT commits dilute the serialization ratio: only the
+        // irrevocable path serializes.
+        assert!((s.serialization_ratio() - 1.0 / 14.0).abs() < 1e-12);
+        // Validation failures are not hardware aborts.
+        assert_eq!(s.total_aborts(), 0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use htm_core::{
     Abort, AbortCause, Clock, ConflictPolicy, LineId, Segment, SlotId, SyncClock, ThreadAlloc,
     TxEvent, TxMemory, TxResult, WordAddr,
 };
+use htm_hytm::{cost as hytm_cost, SoftLog, REVALIDATE_PERIOD, STM_MAX_ACCESSES};
 use htm_machine::{Machine, Prefetcher, Tracker};
 
 use crate::certify::CertCapture;
@@ -52,6 +53,8 @@ enum BlockState {
     Idle,
     /// Inside a hardware transaction.
     HardwareTx,
+    /// Inside a software (NOrec-style STM fallback) transaction.
+    SoftwareTx,
     /// Inside an irrevocable global-lock section.
     Irrevocable,
     /// Inside a sequential-mode block.
@@ -127,6 +130,24 @@ pub struct TxnEngine {
     /// Replay mode: probabilistic scheduling decisions (zEC12 restriction
     /// draws) are disabled — the trace already contains their outcomes.
     replay_mode: bool,
+    /// Value-based read log of the current software (STM) or software-
+    /// validated rollback-only transaction.
+    soft_log: SoftLog,
+    /// Instrumented reads this software attempt (periodic-revalidation and
+    /// log-fuel counter).
+    soft_reads: u32,
+    /// Epoch value the current soft read log is known consistent with.
+    soft_epoch_seen: u64,
+    /// Whether the current hardware transaction is a hytm ROT-tier one:
+    /// its untracked loads are value-logged and revalidated in software
+    /// under the sequence lock, so its commit certifies with the full read
+    /// check.
+    rot_soft: bool,
+    /// Shared hybrid-TM write epoch (a seqlock: odd while any committer is
+    /// writing back in place). Installed only when the run's fallback
+    /// policy is a software tier; `None` keeps the pure-HTM paths
+    /// untouched.
+    hybrid_epoch: Option<Arc<AtomicU64>>,
     pub(crate) stats: ThreadStats,
     pub(crate) tracer: Option<SeqTracer>,
 }
@@ -204,6 +225,11 @@ impl TxnEngine {
             alloc_log: Vec::new(),
             log_allocs: false,
             replay_mode: false,
+            soft_log: SoftLog::new(),
+            soft_reads: 0,
+            soft_epoch_seen: 0,
+            rot_soft: false,
+            hybrid_epoch: None,
             stats: ThreadStats::default(),
             tracer: None,
         }
@@ -254,6 +280,20 @@ impl TxnEngine {
 
     pub(crate) fn set_commit_clock(&mut self, clock: Arc<AtomicU64>) {
         self.commit_clock = Some(clock);
+    }
+
+    /// Installs the shared hybrid-TM write epoch (software fallback tiers
+    /// only).
+    pub(crate) fn set_hybrid_epoch(&mut self, epoch: Arc<AtomicU64>) {
+        self.hybrid_epoch = Some(epoch);
+    }
+
+    /// Waits out hardware commits already past their subscription check
+    /// (see [`TxMemory::quiesce_committers`]). `exclude_self` skips this
+    /// engine's own slot — a rollback-only commit holds the lock while its
+    /// own slot is mid-commit.
+    pub(crate) fn quiesce_committers(&self, exclude_self: bool) {
+        self.mem.quiesce_committers(exclude_self.then_some(self.slot));
     }
 
     pub(crate) fn enable_certify(&mut self) {
@@ -476,14 +516,22 @@ impl TxnEngine {
                     self.last_commit_seq = seq;
                 }
                 if let Some(c) = &mut self.cert {
-                    c.get_mut().commit_hw(seq, self.rollback_only, &self.write_buf);
+                    if self.rot_soft {
+                        // Software-validated ROT: full read check applies.
+                        c.get_mut().commit_soft(seq, &self.write_buf);
+                    } else {
+                        c.get_mut().commit_hw(seq, self.rollback_only, &self.write_buf);
+                    }
                 }
                 if let Some(h) = &mut self.hb {
                     h.get_mut().commit_tx();
                 }
+                self.epoch_bump(); // odd: write-back in place (hybrid only)
                 for (&addr, &value) in &self.write_buf {
                     self.mem.write_word(addr, value);
                 }
+                self.epoch_bump(); // even: write-back published
+                let was_rot_soft = self.rot_soft;
                 self.release_lines();
                 self.mem.finish_slot(self.slot);
                 // Deferred frees (STAMP's TM_FREE semantics): blocks become
@@ -492,7 +540,11 @@ impl TxnEngine {
                     self.alloc.free(addr, words);
                 }
                 self.end_tx_bookkeeping();
-                self.stats.hw_commits += 1;
+                if was_rot_soft {
+                    self.stats.rot_commits += 1;
+                } else {
+                    self.stats.hw_commits += 1;
+                }
                 if self.trace_footprints {
                     self.stats.footprints.push((
                         self.tracker.load_lines() as u32,
@@ -506,6 +558,229 @@ impl TxnEngine {
                 Err(cause)
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Hybrid-TM software tiers (STM fallback and validated ROT)
+    // ------------------------------------------------------------------
+
+    /// Advances the hybrid write epoch by one (odd = a write-back is in
+    /// place). No-op when no software tier is active this run.
+    #[inline]
+    fn epoch_bump(&self) {
+        if let Some(e) = &self.hybrid_epoch {
+            e.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Waits until no in-place write-back is in progress and returns the
+    /// (even) epoch value. Returns 0 when no epoch is installed.
+    fn wait_epoch_even(&self) -> u64 {
+        match &self.hybrid_epoch {
+            None => 0,
+            Some(e) => loop {
+                let v = e.load(Ordering::SeqCst);
+                if v & 1 == 0 {
+                    break v;
+                }
+                std::thread::yield_now();
+            },
+        }
+    }
+
+    /// Reads one word consistently against the hybrid epoch: the value is
+    /// only returned together with an even epoch that did not move across
+    /// the read, so it cannot be a torn observation of an in-flight
+    /// write-back.
+    fn soft_consistent_read(&self, addr: WordAddr) -> (u64, u64) {
+        let Some(e) = &self.hybrid_epoch else {
+            return (self.mem.read_word(addr), 0);
+        };
+        loop {
+            let e0 = e.load(Ordering::SeqCst);
+            if e0 & 1 == 1 {
+                std::thread::yield_now();
+                continue;
+            }
+            let v = self.mem.read_word(addr);
+            if e.load(Ordering::SeqCst) == e0 {
+                return (v, e0);
+            }
+        }
+    }
+
+    /// Revalidates the whole soft read log against current memory and,
+    /// on success, adopts the epoch the validation was consistent with.
+    ///
+    /// # Errors
+    ///
+    /// Fails the transaction with [`AbortCause::StmValidation`] if any
+    /// logged value changed (the snapshot is no longer atomic).
+    fn soft_revalidate(&mut self) -> TxResult<()> {
+        self.charge(hytm_cost::STM_VALIDATE_PER_WORD * self.soft_log.len() as u64);
+        loop {
+            let e0 = self.wait_epoch_even();
+            let mismatch = self.soft_log.validate(|a| self.mem.read_word(a)).is_some();
+            if let Some(e) = &self.hybrid_epoch {
+                if e.load(Ordering::SeqCst) != e0 {
+                    continue; // a write-back moved under us: re-run
+                }
+            }
+            if mismatch {
+                return self.fail(AbortCause::StmValidation);
+            }
+            self.soft_epoch_seen = e0;
+            return Ok(());
+        }
+    }
+
+    /// Reads `addr` on the software snapshot: consistent against the
+    /// epoch, extending the snapshot (by revalidating the whole log) when
+    /// a committer published since it was taken.
+    fn soft_snapshot_read(&mut self, addr: WordAddr) -> TxResult<u64> {
+        loop {
+            let (raw, e0) = self.soft_consistent_read(addr);
+            if e0 == self.soft_epoch_seen {
+                return Ok(raw);
+            }
+            self.soft_revalidate()?;
+        }
+    }
+
+    /// Begins a software (NOrec-style STM) transaction.
+    pub(crate) fn begin_soft(&mut self) {
+        assert_eq!(self.state, BlockState::Idle, "nested atomic blocks are not supported");
+        self.aborted = None;
+        self.write_buf.clear();
+        self.pending_frees.clear();
+        self.soft_log.clear();
+        self.soft_reads = 0;
+        self.charge(hytm_cost::STM_BEGIN);
+        self.soft_epoch_seen = self.wait_epoch_even();
+        self.state = BlockState::SoftwareTx;
+        if let Some(c) = &mut self.cert {
+            c.get_mut().begin_block();
+        }
+        // Fault injection: a begin fault aborts the software attempt. The
+        // hardware cause is irrelevant to a software transaction, so every
+        // injected failure surfaces as a validation abort.
+        if self.faults.is_some() {
+            if let Some(_cause) = self.faults.as_mut().and_then(|f| f.on_begin()) {
+                self.stats.injected_faults += 1;
+                self.aborted = Some(AbortCause::StmValidation);
+            }
+        }
+    }
+
+    /// Rolls back the current software transaction, discarding its
+    /// buffered stores and read log.
+    pub(crate) fn rollback_soft(&mut self) {
+        assert_eq!(self.state, BlockState::SoftwareTx, "rollback outside software tx");
+        self.charge(self.machine.config().cost.abort);
+        if let Some(h) = &mut self.hb {
+            h.get_mut().rollback_tx();
+        }
+        self.write_buf.clear();
+        self.pending_frees.clear();
+        self.soft_log.clear();
+        self.state = BlockState::Idle;
+        self.aborted = None;
+    }
+
+    /// Commits the current software transaction. The caller holds the
+    /// global sequence lock and has quiesced hardware committers
+    /// ([`TxMemory::quiesce_committers`]), so plain reads are stable: the
+    /// final validation decides, then buffered stores are written back in
+    /// place (dooming conflicting hardware transactions like any
+    /// non-transactional store).
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause — and has already rolled back — if the
+    /// attempt was doomed earlier or the read log fails validation.
+    pub(crate) fn soft_commit_validated(&mut self) -> Result<(), AbortCause> {
+        assert_eq!(self.state, BlockState::SoftwareTx, "commit outside software tx");
+        if let Some(cause) = self.aborted {
+            self.rollback_soft();
+            return Err(cause);
+        }
+        self.charge(
+            hytm_cost::STM_COMMIT_OVERHEAD
+                + hytm_cost::STM_VALIDATE_PER_WORD * self.soft_log.len() as u64,
+        );
+        if self.soft_log.validate(|a| self.mem.read_word(a)).is_some() {
+            self.rollback_soft();
+            return Err(AbortCause::StmValidation);
+        }
+        // Serialization point: the sequence lock is held, no hardware
+        // committer is in flight, and validation just passed.
+        let seq = self.draw_commit_seq();
+        if seq != 0 {
+            self.last_commit_seq = seq;
+        }
+        if let Some(c) = &mut self.cert {
+            c.get_mut().commit_soft(seq, &self.write_buf);
+        }
+        if let Some(h) = &mut self.hb {
+            h.get_mut().commit_tx();
+        }
+        self.epoch_bump(); // odd: in-place write-back begins
+        for (&addr, &value) in &self.write_buf {
+            self.mem.nontx_store(Some(self.slot), addr, value);
+        }
+        self.epoch_bump(); // even: write-back published
+        if self.trace_footprints {
+            let rl: HashSet<LineId> =
+                self.soft_log.entries().iter().map(|&(a, _)| self.mem.line_of(a)).collect();
+            let wl: HashSet<LineId> = self.write_buf.keys().map(|&a| self.mem.line_of(a)).collect();
+            self.stats.footprints.push((rl.len() as u32, wl.len() as u32));
+        }
+        self.write_buf.clear();
+        self.soft_log.clear();
+        for (addr, words) in std::mem::take(&mut self.pending_frees) {
+            self.alloc.free(addr, words);
+        }
+        self.stats.stm_commits += 1;
+        self.state = BlockState::Idle;
+        Ok(())
+    }
+
+    /// Begins a hytm ROT-tier transaction: a POWER8 rollback-only hardware
+    /// transaction whose untracked loads are value-logged for software
+    /// validation at commit.
+    pub(crate) fn begin_rot(&mut self) {
+        self.begin_hw(true, false);
+        self.rot_soft = true;
+        self.soft_log.clear();
+        self.soft_reads = 0;
+        self.soft_epoch_seen = self.wait_epoch_even();
+    }
+
+    /// Commits a ROT-tier transaction. The caller holds the sequence lock
+    /// and has quiesced other committers: the read log is revalidated in
+    /// software (restoring the serializability the untracked loads lost),
+    /// then the hardware commit publishes the tracked stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause — and has already rolled back — on a failed
+    /// validation or a hardware doom.
+    pub(crate) fn rot_commit_under_lock(&mut self) -> Result<(), AbortCause> {
+        assert!(self.rot_soft, "rot commit outside a ROT-tier transaction");
+        if self.aborted.is_none() {
+            self.charge(
+                hytm_cost::ROT_COMMIT_OVERHEAD
+                    + hytm_cost::STM_VALIDATE_PER_WORD * self.soft_log.len() as u64,
+            );
+            if self.soft_log.validate(|a| self.mem.read_word(a)).is_some() {
+                self.aborted = Some(AbortCause::StmValidation);
+            }
+        }
+        self.commit_hw()
+    }
+
+    pub(crate) fn in_software_tx(&self) -> bool {
+        self.state == BlockState::SoftwareTx
     }
 
     /// Rolls back the current hardware transaction, discarding buffered
@@ -542,6 +817,7 @@ impl TxnEngine {
         self.aborted = None;
         self.suspend_depth = 0;
         self.rollback_only = false;
+        self.rot_soft = false;
         self.constrained = None;
     }
 
@@ -550,6 +826,10 @@ impl TxnEngine {
         assert_eq!(self.state, BlockState::Idle, "nested atomic blocks are not supported");
         self.read_lines.clear();
         self.write_lines.clear();
+        // Hybrid runs: irrevocable writes land in place throughout the
+        // body, so the whole section reads as one write-back to software
+        // snapshots (the epoch stays odd until the section ends).
+        self.epoch_bump();
         self.state = BlockState::Irrevocable;
         if let Some(c) = &mut self.cert {
             c.get_mut().begin_block();
@@ -573,6 +853,7 @@ impl TxnEngine {
                 .footprints
                 .push((self.read_lines.len() as u32, self.write_lines.len() as u32));
         }
+        self.epoch_bump(); // even again: the section's writes are published
         self.state = BlockState::Idle;
     }
 
@@ -580,6 +861,7 @@ impl TxnEngine {
     /// failed; the caller releases the lock and reports the error).
     pub(crate) fn abandon_irrevocable(&mut self) {
         assert_eq!(self.state, BlockState::Irrevocable);
+        self.epoch_bump(); // restore an even epoch for software readers
         self.state = BlockState::Idle;
     }
 
@@ -591,6 +873,7 @@ impl TxnEngine {
     pub(crate) fn panic_cleanup(&mut self) {
         match self.state {
             BlockState::HardwareTx => self.rollback_hw(),
+            BlockState::SoftwareTx => self.rollback_soft(),
             BlockState::Irrevocable => self.abandon_irrevocable(),
             BlockState::Sequential => {
                 // A traced block died mid-flight: discard its partial
@@ -749,6 +1032,38 @@ impl TxnEngine {
                 }
                 Ok(value)
             }
+            BlockState::SoftwareTx => {
+                if let Some(cause) = self.aborted {
+                    return Err(Abort::new(cause));
+                }
+                self.charge(cfg_cost.load + hytm_cost::STM_LOAD_EXTRA);
+                if self.injected_access_fault().is_some() {
+                    // Any injected hardware fault surfaces to a software
+                    // attempt as a validation abort.
+                    return self.fail(AbortCause::StmValidation);
+                }
+                if let Some(&v) = self.write_buf.get(&addr) {
+                    self.maybe_yield();
+                    return Ok(v); // store-to-load forwarding
+                }
+                self.soft_reads += 1;
+                if self.soft_reads >= STM_MAX_ACCESSES {
+                    return self.fail(AbortCause::StmValidation);
+                }
+                let raw = self.soft_snapshot_read(addr)?;
+                let value = self.soft_log.record(addr, raw);
+                if self.soft_reads.is_multiple_of(REVALIDATE_PERIOD) {
+                    self.soft_revalidate()?;
+                }
+                if let Some(c) = &mut self.cert {
+                    c.get_mut().on_read(addr, value);
+                }
+                if let Some(h) = &mut self.hb {
+                    h.get_mut().tx_access(addr, false);
+                }
+                self.maybe_yield();
+                Ok(value)
+            }
             BlockState::HardwareTx => {
                 if let Some(cause) = self.aborted {
                     return Err(Abort::new(cause));
@@ -784,14 +1099,27 @@ impl TxnEngine {
                 } else if self.constrained.is_some() {
                     self.charge_constrained_access(addr);
                 }
-                let value = self.mem.read_word(addr);
+                let value = if self.rot_soft {
+                    // ROT tier: the load is untracked by the TMCAM, so it
+                    // is value-logged on the software snapshot instead and
+                    // revalidated under the sequence lock at commit.
+                    self.soft_reads += 1;
+                    if self.soft_reads >= STM_MAX_ACCESSES {
+                        return self.fail(AbortCause::StmValidation);
+                    }
+                    let raw = self.soft_snapshot_read(addr)?;
+                    self.soft_log.record(addr, raw)
+                } else {
+                    self.mem.read_word(addr)
+                };
                 // Opacity: never return a value read after we were doomed.
                 if let Some(cause) = self.mem.doom_cause(self.slot) {
                     return self.fail(cause);
                 }
-                // Rollback-only loads are untracked by the hardware, so the
-                // certifier's value check does not apply to them.
-                if !self.rollback_only {
+                // Plain rollback-only loads are untracked by the hardware,
+                // so the certifier's value check does not apply to them.
+                // ROT-tier loads are software-validated, so it does.
+                if !self.rollback_only || self.rot_soft {
                     if let Some(c) = &mut self.cert {
                         c.get_mut().on_read(addr, value);
                     }
@@ -838,6 +1166,21 @@ impl TxnEngine {
                 if let Some(h) = &mut self.hb {
                     h.get_mut().irr_access(addr, true);
                 }
+                Ok(())
+            }
+            BlockState::SoftwareTx => {
+                if let Some(cause) = self.aborted {
+                    return Err(Abort::new(cause));
+                }
+                self.charge(cost.store + hytm_cost::STM_STORE_EXTRA);
+                if self.injected_access_fault().is_some() {
+                    return self.fail(AbortCause::StmValidation);
+                }
+                if let Some(h) = &mut self.hb {
+                    h.get_mut().tx_access(addr, true);
+                }
+                self.write_buf.insert(addr, value);
+                self.maybe_yield();
                 Ok(())
             }
             BlockState::HardwareTx => {
@@ -921,7 +1264,9 @@ impl TxnEngine {
     /// Explicit program abort (`tabort`).
     pub(crate) fn user_abort<T>(&mut self, code: u8) -> TxResult<T> {
         match self.state {
-            BlockState::HardwareTx => self.fail(AbortCause::Explicit(code)),
+            BlockState::HardwareTx | BlockState::SoftwareTx => {
+                self.fail(AbortCause::Explicit(code))
+            }
             BlockState::Irrevocable | BlockState::Sequential => {
                 panic!("tabort in irrevocable/sequential execution")
             }
@@ -944,8 +1289,9 @@ impl TxnEngine {
                 Ok(())
             }
             // In irrevocable/sequential execution accesses are already
-            // non-transactional; suspend is a no-op.
-            BlockState::Irrevocable | BlockState::Sequential => Ok(()),
+            // non-transactional; suspend is a no-op. A software transaction
+            // is not a hardware one, so there is nothing to suspend either.
+            BlockState::Irrevocable | BlockState::Sequential | BlockState::SoftwareTx => Ok(()),
             BlockState::Idle => panic!("suspend outside an atomic block"),
         }
     }
@@ -962,7 +1308,7 @@ impl TxnEngine {
                 }
                 Ok(())
             }
-            BlockState::Irrevocable | BlockState::Sequential => Ok(()),
+            BlockState::Irrevocable | BlockState::Sequential | BlockState::SoftwareTx => Ok(()),
             BlockState::Idle => panic!("resume outside an atomic block"),
         }
     }
@@ -1157,11 +1503,11 @@ impl Tx<'_> {
 
     /// Frees a block for reuse by this thread (like STAMP's `TM_FREE`).
     ///
-    /// Inside a hardware transaction the free is *deferred to commit*: an
-    /// aborted transaction's frees never happen, since the rolled-back
-    /// structure still references the block.
+    /// Inside a hardware or software transaction the free is *deferred to
+    /// commit*: an aborted transaction's frees never happen, since the
+    /// rolled-back structure still references the block.
     pub fn free(&mut self, addr: WordAddr, words: u32) {
-        if self.eng.is_hardware_tx() {
+        if self.eng.is_hardware_tx() || self.eng.in_software_tx() {
             self.eng.pending_frees.push((addr, words));
         } else {
             self.eng.alloc.free(addr, words);
@@ -1593,6 +1939,108 @@ mod tests {
         e.store(a, 7).unwrap();
         e.commit_hw().unwrap();
         assert_eq!(e.mem.read_word(a), 7);
+    }
+
+    #[test]
+    fn software_tx_read_write_commit() {
+        let mut e = engine(ExecMode::Hardware);
+        let a = WordAddr(100);
+        e.begin_soft();
+        assert_eq!(e.load(a).unwrap(), 0);
+        e.store(a, 5).unwrap();
+        assert_eq!(e.load(a).unwrap(), 5, "store-to-load forwarding");
+        assert_eq!(e.mem.read_word(a), 0, "stores buffered until commit");
+        e.soft_commit_validated().unwrap();
+        assert_eq!(e.mem.read_word(a), 5);
+        assert_eq!(e.stats.stm_commits, 1);
+        assert_eq!(e.stats.hw_commits, 0);
+        assert!(e.clock.now() > 0, "software instrumentation costs cycles");
+    }
+
+    #[test]
+    fn software_tx_fails_validation_when_a_logged_value_changes() {
+        let mut e = engine(ExecMode::Hardware);
+        let a = WordAddr(100);
+        e.begin_soft();
+        assert_eq!(e.load(a).unwrap(), 0);
+        e.store(WordAddr(200), 9).unwrap();
+        // A concurrent committer changes the logged value before commit.
+        e.mem.nontx_store(None, a, 7);
+        assert_eq!(e.soft_commit_validated(), Err(AbortCause::StmValidation));
+        assert_eq!(e.mem.read_word(WordAddr(200)), 0, "failed commit publishes nothing");
+        assert_eq!(e.stats.stm_commits, 0);
+    }
+
+    #[test]
+    fn software_tx_repeated_reads_return_the_logged_first_value() {
+        let mut e = engine(ExecMode::Hardware);
+        let a = WordAddr(64);
+        e.mem.write_word(a, 3);
+        e.begin_soft();
+        assert_eq!(e.load(a).unwrap(), 3);
+        // With no epoch installed the engine cannot notice the change
+        // mid-body, but re-reads stay on the logged snapshot value...
+        e.mem.nontx_store(None, a, 4);
+        assert_eq!(e.load(a).unwrap(), 3, "snapshot value, not the fresh one");
+        // ...and commit validation rejects the stale snapshot.
+        assert_eq!(e.soft_commit_validated(), Err(AbortCause::StmValidation));
+    }
+
+    #[test]
+    fn rot_tier_logs_untracked_reads_and_commits_as_rot() {
+        let mut e = engine_on(Platform::Power8, ExecMode::Hardware);
+        e.begin_rot();
+        // Way more loads than the TMCAM holds: untracked, value-logged.
+        for i in 0..200u32 {
+            e.load(WordAddr(i * 16)).unwrap();
+        }
+        assert_eq!(e.tracker.load_lines(), 0);
+        e.store(WordAddr(0), 1).unwrap();
+        e.rot_commit_under_lock().unwrap();
+        assert_eq!(e.mem.read_word(WordAddr(0)), 1);
+        assert_eq!(e.stats.rot_commits, 1);
+        assert_eq!(e.stats.hw_commits, 0);
+    }
+
+    #[test]
+    fn rot_tier_validation_failure_rolls_back_buffered_stores() {
+        let mut e = engine_on(Platform::Power8, ExecMode::Hardware);
+        let a = WordAddr(100);
+        e.begin_rot();
+        e.load(a).unwrap();
+        e.store(WordAddr(800), 9).unwrap();
+        // An invisible read goes stale: only software validation can tell.
+        e.mem.nontx_store(None, a, 7);
+        assert_eq!(e.rot_commit_under_lock(), Err(AbortCause::StmValidation));
+        assert_eq!(e.mem.read_word(WordAddr(800)), 0);
+        assert_eq!(e.stats.rot_commits, 0);
+    }
+
+    #[test]
+    fn software_tx_defers_frees_to_commit() {
+        let mut e = engine(ExecMode::Hardware);
+        let addr = {
+            let mut tx = Tx { eng: &mut e };
+            tx.alloc(4)
+        };
+        e.begin_soft();
+        {
+            let mut tx = Tx { eng: &mut e };
+            tx.free(addr, 4);
+        }
+        e.rollback_soft();
+        e.begin_soft();
+        {
+            let mut tx = Tx { eng: &mut e };
+            tx.free(addr, 4);
+        }
+        e.soft_commit_validated().unwrap();
+        // The block was freed exactly once: it is reusable now.
+        let again = {
+            let mut tx = Tx { eng: &mut e };
+            tx.alloc(4)
+        };
+        assert_eq!(again, addr, "freed block is recycled");
     }
 
     #[test]

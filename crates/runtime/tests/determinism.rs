@@ -13,13 +13,20 @@
 use htm_core::WordAddr;
 use htm_machine::Platform;
 use htm_runtime::{
-    FaultPlan, RetryPolicy, RunStats, ScheduleTrace, Sim, SimConfig, ThreadCtx, WatchdogConfig,
+    FallbackPolicy, FaultPlan, RetryPolicy, RunStats, ScheduleTrace, Sim, SimConfig, ThreadCtx,
+    WatchdogConfig,
 };
+
+/// One thread's schedule-independent counters: commits (hardware,
+/// irrevocable), the five abort classes, injected faults, watchdog trips,
+/// degraded commits, and the software-tier triple (STM commits, STM
+/// validation aborts, ROT commits).
+type CounterRow = (u64, u64, [u64; 5], u64, u64, u64, [u64; 3]);
 
 /// The schedule-independent slice of the statistics: everything except the
 /// simulated clocks and lock-wait times, which legitimately vary with OS
 /// scheduling.
-fn deterministic_counters(stats: &RunStats) -> Vec<(u64, u64, [u64; 5], u64, u64, u64)> {
+fn deterministic_counters(stats: &RunStats) -> Vec<CounterRow> {
     stats
         .threads
         .iter()
@@ -31,6 +38,7 @@ fn deterministic_counters(stats: &RunStats) -> Vec<(u64, u64, [u64; 5], u64, u64
                 t.injected_faults,
                 t.watchdog_trips,
                 t.degraded_commits,
+                [t.stm_commits, t.stm_validation_aborts, t.rot_commits],
             )
         })
         .collect()
@@ -173,6 +181,55 @@ fn replay_rejects_a_mismatched_workload() {
         })
         .unwrap_err();
     assert!(err.to_string().contains("replay diverged"), "{err}");
+}
+
+#[test]
+fn software_fallback_runs_replay_bit_identically() {
+    // The hybrid tiers round-trip through the trace: recorded STM (and,
+    // on POWER8, ROT) blocks replay as software commits with identical
+    // counters and memory image, trace disk round trip included.
+    for (platform, fallback) in
+        [(Platform::IntelCore, FallbackPolicy::Stm), (Platform::Power8, FallbackPolicy::Rot)]
+    {
+        let plan = FaultPlan::none().transient_abort_per_begin(0.4).doom_at_commit(0.05);
+        let make = || {
+            let cfg = SimConfig::new(platform.config())
+                .mem_words(1 << 18)
+                .seed(0x50F7)
+                .faults(plan)
+                .fallback(fallback);
+            let sim = Sim::new(cfg);
+            let base = sim.alloc().alloc_aligned(8, 64);
+            (sim, base)
+        };
+
+        let (sim, base) = make();
+        let (recorded, trace) =
+            sim.record_parallel(4, RetryPolicy::uniform(1), contended_work(base)).expect("record");
+        let recorded_digest = sim.memory_digest();
+        let soft = match fallback {
+            FallbackPolicy::Rot => recorded.rot_commits(),
+            _ => recorded.stm_commits(),
+        };
+        assert!(soft > 0, "{platform} {fallback}: the software tier must actually commit");
+
+        let path =
+            std::env::temp_dir().join(format!("htm-determinism-{}-trace.txt", fallback.key()));
+        trace.save(&path).expect("save trace");
+        let trace = ScheduleTrace::load(&path).expect("load trace");
+        let _ = std::fs::remove_file(&path);
+
+        let (sim2, base2) = make();
+        assert_eq!(base, base2);
+        let replayed =
+            sim2.replay(&trace, RetryPolicy::uniform(1), contended_work(base2)).expect("replay");
+        assert_eq!(
+            deterministic_counters(&recorded),
+            deterministic_counters(&replayed),
+            "{platform} {fallback}"
+        );
+        assert_eq!(recorded_digest, sim2.memory_digest(), "{platform} {fallback}");
+    }
 }
 
 #[test]

@@ -12,7 +12,7 @@
 //!    record/replay. False positives would make the lint gate useless.
 
 use htm_machine::Platform;
-use htm_runtime::{FaultPlan, RetryPolicy, Sim, SimConfig};
+use htm_runtime::{FallbackPolicy, FaultPlan, RetryPolicy, Sim, SimConfig};
 
 fn sanitized(p: Platform) -> Sim {
     Sim::new(SimConfig::new(p.config()).mem_words(1 << 18).sanitize(true))
@@ -187,6 +187,43 @@ fn conflict_aborts_are_attributed_to_their_aggressor() {
         if let Some(aggr) = e.aggressor {
             assert!(aggr < 4);
         }
+    }
+}
+
+#[test]
+fn software_fallback_tiers_stay_race_free() {
+    // STM commits write back under the fallback lock while hardware
+    // transactions run concurrently; the happens-before model must order
+    // all of it (a false positive here would poison the HyTM lint gate).
+    for (platform, fallback) in [
+        (Platform::IntelCore, FallbackPolicy::Stm),
+        (Platform::Power8, FallbackPolicy::Stm),
+        (Platform::Power8, FallbackPolicy::Rot),
+    ] {
+        let s = Sim::new(
+            SimConfig::new(platform.config())
+                .mem_words(1 << 18)
+                .sanitize(true)
+                .fallback(fallback)
+                .faults(FaultPlan::none().transient_abort_per_begin(0.5)),
+        );
+        let a = s.alloc().alloc(1);
+        let stats = s.run_parallel(4, RetryPolicy::uniform(0), |ctx| {
+            for _ in 0..200 {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        let report = stats.race.as_ref().expect("sanitizer was on");
+        assert!(report.ok(), "{platform} {fallback}: false positive:\n{report}");
+        assert_eq!(s.read_word(a), 800, "{platform} {fallback}");
+        let soft = match fallback {
+            FallbackPolicy::Rot => stats.rot_commits(),
+            _ => stats.stm_commits(),
+        };
+        assert!(soft > 0, "{platform} {fallback}: software tier must engage");
     }
 }
 

@@ -11,7 +11,9 @@ use std::sync::{Barrier, Mutex};
 
 use htm_core::SyncClock;
 use htm_machine::MachineConfig;
-use htm_runtime::{FaultPlan, RetryPolicy, RunStats, SeqTracer, Sim, SimConfig, ThreadCtx};
+use htm_runtime::{
+    FallbackPolicy, FaultPlan, RetryPolicy, RunStats, SeqTracer, Sim, SimConfig, ThreadCtx,
+};
 
 /// Input scale for a benchmark.
 ///
@@ -54,6 +56,10 @@ pub struct BenchParams {
     /// report lands in [`RunStats::race`] (not asserted here — the lint
     /// layer decides severity).
     pub sanitize: bool,
+    /// What exhausted retry counters fall back to: the global lock (the
+    /// paper's mechanism), a NOrec-style software transaction, or a POWER8
+    /// rollback-only commit (see [`FallbackPolicy`]).
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for BenchParams {
@@ -67,6 +73,7 @@ impl Default for BenchParams {
             faults: FaultPlan::none(),
             certify: false,
             sanitize: false,
+            fallback: FallbackPolicy::Lock,
         }
     }
 }
@@ -275,6 +282,7 @@ pub fn run_parallel_opt<W: Workload>(
         FaultPlan::none(),
         false,
         false,
+        FallbackPolicy::Lock,
     )
 }
 
@@ -288,7 +296,31 @@ pub fn run_sanitized<W: Workload>(
     policy: RetryPolicy,
     seed: u64,
 ) -> RunStats {
-    run_parallel_inner(make, machine, threads, policy, seed, false, FaultPlan::none(), false, true)
+    run_sanitized_with(make, machine, threads, policy, seed, FallbackPolicy::Lock)
+}
+
+/// Like [`run_sanitized`], with an explicit fallback policy — the HyTM
+/// lint/race gate runs each benchmark under every fallback tier.
+pub fn run_sanitized_with<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    threads: u32,
+    policy: RetryPolicy,
+    seed: u64,
+    fallback: FallbackPolicy,
+) -> RunStats {
+    run_parallel_inner(
+        make,
+        machine,
+        threads,
+        policy,
+        seed,
+        false,
+        FaultPlan::none(),
+        false,
+        true,
+        fallback,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -302,10 +334,16 @@ fn run_parallel_inner<W: Workload>(
     faults: FaultPlan,
     certify: bool,
     sanitize: bool,
+    fallback: FallbackPolicy,
 ) -> RunStats {
     let w = make();
-    let sim =
-        Sim::new(sim_config(&w, machine, seed).faults(faults).certify(certify).sanitize(sanitize));
+    let sim = Sim::new(
+        sim_config(&w, machine, seed)
+            .faults(faults)
+            .certify(certify)
+            .sanitize(sanitize)
+            .fallback(fallback),
+    );
     w.setup(&sim);
     w.prepare(threads);
     let stats = sim.run_parallel(threads, policy, |ctx| {
@@ -336,6 +374,7 @@ pub fn measure<W: Workload>(
         params.faults,
         params.certify,
         params.sanitize,
+        params.fallback,
     );
     BenchResult { seq_cycles, stats }
 }
@@ -359,6 +398,27 @@ pub fn run_oracle<W: Workload>(
     seed: u64,
     faults: FaultPlan,
 ) -> RunStats {
+    run_oracle_with(make, machine, threads, policy, seed, faults, FallbackPolicy::Lock)
+}
+
+/// Like [`run_oracle`], with an explicit fallback policy: the parallel run
+/// commits through the chosen tier (global lock, NOrec STM or POWER8 ROT)
+/// while the sequential reference stays tier-free, so digest equality
+/// across fallback policies is exactly the hybrid-TM differential oracle.
+///
+/// # Panics
+///
+/// Same failure modes as [`run_oracle`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_oracle_with<W: Workload>(
+    make: &dyn Fn() -> W,
+    machine: &MachineConfig,
+    threads: u32,
+    policy: RetryPolicy,
+    seed: u64,
+    faults: FaultPlan,
+    fallback: FallbackPolicy,
+) -> RunStats {
     // Sequential reference (never fault-injected: it defines correctness).
     let w = make();
     let sim = Sim::new(sim_config(&w, machine, seed));
@@ -370,7 +430,8 @@ pub fn run_oracle<W: Workload>(
 
     // Certified parallel run on a fresh, identically-seeded simulation.
     let w = make();
-    let sim = Sim::new(sim_config(&w, machine, seed).faults(faults).certify(true));
+    let sim =
+        Sim::new(sim_config(&w, machine, seed).faults(faults).certify(true).fallback(fallback));
     w.setup(&sim);
     w.prepare(threads);
     let stats = sim.run_parallel(threads, policy, |ctx| w.work(ctx));

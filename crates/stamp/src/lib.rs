@@ -32,8 +32,8 @@ pub mod labyrinth;
 pub mod yada;
 
 pub use common::{
-    measure, run_oracle, run_parallel, run_sanitized, run_sequential, trace_footprints,
-    trace_line_sets,
+    measure, run_oracle, run_oracle_with, run_parallel, run_sanitized, run_sanitized_with,
+    run_sequential, trace_footprints, trace_line_sets,
 };
 pub use common::{BenchParams, BenchResult, Scale, Workload};
 
@@ -213,8 +213,9 @@ pub fn run_bench(
 }
 
 /// Runs one benchmark cell through the differential oracle
-/// ([`run_oracle`]): sequential reference + certified parallel run, with
-/// result-digest cross-checking where the workload supports it.
+/// ([`run_oracle_with`]): sequential reference + certified parallel run
+/// under the cell's fallback policy, with result-digest cross-checking
+/// where the workload supports it.
 ///
 /// # Panics
 ///
@@ -226,92 +227,16 @@ pub fn run_bench_oracle(
     machine: &MachineConfig,
     params: &BenchParams,
 ) -> htm_runtime::RunStats {
-    let seed = params.seed;
-    let scale = params.scale;
-    let gran = machine.granularity;
-    let platform = machine.platform;
-    let (threads, policy, faults) = (params.threads, params.policy, params.faults);
-    match id {
-        BenchId::KmeansHigh | BenchId::KmeansLow => {
-            let kv = match variant {
-                Variant::Original => kmeans::KmeansVariant::Original,
-                Variant::Modified => kmeans::KmeansVariant::Modified,
-            };
-            let cfg = if id == BenchId::KmeansHigh {
-                kmeans::KmeansConfig::high(scale, kv, gran)
-            } else {
-                kmeans::KmeansConfig::low(scale, kv, gran)
-            };
-            run_oracle(&|| kmeans::Kmeans::new(cfg, seed), machine, threads, policy, seed, faults)
-        }
-        BenchId::Ssca2 => {
-            let cfg = ssca2::Ssca2Config::at(scale);
-            run_oracle(&|| ssca2::Ssca2::new(cfg, seed), machine, threads, policy, seed, faults)
-        }
-        BenchId::VacationHigh | BenchId::VacationLow => {
-            let vv = match variant {
-                Variant::Original => vacation::VacationVariant::Original,
-                Variant::Modified => vacation::VacationVariant::Modified,
-            };
-            let cfg = if id == BenchId::VacationHigh {
-                vacation::VacationConfig::high(scale, vv)
-            } else {
-                vacation::VacationConfig::low(scale, vv)
-            };
-            run_oracle(
-                &|| vacation::Vacation::new(cfg, seed),
-                machine,
-                threads,
-                policy,
-                seed,
-                faults,
-            )
-        }
-        BenchId::Genome => {
-            let cfg = genome::GenomeConfig::at(
-                scale,
-                match variant {
-                    Variant::Original => genome::GenomeVariant::Original,
-                    Variant::Modified => genome::GenomeVariant::Modified { platform },
-                },
-            );
-            run_oracle(&|| genome::Genome::new(cfg, seed), machine, threads, policy, seed, faults)
-        }
-        BenchId::Intruder => {
-            let iv = match variant {
-                Variant::Original => intruder::IntruderVariant::Original,
-                Variant::Modified => intruder::IntruderVariant::Modified,
-            };
-            let cfg = intruder::IntruderConfig::at(scale, iv);
-            run_oracle(
-                &|| intruder::Intruder::new(cfg, seed),
-                machine,
-                threads,
-                policy,
-                seed,
-                faults,
-            )
-        }
-        BenchId::Labyrinth => {
-            let cfg = labyrinth::LabyrinthConfig::at(scale);
-            run_oracle(
-                &|| labyrinth::Labyrinth::new(cfg, seed),
-                machine,
-                threads,
-                policy,
-                seed,
-                faults,
-            )
-        }
-        BenchId::Yada => {
-            let cfg = yada::YadaConfig::at(scale);
-            run_oracle(&|| yada::Yada::new(cfg, seed), machine, threads, policy, seed, faults)
-        }
-        BenchId::Bayes => {
-            let cfg = bayes::BayesConfig::at(scale);
-            run_oracle(&|| bayes::Bayes::new(cfg, seed), machine, threads, policy, seed, faults)
-        }
-    }
+    let make = workload_factory(id, variant, machine, params.scale, params.seed);
+    run_oracle_with(
+        &make,
+        machine,
+        params.threads,
+        params.policy,
+        params.seed,
+        params.faults,
+        params.fallback,
+    )
 }
 
 /// Runs one benchmark sequentially under the footprint tracer, returning

@@ -7,7 +7,7 @@
 //! the sequential reference.
 
 use htm_machine::Platform;
-use htm_runtime::FaultPlan;
+use htm_runtime::{FallbackPolicy, FaultPlan};
 use stamp::{run_bench_oracle, BenchId, BenchParams, Scale, Variant};
 
 fn oracle_params(threads: u32) -> BenchParams {
@@ -65,6 +65,48 @@ fn certifier_passes_under_a_fault_storm() {
         let report = stats.certify.as_ref().expect("oracle certifies");
         assert!(report.ok(), "{id} under storm:\n{report}");
         assert!(stats.injected_faults() > 0, "{id}: the storm must actually fire");
+    }
+}
+
+#[test]
+fn every_fallback_tier_certifies_and_matches_the_sequential_digest() {
+    // The oracle anchors each run to the sequential reference (workload
+    // `verify` plus digest equality where the workload defines one), so
+    // passing under all three tiers proves lock, STM, and ROT runs agree
+    // with the reference — and therefore with each other.
+    for fb in FallbackPolicy::ALL {
+        for id in BenchId::ALL {
+            let params = BenchParams { fallback: fb, ..oracle_params(4) };
+            let stats =
+                run_bench_oracle(id, Variant::Modified, &Platform::Power8.config(), &params);
+            let report = stats.certify.as_ref().expect("oracle certifies");
+            assert!(report.ok(), "{id} under {fb} fallback:\n{report}");
+        }
+    }
+}
+
+#[test]
+fn software_tiers_certify_under_a_fault_storm() {
+    // A storm forces real traffic through the software commit protocols;
+    // the committed schedule must still serialize and the digest must
+    // still match the sequential reference.
+    let storm = FaultPlan::none().transient_abort_per_begin(0.5).lock_release_delay(100);
+    for (platform, fb) in [
+        (Platform::IntelCore, FallbackPolicy::Stm),
+        (Platform::Power8, FallbackPolicy::Stm),
+        (Platform::Power8, FallbackPolicy::Rot),
+    ] {
+        for id in [BenchId::Ssca2, BenchId::Intruder, BenchId::Genome] {
+            let params = BenchParams { faults: storm, fallback: fb, ..oracle_params(4) };
+            let stats = run_bench_oracle(id, Variant::Modified, &platform.config(), &params);
+            let report = stats.certify.as_ref().expect("oracle certifies");
+            assert!(report.ok(), "{platform}/{id} under {fb} storm:\n{report}");
+            let soft = match fb {
+                FallbackPolicy::Rot => stats.rot_commits(),
+                _ => stats.stm_commits(),
+            };
+            assert!(soft > 0, "{platform}/{id}: the {fb} tier must actually commit");
+        }
     }
 }
 

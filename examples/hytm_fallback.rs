@@ -1,0 +1,68 @@
+//! Hybrid-TM fallback tiers: the same abort-heavy workload with retry
+//! exhaustion handled by the irrevocable global lock, a NOrec-style STM,
+//! and POWER8 rollback-only transactions (DESIGN.md §8).
+//!
+//! A 60% per-begin transient-abort storm pushes most blocks past their
+//! retry budget, so nearly everything lands in the fallback tier — which
+//! is exactly where the three policies differ: the lock serializes,
+//! while STM and ROT commits overlap with each other and with the
+//! hardware transactions that do survive.
+//!
+//! ```sh
+//! cargo run --release --example hytm_fallback
+//! ```
+
+use htm_compare::machine::Platform;
+use htm_compare::runtime::{FallbackPolicy, FaultPlan, RetryPolicy, Sim, SimConfig};
+
+fn main() {
+    let storm = FaultPlan::none().seed(42).transient_abort_per_begin(0.6);
+    println!("An abort storm on POWER8, drained through each fallback tier:\n");
+    println!(
+        "{:<10} {:>10} {:>6} {:>6} {:>6} {:>6} {:>9}",
+        "fallback", "cycles", "hw", "irrev", "stm", "rot", "vaborts"
+    );
+
+    for fallback in FallbackPolicy::ALL {
+        let sim = Sim::new(
+            SimConfig::new(Platform::Power8.config())
+                .mem_words(1 << 18)
+                .seed(0xF0)
+                .faults(storm)
+                .fallback(fallback),
+        );
+        // Eight counters on one conflict-detection line: contended, but
+        // every increment must survive whichever tier commits it.
+        let counters = sim.alloc().alloc_aligned(8, 64);
+        let stats = sim.run_parallel(4, RetryPolicy::uniform(1), move |ctx| {
+            let t = ctx.thread_id() as u64;
+            for i in 0..2000u64 {
+                ctx.atomic(|tx| {
+                    let a = counters.offset(((i * 3 + t) % 8) as u32);
+                    let v = tx.load(a)?;
+                    tx.tick(20);
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+
+        let total: u64 = (0..8).map(|i| sim.read_word(counters.offset(i))).sum();
+        assert_eq!(total, 4 * 2000, "no tier may lose an update");
+        println!(
+            "{:<10} {:>10} {:>6} {:>6} {:>6} {:>6} {:>9}",
+            fallback.to_string(),
+            stats.cycles(),
+            stats.hw_commits(),
+            stats.irrevocable_commits(),
+            stats.stm_commits(),
+            stats.rot_commits(),
+            stats.stm_validation_aborts(),
+        );
+    }
+
+    println!(
+        "\nEvery tier committed all 8000 increments; the software tiers just\n\
+         spend fewer cycles doing it, because their fallback commits overlap.\n\
+         (`rot` only engages on POWER8 — elsewhere it degrades to `lock`.)"
+    );
+}

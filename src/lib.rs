@@ -2,9 +2,10 @@
 //!
 //! Umbrella crate re-exporting the whole workspace: the simulation substrate
 //! ([`core`]), the four platform models ([`machine`]), the transaction
-//! engine and retry mechanism ([`runtime`]), transactional data structures
-//! ([`structs`]), the STAMP benchmark port ([`stamp`]) and the
-//! processor-specific feature applications ([`apps`]).
+//! engine and retry mechanism ([`runtime`]), the hybrid-TM fallback tiers
+//! ([`hytm`]), transactional data structures ([`structs`]), the STAMP
+//! benchmark port ([`stamp`]) and the processor-specific feature
+//! applications ([`apps`]).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory and experiment index.
@@ -20,6 +21,7 @@
 
 pub use htm_apps as apps;
 pub use htm_core as core;
+pub use htm_hytm as hytm;
 pub use htm_machine as machine;
 pub use htm_runtime as runtime;
 pub use stamp;
