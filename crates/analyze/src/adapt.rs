@@ -1,0 +1,226 @@
+//! Adaptive-controller feedback export: turns the per-thread telemetry the
+//! adaptive contention manager leaves in [`RunStats`](htm_runtime::RunStats)
+//! — tier switches, backoff cycles, capacity spills, starvation rescues —
+//! into a machine-readable report for offline tuning.
+//!
+//! The controller itself consumes abort causes *online*; this pass closes
+//! the loop offline: a grid runner (or the `adaptive` spec's TSV) can
+//! diff these summaries across cells to see where the ladder settled, how
+//! much commit bandwidth each tier carried, and whether the watchdog ever
+//! had to rescue a starving block.
+
+use std::fmt;
+
+use htm_runtime::RunStats;
+
+use crate::json::Json;
+
+/// One thread's adaptive telemetry, plus the commit mix the ladder
+/// produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadFeedback {
+    /// Worker thread index.
+    pub thread: u32,
+    /// Commits per tier: hardware, spilled, ROT, STM, irrevocable.
+    pub commits: [u64; 5],
+    /// Observation-window boundary tier changes.
+    pub tier_switches: u64,
+    /// Simulated cycles spent in randomized backoff.
+    pub backoff_cycles: u64,
+    /// Tracker entries spilled to the software side log.
+    pub capacity_spills: u64,
+    /// Starvation-bound rescues forced by the watchdog.
+    pub starvation_rescues: u64,
+}
+
+/// The run-level adaptive feedback: per-thread rows plus totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdaptFeedback {
+    /// Per-thread telemetry, thread-ordered.
+    pub threads: Vec<ThreadFeedback>,
+}
+
+impl AdaptFeedback {
+    /// Extracts the feedback from a finished run's statistics. Runs under
+    /// a static fallback policy yield all-zero telemetry (the controller
+    /// never ran), which downstream consumers treat as "nothing to tune".
+    pub fn from_stats(stats: &RunStats) -> AdaptFeedback {
+        AdaptFeedback {
+            threads: stats
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| ThreadFeedback {
+                    thread: i as u32,
+                    commits: [
+                        t.hw_commits,
+                        t.spill_commits,
+                        t.rot_commits,
+                        t.stm_commits,
+                        t.irrevocable_commits,
+                    ],
+                    tier_switches: t.tier_switches,
+                    backoff_cycles: t.backoff_cycles,
+                    capacity_spills: t.capacity_spills,
+                    starvation_rescues: t.adapt_starvation_rescues,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total tier switches across all threads.
+    pub fn tier_switches(&self) -> u64 {
+        self.threads.iter().map(|t| t.tier_switches).sum()
+    }
+
+    /// The fraction of commits that needed any software tier (spill, ROT,
+    /// STM or the lock); 0.0 on an idle or all-hardware run.
+    pub fn software_commit_fraction(&self) -> f64 {
+        let (mut hw, mut total) = (0u64, 0u64);
+        for t in &self.threads {
+            hw += t.commits[0];
+            total += t.commits.iter().sum::<u64>();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - hw as f64 / total as f64
+        }
+    }
+
+    /// True when the controller never moved and nothing spilled — the
+    /// run behaved exactly like static hardware-first execution.
+    pub fn quiet(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| t.tier_switches == 0 && t.capacity_spills == 0 && t.starvation_rescues == 0)
+    }
+
+    /// The feedback as a JSON value (one object per thread plus totals),
+    /// for the experiment sinks and external tooling.
+    pub fn to_json(&self) -> Json {
+        let tiers = ["hw", "spill", "rot", "stm", "irrevocable"];
+        let threads: Vec<Json> = self
+            .threads
+            .iter()
+            .map(|t| {
+                let commits: Vec<(String, Json)> = tiers
+                    .iter()
+                    .zip(t.commits)
+                    .map(|(name, n)| ((*name).to_string(), Json::Num(n as f64)))
+                    .collect();
+                Json::Obj(vec![
+                    ("thread".into(), Json::Num(t.thread as f64)),
+                    ("commits".into(), Json::Obj(commits)),
+                    ("tier_switches".into(), Json::Num(t.tier_switches as f64)),
+                    ("backoff_cycles".into(), Json::Num(t.backoff_cycles as f64)),
+                    ("capacity_spills".into(), Json::Num(t.capacity_spills as f64)),
+                    ("starvation_rescues".into(), Json::Num(t.starvation_rescues as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("threads".into(), Json::Arr(threads)),
+            ("tier_switches".into(), Json::Num(self.tier_switches() as f64)),
+            ("software_commit_fraction".into(), Json::Num(self.software_commit_fraction())),
+        ])
+    }
+}
+
+impl fmt::Display for AdaptFeedback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "adaptive feedback: {} tier switch(es), {:.0}% software commits",
+            self.tier_switches(),
+            self.software_commit_fraction() * 100.0
+        )?;
+        for t in &self.threads {
+            writeln!(
+                f,
+                "  thread {}: hw {} / spill {} / rot {} / stm {} / lock {}, {} switch(es), \
+                 {} backoff cycle(s), {} spill(s), {} rescue(s)",
+                t.thread,
+                t.commits[0],
+                t.commits[1],
+                t.commits[2],
+                t.commits[3],
+                t.commits[4],
+                t.tier_switches,
+                t.backoff_cycles,
+                t.capacity_spills,
+                t.starvation_rescues,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_runtime::ThreadStats;
+
+    fn stats(threads: Vec<ThreadStats>) -> RunStats {
+        RunStats { threads, ..Default::default() }
+    }
+
+    #[test]
+    fn extracts_per_thread_telemetry_and_totals() {
+        let a = ThreadStats {
+            hw_commits: 6,
+            spill_commits: 2,
+            stm_commits: 1,
+            irrevocable_commits: 1,
+            tier_switches: 3,
+            backoff_cycles: 400,
+            capacity_spills: 5,
+            adapt_starvation_rescues: 1,
+            ..Default::default()
+        };
+        let b = ThreadStats { hw_commits: 10, tier_switches: 1, ..Default::default() };
+        let fb = AdaptFeedback::from_stats(&stats(vec![a, b]));
+
+        assert_eq!(fb.threads.len(), 2);
+        assert_eq!(fb.threads[0].commits, [6, 2, 0, 1, 1]);
+        assert_eq!(fb.threads[1].thread, 1);
+        assert_eq!(fb.tier_switches(), 4);
+        // 16 hardware commits of 20 total → 4/20 software.
+        assert!((fb.software_commit_fraction() - 0.2).abs() < 1e-12);
+        assert!(!fb.quiet());
+        let shown = fb.to_string();
+        assert!(shown.contains("4 tier switch(es)"), "{shown}");
+        assert!(shown.contains("thread 0: hw 6 / spill 2"), "{shown}");
+    }
+
+    #[test]
+    fn static_runs_read_as_quiet() {
+        let t = ThreadStats { hw_commits: 100, irrevocable_commits: 3, ..Default::default() };
+        let fb = AdaptFeedback::from_stats(&stats(vec![t]));
+        assert!(fb.quiet());
+        assert!(fb.software_commit_fraction() > 0.0, "lock commits are software");
+        assert_eq!(fb.tier_switches(), 0);
+    }
+
+    #[test]
+    fn empty_run_divides_by_nothing() {
+        let fb = AdaptFeedback::from_stats(&stats(Vec::new()));
+        assert!(fb.quiet());
+        assert_eq!(fb.software_commit_fraction(), 0.0);
+        assert!(fb.to_json().to_string().contains("\"threads\":[]"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let t =
+            ThreadStats { hw_commits: 3, spill_commits: 1, tier_switches: 2, ..Default::default() };
+        let fb = AdaptFeedback::from_stats(&stats(vec![t]));
+        let parsed = Json::parse(&fb.to_json().to_string()).expect("valid JSON");
+        assert_eq!(parsed.get("tier_switches").and_then(Json::as_f64), Some(2.0));
+        let rows = parsed.get("threads").and_then(Json::as_arr).expect("thread rows");
+        assert_eq!(
+            rows[0].get("commits").and_then(|c| c.get("spill")).and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+}

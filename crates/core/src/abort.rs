@@ -45,6 +45,10 @@ pub enum AbortCause {
     /// of its read log at commit: a concurrent committer changed a value it
     /// had observed. Counted separately from the hardware abort categories.
     StmValidation,
+    /// A capacity-spilled POWER8 transaction failed value-based validation
+    /// of its spilled side log at commit: a concurrent committer changed an
+    /// overflow entry it had observed outside the TMCAM's tracking.
+    SpillValidation,
 }
 
 impl AbortCause {
@@ -76,6 +80,7 @@ impl fmt::Display for AbortCause {
             AbortCause::SpecIdExhausted => write!(f, "speculation IDs exhausted"),
             AbortCause::Explicit(code) => write!(f, "explicit tabort({code})"),
             AbortCause::StmValidation => write!(f, "STM read-log validation failed"),
+            AbortCause::SpillValidation => write!(f, "spilled side-log validation failed"),
         }
     }
 }
@@ -98,6 +103,7 @@ impl AbortCause {
             AbortCause::SpecIdExhausted => 7,
             AbortCause::Explicit(code) => 8 + code as u32,
             AbortCause::StmValidation => 264,
+            AbortCause::SpillValidation => 265,
         }
     }
 
@@ -117,6 +123,7 @@ impl AbortCause {
             7 => AbortCause::SpecIdExhausted,
             v if (8..=8 + u8::MAX as u32).contains(&v) => AbortCause::Explicit((v - 8) as u8),
             264 => AbortCause::StmValidation,
+            265 => AbortCause::SpillValidation,
             other => panic!("corrupt abort cause encoding: {other}"),
         }
     }
@@ -222,6 +229,7 @@ mod tests {
             AbortCause::Explicit(42),
             AbortCause::Explicit(255),
             AbortCause::StmValidation,
+            AbortCause::SpillValidation,
         ];
         for c in causes {
             assert_eq!(AbortCause::decode(c.encode()), c, "{c:?}");

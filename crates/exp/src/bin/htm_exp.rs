@@ -30,7 +30,8 @@ options:
   --seed N                root seed (default 42)
   --reps N                repetitions averaged per figure cell (default 1)
   --certify               run figure cells under the serializability certifier
-  --fallback lock|stm|rot fallback tier for the tuned figure grids (default: per spec)
+  --fallback lock|stm|rot|adaptive
+                          fallback tier for the tuned figure grids (default: per spec)
   --jobs N                scheduler worker threads (default: one per host core)
   --no-cache              ignore and don't populate the result cache
   --filter SUBSTR         only run cells whose id contains SUBSTR
@@ -99,7 +100,7 @@ fn parse_cli() -> Cli {
                 let s = next(&mut args, "--fallback");
                 cli.opts.fallback =
                     Some(htm_runtime::FallbackPolicy::parse(&s).unwrap_or_else(|| {
-                        usage_error(&format!("--fallback lock|stm|rot (got {s:?})"))
+                        usage_error(&format!("--fallback lock|stm|rot|adaptive (got {s:?})"))
                     }));
             }
             "--jobs" => {

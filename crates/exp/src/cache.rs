@@ -22,7 +22,7 @@ use crate::cell::CellResult;
 
 /// Version prefix folded into every cache key; bump on simulator changes
 /// that alter results.
-pub const CACHE_VERSION: &str = "v2";
+pub const CACHE_VERSION: &str = "v3";
 
 /// 64-bit FNV-1a (dependency-free, stable across platforms and runs).
 pub fn fnv64(s: &str) -> u64 {

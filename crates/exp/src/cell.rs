@@ -511,6 +511,11 @@ fn stamp_result(cell: &Cell, merged: &RunStats) -> CellResult {
     out.put("stm_validation_aborts", merged.stm_validation_aborts() as f64);
     out.put("rot_commits", merged.rot_commits() as f64);
     out.put("fallback_lock_waits", merged.fallback_lock_waits() as f64);
+    out.put("spill_commits", merged.spill_commits() as f64);
+    out.put("capacity_spills", merged.capacity_spills() as f64);
+    out.put("tier_switches", merged.tier_switches() as f64);
+    out.put("backoff_cycles", merged.backoff_cycles() as f64);
+    out.put("adapt_starvation_rescues", merged.adapt_starvation_rescues() as f64);
     out
 }
 

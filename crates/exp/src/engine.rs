@@ -15,7 +15,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::cache::ResultCache;
@@ -44,6 +44,16 @@ pub struct SpecRun {
     pub sink: Sink,
     /// Scheduling summary.
     pub report: EngineReport,
+}
+
+/// Locks a scheduler mutex, recovering from poison: a cell panic is
+/// caught per-cell, but a panic at an unlucky instant (OOM inside a
+/// progress print, a broken cache write) can still poison a shared lock —
+/// and the data under these locks (deques of indices, result slots, error
+/// strings) stays valid regardless, so the poison carries no meaning.
+/// Recovering keeps one dead cell from killing the whole spec run.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// The scheduler's worker count for `jobs` requested over `n` cells.
@@ -79,7 +89,7 @@ pub fn compute_cells(
     let deques: Vec<Mutex<VecDeque<usize>>> =
         (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, _) in cells.iter().enumerate() {
-        deques[i % jobs].lock().unwrap().push_back(i);
+        relock(&deques[i % jobs]).push_back(i);
     }
 
     std::thread::scope(|scope| {
@@ -94,11 +104,9 @@ pub fn compute_cells(
             let cache = &cache;
             scope.spawn(move || loop {
                 let idx = {
-                    let own = deques[w].lock().unwrap().pop_back();
+                    let own = relock(&deques[w]).pop_back();
                     own.or_else(|| {
-                        (0..jobs)
-                            .filter(|o| *o != w)
-                            .find_map(|o| deques[o].lock().unwrap().pop_front())
+                        (0..jobs).filter(|o| *o != w).find_map(|o| relock(&deques[o]).pop_front())
                     })
                 };
                 let Some(idx) = idx else { break };
@@ -127,7 +135,7 @@ pub fn compute_cells(
                                     .cloned()
                                     .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
                                     .unwrap_or_else(|| "non-string panic".into());
-                                errors.lock().unwrap().push(format!("cell {}: {msg}", cell.id));
+                                relock(errors).push(format!("cell {}: {msg}", cell.id));
                                 (None, false)
                             }
                         }
@@ -152,17 +160,25 @@ pub fn compute_cells(
                         );
                     }
                 }
-                slots.lock().unwrap()[idx] = result;
+                relock(slots)[idx] = result;
             });
         }
     });
 
-    let errors = errors.into_inner().unwrap();
+    let mut errors = errors.into_inner().unwrap_or_else(|p| p.into_inner());
+    let slots = slots.into_inner().unwrap_or_else(|p| p.into_inner());
+    // A missing slot with no recorded panic means a worker died without
+    // reaching its per-cell recovery (e.g. killed mid-steal): report it as
+    // a named failure rather than unwrapping into an anonymous panic.
+    for (i, slot) in slots.iter().enumerate() {
+        if slot.is_none() && !errors.iter().any(|e| e.contains(&cells[i].id)) {
+            errors.push(format!("cell {}: no result produced", cells[i].id));
+        }
+    }
     if let Some(first) = errors.first() {
         panic!("{} cell(s) failed; first: {first}", errors.len());
     }
-    let results: Vec<CellResult> =
-        slots.into_inner().unwrap().into_iter().map(|r| r.expect("all cells resolved")).collect();
+    let results: Vec<CellResult> = slots.into_iter().flatten().collect();
     let report = EngineReport {
         total: n,
         computed: computed.into_inner(),

@@ -1,0 +1,215 @@
+//! The adaptive-contention-manager spec (DESIGN.md §9): the hytm fallback
+//! grid extended with the `adaptive` policy, plus a fault-storm
+//! comparison of adaptive against the static lock tier.
+//!
+//! Two questions, two tables:
+//!
+//! 1. **Quiet grid** — on the plain benchmark grid, does the online
+//!    controller match the best static tier? The acceptance line prints
+//!    the 8-thread geomean of every tier and the adaptive deficit against
+//!    the best static one.
+//! 2. **Storm grid** — under an injected transient-abort storm, does the
+//!    controller beat pessimistic locking while staying storm-proof
+//!    (bounded watchdog trips, starvation rescues accounted)?
+//!
+//! The static-tier cells are byte-identical to the `hytm` spec's, so the
+//! content-addressed cache shares their results across the two specs.
+
+use htm_machine::Platform;
+use htm_runtime::FallbackPolicy;
+use stamp::{BenchId, Scale, Variant};
+
+use crate::cell::{platform_key, CellKind, CellSpec, StampCell};
+use crate::grid::geomean;
+use crate::sink::f2;
+use crate::spec::ExperimentSpec;
+
+const ADAPT_THREADS: [u32; 2] = [2, 8];
+
+/// Every fallback tier compared on the quiet grid, adaptive last.
+const TIERS: [FallbackPolicy; 4] =
+    [FallbackPolicy::Lock, FallbackPolicy::Stm, FallbackPolicy::Rot, FallbackPolicy::Adaptive];
+
+/// The per-begin transient-abort probability of the storm half: high
+/// enough that hardware attempts mostly fail and the fallback tier
+/// dominates throughput.
+const STORM_RATE: f64 = 0.4;
+
+fn adapt_id(bench: BenchId, platform: Platform, threads: u32, fb: FallbackPolicy) -> String {
+    format!("{}-{}-{}t-{}", bench.label(), platform_key(platform), threads, fb.key())
+}
+
+fn storm_id(bench: BenchId, platform: Platform, fb: FallbackPolicy) -> String {
+    format!("storm-{}-{}-{}", bench.label(), platform_key(platform), fb.key())
+}
+
+fn storm_cell(opts: &crate::spec::RunOpts, bench: BenchId, platform: Platform) -> StampCell {
+    let mut c = StampCell::tuned(platform, bench, Variant::Modified, 8, opts.scale, opts.seed);
+    c.fault_transient_per_begin = STORM_RATE;
+    c.reps = opts.reps;
+    c
+}
+
+/// The adaptive-vs-static comparison. Honors `--reps` and `--certify` on
+/// the quiet grid like the figure specs.
+pub static ADAPTIVE: ExperimentSpec = ExperimentSpec {
+    name: "adaptive",
+    title: "adaptive contention manager vs static fallback tiers (default scale: tiny)",
+    // The quiet grid alone is 320 cells; tiny keeps a cold run short.
+    default_scale: Some(Scale::Tiny),
+    build: |opts| {
+        let mut cells = Vec::new();
+        for bench in BenchId::ALL {
+            for platform in Platform::ALL {
+                for threads in ADAPT_THREADS {
+                    for fb in TIERS {
+                        let mut c = StampCell::tuned(
+                            platform,
+                            bench,
+                            Variant::Modified,
+                            threads,
+                            opts.scale,
+                            opts.seed,
+                        );
+                        c.fallback = fb;
+                        c.reps = opts.reps;
+                        c.certify = opts.certify;
+                        cells.push(CellSpec::new(
+                            adapt_id(bench, platform, threads, fb),
+                            CellKind::Stamp(c),
+                        ));
+                    }
+                }
+                // The storm half: adaptive vs the static lock, 8 threads.
+                for fb in [FallbackPolicy::Lock, FallbackPolicy::Adaptive] {
+                    let mut c = storm_cell(opts, bench, platform);
+                    c.fallback = fb;
+                    cells.push(CellSpec::new(storm_id(bench, platform, fb), CellKind::Stamp(c)));
+                }
+            }
+        }
+        cells
+    },
+    render: |_opts, set, sink| {
+        // --- Quiet grid: adaptive vs every static tier. -------------------
+        let headers: Vec<String> =
+            ["cell", "lock", "stm", "rot", "adaptive", "switches", "spills", "backoff"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        // 8-thread geomean inputs per tier (the contended half, where the
+        // acceptance criterion is judged).
+        let mut geo: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for bench in BenchId::ALL {
+            for platform in Platform::ALL {
+                for threads in ADAPT_THREADS {
+                    let cell =
+                        |fb: FallbackPolicy| set.get(&adapt_id(bench, platform, threads, fb));
+                    let speeds: Vec<f64> =
+                        TIERS.iter().map(|&fb| cell(fb).get("speedup")).collect();
+                    if threads == 8 {
+                        for (g, &s) in geo.iter_mut().zip(&speeds) {
+                            g.push(s);
+                        }
+                    }
+                    let adaptive = cell(FallbackPolicy::Adaptive);
+                    rows.push(vec![
+                        format!("{bench} {} {threads}t", platform.short_name()),
+                        f2(speeds[0]),
+                        f2(speeds[1]),
+                        f2(speeds[2]),
+                        f2(speeds[3]),
+                        format!("{}", adaptive.get("tier_switches") as u64),
+                        format!("{}", adaptive.get("capacity_spills") as u64),
+                        format!("{}", adaptive.get("backoff_cycles") as u64),
+                    ]);
+                    tsv.push(format!(
+                        "{bench}\t{platform}\t{threads}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}\t{}",
+                        speeds[0],
+                        speeds[1],
+                        speeds[2],
+                        speeds[3],
+                        adaptive.get("tier_switches") as u64,
+                        adaptive.get("capacity_spills") as u64,
+                        adaptive.get("spill_commits") as u64,
+                        adaptive.get("backoff_cycles") as u64,
+                        adaptive.get("adapt_starvation_rescues") as u64,
+                    ));
+                }
+            }
+        }
+        sink.table("Adaptive vs static fallback tiers: speed-up by policy", &headers, &rows);
+        let geos: Vec<f64> = geo.iter().map(|g| geomean(g)).collect();
+        let best_static = geos[..3].iter().cloned().fold(f64::MIN, f64::max);
+        sink.raw(&format!(
+            "\ngeomean speed-up at 8 threads: lock {} / stm {} / rot {} / adaptive {}\n\
+             adaptive vs best static: {:+.1}% (acceptance floor: -3.0%)\n",
+            f2(geos[0]),
+            f2(geos[1]),
+            f2(geos[2]),
+            f2(geos[3]),
+            (geos[3] / best_static.max(1e-9) - 1.0) * 100.0,
+        ));
+        sink.tsv(
+            "adaptive",
+            "bench\tplatform\tthreads\tlock_speedup\tstm_speedup\trot_speedup\tadaptive_speedup\ttier_switches\tcapacity_spills\tspill_commits\tbackoff_cycles\tadapt_starvation_rescues",
+            tsv,
+        );
+
+        // --- Storm grid: adaptive vs the static lock under faults. --------
+        let headers: Vec<String> =
+            ["cell", "lock", "adaptive", "gain%", "trips", "rescues", "switches"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        let mut lock_geo = Vec::new();
+        let mut adapt_geo = Vec::new();
+        for bench in BenchId::ALL {
+            for platform in Platform::ALL {
+                let lock = set.get(&storm_id(bench, platform, FallbackPolicy::Lock));
+                let adaptive = set.get(&storm_id(bench, platform, FallbackPolicy::Adaptive));
+                let (ls, as_) = (lock.get("speedup"), adaptive.get("speedup"));
+                lock_geo.push(ls);
+                adapt_geo.push(as_);
+                rows.push(vec![
+                    format!("{bench} {}", platform.short_name()),
+                    f2(ls),
+                    f2(as_),
+                    format!("{:+.1}", (as_ / ls.max(1e-9) - 1.0) * 100.0),
+                    format!("{}", adaptive.get("watchdog_trips") as u64),
+                    format!("{}", adaptive.get("adapt_starvation_rescues") as u64),
+                    format!("{}", adaptive.get("tier_switches") as u64),
+                ]);
+                tsv.push(format!(
+                    "{bench}\t{platform}\t{ls:.4}\t{as_:.4}\t{}\t{}\t{}",
+                    adaptive.get("watchdog_trips") as u64,
+                    adaptive.get("adapt_starvation_rescues") as u64,
+                    adaptive.get("tier_switches") as u64,
+                ));
+            }
+        }
+        sink.table(
+            &format!(
+                "Fault storm ({:.0}% transient aborts/begin, 8 threads): adaptive vs static lock",
+                STORM_RATE * 100.0
+            ),
+            &headers,
+            &rows,
+        );
+        sink.raw(&format!(
+            "\nstorm geomean speed-up: lock {} / adaptive {} ({:+.1}%)\n",
+            f2(geomean(&lock_geo)),
+            f2(geomean(&adapt_geo)),
+            (geomean(&adapt_geo) / geomean(&lock_geo).max(1e-9) - 1.0) * 100.0,
+        ));
+        sink.tsv(
+            "adaptive_storm",
+            "bench\tplatform\tlock_speedup\tadaptive_speedup\twatchdog_trips\tadapt_starvation_rescues\ttier_switches",
+            tsv,
+        );
+    },
+};

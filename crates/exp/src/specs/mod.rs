@@ -5,6 +5,7 @@
 //! `tests/golden.rs` hold the line).
 
 mod ablations;
+mod adaptive;
 mod figs;
 mod hytm;
 mod tools;
@@ -21,7 +22,7 @@ pub fn all() -> &'static [&'static ExperimentSpec] {
     &ALL_SPECS
 }
 
-static ALL_SPECS: [&ExperimentSpec; 21] = [
+static ALL_SPECS: [&ExperimentSpec; 22] = [
     &tools::TABLE1,
     &figs::FIG2,
     &figs::FIG3,
@@ -41,6 +42,7 @@ static ALL_SPECS: [&ExperimentSpec; 21] = [
     &ablations::ABLATION_ZEC12_OTHER,
     &ablations::ABLATION_FAULTS,
     &hytm::HYTM,
+    &adaptive::ADAPTIVE,
     &tools::CERTIFY_OVERHEAD,
     &tools::LINT,
 ];
@@ -86,7 +88,7 @@ mod tests {
 
     #[test]
     fn registry_has_all_specs() {
-        assert_eq!(all().len(), 21);
+        assert_eq!(all().len(), 22);
         for name in [
             "table1",
             "fig2",
@@ -107,6 +109,7 @@ mod tests {
             "ablation_zec12_other",
             "ablation_faults",
             "hytm",
+            "adaptive",
             "certify_overhead",
             "lint",
         ] {

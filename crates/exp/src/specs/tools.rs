@@ -239,7 +239,9 @@ fn lint_id(bench: BenchId, platform: Platform, fallback: FallbackPolicy) -> Stri
 
 /// The lint grid: the classic lock-fallback sweep over every (bench ×
 /// platform), plus the HyTM cells — each benchmark sanitized under the
-/// NOrec STM tier (Intel model) and the ROT tier (POWER8).
+/// NOrec STM tier (Intel model), the ROT tier (POWER8), and the adaptive
+/// contention manager (Intel for the conflict ladder, POWER8 for the
+/// capacity-spill tier).
 fn lint_grid() -> Vec<(BenchId, Platform, FallbackPolicy)> {
     let mut grid = Vec::new();
     for bench in BenchId::ALL {
@@ -248,6 +250,8 @@ fn lint_grid() -> Vec<(BenchId, Platform, FallbackPolicy)> {
         }
         grid.push((bench, Platform::IntelCore, FallbackPolicy::Stm));
         grid.push((bench, Platform::Power8, FallbackPolicy::Rot));
+        grid.push((bench, Platform::IntelCore, FallbackPolicy::Adaptive));
+        grid.push((bench, Platform::Power8, FallbackPolicy::Adaptive));
     }
     grid
 }

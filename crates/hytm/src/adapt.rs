@@ -1,0 +1,495 @@
+//! `htm-adapt` — the per-block online contention manager.
+//!
+//! The paper's central finding is that no single fallback tier wins
+//! everywhere: the best policy depends on platform, thread count and
+//! workload phase. [`AdaptiveController`] therefore picks the execution
+//! tier *per block* from live abort-cause feedback, moving along the
+//! ladder
+//!
+//! ```text
+//!   Hw  →  Spill (POWER8)  →  Rot (POWER8)  →  Stm  →  Lock
+//! ```
+//!
+//! where `Spill` is capacity-stretched hardware execution (overflow
+//! entries past the TMCAM spill into a software-validated side log, after
+//! "Stretching the capacity of HTM in IBM POWER architectures").
+//!
+//! Three properties are load-bearing for the robustness stack:
+//!
+//! * **Hysteresis** — tier decisions happen only at observation-window
+//!   boundaries (every [`OBSERVATION_WINDOW`] completed blocks) and each
+//!   boundary changes the tier at most once, so the controller can never
+//!   oscillate faster than once per window *by construction*.
+//! * **Capped backoff** — the randomized exponential backoff ceiling
+//!   [`AdaptiveController::backoff_ceiling`] is monotone in the attempt
+//!   number and hard-capped at [`BACKOFF_CAP`] simulated cycles, so a
+//!   deep retry tail cannot park a thread for unbounded time.
+//! * **Starvation bound** — the controller never blocks commits itself:
+//!   when the runtime watchdog trips ([`AdaptiveController::starvation_rescue`])
+//!   the tier is forced to `Lock` for the next window, so every block
+//!   commits within the watchdog's starvation bound even under
+//!   adversarial fault plans.
+//!
+//! The controller is deterministic: its state is a pure function of the
+//! observation sequence, it draws no randomness itself (backoff draws
+//! come from the runtime's scheduling RNG and are recorded), and replay
+//! never consults it — recorded block outcomes already carry the tier
+//! each block committed on.
+
+use htm_core::AbortCategory;
+
+/// Number of completed blocks per observation window. Tier decisions are
+/// made only at window boundaries.
+pub const OBSERVATION_WINDOW: u32 = 16;
+
+/// Consecutive clean windows required before probing one tier back up.
+pub const PROMOTE_CLEAN_WINDOWS: u32 = 2;
+
+/// Base of the randomized exponential backoff (simulated cycles).
+pub const BACKOFF_BASE: u64 = 32;
+
+/// Largest left-shift the backoff ceiling ever applies to the base.
+pub const BACKOFF_MAX_SHIFT: u32 = 8;
+
+/// Hard cap on the backoff ceiling: no pause, however deep the retry
+/// tail or the watchdog escalation, exceeds this many simulated cycles.
+pub const BACKOFF_CAP: u64 = BACKOFF_BASE << BACKOFF_MAX_SHIFT;
+
+/// An execution tier the controller can choose for a block, from full
+/// hardware down to the irrevocable global lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tier {
+    /// Plain hardware transaction (the fast path).
+    Hw,
+    /// Capacity-stretched hardware: overflowing footprint entries spill
+    /// into a software-validated side log (POWER8 only).
+    Spill,
+    /// Rollback-only transaction with software read validation (POWER8
+    /// only).
+    Rot,
+    /// NOrec-style software transaction.
+    Stm,
+    /// Irrevocable execution under the global lock.
+    Lock,
+}
+
+impl Tier {
+    /// Short stable key for traces, logs and telemetry.
+    pub fn key(self) -> &'static str {
+        match self {
+            Tier::Hw => "hw",
+            Tier::Spill => "spill",
+            Tier::Rot => "rot",
+            Tier::Stm => "stm",
+            Tier::Lock => "lock",
+        }
+    }
+}
+
+/// What a single abort tells the controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdaptSignal {
+    /// Data conflict with another transaction: back off, and under
+    /// sustained pressure demote past the hardware-conflict tiers.
+    Conflict,
+    /// Footprint overflow: demote toward the capacity-stretched and
+    /// software tiers, which is where extra capacity lives.
+    Capacity,
+    /// Aborted by the fallback lock (subscription or commit-time
+    /// acquisition): the lock is hot, joining it is the stable choice.
+    LockPressure,
+    /// Transient/spurious abort (injected fault, restriction, ...):
+    /// backoff handles it; only sustained storms demote.
+    Fault,
+}
+
+impl AdaptSignal {
+    /// Maps the runtime's abort classification onto a controller signal.
+    pub fn from_category(cat: AbortCategory) -> AdaptSignal {
+        match cat {
+            AbortCategory::Capacity => AdaptSignal::Capacity,
+            AbortCategory::DataConflict => AdaptSignal::Conflict,
+            AbortCategory::LockConflict => AdaptSignal::LockPressure,
+            AbortCategory::Other | AbortCategory::Unclassified => AdaptSignal::Fault,
+        }
+    }
+}
+
+/// Per-thread online contention manager. See the module docs for the
+/// invariants; see `htm-runtime`'s `ThreadCtx` for the wiring.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    tier: Tier,
+    has_rot: bool,
+    has_spill: bool,
+    /// Blocks completed in the current window.
+    blocks: u32,
+    /// Blocks that failed to commit on the selected tier and drained
+    /// through their escape hatch (hardware tiers → software fallback,
+    /// STM → irrevocable).
+    fallbacks: u32,
+    /// Abort observations in the current window, by signal.
+    conflict: u32,
+    capacity: u32,
+    lock_pressure: u32,
+    fault: u32,
+    /// Consecutive clean windows (promotion probation).
+    clean_windows: u32,
+    /// Lifetime number of tier changes (exported as `tier_switches`).
+    switches: u64,
+}
+
+impl AdaptiveController {
+    /// A controller for a platform with the given optional tiers
+    /// (`has_rot`: rollback-only transactions; `has_spill`:
+    /// suspend/resume-based capacity spilling). Starts optimistically in
+    /// full hardware.
+    pub fn new(has_rot: bool, has_spill: bool) -> AdaptiveController {
+        AdaptiveController {
+            tier: Tier::Hw,
+            has_rot,
+            has_spill,
+            blocks: 0,
+            fallbacks: 0,
+            conflict: 0,
+            capacity: 0,
+            lock_pressure: 0,
+            fault: 0,
+            clean_windows: 0,
+            switches: 0,
+        }
+    }
+
+    /// The tier the next block should start on.
+    pub fn block_tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Lifetime number of tier changes.
+    pub fn tier_switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Records one abort observation for the current window.
+    pub fn observe_abort(&mut self, signal: AdaptSignal) {
+        match signal {
+            AdaptSignal::Conflict => self.conflict += 1,
+            AdaptSignal::Capacity => self.capacity += 1,
+            AdaptSignal::LockPressure => self.lock_pressure += 1,
+            AdaptSignal::Fault => self.fault += 1,
+        }
+    }
+
+    /// Records the completion of one block. `fell_back` says the block
+    /// could not commit on the selected tier and drained through its
+    /// escape hatch (a hardware-tier block that exhausted its retries and
+    /// committed in software, or an STM block that went irrevocable) —
+    /// the direct signal that the selected tier is not paying for itself.
+    /// At window boundaries this evaluates the window and may change the
+    /// tier — at most once.
+    pub fn block_done(&mut self, fell_back: bool) {
+        self.blocks += 1;
+        if fell_back {
+            self.fallbacks += 1;
+        }
+        if self.blocks >= OBSERVATION_WINDOW {
+            self.evaluate();
+        }
+    }
+
+    /// Watchdog trip: the current block starved past the starvation
+    /// bound. Force the lock tier for (at least) the next window so the
+    /// degraded irrevocable blocks drain the storm, and restart the
+    /// probation clock.
+    pub fn starvation_rescue(&mut self) {
+        if self.tier != Tier::Lock {
+            self.tier = Tier::Lock;
+            self.switches += 1;
+        }
+        self.reset_window();
+        self.clean_windows = 0;
+    }
+
+    /// The randomized-backoff ceiling (exclusive upper bound on the pause
+    /// drawn from the scheduling RNG) for a given attempt number and
+    /// watchdog escalation shift. Monotone in `attempt`, hard-capped at
+    /// [`BACKOFF_CAP`].
+    pub fn backoff_ceiling(attempt: u32, trip_shift: u32) -> u64 {
+        let shift = attempt.saturating_add(trip_shift).min(BACKOFF_MAX_SHIFT);
+        (BACKOFF_BASE << shift).min(BACKOFF_CAP)
+    }
+
+    fn aborts(&self) -> u32 {
+        self.conflict + self.capacity + self.lock_pressure + self.fault
+    }
+
+    fn reset_window(&mut self) {
+        self.blocks = 0;
+        self.fallbacks = 0;
+        self.conflict = 0;
+        self.capacity = 0;
+        self.lock_pressure = 0;
+        self.fault = 0;
+    }
+
+    /// Window-boundary decision: at most one tier change.
+    ///
+    /// Demotion keys on *wasted work*, not raw abort counts: a hardware
+    /// tier demotes only when a majority of the window's blocks exhausted
+    /// their retries and drained through the software escape hatch —
+    /// aborts that retries absorb are the paper's normal operating mode
+    /// and must not chase the controller off the fast path. The STM tier
+    /// demotes when validation failures average one per block (its commits
+    /// are already software; the escape hatch is irrevocability).
+    fn evaluate(&mut self) {
+        let blocks = self.blocks;
+        let aborts = self.aborts();
+        let before = self.tier;
+        let struggling = match self.tier {
+            Tier::Hw | Tier::Spill => self.fallbacks * 2 >= blocks,
+            _ => aborts >= blocks,
+        };
+        if struggling {
+            self.clean_windows = 0;
+            self.tier = self.demoted();
+        } else if aborts * 4 <= blocks && self.fallbacks * 4 <= blocks {
+            // Clean window: after enough of them in a row, probe one tier
+            // back up (probation keeps a single quiet window from
+            // flapping the tier).
+            self.clean_windows += 1;
+            if self.clean_windows >= PROMOTE_CLEAN_WINDOWS {
+                self.tier = self.promoted();
+                self.clean_windows = 0;
+            }
+        } else {
+            self.clean_windows = 0;
+        }
+        if self.tier != before {
+            self.switches += 1;
+        }
+        self.reset_window();
+    }
+
+    /// One rung down the available ladder, steered by the dominant abort
+    /// cause of the closing window.
+    fn demoted(&self) -> Tier {
+        if self.lock_pressure > self.conflict + self.capacity + self.fault {
+            // The lock is already the bottleneck: fighting it from any
+            // speculative tier only reruns doomed work.
+            return Tier::Lock;
+        }
+        let capacity_bound = self.capacity >= self.conflict.max(self.fault);
+        // Spurious aborts hit *every* tier that begins a hardware
+        // transaction, so a fault-dominant window jumps straight to STM —
+        // the one concurrent tier with no hardware begin to kill.
+        let fault_bound = self.fault >= self.conflict && self.fault >= self.capacity;
+        match self.tier {
+            Tier::Hw => {
+                if capacity_bound && self.has_spill {
+                    // Capacity-doomed blocks keep most of their hardware
+                    // footprint and spill only the overflow.
+                    Tier::Spill
+                } else if !fault_bound && self.has_rot {
+                    Tier::Rot
+                } else {
+                    Tier::Stm
+                }
+            }
+            // Spill shares the hardware conflict detector, so sustained
+            // pressure of any kind moves past it.
+            Tier::Spill => {
+                if self.has_rot && !capacity_bound && !fault_bound {
+                    Tier::Rot
+                } else {
+                    Tier::Stm
+                }
+            }
+            Tier::Rot => Tier::Stm,
+            Tier::Stm => Tier::Lock,
+            Tier::Lock => Tier::Lock,
+        }
+    }
+
+    /// One rung back up the available ladder.
+    fn promoted(&self) -> Tier {
+        match self.tier {
+            Tier::Lock => Tier::Stm,
+            Tier::Stm => {
+                if self.has_rot {
+                    Tier::Rot
+                } else if self.has_spill {
+                    Tier::Spill
+                } else {
+                    Tier::Hw
+                }
+            }
+            Tier::Rot => {
+                if self.has_spill {
+                    Tier::Spill
+                } else {
+                    Tier::Hw
+                }
+            }
+            Tier::Spill | Tier::Hw => Tier::Hw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finish_window(
+        c: &mut AdaptiveController,
+        aborts_per_block: u32,
+        signal: AdaptSignal,
+        fell_back: bool,
+    ) {
+        for _ in 0..OBSERVATION_WINDOW {
+            for _ in 0..aborts_per_block {
+                c.observe_abort(signal);
+            }
+            c.block_done(fell_back);
+        }
+    }
+
+    #[test]
+    fn starts_in_hardware_and_demotes_on_conflict_storms() {
+        let mut c = AdaptiveController::new(true, true);
+        assert_eq!(c.block_tier(), Tier::Hw);
+        finish_window(&mut c, 2, AdaptSignal::Conflict, true);
+        assert_eq!(c.block_tier(), Tier::Rot, "conflicts skip the spill tier");
+        assert_eq!(c.tier_switches(), 1);
+    }
+
+    #[test]
+    fn absorbed_aborts_never_chase_the_controller_off_the_fast_path() {
+        // Plenty of aborts, but every block still commits in hardware
+        // within its retry budget: the fast path is paying, hold it.
+        let mut c = AdaptiveController::new(true, true);
+        for _ in 0..8 {
+            finish_window(&mut c, 3, AdaptSignal::Conflict, false);
+        }
+        assert_eq!(c.block_tier(), Tier::Hw);
+        assert_eq!(c.tier_switches(), 0);
+    }
+
+    #[test]
+    fn fault_storms_jump_to_the_begin_free_software_tier() {
+        // Spurious aborts kill every tier that begins a hardware
+        // transaction; the controller must not waste windows on ROT.
+        let mut c = AdaptiveController::new(true, true);
+        finish_window(&mut c, 2, AdaptSignal::Fault, true);
+        assert_eq!(c.block_tier(), Tier::Stm);
+        assert_eq!(c.tier_switches(), 1);
+    }
+
+    #[test]
+    fn capacity_storms_prefer_the_spill_tier_when_available() {
+        let mut c = AdaptiveController::new(true, true);
+        finish_window(&mut c, 2, AdaptSignal::Capacity, true);
+        assert_eq!(c.block_tier(), Tier::Spill);
+        let mut no_spill = AdaptiveController::new(true, false);
+        finish_window(&mut no_spill, 2, AdaptSignal::Capacity, true);
+        assert_eq!(no_spill.block_tier(), Tier::Rot);
+        let mut neither = AdaptiveController::new(false, false);
+        finish_window(&mut neither, 2, AdaptSignal::Capacity, true);
+        assert_eq!(neither.block_tier(), Tier::Stm);
+    }
+
+    #[test]
+    fn lock_pressure_jumps_straight_to_the_lock() {
+        let mut c = AdaptiveController::new(true, true);
+        finish_window(&mut c, 3, AdaptSignal::LockPressure, true);
+        assert_eq!(c.block_tier(), Tier::Lock);
+        assert_eq!(c.tier_switches(), 1, "a jump is still one switch");
+    }
+
+    #[test]
+    fn promotion_requires_consecutive_clean_windows() {
+        let mut c = AdaptiveController::new(true, true);
+        finish_window(&mut c, 2, AdaptSignal::Conflict, true); // Hw -> Rot
+        assert_eq!(c.block_tier(), Tier::Rot);
+        finish_window(&mut c, 0, AdaptSignal::Fault, false);
+        assert_eq!(c.block_tier(), Tier::Rot, "one clean window is probation");
+        finish_window(&mut c, 0, AdaptSignal::Fault, false);
+        assert_eq!(c.block_tier(), Tier::Spill, "second clean window promotes");
+        finish_window(&mut c, 0, AdaptSignal::Fault, false);
+        finish_window(&mut c, 0, AdaptSignal::Fault, false);
+        assert_eq!(c.block_tier(), Tier::Hw);
+    }
+
+    #[test]
+    fn middling_windows_hold_the_tier_and_reset_probation() {
+        let mut c = AdaptiveController::new(false, false);
+        finish_window(&mut c, 2, AdaptSignal::Conflict, true); // Hw -> Stm
+        assert_eq!(c.block_tier(), Tier::Stm);
+        finish_window(&mut c, 0, AdaptSignal::Fault, false); // clean #1
+                                                             // A window with some aborts (rate between the thresholds: 8
+                                                             // aborts over 16 blocks) neither demotes nor counts as clean.
+        for i in 0..OBSERVATION_WINDOW {
+            if i % 2 == 0 {
+                c.observe_abort(AdaptSignal::Conflict);
+            }
+            c.block_done(false);
+        }
+        assert_eq!(c.block_tier(), Tier::Stm);
+        finish_window(&mut c, 0, AdaptSignal::Fault, false); // clean #1 again
+        assert_eq!(c.block_tier(), Tier::Stm, "probation restarted");
+    }
+
+    #[test]
+    fn starvation_rescue_forces_the_lock_tier() {
+        let mut c = AdaptiveController::new(true, true);
+        c.starvation_rescue();
+        assert_eq!(c.block_tier(), Tier::Lock);
+        assert_eq!(c.tier_switches(), 1);
+        c.starvation_rescue();
+        assert_eq!(c.tier_switches(), 1, "already at the lock: no new switch");
+    }
+
+    #[test]
+    fn backoff_ceiling_is_monotone_and_capped() {
+        let mut prev = 0;
+        for attempt in 0..64 {
+            for trip in 0..8 {
+                let b = AdaptiveController::backoff_ceiling(attempt, trip);
+                assert!(b <= BACKOFF_CAP, "ceiling above cap at {attempt}/{trip}");
+                if trip == 0 {
+                    assert!(b >= prev, "ceiling not monotone in attempt");
+                    if trip == 0 && attempt > 0 {
+                        prev = b;
+                    }
+                }
+            }
+        }
+        assert_eq!(AdaptiveController::backoff_ceiling(100, 100), BACKOFF_CAP);
+        assert_eq!(AdaptiveController::backoff_ceiling(0, 0), BACKOFF_BASE);
+    }
+
+    #[test]
+    fn at_most_one_switch_per_window_boundary() {
+        // Feed an adversarial mix; count switches per window and assert
+        // the hysteresis bound.
+        let mut c = AdaptiveController::new(true, true);
+        let signals = [
+            AdaptSignal::Conflict,
+            AdaptSignal::Capacity,
+            AdaptSignal::LockPressure,
+            AdaptSignal::Fault,
+        ];
+        let mut last_switches = 0;
+        for w in 0..64u32 {
+            for b in 0..OBSERVATION_WINDOW {
+                let n = (w + b) % 4;
+                for k in 0..n {
+                    c.observe_abort(signals[((w ^ b ^ k) % 4) as usize]);
+                }
+                c.block_done((w ^ b) & 1 == 1);
+            }
+            let s = c.tier_switches();
+            assert!(s - last_switches <= 1, "window {w} flipped more than once");
+            last_switches = s;
+        }
+    }
+}

@@ -31,6 +31,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adapt;
+
 use std::collections::HashMap;
 use std::fmt;
 
@@ -49,10 +51,21 @@ pub enum FallbackPolicy {
     /// POWER8 rollback-only transactions with software read validation; on
     /// platforms without rollback-only support this degrades to [`Lock`].
     Rot,
+    /// The `htm-adapt` online contention manager: every block picks its
+    /// own tier (hardware → capacity-spilled hardware → rollback-only →
+    /// software → lock) from live abort-cause feedback, with hysteresis,
+    /// capped randomized backoff and a hard starvation bound (see
+    /// [`adapt::AdaptiveController`]).
+    Adaptive,
 }
 
 impl FallbackPolicy {
-    /// All policies, in CLI/report order.
+    /// The *static* policies, in CLI/report order. [`Adaptive`] is
+    /// deliberately excluded: the static grid (specs, golden files, lint
+    /// cells) iterates this array, and the adaptive policy gets its own
+    /// spec comparing against every member.
+    ///
+    /// [`Adaptive`]: FallbackPolicy::Adaptive
     pub const ALL: [FallbackPolicy; 3] =
         [FallbackPolicy::Lock, FallbackPolicy::Stm, FallbackPolicy::Rot];
 
@@ -62,6 +75,7 @@ impl FallbackPolicy {
             FallbackPolicy::Lock => "lock",
             FallbackPolicy::Stm => "stm",
             FallbackPolicy::Rot => "rot",
+            FallbackPolicy::Adaptive => "adaptive",
         }
     }
 
@@ -71,8 +85,17 @@ impl FallbackPolicy {
             "lock" => Some(FallbackPolicy::Lock),
             "stm" => Some(FallbackPolicy::Stm),
             "rot" => Some(FallbackPolicy::Rot),
+            "adaptive" => Some(FallbackPolicy::Adaptive),
             _ => None,
         }
+    }
+
+    /// Whether runs under this policy can commit blocks through a software
+    /// validation tier (STM, ROT or the adaptive ladder), and therefore
+    /// need the hybrid write epoch installed for consistent software
+    /// snapshots.
+    pub fn uses_software_commits(self) -> bool {
+        !matches!(self, FallbackPolicy::Lock)
     }
 }
 
@@ -198,6 +221,18 @@ mod tests {
         }
         assert_eq!(FallbackPolicy::parse("hle"), None);
         assert_eq!(FallbackPolicy::default(), FallbackPolicy::Lock);
+    }
+
+    #[test]
+    fn adaptive_key_round_trips_but_stays_off_the_static_grid() {
+        let a = FallbackPolicy::Adaptive;
+        assert_eq!(FallbackPolicy::parse(a.key()), Some(a));
+        assert_eq!(a.to_string(), "adaptive");
+        assert!(!FallbackPolicy::ALL.contains(&a), "static grid must not grow");
+        assert!(a.uses_software_commits());
+        assert!(!FallbackPolicy::Lock.uses_software_commits());
+        assert!(FallbackPolicy::Stm.uses_software_commits());
+        assert!(FallbackPolicy::Rot.uses_software_commits());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use htm_core::WordAddr;
+use htm_hytm::adapt::{AdaptSignal, AdaptiveController, Tier, BACKOFF_CAP, OBSERVATION_WINDOW};
 use htm_hytm::{FallbackPolicy, SoftLog};
 use htm_machine::Platform;
 use htm_runtime::{FaultPlan, RetryPolicy, Sim, SimConfig};
@@ -148,6 +149,78 @@ proptest! {
     ) {
         let platform = Platform::ALL[platform_idx as usize % Platform::ALL.len()];
         run_storm(platform, FallbackPolicy::Rot, storm(seed, tb, cb, delay));
+    }
+
+    /// The same storms under the adaptive contention manager: whatever
+    /// mix of tiers the controller walks through (including POWER8
+    /// capacity spilling), every increment survives.
+    #[test]
+    fn adaptive_fallback_loses_no_updates_under_fault_storms(
+        platform_idx in 0u8..4,
+        seed in any::<u64>(),
+        tb in 0.0..1.0f64,
+        cb in 0.0..1.0f64,
+        delay in 0u64..1500,
+    ) {
+        let platform = Platform::ALL[platform_idx as usize % Platform::ALL.len()];
+        run_storm(platform, FallbackPolicy::Adaptive, storm(seed, tb, cb, delay));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive-controller invariants (DESIGN.md §9).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hysteresis: under arbitrary observation streams the controller
+    /// changes tier at most once per observation window, and never picks
+    /// a tier the platform lacks.
+    #[test]
+    fn controller_never_flips_more_than_once_per_window(
+        has_rot in any::<bool>(),
+        has_spill in any::<bool>(),
+        blocks in proptest::collection::vec(0u8..12, 16..384),
+    ) {
+        let signals = [
+            AdaptSignal::Conflict,
+            AdaptSignal::Capacity,
+            AdaptSignal::LockPressure,
+            AdaptSignal::Fault,
+        ];
+        let mut c = AdaptiveController::new(has_rot, has_spill);
+        let mut last_switches = 0;
+        for (w, window) in blocks.chunks(OBSERVATION_WINDOW as usize).enumerate() {
+            for &obs in window {
+                // 0-2 aborts per block, with the signal and the fallback
+                // bit drawn from the same byte: an adversarial but
+                // deterministic mix.
+                for k in 0..(obs % 3) {
+                    c.observe_abort(signals[((obs / 3 + k) % 4) as usize]);
+                }
+                c.block_done(obs & 1 == 1);
+            }
+            let s = c.tier_switches();
+            prop_assert!(s - last_switches <= 1, "window {w} flipped more than once");
+            last_switches = s;
+            let tier = c.block_tier();
+            prop_assert!(has_rot || tier != Tier::Rot, "picked ROT without rollback-only");
+            prop_assert!(has_spill || tier != Tier::Spill, "picked Spill without suspend/resume");
+        }
+    }
+
+    /// The backoff ceiling never exceeds its hard cap, for any attempt
+    /// depth and watchdog escalation, and is monotone in the attempt.
+    #[test]
+    fn backoff_ceiling_stays_within_its_cap(
+        attempt in 0u32..10_000,
+        trip_shift in 0u32..64,
+    ) {
+        let b = AdaptiveController::backoff_ceiling(attempt, trip_shift);
+        prop_assert!(b > 0);
+        prop_assert!(b <= BACKOFF_CAP);
+        prop_assert!(b <= AdaptiveController::backoff_ceiling(attempt + 1, trip_shift));
     }
 }
 

@@ -22,6 +22,7 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::SmallRng;
 
 use htm_core::{Abort, AbortCategory, AbortCause, SyncClock, TxMemory, TxResult, WordAddr};
+use htm_hytm::adapt::{AdaptSignal, AdaptiveController, Tier};
 use htm_hytm::{FallbackPolicy, ROT_RETRIES, STM_COMMIT_RETRIES};
 use htm_machine::{BgqMode, Machine, Platform};
 
@@ -181,6 +182,11 @@ pub struct ThreadCtx {
     /// The global lock's vector clock (sanitizer runs only): irrevocable
     /// sections on the same lock are release/acquire-ordered.
     lock_sync: Option<Arc<SyncClock>>,
+    /// The `htm-adapt` contention manager (present only under
+    /// [`FallbackPolicy::Adaptive`]).
+    adapt: Option<AdaptiveController>,
+    /// Controller tier switches already mirrored into the stats counter.
+    adapt_switches_seen: u64,
 }
 
 impl std::fmt::Debug for ThreadCtx {
@@ -198,6 +204,7 @@ impl ThreadCtx {
         constrained_arbiter: Arc<Mutex<()>>,
         watchdog: WatchdogConfig,
     ) -> ThreadCtx {
+        let adapt = make_adapt(&eng, fallback);
         ThreadCtx {
             eng,
             lock,
@@ -212,6 +219,8 @@ impl ThreadCtx {
             recorder: None,
             replayer: None,
             lock_sync: None,
+            adapt,
+            adapt_switches_seen: 0,
         }
     }
 
@@ -304,9 +313,12 @@ impl ThreadCtx {
         self.fallback
     }
 
-    /// Replaces the fallback policy.
+    /// Replaces the fallback policy (installing a fresh adaptive
+    /// controller when switching to [`FallbackPolicy::Adaptive`]).
     pub fn set_fallback(&mut self, fallback: FallbackPolicy) {
         self.fallback = fallback;
+        self.adapt = make_adapt(&self.eng, fallback);
+        self.adapt_switches_seen = 0;
     }
 
     /// The fallback tier actually taken: [`FallbackPolicy::Rot`] needs
@@ -499,6 +511,9 @@ impl ThreadCtx {
             }
             return r;
         }
+        if self.fallback == FallbackPolicy::Adaptive {
+            return self.atomic_adaptive(&mut body);
+        }
         let lazy_subscription = is_bgq && cfg.bgq_mode == Some(BgqMode::LongRunning);
         let mut lock_retries = self.policy.lock_retries;
         let mut persistent_retries = self.policy.persistent_retries;
@@ -645,8 +660,11 @@ impl ThreadCtx {
             .pop_front()
             .expect("replay diverged: the workload produced more atomic blocks than the trace");
         for a in &rec.attempts {
-            if a.cause == AbortCause::StmValidation.encode() {
-                // Software attempts bypass the hardware abort categories.
+            if a.cause == AbortCause::StmValidation.encode()
+                || a.cause == AbortCause::SpillValidation.encode()
+            {
+                // Software-validated attempts bypass the hardware abort
+                // categories.
                 self.eng.stats.stm_validation_aborts += 1;
             } else {
                 self.eng.stats.record_abort(AbortCategory::ALL[a.category as usize]);
@@ -664,6 +682,7 @@ impl ThreadCtx {
             BlockOutcome::Constrained { .. } => self.replay_committed_hw(body, true),
             BlockOutcome::Stm { .. } => self.replay_committed_soft(body, false),
             BlockOutcome::Rot { .. } => self.replay_committed_soft(body, true),
+            BlockOutcome::Spilled { .. } => self.replay_committed_spill(body),
             BlockOutcome::Irrevocable { degraded, trip, .. } => {
                 if trip {
                     self.eng.stats.watchdog_trips += 1;
@@ -732,6 +751,29 @@ impl ThreadCtx {
                     assert!(
                         tries < 1024,
                         "replay diverged: a serialized software commit keeps aborting ({cause})"
+                    );
+                    self.eng.restore_workload_rng(saved_rng);
+                }
+            }
+        }
+    }
+
+    /// Executes a block recorded as a capacity-spilled commit, with the same
+    /// serialized-retry discipline as the other replay paths.
+    fn replay_committed_spill<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> R {
+        let mut tries = 0u32;
+        loop {
+            let saved_rng = self.eng.clone_workload_rng();
+            match self.attempt_spill(body) {
+                Outcome::Committed(r) => return r,
+                Outcome::Aborted(cause) => {
+                    tries += 1;
+                    assert!(
+                        tries < 1024,
+                        "replay diverged: a serialized spill commit keeps aborting ({cause})"
                     );
                     self.eng.restore_workload_rng(saved_rng);
                 }
@@ -849,6 +891,10 @@ impl ThreadCtx {
         match self.effective_fallback() {
             FallbackPolicy::Stm => self.run_stm_block(body, rec_attempts),
             FallbackPolicy::Rot => self.run_rot_block(body, rec_attempts),
+            // The adaptive path dispatches tiers itself and never reaches
+            // this point; a direct caller gets the software tier, whose
+            // bounded retries still end at the irrevocable path.
+            FallbackPolicy::Adaptive => self.run_stm_block(body, rec_attempts),
             FallbackPolicy::Lock => {
                 let r = self.run_irrevocable(body);
                 self.record_block(
@@ -1048,6 +1094,219 @@ impl ThreadCtx {
                 }
                 self.eng.quiesce_committers(true);
                 let committed = self.eng.rot_commit_under_lock();
+                if let Some(sync) = &self.lock_sync {
+                    self.eng.hb_release(sync);
+                }
+                self.lock.release(self.eng.mem(), self.eng.clock(), &cost);
+                match committed {
+                    Ok(()) => Outcome::Committed(r),
+                    Err(cause) => Outcome::Aborted(cause),
+                }
+            }
+            Err(abort) => {
+                self.eng.rollback_hw();
+                Outcome::Aborted(abort.cause)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive contention manager (htm-adapt)
+    // ------------------------------------------------------------------
+
+    /// Executes one atomic block under the adaptive contention manager: the
+    /// controller picks the execution tier, the block runs on it (escalating
+    /// within the block only toward stronger tiers), and the block's abort
+    /// mix is fed back as observations at the block boundary.
+    fn atomic_adaptive<R>(&mut self, body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
+        let tier = self.adapt.as_ref().map_or(Tier::Hw, |a| a.block_tier());
+        let aborts0 = self.eng.stats.aborts;
+        let validation0 = self.eng.stats.stm_validation_aborts;
+        let stm0 = self.eng.stats.stm_commits;
+        let irrevocable0 = self.eng.stats.irrevocable_commits;
+        let r = match tier {
+            Tier::Hw => self.run_adaptive_hw(body, false),
+            Tier::Spill => self.run_adaptive_hw(body, true),
+            Tier::Rot => self.run_rot_block(body, Vec::new()),
+            Tier::Stm => self.run_stm_block(body, Vec::new()),
+            Tier::Lock => {
+                let r = self.run_irrevocable(body);
+                self.record_block(
+                    Vec::new(),
+                    BlockOutcome::Irrevocable {
+                        order: self.eng.last_commit_seq(),
+                        degraded: false,
+                        trip: false,
+                    },
+                );
+                r
+            }
+        };
+        if let Some(adapt) = &mut self.adapt {
+            let aborts = self.eng.stats.aborts;
+            for (i, cat) in AbortCategory::ALL.iter().enumerate() {
+                for _ in aborts0[i]..aborts[i] {
+                    adapt.observe_abort(AdaptSignal::from_category(*cat));
+                }
+            }
+            // Software validation failures are conflicts by construction:
+            // a concurrent committer invalidated the read log.
+            for _ in validation0..self.eng.stats.stm_validation_aborts {
+                adapt.observe_abort(AdaptSignal::Conflict);
+            }
+            // Did the block drain through its escape hatch? Hardware-class
+            // tiers fall back when the block committed in STM or
+            // irrevocably (a spilled commit from the Hw tier is still
+            // partial-hardware, not a fallback); the STM tier falls back
+            // only on irrevocability.
+            let fell_back = match tier {
+                Tier::Hw | Tier::Spill | Tier::Rot => {
+                    self.eng.stats.stm_commits > stm0
+                        || self.eng.stats.irrevocable_commits > irrevocable0
+                }
+                Tier::Stm => self.eng.stats.irrevocable_commits > irrevocable0,
+                Tier::Lock => false,
+            };
+            adapt.block_done(fell_back);
+            let switches = adapt.tier_switches();
+            self.eng.stats.tier_switches += switches - self.adapt_switches_seen;
+            self.adapt_switches_seen = switches;
+        }
+        r
+    }
+
+    /// The adaptive hardware tier: the Figure-1 retry loop under the
+    /// contention manager's *capped* randomized backoff. `spill` starts
+    /// attempts in capacity-spill mode (POWER8); a capacity abort of a plain
+    /// hardware attempt escalates to spill mode mid-block when the platform
+    /// supports it, so a capacity-doomed block degrades to partial-hardware
+    /// execution instead of burning its remaining retries on a footprint
+    /// that can never fit.
+    fn run_adaptive_hw<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+        mut spill: bool,
+    ) -> R {
+        let cfg = self.eng.machine().config();
+        let has_spill = cfg.has_suspend_resume;
+        let reports_persistence = cfg.reports_persistence;
+        let mut lock_retries = self.policy.lock_retries;
+        let mut persistent_retries = self.policy.persistent_retries;
+        let mut transient_retries = self.policy.transient_retries;
+        let mut attempt = 0u32;
+        let mut rec_attempts: Vec<AttemptRecord> = Vec::new();
+        loop {
+            let waited = {
+                let cost = self.eng.machine().config().cost;
+                self.lock.wait_released(self.eng.mem(), self.eng.clock(), &cost)
+            };
+            self.eng.stats.lock_wait_cycles += waited;
+            if waited > 0 {
+                let jitter = rand::Rng::gen_range(self.eng.sched_rng_mut(), 0..512u64);
+                self.tick(jitter);
+            }
+            let snap = self.attempt_snapshot();
+            let out = if spill {
+                self.attempt_spill(body)
+            } else {
+                self.attempt_hw(body, false, false, false)
+            };
+            match out {
+                Outcome::Committed(r) => {
+                    let order = self.eng.last_commit_seq();
+                    let outcome = if spill {
+                        BlockOutcome::Spilled { order }
+                    } else {
+                        BlockOutcome::Hw { order }
+                    };
+                    self.record_block(rec_attempts, outcome);
+                    return r;
+                }
+                Outcome::Aborted(cause) => {
+                    let (category, lock_related) = if cause == AbortCause::SpillValidation {
+                        self.eng.stats.stm_validation_aborts += 1;
+                        (AbortCategory::Other, false)
+                    } else {
+                        self.classify_and_record(cause, false)
+                    };
+                    self.record_attempt(&mut rec_attempts, snap, cause, category);
+                    if !spill && has_spill && cause.is_capacity() {
+                        spill = true;
+                    }
+                    let retry = if lock_related {
+                        consume(&mut lock_retries)
+                    } else if reports_persistence && cause.is_capacity() {
+                        consume(&mut persistent_retries)
+                    } else {
+                        consume(&mut transient_retries)
+                    };
+                    if !retry {
+                        // Within-block escalation always lands on a
+                        // terminating software tier.
+                        return self.run_stm_block(body, rec_attempts);
+                    }
+                    // Backoff de-synchronizes *contending* threads; an
+                    // injected fault or a capacity overflow is not
+                    // contention, and pausing for it only burns cycles.
+                    // Unclassified aborts (Blue Gene/Q hides causes) get
+                    // the pause too — contention cannot be ruled out.
+                    let contention = lock_related
+                        || matches!(
+                            category,
+                            AbortCategory::DataConflict | AbortCategory::Unclassified
+                        );
+                    attempt += 1;
+                    if self.watchdog.starved(attempt) {
+                        self.eng.stats.adapt_starvation_rescues += 1;
+                        if let Some(adapt) = &mut self.adapt {
+                            adapt.starvation_rescue();
+                        }
+                        let r = self.watchdog_trip(body);
+                        self.record_block(
+                            rec_attempts,
+                            BlockOutcome::Irrevocable {
+                                order: self.eng.last_commit_seq(),
+                                degraded: true,
+                                trip: true,
+                            },
+                        );
+                        return r;
+                    }
+                    if contention {
+                        let ceiling = AdaptiveController::backoff_ceiling(attempt, self.trip_shift);
+                        let pause = rand::Rng::gen_range(self.eng.sched_rng_mut(), 0..ceiling);
+                        self.eng.stats.backoff_cycles += pause;
+                        self.tick(pause);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One capacity-spilling attempt (POWER8): a hardware transaction whose
+    /// TMCAM-overflow lines spill into a software-validated side log instead
+    /// of aborting. Spill attempts do *not* subscribe to the lock — like
+    /// ROT, their own commit-time acquisition would doom them; the side log
+    /// is validated under the lock instead.
+    fn attempt_spill<R>(
+        &mut self,
+        body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>,
+    ) -> Outcome<R> {
+        self.eng.begin_spill();
+        match body(&mut Tx { eng: &mut self.eng }) {
+            Ok(r) => {
+                let cost = self.eng.machine().config().cost;
+                let tag = self.thread_id() as u64 + 1;
+                let waited = self.lock.acquire(self.eng.mem(), tag, self.eng.clock(), &cost);
+                self.eng.stats.lock_wait_cycles += waited;
+                if waited > 0 {
+                    self.eng.stats.fallback_lock_waits += 1;
+                }
+                if let Some(sync) = &self.lock_sync {
+                    self.eng.hb_acquire(sync);
+                }
+                self.eng.quiesce_committers(true);
+                let committed = self.eng.spill_commit_under_lock();
                 if let Some(sync) = &self.lock_sync {
                     self.eng.hb_release(sync);
                 }
@@ -1352,6 +1611,17 @@ fn subscribe(eng: &mut TxnEngine, lock_addr: WordAddr) -> TxResult<()> {
         return eng.user_abort(LOCK_HELD_ABORT);
     }
     Ok(())
+}
+
+/// Builds the adaptive controller for [`FallbackPolicy::Adaptive`] (`None`
+/// for every other policy). The tier ladder is shaped by the platform:
+/// rollback-only transactions gate the ROT rung and suspend/resume gates
+/// capacity spilling.
+fn make_adapt(eng: &TxnEngine, fallback: FallbackPolicy) -> Option<AdaptiveController> {
+    (fallback == FallbackPolicy::Adaptive).then(|| {
+        let cfg = eng.machine().config();
+        AdaptiveController::new(cfg.has_rollback_only, cfg.has_suspend_resume)
+    })
 }
 
 fn consume(counter: &mut u32) -> bool {

@@ -483,7 +483,7 @@ impl Sim {
         // tier can run: with the default lock fallback the epoch stays
         // `None` and every engine keeps its zero-overhead read path.
         let hybrid_epoch =
-            (self.cfg.fallback != FallbackPolicy::Lock).then(|| Arc::new(AtomicU64::new(0)));
+            self.cfg.fallback.uses_software_commits().then(|| Arc::new(AtomicU64::new(0)));
         let turnstile = Turnstile::new();
         let work = &work;
         let mut outs: Vec<WorkerOut> = Vec::with_capacity(num_threads as usize);

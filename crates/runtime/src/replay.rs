@@ -61,6 +61,10 @@ pub(crate) enum BlockOutcome {
     /// Committed as a software-validated rollback-only (ROT tier)
     /// transaction.
     Rot { order: u64 },
+    /// Committed as a capacity-stretched (spill tier) POWER8 transaction:
+    /// a hardware commit under the sequence lock whose overflow footprint
+    /// was validated through the software side log.
+    Spilled { order: u64 },
     /// Committed irrevocably under the global lock. `degraded` marks
     /// watchdog-degraded blocks; `trip` marks the block that tripped it.
     Irrevocable { order: u64, degraded: bool, trip: bool },
@@ -73,6 +77,7 @@ impl BlockOutcome {
             | BlockOutcome::Constrained { order }
             | BlockOutcome::Stm { order }
             | BlockOutcome::Rot { order }
+            | BlockOutcome::Spilled { order }
             | BlockOutcome::Irrevocable { order, .. } => order,
         }
     }
@@ -83,6 +88,7 @@ impl BlockOutcome {
             BlockOutcome::Constrained { .. } => BlockOutcome::Constrained { order },
             BlockOutcome::Stm { .. } => BlockOutcome::Stm { order },
             BlockOutcome::Rot { .. } => BlockOutcome::Rot { order },
+            BlockOutcome::Spilled { .. } => BlockOutcome::Spilled { order },
             BlockOutcome::Irrevocable { degraded, trip, .. } => {
                 BlockOutcome::Irrevocable { order, degraded, trip }
             }
@@ -188,6 +194,9 @@ impl ScheduleTrace {
                     BlockOutcome::Rot { order } => {
                         let _ = writeln!(out, "commit rot {order}");
                     }
+                    BlockOutcome::Spilled { order } => {
+                        let _ = writeln!(out, "commit sp {order}");
+                    }
                     BlockOutcome::Irrevocable { order, degraded, trip } => {
                         let _ =
                             writeln!(out, "commit irr {order} {} {}", degraded as u8, trip as u8);
@@ -263,6 +272,9 @@ impl ScheduleTrace {
                         ("rot", [o]) => {
                             BlockOutcome::Rot { order: o.parse().map_err(|_| bad(n, "bad order"))? }
                         }
+                        ("sp", [o]) => BlockOutcome::Spilled {
+                            order: o.parse().map_err(|_| bad(n, "bad order"))?,
+                        },
                         ("irr", [o, d, t]) => BlockOutcome::Irrevocable {
                             order: o.parse().map_err(|_| bad(n, "bad order"))?,
                             degraded: *d == "1",
@@ -396,6 +408,7 @@ mod tests {
                     },
                     BlockRecord { attempts: vec![], outcome: BlockOutcome::Stm { order: 14 } },
                     BlockRecord { attempts: vec![], outcome: BlockOutcome::Rot { order: 15 } },
+                    BlockRecord { attempts: vec![], outcome: BlockOutcome::Spilled { order: 16 } },
                 ],
             ],
         )
@@ -407,8 +420,8 @@ mod tests {
         let mut orders: Vec<u64> =
             (0..t.threads()).flat_map(|i| t.thread_blocks(i)).map(|b| b.outcome.order()).collect();
         orders.sort_unstable();
-        assert_eq!(orders, vec![0, 1, 2, 3, 4]);
-        assert_eq!(t.blocks(), 5);
+        assert_eq!(orders, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.blocks(), 6);
         assert_eq!(t.aborted_attempts(), 1);
     }
 

@@ -35,6 +35,24 @@ pub struct ThreadStats {
     /// (contended STM/ROT commits; lock-tier acquisitions are not counted
     /// here).
     pub fallback_lock_waits: u64,
+    /// Capacity-spilled POWER8 transactions that committed (hardware
+    /// commits whose overflow footprint was validated through the side
+    /// log). A subset of neither [`ThreadStats::hw_commits`] nor
+    /// [`ThreadStats::stm_commits`]: spilled commits are their own tier.
+    pub spill_commits: u64,
+    /// Overflow entries spilled past the TMCAM into the software side log
+    /// (one per spilled first-access, summed over attempts).
+    pub capacity_spills: u64,
+    /// Times the adaptive contention manager changed execution tier at an
+    /// observation-window boundary (or on a starvation rescue).
+    pub tier_switches: u64,
+    /// Simulated cycles spent in randomized exponential backoff between
+    /// attempts under the adaptive policy.
+    pub backoff_cycles: u64,
+    /// Watchdog trips under the adaptive policy that forced the controller
+    /// into its lock-tier rescue window (a subset of
+    /// [`ThreadStats::watchdog_trips`]).
+    pub adapt_starvation_rescues: u64,
     /// Aborts per Figure-3 category (indexed by position in
     /// [`AbortCategory::ALL`]).
     pub aborts: [u64; 5],
@@ -87,6 +105,11 @@ impl ThreadStats {
         self.stm_validation_aborts += other.stm_validation_aborts;
         self.rot_commits += other.rot_commits;
         self.fallback_lock_waits += other.fallback_lock_waits;
+        self.spill_commits += other.spill_commits;
+        self.capacity_spills += other.capacity_spills;
+        self.tier_switches += other.tier_switches;
+        self.backoff_cycles += other.backoff_cycles;
+        self.adapt_starvation_rescues += other.adapt_starvation_rescues;
         for (a, b) in self.aborts.iter_mut().zip(other.aborts.iter()) {
             *a += b;
         }
@@ -208,6 +231,32 @@ impl RunStats {
         self.threads.iter().map(|t| t.fallback_lock_waits).sum()
     }
 
+    /// Capacity-spilled commits summed over threads.
+    pub fn spill_commits(&self) -> u64 {
+        self.threads.iter().map(|t| t.spill_commits).sum()
+    }
+
+    /// Overflow entries spilled past the TMCAM, summed over threads.
+    pub fn capacity_spills(&self) -> u64 {
+        self.threads.iter().map(|t| t.capacity_spills).sum()
+    }
+
+    /// Adaptive-controller tier switches summed over threads.
+    pub fn tier_switches(&self) -> u64 {
+        self.threads.iter().map(|t| t.tier_switches).sum()
+    }
+
+    /// Simulated backoff cycles summed over threads.
+    pub fn backoff_cycles(&self) -> u64 {
+        self.threads.iter().map(|t| t.backoff_cycles).sum()
+    }
+
+    /// Adaptive starvation rescues summed over threads (a subset of
+    /// [`RunStats::watchdog_trips`]).
+    pub fn adapt_starvation_rescues(&self) -> u64 {
+        self.threads.iter().map(|t| t.adapt_starvation_rescues).sum()
+    }
+
     /// Total aborts summed over threads.
     pub fn total_aborts(&self) -> u64 {
         self.threads.iter().map(|t| t.total_aborts()).sum()
@@ -281,9 +330,14 @@ impl RunStats {
         }
     }
 
-    /// All committed atomic blocks (hardware + irrevocable + STM + ROT).
+    /// All committed atomic blocks (hardware + irrevocable + STM + ROT +
+    /// capacity-spilled).
     pub fn committed_blocks(&self) -> u64 {
-        self.hw_commits() + self.irrevocable_commits() + self.stm_commits() + self.rot_commits()
+        self.hw_commits()
+            + self.irrevocable_commits()
+            + self.stm_commits()
+            + self.rot_commits()
+            + self.spill_commits()
     }
 
     /// All recorded footprints, concatenated across threads.
@@ -424,6 +478,29 @@ mod tests {
         assert!((s.serialization_ratio() - 1.0 / 14.0).abs() < 1e-12);
         // Validation failures are not hardware aborts.
         assert_eq!(s.total_aborts(), 0);
+    }
+
+    #[test]
+    fn adaptive_counters_sum_and_spills_count_as_commits() {
+        let a = ThreadStats {
+            hw_commits: 4,
+            spill_commits: 2,
+            capacity_spills: 9,
+            tier_switches: 3,
+            backoff_cycles: 120,
+            watchdog_trips: 2,
+            adapt_starvation_rescues: 1,
+            ..Default::default()
+        };
+        let b = ThreadStats { spill_commits: 1, tier_switches: 2, ..Default::default() };
+        let mut s = RunStats::new(vec![a]);
+        s.merge(&RunStats::new(vec![b]));
+        assert_eq!(s.spill_commits(), 3);
+        assert_eq!(s.capacity_spills(), 9);
+        assert_eq!(s.tier_switches(), 5);
+        assert_eq!(s.backoff_cycles(), 120);
+        assert_eq!(s.adapt_starvation_rescues(), 1);
+        assert_eq!(s.committed_blocks(), 4 + 3, "spilled commits are commits");
     }
 
     #[test]

@@ -143,6 +143,18 @@ pub struct TxnEngine {
     /// under the sequence lock, so its commit certifies with the full read
     /// check.
     rot_soft: bool,
+    /// Whether the current hardware transaction runs capacity-stretched
+    /// (POWER8 spill tier): first accesses that overflow the TMCAM spill
+    /// into the software side log instead of aborting, and the commit
+    /// revalidates the spilled entries under the sequence lock.
+    spill_mode: bool,
+    /// Lines whose tracking overflowed and was spilled to software this
+    /// attempt (their reads are value-logged, their stores buffered in
+    /// [`TxnEngine::spill_writes`]).
+    spilled_lines: HashSet<LineId>,
+    /// Buffered stores to spilled (untracked) lines; published with
+    /// dooming non-transactional stores inside the commit's epoch window.
+    spill_writes: HashMap<WordAddr, u64>,
     /// Shared hybrid-TM write epoch (a seqlock: odd while any committer is
     /// writing back in place). Installed only when the run's fallback
     /// policy is a software tier; `None` keeps the pure-HTM paths
@@ -229,6 +241,9 @@ impl TxnEngine {
             soft_reads: 0,
             soft_epoch_seen: 0,
             rot_soft: false,
+            spill_mode: false,
+            spilled_lines: HashSet::new(),
+            spill_writes: HashMap::new(),
             hybrid_epoch: None,
             stats: ThreadStats::default(),
             tracer: None,
@@ -515,8 +530,17 @@ impl TxnEngine {
                 if seq != 0 {
                     self.last_commit_seq = seq;
                 }
+                let spilled = self.has_spilled();
                 if let Some(c) = &mut self.cert {
-                    if self.rot_soft {
+                    if spilled {
+                        // Capacity-spilled commit: the spilled reads are
+                        // software-validated, so the full read check
+                        // applies, and the spilled stores join the write
+                        // set the certifier replays.
+                        let mut writes = self.write_buf.clone();
+                        writes.extend(self.spill_writes.iter().map(|(&a, &v)| (a, v)));
+                        c.get_mut().commit_soft(seq, &writes);
+                    } else if self.rot_soft {
                         // Software-validated ROT: full read check applies.
                         c.get_mut().commit_soft(seq, &self.write_buf);
                     } else {
@@ -530,8 +554,16 @@ impl TxnEngine {
                 for (&addr, &value) in &self.write_buf {
                     self.mem.write_word(addr, value);
                 }
+                // Spilled stores target lines this slot does not own, so
+                // they publish as dooming non-transactional stores (any
+                // hardware reader of a spilled line aborts), inside the
+                // same epoch window as the owned write-back.
+                for (&addr, &value) in &self.spill_writes {
+                    self.mem.nontx_store(Some(self.slot), addr, value);
+                }
                 self.epoch_bump(); // even: write-back published
                 let was_rot_soft = self.rot_soft;
+                let was_spill = self.spill_mode;
                 self.release_lines();
                 self.mem.finish_slot(self.slot);
                 // Deferred frees (STAMP's TM_FREE semantics): blocks become
@@ -540,7 +572,9 @@ impl TxnEngine {
                     self.alloc.free(addr, words);
                 }
                 self.end_tx_bookkeeping();
-                if was_rot_soft {
+                if was_spill {
+                    self.stats.spill_commits += 1;
+                } else if was_rot_soft {
                     self.stats.rot_commits += 1;
                 } else {
                     self.stats.hw_commits += 1;
@@ -779,6 +813,61 @@ impl TxnEngine {
         self.commit_hw()
     }
 
+    /// Begins a capacity-stretched (spill-tier) hardware transaction:
+    /// a full POWER8 transaction whose footprint overflow past the TMCAM
+    /// spills into the software-validated side log instead of aborting
+    /// (suspend/escape-style stretching, after arXiv 2003.03317).
+    pub(crate) fn begin_spill(&mut self) {
+        let cfg = self.machine.config();
+        assert!(cfg.has_suspend_resume, "{} cannot spill (no suspend/resume)", cfg.name);
+        self.begin_hw(false, false);
+        self.spill_mode = true;
+        self.spilled_lines.clear();
+        self.spill_writes.clear();
+        self.soft_log.clear();
+        self.soft_reads = 0;
+        self.soft_epoch_seen = self.wait_epoch_even();
+    }
+
+    /// Whether the current spill-tier attempt actually overflowed into the
+    /// side log (decides the commit's validation work and cert path).
+    pub(crate) fn has_spilled(&self) -> bool {
+        !self.spilled_lines.is_empty()
+    }
+
+    /// Marks `line` as spilled, counting it once.
+    fn spill_line(&mut self, line: LineId) {
+        if self.spilled_lines.insert(line) {
+            self.stats.capacity_spills += 1;
+            // The spill itself models a suspend/log/resume round trip.
+            self.charge(self.machine.config().cost.tbegin / 4);
+        }
+    }
+
+    /// Commits a spill-tier transaction. The caller holds the sequence
+    /// lock and has quiesced other committers: the spilled side log is
+    /// revalidated in software (restoring the serializability the
+    /// untracked entries lost), then the hardware commit publishes the
+    /// tracked stores and the spilled stores together.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause — and has already rolled back — on a failed
+    /// validation or a hardware doom.
+    pub(crate) fn spill_commit_under_lock(&mut self) -> Result<(), AbortCause> {
+        assert!(self.spill_mode, "spill commit outside a spill-tier transaction");
+        if self.aborted.is_none() && self.has_spilled() {
+            self.charge(
+                hytm_cost::ROT_COMMIT_OVERHEAD
+                    + hytm_cost::STM_VALIDATE_PER_WORD * self.soft_log.len() as u64,
+            );
+            if self.soft_log.validate(|a| self.mem.read_word(a)).is_some() {
+                self.aborted = Some(AbortCause::SpillValidation);
+            }
+        }
+        self.commit_hw()
+    }
+
     pub(crate) fn in_software_tx(&self) -> bool {
         self.state == BlockState::SoftwareTx
     }
@@ -818,6 +907,9 @@ impl TxnEngine {
         self.suspend_depth = 0;
         self.rollback_only = false;
         self.rot_soft = false;
+        self.spill_mode = false;
+        self.spilled_lines.clear();
+        self.spill_writes.clear();
         self.constrained = None;
     }
 
@@ -1084,22 +1176,51 @@ impl TxnEngine {
                     self.maybe_yield();
                     return Ok(v); // store-to-load forwarding
                 }
+                if self.spill_mode {
+                    if let Some(&v) = self.spill_writes.get(&addr) {
+                        self.maybe_yield();
+                        return Ok(v); // forwarding from the spilled side log
+                    }
+                }
                 let line = self.mem.line_of(addr);
-                if !self.rollback_only && !self.read_lines.contains(&line) {
+                let mut line_spilled = self.spill_mode && self.spilled_lines.contains(&line);
+                if !line_spilled && !self.rollback_only && !self.read_lines.contains(&line) {
                     let already_written = self.write_lines.contains(&line);
-                    if let Err(c) = self.tracker.on_first_load(line, already_written) {
-                        return self.fail(c);
+                    match self.tracker.on_first_load(line, already_written) {
+                        Ok(()) => {}
+                        // Spill tier: footprint overflow stretches into the
+                        // software side log instead of aborting.
+                        Err(c) if self.spill_mode && c.is_capacity() => {
+                            self.spill_line(line);
+                            line_spilled = true;
+                        }
+                        Err(c) => return self.fail(c),
                     }
-                    if let Err(c) = self.mem.tx_read_line(self.slot, line, self.policy) {
-                        return self.fail(c);
+                    if !line_spilled {
+                        if let Err(c) = self.mem.tx_read_line(self.slot, line, self.policy) {
+                            return self.fail(c);
+                        }
+                        self.read_lines.insert(line);
+                        self.charge_constrained_access(addr);
+                        self.maybe_prefetch(line)?;
                     }
-                    self.read_lines.insert(line);
-                    self.charge_constrained_access(addr);
-                    self.maybe_prefetch(line)?;
                 } else if self.constrained.is_some() {
                     self.charge_constrained_access(addr);
                 }
-                let value = if self.rot_soft {
+                let value = if line_spilled {
+                    // Spilled line: the read is untracked by the TMCAM, so
+                    // it is value-logged on the software snapshot and
+                    // revalidated under the sequence lock at commit.
+                    self.soft_reads += 1;
+                    if self.soft_reads >= STM_MAX_ACCESSES {
+                        return self.fail(AbortCause::SpillValidation);
+                    }
+                    let raw = match self.soft_snapshot_read(addr) {
+                        Ok(v) => v,
+                        Err(_) => return self.fail(AbortCause::SpillValidation),
+                    };
+                    self.soft_log.record(addr, raw)
+                } else if self.rot_soft {
                     // ROT tier: the load is untracked by the TMCAM, so it
                     // is value-logged on the software snapshot instead and
                     // revalidated under the sequence lock at commit.
@@ -1204,11 +1325,30 @@ impl TxnEngine {
                     return self.fail(cause);
                 }
                 let line = self.mem.line_of(addr);
-                if !self.write_lines.contains(&line) {
+                let mut line_spilled = self.spill_mode && self.spilled_lines.contains(&line);
+                if !line_spilled && !self.write_lines.contains(&line) {
                     let already_read = self.read_lines.contains(&line);
-                    if let Err(c) = self.tracker.on_first_store(line, already_read) {
-                        return self.fail(c);
+                    match self.tracker.on_first_store(line, already_read) {
+                        Ok(()) => {}
+                        // Spill tier: the overflowing store is buffered in
+                        // the side log and published (with dooming
+                        // semantics) under the sequence lock at commit.
+                        Err(c) if self.spill_mode && c.is_capacity() => {
+                            self.spill_line(line);
+                            line_spilled = true;
+                        }
+                        Err(c) => return self.fail(c),
                     }
+                }
+                if line_spilled {
+                    if let Some(h) = &mut self.hb {
+                        h.get_mut().tx_access(addr, true);
+                    }
+                    self.spill_writes.insert(addr, value);
+                    self.maybe_yield();
+                    return Ok(());
+                }
+                if !self.write_lines.contains(&line) {
                     if let Err(c) = self.mem.tx_claim_line(self.slot, line, self.policy) {
                         return self.fail(c);
                     }

@@ -1,0 +1,283 @@
+//! Integration tests for the adaptive contention manager (DESIGN.md §9):
+//! tier selection from live abort feedback, POWER8 capacity spilling,
+//! storm-proof degradation, and record/replay of adaptive runs.
+
+use htm_core::WordAddr;
+use htm_machine::Platform;
+use htm_runtime::{
+    FallbackPolicy, FaultPlan, RetryPolicy, RunStats, ScheduleTrace, Sim, SimConfig, ThreadCtx,
+    WatchdogConfig,
+};
+
+/// The schedule-independent counters an adaptive replay must reproduce.
+/// The controller-side telemetry (tier switches, backoff cycles, rescues)
+/// is deliberately absent: replay follows recorded outcomes and never runs
+/// the controller.
+#[allow(clippy::type_complexity)]
+fn replay_counters(stats: &RunStats) -> Vec<(u64, u64, [u64; 5], u64, u64, u64, [u64; 4])> {
+    stats
+        .threads
+        .iter()
+        .map(|t| {
+            (
+                t.hw_commits,
+                t.irrevocable_commits,
+                t.aborts,
+                t.injected_faults,
+                t.watchdog_trips,
+                t.degraded_commits,
+                [t.stm_commits, t.stm_validation_aborts, t.rot_commits, t.spill_commits],
+            )
+        })
+        .collect()
+}
+
+/// Increment-only storm workload: exactness of the final sum witnesses
+/// that no tier of the adaptive ladder loses updates.
+fn run_adaptive_storm(platform: Platform, plan: FaultPlan) -> RunStats {
+    let sim = Sim::new(
+        SimConfig::new(platform.config())
+            .mem_words(1 << 18)
+            .fallback(FallbackPolicy::Adaptive)
+            .faults(plan),
+    );
+    let counters = sim.alloc().alloc_aligned(8, 64);
+    let stats = sim.run_parallel(4, RetryPolicy::uniform(1), move |ctx| {
+        let t = ctx.thread_id() as u64;
+        for i in 0..200u64 {
+            ctx.atomic(|tx| {
+                let a = counters.offset(((i * 3 + t) % 8) as u32);
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        }
+    });
+    let total: u64 = (0..8).map(|i| sim.read_word(counters.offset(i))).sum();
+    assert_eq!(total, 4 * 200, "{platform} adaptive: lost updates under fault storm");
+    assert_eq!(stats.committed_blocks(), 4 * 200, "{platform} adaptive: uncommitted blocks");
+    stats
+}
+
+#[test]
+fn adaptive_fault_storms_lose_no_updates_on_any_platform() {
+    for platform in Platform::ALL {
+        let plan = FaultPlan::none()
+            .seed(0xAD4B7)
+            .transient_abort_per_begin(0.5)
+            .capacity_abort_per_begin(0.1)
+            .lock_release_delay(300);
+        run_adaptive_storm(platform, plan);
+    }
+}
+
+#[test]
+fn adaptive_controller_switches_tiers_and_backs_off_under_contention() {
+    // A sustained conflict storm on one hot line must make the controller
+    // actually move (the whole point of the adaptive policy) and must
+    // exercise the capped randomized backoff.
+    let plan = FaultPlan::none().seed(0x5117C).transient_abort_per_begin(0.8);
+    let sim = Sim::new(
+        SimConfig::new(Platform::IntelCore.config())
+            .mem_words(1 << 18)
+            .fallback(FallbackPolicy::Adaptive)
+            .faults(plan),
+    );
+    let a = sim.alloc().alloc(1);
+    let stats = sim.run_parallel(4, RetryPolicy::uniform(4), move |ctx| {
+        for _ in 0..300 {
+            ctx.atomic(|tx| {
+                let v = tx.load(a)?;
+                tx.store(a, v + 1)
+            });
+        }
+    });
+    assert_eq!(sim.read_word(a), 4 * 300);
+    assert!(stats.tier_switches() > 0, "the controller never changed tier under the storm");
+    assert!(stats.backoff_cycles() > 0, "granted retries must accumulate backoff");
+}
+
+#[test]
+fn adaptive_storm_trips_are_bounded_by_the_starvation_bound() {
+    // A 100% per-begin abort storm with an effectively unbounded retry
+    // budget: only the watchdog's starvation bound can end a block's
+    // hardware attempts, and only the controller's rescue-to-lock keeps
+    // the run from livelocking. Every block still commits, and the trip
+    // count respects the arithmetic bound: each trip costs the tripped
+    // block plus `degraded_blocks` forced-irrevocable blocks, so a thread
+    // of `n` blocks can trip at most `ceil(n / (1 + degraded_blocks))`
+    // times.
+    for platform in [Platform::IntelCore, Platform::Power8] {
+        let plan = FaultPlan::none().seed(0x570B).transient_abort_per_begin(1.0);
+        let watchdog =
+            WatchdogConfig { starvation_bound: 16, degraded_blocks: 4, escalation_cap: 3 };
+        let sim = Sim::new(
+            SimConfig::new(platform.config())
+                .mem_words(1 << 18)
+                .fallback(FallbackPolicy::Adaptive)
+                .faults(plan)
+                .watchdog(watchdog),
+        );
+        let a = sim.alloc().alloc(1);
+        let blocks_per_thread = 150u64;
+        let stats = sim.run_parallel(2, RetryPolicy::uniform(1_000_000), move |ctx| {
+            for _ in 0..blocks_per_thread {
+                ctx.atomic(|tx| {
+                    let v = tx.load(a)?;
+                    tx.store(a, v + 1)
+                });
+            }
+        });
+        assert_eq!(sim.read_word(a), 2 * blocks_per_thread, "{platform}: lost updates");
+        assert_eq!(stats.committed_blocks(), 2 * blocks_per_thread, "{platform}");
+        assert!(stats.watchdog_trips() > 0, "{platform}: the storm must trip the watchdog");
+        let per_thread_bound = blocks_per_thread.div_ceil(1 + watchdog.degraded_blocks as u64);
+        assert!(
+            stats.watchdog_trips() <= 2 * per_thread_bound,
+            "{platform}: {} trips exceed the starvation bound's arithmetic limit {}",
+            stats.watchdog_trips(),
+            2 * per_thread_bound
+        );
+        assert!(
+            stats.adapt_starvation_rescues() > 0
+                && stats.adapt_starvation_rescues() <= stats.watchdog_trips(),
+            "{platform}: rescues ({}) must be positive and within trips ({})",
+            stats.adapt_starvation_rescues(),
+            stats.watchdog_trips()
+        );
+    }
+}
+
+#[test]
+fn capacity_doomed_blocks_commit_by_spilling_on_power8() {
+    // 96 distinct conflict-detection lines per transaction — half again
+    // the 64-entry TMCAM — so plain hardware attempts are capacity-doomed.
+    // Under the adaptive policy the block escalates to the spill tier and
+    // commits partial-hardware; the final memory must be bit-identical to
+    // the same workload driven through the unspilled lock fallback.
+    const LINES: u32 = 96;
+    let cfg = Platform::Power8.config();
+    let words_per_line = cfg.granularity / 8;
+    let run = |fallback: FallbackPolicy| {
+        let sim = Sim::new(
+            SimConfig::new(Platform::Power8.config()).mem_words(1 << 20).fallback(fallback),
+        );
+        let base = sim.alloc().alloc_aligned(LINES * words_per_line, cfg.granularity);
+        let stats = sim.run_parallel(1, RetryPolicy::default(), move |ctx| {
+            for _ in 0..20 {
+                ctx.atomic(|tx| {
+                    for line in 0..LINES {
+                        let a = base.offset(line * words_per_line);
+                        let v = tx.load(a)?;
+                        tx.store(a, v + 1)?;
+                    }
+                    Ok(())
+                });
+            }
+        });
+        for line in 0..LINES {
+            assert_eq!(
+                sim.read_word(base.offset(line * words_per_line)),
+                20,
+                "{fallback}: line {line} lost increments"
+            );
+        }
+        (stats, sim.memory_digest())
+    };
+
+    let (adaptive, adaptive_digest) = run(FallbackPolicy::Adaptive);
+    assert!(adaptive.spill_commits() > 0, "capacity-doomed blocks never took the spill tier");
+    assert!(adaptive.capacity_spills() > 0, "the spill tier never actually spilled a line");
+
+    let (locked, lock_digest) = run(FallbackPolicy::Lock);
+    assert_eq!(locked.spill_commits(), 0);
+    assert_eq!(adaptive_digest, lock_digest, "spilled commits diverged from unspilled memory");
+}
+
+fn contended_work(base: WordAddr) -> impl Fn(&mut ThreadCtx) + Sync {
+    move |ctx: &mut ThreadCtx| {
+        let tid = ctx.thread_id() as u64;
+        for _ in 0..150 {
+            ctx.atomic(|tx| {
+                let idx = rand::Rng::gen_range(tx.rng(), 0..8u32);
+                let v = tx.load(base.offset(idx))?;
+                tx.store(base.offset(idx), v.wrapping_mul(31).wrapping_add(tid + 1))
+            });
+        }
+    }
+}
+
+#[test]
+fn adaptive_storm_record_replay_is_bit_identical() {
+    // The adaptive tiers round-trip through the schedule trace: recorded
+    // hardware, spilled, software and irrevocable blocks all replay with
+    // identical counters and memory image, trace disk round trip included.
+    for platform in [Platform::IntelCore, Platform::Power8] {
+        let plan = FaultPlan::none()
+            .seed(0x4EC0)
+            .transient_abort_per_begin(0.4)
+            .capacity_abort_per_begin(0.2)
+            .doom_at_commit(0.05);
+        let make = || {
+            let cfg = SimConfig::new(platform.config())
+                .mem_words(1 << 18)
+                .seed(0xADA9)
+                .faults(plan)
+                .fallback(FallbackPolicy::Adaptive);
+            let sim = Sim::new(cfg);
+            let base = sim.alloc().alloc_aligned(8, 64);
+            (sim, base)
+        };
+
+        let (sim, base) = make();
+        let (recorded, trace) =
+            sim.record_parallel(4, RetryPolicy::uniform(1), contended_work(base)).expect("record");
+        let recorded_digest = sim.memory_digest();
+        assert!(recorded.injected_faults() > 0, "{platform}: the plan must actually fire");
+        if platform == Platform::Power8 {
+            assert!(
+                recorded.spill_commits() > 0,
+                "{platform}: injected capacity aborts must drive blocks through the spill tier"
+            );
+        }
+
+        let path = std::env::temp_dir().join(format!("htm-adaptive-replay-{platform}.txt"));
+        trace.save(&path).expect("save trace");
+        let trace = ScheduleTrace::load(&path).expect("load trace");
+        let _ = std::fs::remove_file(&path);
+
+        let (sim2, base2) = make();
+        assert_eq!(base, base2, "identical setup must allocate identically");
+        let replayed =
+            sim2.replay(&trace, RetryPolicy::uniform(1), contended_work(base2)).expect("replay");
+
+        assert_eq!(replay_counters(&recorded), replay_counters(&replayed), "{platform}");
+        assert_eq!(recorded_digest, sim2.memory_digest(), "{platform}: memory images must match");
+    }
+}
+
+#[test]
+fn adaptive_runs_certify_serializable_and_race_free() {
+    // The robustness stack holds under the adaptive policy: committed
+    // blocks (including spilled ones) feed the serializability certifier,
+    // and the race sanitizer sees the spill tier's lock-ordered commits.
+    for platform in [Platform::IntelCore, Platform::Power8] {
+        let plan = FaultPlan::none()
+            .seed(0xCE47)
+            .transient_abort_per_begin(0.4)
+            .capacity_abort_per_begin(0.2);
+        let cfg = SimConfig::new(platform.config())
+            .mem_words(1 << 18)
+            .seed(0xCEF1)
+            .faults(plan)
+            .fallback(FallbackPolicy::Adaptive)
+            .certify(true)
+            .sanitize(true);
+        let sim = Sim::new(cfg);
+        let base = sim.alloc().alloc_aligned(8, 64);
+        let stats = sim.run_parallel(4, RetryPolicy::uniform(1), contended_work(base));
+        let report = stats.certify.as_ref().expect("certifier on");
+        assert!(report.ok(), "{platform}: {report}");
+        let race = stats.race.as_ref().expect("sanitizer on");
+        assert!(race.ok(), "{platform}: adaptive run reported races: {race}");
+    }
+}

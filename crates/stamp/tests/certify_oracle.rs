@@ -111,6 +111,40 @@ fn software_tiers_certify_under_a_fault_storm() {
 }
 
 #[test]
+fn adaptive_fallback_certifies_and_matches_the_sequential_digest() {
+    // The adaptive ladder on every platform: whatever mix of tiers the
+    // controller picks per benchmark, the oracle's digest check anchors
+    // the run to the sequential reference.
+    for p in Platform::ALL {
+        for id in BenchId::ALL {
+            let params = BenchParams { fallback: FallbackPolicy::Adaptive, ..oracle_params(4) };
+            let stats = run_bench_oracle(id, Variant::Modified, &p.config(), &params);
+            let report = stats.certify.as_ref().expect("oracle certifies");
+            assert!(report.ok(), "{p}/{id} under adaptive fallback:\n{report}");
+        }
+    }
+}
+
+#[test]
+fn adaptive_spill_tier_certifies_under_a_capacity_storm() {
+    // Injected capacity aborts push POWER8 blocks into the spill tier;
+    // spilled commits must serialize and match the sequential digest like
+    // every other tier.
+    let storm = FaultPlan::none().transient_abort_per_begin(0.2).capacity_abort_per_begin(0.4);
+    for id in [BenchId::Ssca2, BenchId::Intruder, BenchId::Genome] {
+        let params =
+            BenchParams { faults: storm, fallback: FallbackPolicy::Adaptive, ..oracle_params(4) };
+        let stats = run_bench_oracle(id, Variant::Modified, &Platform::Power8.config(), &params);
+        let report = stats.certify.as_ref().expect("oracle certifies");
+        assert!(report.ok(), "{id} under adaptive capacity storm:\n{report}");
+        assert!(
+            stats.spill_commits() > 0,
+            "{id}: the capacity storm must drive blocks through the spill tier"
+        );
+    }
+}
+
+#[test]
 fn certified_measurement_populates_run_stats() {
     // The BenchParams::certify flag routes through `measure` and attaches
     // the report without disturbing the measured counters.
