@@ -195,7 +195,8 @@ impl Parser<'_> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number bytes at byte {start}"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("invalid number {text:?} at byte {start}"))
@@ -254,10 +255,12 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so byte
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).expect("utf8");
-                    let c = rest.chars().next().expect("non-empty");
+                    // Consume one UTF-8 scalar. The input arrived as a
+                    // &str so boundaries are valid, but a malformed buffer
+                    // must degrade to a parse error, not a panic.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    let c = rest.chars().next().ok_or_else(|| "unterminated string".to_string())?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

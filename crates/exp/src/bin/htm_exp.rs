@@ -15,8 +15,11 @@
 //! `--no-cache`. Exit status: 0 on success, 1 when a `--gate` rule fires
 //! or `diff` finds differences, 2 on usage errors.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use htm_analyze::Gate;
 use htm_exp::{run_spec, specs, RunOpts};
+use htm_fabric::{serve, ChaosPlan, FabricConfig};
 use stamp::Scale;
 
 const USAGE: &str = "usage: htm-exp <command> [options]
@@ -37,7 +40,18 @@ options:
   --filter SUBSTR         only run cells whose id contains SUBSTR
   --gate rule1,rule2,...  exit 1 if a gated lint rule fires
   --results-dir PATH      artifact directory (default target/results)
-  --quiet                 suppress per-cell progress on stderr";
+  --quiet                 suppress per-cell progress on stderr
+fabric options (fault-tolerant multi-process runs):
+  --fabric                shard cells to worker processes with lease-based
+                          retry; crashed or hung workers are respawned and
+                          their cells retried (degrades to in-process when
+                          no worker can be spawned)
+  --workers N             fabric worker processes (default 2; implies --fabric)
+  --cell-timeout SECS     per-cell wall-clock lease before the worker is
+                          killed and the cell retried (default 300)
+  --chaos PLAN            deterministic fault schedule for testing:
+                          'storm:seed=S,kills=K,span=N' or
+                          'kill@2;stall@5;lostreport@7;dieafter@9;torn@1'";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -109,6 +123,30 @@ fn parse_cli() -> Cli {
                     .unwrap_or_else(|_| usage_error("--jobs needs an integer"));
             }
             "--no-cache" => cli.opts.use_cache = false,
+            "--fabric" => {
+                cli.opts.fabric.get_or_insert_with(FabricConfig::default);
+            }
+            "--workers" => {
+                let n = next(&mut args, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--workers needs an integer"));
+                if n == 0 {
+                    usage_error("--workers needs at least 1");
+                }
+                cli.opts.fabric.get_or_insert_with(FabricConfig::default).workers = n;
+            }
+            "--cell-timeout" => {
+                let secs: u64 = next(&mut args, "--cell-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--cell-timeout needs integer seconds"));
+                cli.opts.fabric.get_or_insert_with(FabricConfig::default).cell_timeout_ms =
+                    secs.saturating_mul(1000);
+            }
+            "--chaos" => {
+                let plan = ChaosPlan::parse(&next(&mut args, "--chaos"))
+                    .unwrap_or_else(|e| usage_error(&e));
+                cli.opts.fabric.get_or_insert_with(FabricConfig::default).chaos = plan;
+            }
             "--filter" => cli.opts.filter = Some(next(&mut args, "--filter")),
             "--gate" => {
                 cli.gate =
@@ -126,6 +164,14 @@ fn parse_cli() -> Cli {
             }
             other if other.starts_with('-') => usage_error(&format!("unknown option {other}")),
             name => cli.names.push(name.to_string()),
+        }
+    }
+    if let Some(f) = &mut cli.opts.fabric {
+        // Backoff jitter follows the run's root seed so fabric scheduling
+        // is as reproducible as the chaos tests require.
+        f.seed = cli.opts.seed;
+        if !cli.opts.quiet {
+            f.verbose = true;
         }
     }
     cli
@@ -257,7 +303,113 @@ fn diff_lines(old: &[String], new: &[String]) -> Vec<String> {
     out
 }
 
+/// The hidden `worker` command the fabric coordinator spawns: rebuild the
+/// spec's cell grid from the registry (cell builders are deterministic, so
+/// coordinator and worker agree on the grid), connect back, and serve
+/// assignments by content key until told to stop. Exit status does not
+/// matter to the coordinator — only protocol messages do.
+fn cmd_worker(args: Vec<String>) -> i32 {
+    let mut spec_name = String::new();
+    let mut addr = String::new();
+    let mut worker_id: u64 = 0;
+    let mut heartbeat_ms: u64 = 100;
+    let mut opts = RunOpts { scale_explicit: true, quiet: true, ..RunOpts::default() };
+    let mut it = args.into_iter();
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| usage_error(&format!("worker: {flag} needs an argument")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spec" => spec_name = next(&mut it, "--spec"),
+            "--fabric-addr" => addr = next(&mut it, "--fabric-addr"),
+            "--fabric-id" => {
+                worker_id = next(&mut it, "--fabric-id")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("worker: --fabric-id needs an integer"));
+            }
+            "--heartbeat-ms" => {
+                heartbeat_ms = next(&mut it, "--heartbeat-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("worker: --heartbeat-ms needs an integer"));
+            }
+            "--scale" => {
+                opts.scale = match next(&mut it, "--scale").as_str() {
+                    "tiny" => Scale::Tiny,
+                    "sim" => Scale::Sim,
+                    "full" => Scale::Full,
+                    other => usage_error(&format!("worker: bad --scale {other:?}")),
+                };
+            }
+            "--seed" => {
+                opts.seed = next(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("worker: --seed needs an integer"));
+            }
+            "--reps" => {
+                opts.reps = next(&mut it, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("worker: --reps needs an integer"));
+            }
+            "--certify" => opts.certify = true,
+            "--fallback" => {
+                let s = next(&mut it, "--fallback");
+                opts.fallback = Some(
+                    htm_runtime::FallbackPolicy::parse(&s)
+                        .unwrap_or_else(|| usage_error(&format!("worker: bad --fallback {s:?}"))),
+                );
+            }
+            "--filter" => opts.filter = Some(next(&mut it, "--filter")),
+            other => usage_error(&format!("worker: unknown option {other}")),
+        }
+    }
+    let Some(spec) = specs::find(&spec_name) else {
+        eprintln!("worker: unknown spec {spec_name:?}");
+        return 1;
+    };
+    if addr.is_empty() {
+        eprintln!("worker: --fabric-addr is required");
+        return 1;
+    }
+    let eff = opts.effective_for(spec);
+    let mut cells = (spec.build)(&eff);
+    if let Some(f) = &eff.filter {
+        cells.retain(|c| c.id.contains(f.as_str()));
+    }
+    // Serve by content key: assignments name a key, and a key absent from
+    // the rebuilt grid means coordinator/worker drift (version skew, option
+    // mismatch) — reported as a cell error, never silently miscomputed.
+    let outcome = serve(&addr, worker_id, heartbeat_ms, |_, key| {
+        let Some(cell) = cells.iter().find(|c| c.kind.key() == key) else {
+            return Err(format!("worker grid has no cell with key {key:?} (drift?)"));
+        };
+        match catch_unwind(AssertUnwindSafe(|| cell.kind.compute())) {
+            Ok(r) => Ok(r.to_json()),
+            Err(p) => {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic".into());
+                Err(format!("panic: {msg}"))
+            }
+        }
+    });
+    match outcome {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
 fn main() {
+    // The worker command has its own option surface; dispatch before the
+    // general CLI parse.
+    let mut raw = std::env::args().skip(1);
+    if raw.next().as_deref() == Some("worker") {
+        std::process::exit(cmd_worker(raw.collect()));
+    }
     let cli = parse_cli();
     let code = match cli.command.as_str() {
         "list" => {

@@ -18,7 +18,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
-use crate::cache::ResultCache;
+use htm_fabric::{run_fabric, FabricConfig, FabricStats, WorkItem};
+
+use crate::cache::{Load, ResultCache};
 use crate::cell::{CellResult, CellSpec};
 use crate::sink::Sink;
 use crate::spec::{ExperimentSpec, ResultSet, RunOpts};
@@ -32,8 +34,23 @@ pub struct EngineReport {
     pub computed: usize,
     /// Cells served from the cache.
     pub cached: usize,
+    /// Corrupt cache entries quarantined and regenerated this run.
+    pub healed: usize,
     /// Wall-clock seconds spent computing cells.
     pub wall_s: f64,
+    /// Fabric summary when the run went through `--fabric`.
+    pub fabric: Option<FabricReport>,
+}
+
+/// What the fabric did during a `--fabric` run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricReport {
+    /// Coordinator counters (spawns, losses, retries, timeouts, ...).
+    pub stats: FabricStats,
+    /// Whether the fabric degraded and the engine fell back in-process.
+    pub degraded: bool,
+    /// Cells computed in-process after degradation.
+    pub local_cells: usize,
 }
 
 /// A finished spec run: the rendered sink plus the engine report.
@@ -79,6 +96,7 @@ pub fn compute_cells(
     let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; n]);
     let computed = AtomicUsize::new(0);
     let cached = AtomicUsize::new(0);
+    let healed = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let store_warned = AtomicUsize::new(0);
@@ -98,6 +116,7 @@ pub fn compute_cells(
             let slots = &slots;
             let computed = &computed;
             let cached = &cached;
+            let healed = &healed;
             let done = &done;
             let errors = &errors;
             let store_warned = &store_warned;
@@ -113,7 +132,18 @@ pub fn compute_cells(
                 let cell = &cells[idx];
                 let key = cell.kind.key();
                 let cell_start = Instant::now();
-                let (result, was_cached) = match cache.load(&key) {
+                let loaded = match cache.load_checked(&key) {
+                    Load::Hit(r) => Some(r),
+                    Load::Miss => None,
+                    Load::Healed(why) => {
+                        // Corrupt entry quarantined; recompute below and the
+                        // store rewrites a clean one.
+                        healed.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("[{spec_name}] warning: healed corrupt cache entry ({why})");
+                        None
+                    }
+                };
+                let (result, was_cached) = match loaded {
                     Some(r) => (Some(r), true),
                     None => {
                         let r = catch_unwind(AssertUnwindSafe(|| cell.kind.compute()));
@@ -183,9 +213,200 @@ pub fn compute_cells(
         total: n,
         computed: computed.into_inner(),
         cached: cached.into_inner(),
+        healed: healed.into_inner(),
         wall_s: start.elapsed().as_secs_f64(),
+        fabric: None,
     };
     (results, report)
+}
+
+/// Computes `cells` over the multi-process fabric: cache-first scan, then
+/// lease-based sharding of the misses to worker processes, then an
+/// in-process fallback for anything the fabric could not execute
+/// (degradation), preserving [`compute_cells`]' result order and panic
+/// contract. Quarantined cells (bounded attempts exhausted) panic with
+/// their ids — after every healthy cell's result has been stored, so the
+/// partial run is preserved in the cache.
+pub fn compute_cells_fabric(
+    spec_name: &str,
+    cells: &[CellSpec],
+    opts: &RunOpts,
+    fcfg: &FabricConfig,
+) -> (Vec<CellResult>, EngineReport) {
+    let cache = ResultCache::new(&opts.cache_dir, opts.use_cache);
+    let n = cells.len();
+    let start = Instant::now();
+
+    let mut slots: Vec<Option<CellResult>> = vec![None; n];
+    let mut cached = 0usize;
+    let mut healed = 0usize;
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        match cache.load_checked(&cell.kind.key()) {
+            Load::Hit(r) => {
+                slots[i] = Some(r);
+                cached += 1;
+                if !opts.quiet {
+                    eprintln!("[{spec_name}] ({}/{n}) {} (cached)", i + 1, cell.id);
+                }
+            }
+            Load::Miss => pending.push(i),
+            Load::Healed(why) => {
+                healed += 1;
+                eprintln!("[{spec_name}] warning: healed corrupt cache entry ({why})");
+                pending.push(i);
+            }
+        }
+    }
+
+    let mut computed = 0usize;
+    let mut errors: Vec<String> = Vec::new();
+    let mut fabric_report = FabricReport::default();
+    let mut local: Vec<usize> = Vec::new();
+
+    if !pending.is_empty() {
+        let worker_cmd = worker_command(spec_name, opts, fcfg);
+        match worker_cmd {
+            Some(cmd) => {
+                let items: Vec<WorkItem> = pending
+                    .iter()
+                    .map(|&i| WorkItem { index: i, key: cells[i].kind.key() })
+                    .collect();
+                let outcome = run_fabric(&items, &cmd, fcfg);
+                fabric_report.stats = outcome.stats;
+                fabric_report.degraded = outcome.degraded;
+
+                let mut store_seq = 0usize;
+                let mut store_warned = false;
+                for (pos, payload) in outcome.results.iter().enumerate() {
+                    let Some(json) = payload else { continue };
+                    let i = pending[pos];
+                    match CellResult::from_json(json) {
+                        Ok(r) => {
+                            let key = cells[i].kind.key();
+                            if let Err(e) = cache.store(&key, &cells[i].id, &r) {
+                                if !store_warned {
+                                    store_warned = true;
+                                    eprintln!(
+                                        "[{spec_name}] warning: cache store failed ({e}); \
+                                         results will not be reusable"
+                                    );
+                                }
+                            } else if fcfg.chaos.torn_store_at(store_seq) {
+                                // Chaos: tear the entry we just committed, as
+                                // a crash mid-write would. The next load must
+                                // heal it.
+                                tear_entry(&cache, &key);
+                            }
+                            store_seq += 1;
+                            slots[i] = Some(r);
+                            computed += 1;
+                        }
+                        Err(e) => {
+                            errors.push(format!("cell {}: undecodable result ({e})", cells[i].id));
+                        }
+                    }
+                }
+                for (pos, err) in &outcome.errors {
+                    errors.push(format!("cell {}: {err}", cells[pending[*pos]].id));
+                }
+                local = outcome.unexecuted.iter().map(|&pos| pending[pos]).collect();
+            }
+            None => {
+                // No worker executable resolvable: everything runs local.
+                fabric_report.degraded = true;
+                local = pending.clone();
+            }
+        }
+    }
+
+    if !local.is_empty() {
+        if !opts.quiet {
+            eprintln!(
+                "[{spec_name}] fabric degraded; computing {} cell(s) in-process",
+                local.len()
+            );
+        }
+        let subset: Vec<CellSpec> = local.iter().map(|&i| cells[i].clone()).collect();
+        let (results, sub) = compute_cells(spec_name, &subset, opts);
+        for (&i, r) in local.iter().zip(results) {
+            slots[i] = Some(r);
+        }
+        computed += sub.computed;
+        cached += sub.cached;
+        healed += sub.healed;
+        fabric_report.local_cells = local.len();
+    }
+
+    if let Some(first) = errors.first() {
+        panic!("{} cell(s) failed; first: {first}", errors.len());
+    }
+    for (i, slot) in slots.iter().enumerate() {
+        assert!(slot.is_some(), "cell {}: no result produced", cells[i].id);
+    }
+    let results: Vec<CellResult> = slots.into_iter().flatten().collect();
+    if !opts.quiet {
+        let s = &fabric_report.stats;
+        eprintln!(
+            "[{spec_name}] fabric: {} worker(s) spawned, {} lost, {} retries, \
+             {} timeouts, {} stale, degraded={}",
+            s.spawned, s.lost, s.retries, s.timeouts, s.stale_results, fabric_report.degraded
+        );
+    }
+    let report = EngineReport {
+        total: n,
+        computed,
+        cached,
+        healed,
+        wall_s: start.elapsed().as_secs_f64(),
+        fabric: Some(fabric_report),
+    };
+    (results, report)
+}
+
+/// Builds the worker command line for a fabric run: the worker re-derives
+/// the same cell grid from the spec registry, so everything that shapes
+/// cell building must ride on the command line.
+fn worker_command(spec_name: &str, opts: &RunOpts, fcfg: &FabricConfig) -> Option<Vec<String>> {
+    let exe = match &opts.worker_exe {
+        Some(p) => p.clone(),
+        None => std::env::current_exe().ok()?,
+    };
+    let mut cmd = vec![
+        exe.to_string_lossy().into_owned(),
+        "worker".into(),
+        "--spec".into(),
+        spec_name.into(),
+        "--scale".into(),
+        crate::cell::scale_key(opts.scale).into(),
+        "--seed".into(),
+        opts.seed.to_string(),
+        "--reps".into(),
+        opts.reps.to_string(),
+        "--heartbeat-ms".into(),
+        fcfg.heartbeat_ms.to_string(),
+    ];
+    if opts.certify {
+        cmd.push("--certify".into());
+    }
+    if let Some(f) = opts.fallback {
+        cmd.push("--fallback".into());
+        cmd.push(f.key().into());
+    }
+    if let Some(f) = &opts.filter {
+        cmd.push("--filter".into());
+        cmd.push(f.clone());
+    }
+    Some(cmd)
+}
+
+/// Truncates the cache entry for `key` in place (the chaos harness's torn
+/// write).
+fn tear_entry(cache: &ResultCache, key: &str) {
+    let path = cache.path_for(key);
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        let _ = std::fs::write(&path, &text[..text.len() / 2]);
+    }
 }
 
 /// Runs one spec end to end: build cells (under the spec's effective
@@ -197,7 +418,10 @@ pub fn run_spec(spec: &ExperimentSpec, opts: &RunOpts) -> SpecRun {
     if let Some(f) = &eff.filter {
         cells.retain(|c| c.id.contains(f.as_str()));
     }
-    let (results, report) = compute_cells(spec.name, &cells, &eff);
+    let (results, report) = match &eff.fabric {
+        Some(fcfg) => compute_cells_fabric(spec.name, &cells, &eff, fcfg),
+        None => compute_cells(spec.name, &cells, &eff),
+    };
     let set = ResultSet { cells: &cells, results: &results };
     let mut sink = Sink::new();
     if filtered {

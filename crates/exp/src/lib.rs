@@ -15,11 +15,16 @@
 //!   at build time) and computes without touching global state, so cells
 //!   run on any OS thread in any order.
 //! * [`engine`] — a work-stealing scheduler that spreads cells over host
-//!   cores; each cell builds its own `Sim`.
-//! * [`cache`] — a content-addressed result cache under
+//!   cores; each cell builds its own `Sim`. With `--fabric` the engine
+//!   instead shards cells to worker *processes* through `htm-fabric`'s
+//!   crash-recovering coordinator (lease-based retry, per-cell timeouts,
+//!   graceful in-process degradation).
+//! * [`cache`] — a content-addressed, self-healing result cache under
 //!   `target/results/cache/`: re-running a spec reuses every finished
 //!   cell, so an interrupted grid resumes where it stopped, and specs that
 //!   share cells (Figure 3 re-measures Figure 2's grid) share results.
+//!   Torn or bit-flipped entries fail their checksum on load and are
+//!   quarantined and regenerated instead of poisoning the run.
 //! * [`sink`] — the unified output layer: aligned text tables, TSV files
 //!   (parent directories created, I/O errors reported), and
 //!   `htm-analyze`-style JSON.
@@ -41,8 +46,9 @@ pub mod sink;
 pub mod spec;
 pub mod specs;
 
+pub use cache::{Load, ResultCache};
 pub use cell::{CellKind, CellResult, CellSpec, MachineTweak, StampCell};
-pub use engine::{run_spec, EngineReport, SpecRun};
+pub use engine::{run_spec, EngineReport, FabricReport, SpecRun};
 pub use grid::{bgq_mode_for, geomean, machine_for, run_cell, tuned_policy, Cell};
 pub use sink::{render_table_string, save_tsv, Sink};
 pub use spec::{ExperimentSpec, ResultSet, RunOpts};

@@ -5,6 +5,7 @@
 
 use std::path::PathBuf;
 
+use htm_fabric::FabricConfig;
 use htm_runtime::FallbackPolicy;
 use stamp::Scale;
 
@@ -43,6 +44,13 @@ pub struct RunOpts {
     pub filter: Option<String>,
     /// Suppress per-cell progress lines on stderr.
     pub quiet: bool,
+    /// Run cells through the fault-tolerant multi-process fabric instead
+    /// of the in-process scheduler (`--fabric`/`--workers`).
+    pub fabric: Option<FabricConfig>,
+    /// Worker executable for fabric runs; `None` resolves to the current
+    /// executable (integration tests point this at the real `htm-exp`
+    /// binary, since their own executable is the test harness).
+    pub worker_exe: Option<PathBuf>,
 }
 
 impl Default for RunOpts {
@@ -60,6 +68,8 @@ impl Default for RunOpts {
             results_dir: PathBuf::from("target/results"),
             filter: None,
             quiet: false,
+            fabric: None,
+            worker_exe: None,
         }
     }
 }

@@ -22,7 +22,7 @@ pub fn all() -> &'static [&'static ExperimentSpec] {
     &ALL_SPECS
 }
 
-static ALL_SPECS: [&ExperimentSpec; 22] = [
+static ALL_SPECS: [&ExperimentSpec; 23] = [
     &tools::TABLE1,
     &figs::FIG2,
     &figs::FIG3,
@@ -45,6 +45,7 @@ static ALL_SPECS: [&ExperimentSpec; 22] = [
     &adaptive::ADAPTIVE,
     &tools::CERTIFY_OVERHEAD,
     &tools::LINT,
+    &tools::FABRIC_SMOKE,
 ];
 
 /// Looks a spec up by CLI name.
@@ -88,7 +89,7 @@ mod tests {
 
     #[test]
     fn registry_has_all_specs() {
-        assert_eq!(all().len(), 22);
+        assert_eq!(all().len(), 23);
         for name in [
             "table1",
             "fig2",
@@ -112,6 +113,7 @@ mod tests {
             "adaptive",
             "certify_overhead",
             "lint",
+            "fabric_smoke",
         ] {
             assert!(find(name).is_some(), "missing spec {name}");
         }

@@ -6,7 +6,7 @@ use htm_machine::Platform;
 use htm_runtime::{FallbackPolicy, RetryPolicy};
 use stamp::{BenchId, Scale, Variant};
 
-use crate::cell::{platform_key, CellKind, CellSpec, StampCell};
+use crate::cell::{platform_key, CellKind, CellSpec, QueueSpec, StampCell, TlsKernelId};
 use crate::sink::f2;
 use crate::spec::ExperimentSpec;
 
@@ -328,5 +328,65 @@ pub static LINT: ExperimentSpec = ExperimentSpec {
         }
         sink.json("htm_lint", lint::report_to_json(&violations));
         sink.report_violations(violations);
+    },
+};
+
+/// The deterministic mini-grid behind `htm-exp run fabric_smoke`: every
+/// cell is sequential or single-threaded, so the grid's results — and its
+/// rendered table and TSV — are bit-identical run to run. That determinism
+/// is what the fabric's chaos tests pin: a run that loses workers
+/// mid-flight must produce output identical to a clean run.
+pub static FABRIC_SMOKE: ExperimentSpec = ExperimentSpec {
+    name: "fabric_smoke",
+    title: "deterministic mini-grid for fabric and chaos verification",
+    default_scale: Some(Scale::Tiny),
+    build: |opts| {
+        let mut cells = Vec::new();
+        let queues = [
+            ("lockfree", QueueSpec::LockFree),
+            ("noretry", QueueSpec::NoRetry),
+            ("optretry3", QueueSpec::OptRetry(3)),
+            ("constrained", QueueSpec::Constrained),
+        ];
+        for (label, imp) in queues {
+            for ops in [40u64, 80] {
+                cells.push(CellSpec::new(
+                    format!("queue-{label}-o{ops}"),
+                    CellKind::Queue { imp, threads: 1, ops },
+                ));
+            }
+        }
+        for bench in [BenchId::Genome, BenchId::Ssca2] {
+            cells.push(CellSpec::new(
+                format!("trace-{}", bench.label()),
+                CellKind::Trace {
+                    bench,
+                    variant: Variant::Modified,
+                    scale: opts.scale,
+                    seed: opts.seed,
+                },
+            ));
+        }
+        for (label, kernel) in [("milc", TlsKernelId::Milc), ("sphinx", TlsKernelId::Sphinx)] {
+            cells.push(CellSpec::new(
+                format!("tls-{label}-seq"),
+                CellKind::Tls { kernel, threads: 0, suspend: false, iters: 64 },
+            ));
+        }
+        cells
+    },
+    render: |_opts, set, sink| {
+        let headers: Vec<String> =
+            ["cell", "metric", "value"].iter().map(|s| s.to_string()).collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        for (cell, result) in set.iter() {
+            for (metric, value) in &result.metrics {
+                rows.push(vec![cell.id.clone(), metric.clone(), f2(*value)]);
+                tsv.push(format!("{}\t{}\t{}", cell.id, metric, f2(*value)));
+            }
+        }
+        sink.table("fabric smoke (deterministic grid)", &headers, &rows);
+        sink.tsv("fabric_smoke", "cell\tmetric\tvalue", tsv);
     },
 };

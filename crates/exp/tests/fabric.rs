@@ -1,0 +1,191 @@
+//! Fabric integration tests: real `htm-exp worker` child processes under
+//! deterministic chaos schedules.
+//!
+//! The pinned invariant throughout: a fabric run — even one losing
+//! workers at every phase of the cell lifecycle — terminates with bounded
+//! retries and renders output **bit-identical** to a clean in-process
+//! run. Fault tolerance may change how many times a cell is attempted,
+//! never what the spec produces. The grid under test is `fabric_smoke`,
+//! built from deterministic cells only (sequential traces, 1-thread
+//! queues, sequential TLS baselines), so bit-identical is a meaningful
+//! bar.
+
+use std::path::{Path, PathBuf};
+
+use htm_exp::{run_spec, specs, RunOpts, SpecRun};
+use htm_fabric::{ChaosAction, ChaosPlan, FabricConfig};
+
+/// The real `htm-exp` binary (the test executable itself is the harness,
+/// so `current_exe` inside the engine would be wrong here).
+fn worker_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_htm-exp"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("htm-exp-fabric-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Fast-failure fabric tuning: tight heartbeats and backoffs so chaos
+/// recovery happens in milliseconds, with a generous default cell timeout
+/// (debug-build trace cells are slow; tests that exercise the timeout path
+/// shrink it explicitly and filter to microsecond queue cells).
+fn quick_fabric(workers: usize) -> FabricConfig {
+    FabricConfig {
+        workers,
+        heartbeat_ms: 20,
+        liveness_timeout_ms: 3_000,
+        cell_timeout_ms: 120_000,
+        max_attempts: 4,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 20,
+        connect_wait_ms: 10_000,
+        max_respawns: 4,
+        seed: 7,
+        chaos: ChaosPlan::none(),
+        verbose: false,
+    }
+}
+
+fn run_smoke(dir: &Path, fabric: Option<FabricConfig>, filter: Option<&str>) -> SpecRun {
+    let spec = specs::find("fabric_smoke").expect("fabric_smoke registered");
+    let opts = RunOpts {
+        quiet: true,
+        cache_dir: dir.join("cache"),
+        results_dir: dir.to_path_buf(),
+        worker_exe: Some(worker_exe()),
+        filter: filter.map(|s| s.to_string()),
+        fabric,
+        ..RunOpts::default()
+    };
+    run_spec(spec, &opts)
+}
+
+/// Rendered output must match bit for bit: the whole text block and every
+/// TSV row.
+fn assert_identical(a: &SpecRun, b: &SpecRun) {
+    assert_eq!(a.sink.text, b.sink.text, "rendered tables differ");
+    assert_eq!(a.sink.tsv.len(), b.sink.tsv.len());
+    for (x, y) in a.sink.tsv.iter().zip(&b.sink.tsv) {
+        assert_eq!(x.header, y.header);
+        assert_eq!(x.rows, y.rows, "TSV {} differs", x.name);
+    }
+}
+
+#[test]
+fn clean_fabric_run_is_bit_identical_to_in_process() {
+    let base_dir = temp_dir("clean-base");
+    let fab_dir = temp_dir("clean-fab");
+    let baseline = run_smoke(&base_dir, None, None);
+    let fabric = run_smoke(&fab_dir, Some(quick_fabric(2)), None);
+    assert_identical(&baseline, &fabric);
+    let fr = fabric.report.fabric.expect("fabric report present");
+    assert!(!fr.degraded, "clean run must not degrade: {fr:?}");
+    assert_eq!(fr.stats.quarantined, 0);
+    assert_eq!(fabric.report.computed, fabric.report.total);
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&fab_dir);
+}
+
+#[test]
+fn chaos_at_every_phase_completes_bit_identical_with_bounded_retries() {
+    let base_dir = temp_dir("storm-base");
+    let fab_dir = temp_dir("storm-fab");
+    let baseline = run_smoke(&base_dir, None, None);
+
+    // One fault at each lifecycle phase: assign (kill), execute is covered
+    // by the stall test separately (it needs a short cell timeout), commit
+    // (result lost before report, crash after report), plus a torn cache
+    // store. All keyed on deterministic sequence numbers.
+    let chaos = ChaosPlan::none()
+        .event(0, ChaosAction::KillAssignee)
+        .event(3, ChaosAction::DieBeforeReport)
+        .event(5, ChaosAction::DieAfterReport)
+        .event(1, ChaosAction::TornStore);
+    let cfg = FabricConfig { chaos, ..quick_fabric(2) };
+    let fabric = run_smoke(&fab_dir, Some(cfg), None);
+
+    assert_identical(&baseline, &fabric);
+    let fr = fabric.report.fabric.expect("fabric report present");
+    assert!(fr.stats.lost >= 2, "kill + die events must lose workers: {fr:?}");
+    let bound = 12 * 4; // cells x max_attempts
+    assert!(fr.stats.retries <= bound, "retries must be bounded: {fr:?}");
+    assert_eq!(fr.stats.quarantined, 0, "healthy cells must never quarantine: {fr:?}");
+
+    // The torn store left one entry truncated on disk. A cached re-run
+    // must heal it (quarantine + recompute), not fail or serve poison.
+    let second = run_smoke(&fab_dir, None, None);
+    assert_identical(&baseline, &second);
+    assert!(second.report.healed >= 1, "torn entry must heal: {:?}", second.report);
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&fab_dir);
+}
+
+#[test]
+fn killing_all_but_one_worker_still_completes_bit_identical() {
+    let base_dir = temp_dir("survivor-base");
+    let fab_dir = temp_dir("survivor-fab");
+    let baseline = run_smoke(&base_dir, None, None);
+
+    // Three workers, two killed early, zero respawn budget: the lone
+    // survivor must drain the whole grid.
+    let chaos =
+        ChaosPlan::none().event(0, ChaosAction::KillAssignee).event(1, ChaosAction::KillAssignee);
+    let cfg = FabricConfig { max_respawns: 0, chaos, ..quick_fabric(3) };
+    let fabric = run_smoke(&fab_dir, Some(cfg), None);
+
+    assert_identical(&baseline, &fabric);
+    let fr = fabric.report.fabric.expect("fabric report present");
+    assert!(!fr.degraded, "one worker is enough: {fr:?}");
+    assert!(fr.stats.lost >= 2);
+    assert_eq!(fr.stats.respawns, 0, "respawn budget was zero");
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&fab_dir);
+}
+
+#[test]
+fn stalled_worker_is_reclaimed_by_cell_timeout() {
+    let base_dir = temp_dir("stall-base");
+    let fab_dir = temp_dir("stall-fab");
+    // Queue cells only: they compute in microseconds, so a short lease
+    // timeout cleanly separates the stalled worker from honest work.
+    let baseline = run_smoke(&base_dir, None, Some("queue"));
+    let chaos = ChaosPlan::none().event(0, ChaosAction::Stall);
+    let cfg = FabricConfig { cell_timeout_ms: 1_500, chaos, ..quick_fabric(2) };
+    let fabric = run_smoke(&fab_dir, Some(cfg), Some("queue"));
+
+    assert_identical(&baseline, &fabric);
+    let fr = fabric.report.fabric.expect("fabric report present");
+    assert!(fr.stats.timeouts >= 1, "the stall must be reclaimed by lease expiry: {fr:?}");
+    assert!(!fr.degraded);
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&fab_dir);
+}
+
+#[test]
+fn unspawnable_worker_degrades_to_in_process_and_matches() {
+    let base_dir = temp_dir("degraded-base");
+    let fab_dir = temp_dir("degraded-fab");
+    let baseline = run_smoke(&base_dir, None, Some("queue"));
+
+    let spec = specs::find("fabric_smoke").unwrap();
+    let cfg = FabricConfig { connect_wait_ms: 500, ..quick_fabric(2) };
+    let opts = RunOpts {
+        quiet: true,
+        cache_dir: fab_dir.join("cache"),
+        results_dir: fab_dir.clone(),
+        worker_exe: Some(PathBuf::from("/nonexistent/htm-exp")),
+        filter: Some("queue".into()),
+        fabric: Some(cfg),
+        ..RunOpts::default()
+    };
+    let fabric = run_spec(spec, &opts);
+
+    assert_identical(&baseline, &fabric);
+    let fr = fabric.report.fabric.expect("fabric report present");
+    assert!(fr.degraded, "missing worker binary must degrade: {fr:?}");
+    assert_eq!(fr.local_cells, fabric.report.total, "all cells fall back in-process");
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&fab_dir);
+}

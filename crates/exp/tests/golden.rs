@@ -233,6 +233,45 @@ fn cached_rerun_and_no_cache_run_agree_on_deterministic_cells() {
 }
 
 #[test]
+fn truncated_cache_entry_heals_and_recomputes_identically() {
+    // Simulate a crash mid-write (or a torn sector): truncate one stored
+    // entry, then re-run. The engine must quarantine the stump, recompute
+    // the cell, and land on bit-identical results — never error out or
+    // serve a poisoned value.
+    let dir = temp_dir("heal");
+    let cells = vec![
+        CellSpec::new("q-1t", CellKind::Queue { imp: QueueSpec::OptRetry(4), threads: 1, ops: 50 }),
+        CellSpec::new(
+            "trace-genome",
+            CellKind::Trace {
+                bench: BenchId::Genome,
+                variant: Variant::Modified,
+                scale: Scale::Tiny,
+                seed: 42,
+            },
+        ),
+    ];
+    let opts = RunOpts { cache_dir: dir.clone(), quiet: true, ..RunOpts::default() };
+    let (cold, r1) = compute_cells("t", &cells, &opts);
+    assert_eq!((r1.computed, r1.healed), (2, 0));
+
+    let cache = htm_exp::ResultCache::new(&dir, true);
+    let path = cache.path_for(&cells[0].kind.key());
+    let text = std::fs::read_to_string(&path).expect("entry on disk");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate entry");
+
+    let (rerun, r2) = compute_cells("t", &cells, &opts);
+    assert_eq!((r2.computed, r2.cached, r2.healed), (1, 1, 1));
+    assert_eq!(cold, rerun);
+    // The stump was quarantined aside, and the slot was re-stored intact.
+    assert!(path.with_extension("json.corrupt").exists(), "stump quarantined");
+    let (warm, r3) = compute_cells("t", &cells, &opts);
+    assert_eq!((r3.computed, r3.cached, r3.healed), (0, 2, 0));
+    assert_eq!(cold, warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fig3_reuses_the_grid_fig2_measured() {
     // fig2 and fig3 declare the same 40-cell grid; with a shared cache the
     // second spec computes nothing. Filter to one benchmark to keep the

@@ -1,0 +1,238 @@
+//! Deterministic chaos schedules for the fabric, mirroring the runtime's
+//! `FaultPlan` discipline: everything is seeded, nothing touches OS
+//! entropy, and an empty plan leaves the fabric byte-identical to an
+//! un-instrumented run.
+//!
+//! A plan is a list of events keyed by a *sequence number*: for
+//! worker-phase actions the number counts assignments the coordinator has
+//! handed out, and for [`ChaosAction::TornStore`] it counts cache stores
+//! the experiment layer has performed. Keying on sequence numbers (rather
+//! than wall-clock) keeps a schedule reproducible under arbitrary worker
+//! interleavings: the *N*-th assignment is always hit, whichever worker
+//! and cell it lands on — and the run must still finish with bit-identical
+//! results, which is exactly the invariant the chaos tests pin.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What a chaos event does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChaosAction {
+    /// SIGKILL the assignee immediately after the assignment is sent (a
+    /// crash in the *assign* phase: the cell is leased but never starts).
+    KillAssignee,
+    /// Direct the assignee to wedge mid-compute (the *execute* phase);
+    /// recovery is the lease timeout's SIGKILL escalation.
+    Stall,
+    /// Direct the assignee to compute and die before reporting (a crash in
+    /// the *commit* phase: work done, result lost).
+    DieBeforeReport,
+    /// Direct the assignee to die right after reporting (the result must
+    /// count exactly once despite the crash).
+    DieAfterReport,
+    /// Truncate the cache entry just written for this store (a torn write
+    /// the self-healing cache must quarantine and regenerate on the next
+    /// load). Counted on the store sequence, not the assignment sequence.
+    TornStore,
+}
+
+impl ChaosAction {
+    /// Stable CLI spelling (the inverse of [`ChaosAction::parse`]).
+    pub fn key(self) -> &'static str {
+        match self {
+            ChaosAction::KillAssignee => "kill",
+            ChaosAction::Stall => "stall",
+            ChaosAction::DieBeforeReport => "lostreport",
+            ChaosAction::DieAfterReport => "dieafter",
+            ChaosAction::TornStore => "torn",
+        }
+    }
+
+    /// Parses a CLI spelling (the inverse of [`ChaosAction::key`]).
+    pub fn parse(s: &str) -> Option<ChaosAction> {
+        match s {
+            "kill" => Some(ChaosAction::KillAssignee),
+            "stall" => Some(ChaosAction::Stall),
+            "lostreport" => Some(ChaosAction::DieBeforeReport),
+            "dieafter" => Some(ChaosAction::DieAfterReport),
+            "torn" => Some(ChaosAction::TornStore),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Sequence number the event fires at (assignment count for worker
+    /// actions, store count for [`ChaosAction::TornStore`]).
+    pub at: usize,
+    /// What happens.
+    pub action: ChaosAction,
+}
+
+/// A deterministic fault schedule. The default (empty) plan injects
+/// nothing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The scheduled events.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// The empty plan.
+    pub fn none() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Builder: adds one event.
+    pub fn event(mut self, at: usize, action: ChaosAction) -> ChaosPlan {
+        self.events.push(ChaosEvent { at, action });
+        self
+    }
+
+    /// A seeded worker-kill storm: `kills` events at distinct assignment
+    /// sequence numbers in `[0, span)`, with the action drawn uniformly
+    /// from the three lifecycle phases (assign-kill, execute-stall,
+    /// commit-loss). Deterministic given the seed.
+    pub fn storm(seed: u64, kills: usize, span: usize) -> ChaosPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xc4a0_5fa8);
+        let mut seqs: Vec<usize> = Vec::new();
+        let span = span.max(kills);
+        while seqs.len() < kills.min(span) {
+            let s = rng.gen_range(0..span);
+            if !seqs.contains(&s) {
+                seqs.push(s);
+            }
+        }
+        seqs.sort_unstable();
+        let mut plan = ChaosPlan::none();
+        for at in seqs {
+            let action = match rng.gen_range(0..3u32) {
+                0 => ChaosAction::KillAssignee,
+                1 => ChaosAction::Stall,
+                _ => ChaosAction::DieBeforeReport,
+            };
+            plan.events.push(ChaosEvent { at, action });
+        }
+        plan
+    }
+
+    /// The first worker-phase action scheduled at assignment `seq`, if
+    /// any ([`ChaosAction::TornStore`] events are excluded — they key on
+    /// the store sequence and are consumed by [`ChaosPlan::torn_store_at`]).
+    pub fn action_at(&self, seq: usize) -> Option<ChaosAction> {
+        self.events
+            .iter()
+            .find(|e| e.at == seq && e.action != ChaosAction::TornStore)
+            .map(|e| e.action)
+    }
+
+    /// Whether a torn cache store is scheduled at store sequence `seq`.
+    pub fn torn_store_at(&self, seq: usize) -> bool {
+        self.events.iter().any(|e| e.at == seq && e.action == ChaosAction::TornStore)
+    }
+
+    /// Parses a CLI spelling: either `storm:seed=S,kills=K,span=N` or a
+    /// semicolon-separated event list `kill@2;stall@5;lostreport@7;torn@1`.
+    pub fn parse(s: &str) -> Result<ChaosPlan, String> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(ChaosPlan::none());
+        }
+        if let Some(body) = s.strip_prefix("storm:") {
+            let (mut seed, mut kills, mut span) = (42u64, 4usize, 16usize);
+            for part in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("chaos storm parameter {part:?} needs key=value"))?;
+                let parse_err = || format!("chaos storm parameter {part:?}: not an integer");
+                match k {
+                    "seed" => seed = v.parse().map_err(|_| parse_err())?,
+                    "kills" => kills = v.parse().map_err(|_| parse_err())?,
+                    "span" => span = v.parse().map_err(|_| parse_err())?,
+                    other => return Err(format!("unknown chaos storm parameter {other:?}")),
+                }
+            }
+            return Ok(ChaosPlan::storm(seed, kills, span));
+        }
+        let mut plan = ChaosPlan::none();
+        for part in s.split(';').filter(|p| !p.is_empty()) {
+            let (name, at) = part
+                .split_once('@')
+                .ok_or_else(|| format!("chaos event {part:?} needs the form action@seq"))?;
+            let action = ChaosAction::parse(name).ok_or_else(|| {
+                format!("unknown chaos action {name:?} (kill|stall|lostreport|dieafter|torn)")
+            })?;
+            let at =
+                at.parse().map_err(|_| format!("chaos event {part:?}: sequence not an integer"))?;
+            plan.events.push(ChaosEvent { at, action });
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storms_are_deterministic_and_distinct() {
+        let a = ChaosPlan::storm(7, 6, 20);
+        let b = ChaosPlan::storm(7, 6, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 6);
+        let mut seqs: Vec<usize> = a.events.iter().map(|e| e.at).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 6, "storm events land on distinct assignments");
+        assert!(seqs.iter().all(|&s| s < 20));
+        assert_ne!(a, ChaosPlan::storm(8, 6, 20));
+    }
+
+    #[test]
+    fn storm_covers_all_three_phases_across_seeds() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..32 {
+            for e in ChaosPlan::storm(seed, 4, 16).events {
+                seen.insert(e.action);
+            }
+        }
+        for phase in [ChaosAction::KillAssignee, ChaosAction::Stall, ChaosAction::DieBeforeReport] {
+            assert!(seen.contains(&phase), "storms never draw {phase:?}");
+        }
+    }
+
+    #[test]
+    fn lookup_separates_assignment_and_store_sequences() {
+        let plan = ChaosPlan::none()
+            .event(2, ChaosAction::KillAssignee)
+            .event(2, ChaosAction::TornStore)
+            .event(5, ChaosAction::Stall);
+        assert_eq!(plan.action_at(2), Some(ChaosAction::KillAssignee));
+        assert_eq!(plan.action_at(5), Some(ChaosAction::Stall));
+        assert_eq!(plan.action_at(0), None);
+        assert!(plan.torn_store_at(2));
+        assert!(!plan.torn_store_at(5));
+    }
+
+    #[test]
+    fn parse_round_trips_both_forms() {
+        let p = ChaosPlan::parse("kill@2;stall@5;lostreport@7;dieafter@9;torn@1").unwrap();
+        assert_eq!(p.events.len(), 5);
+        assert_eq!(p.action_at(7), Some(ChaosAction::DieBeforeReport));
+        assert!(p.torn_store_at(1));
+        assert_eq!(
+            ChaosPlan::parse("storm:seed=7,kills=6,span=20").unwrap(),
+            ChaosPlan::storm(7, 6, 20)
+        );
+        assert_eq!(ChaosPlan::parse("").unwrap(), ChaosPlan::none());
+        assert!(ChaosPlan::parse("explode@3").is_err());
+        assert!(ChaosPlan::parse("kill").is_err());
+        assert!(ChaosPlan::parse("storm:power=9").is_err());
+    }
+}

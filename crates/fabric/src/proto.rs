@@ -1,0 +1,259 @@
+//! The coordinator/worker wire protocol: newline-delimited JSON over a
+//! loopback TCP stream.
+//!
+//! Messages are tiny (an assignment is a cell index plus its content key;
+//! a result is the cell's serialized metrics), so the framing is the
+//! simplest thing that is robust against torn writes: one JSON object per
+//! line, parsed with the same dependency-free [`Json`] the result cache
+//! uses. A line that fails to parse is a protocol error and the peer is
+//! treated as dead — the lease layer recovers the work.
+
+use std::io::Write;
+
+use htm_analyze::Json;
+
+/// A chaos directive riding on an assignment: what the *worker* should do
+/// to itself, used by the deterministic chaos harness to crash workers at
+/// a chosen phase of the cell lifecycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Directive {
+    /// Compute and report normally.
+    #[default]
+    None,
+    /// Wedge instead of computing (exercises the lease timeout + SIGKILL
+    /// escalation path).
+    Stall,
+    /// Compute, then die without reporting (a crash between execute and
+    /// commit).
+    DieBeforeReport,
+    /// Compute, report, then die (a crash after commit; the result must
+    /// still count exactly once).
+    DieAfterReport,
+}
+
+impl Directive {
+    fn key(self) -> &'static str {
+        match self {
+            Directive::None => "none",
+            Directive::Stall => "stall",
+            Directive::DieBeforeReport => "die_before_report",
+            Directive::DieAfterReport => "die_after_report",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Directive> {
+        match s {
+            "none" => Some(Directive::None),
+            "stall" => Some(Directive::Stall),
+            "die_before_report" => Some(Directive::DieBeforeReport),
+            "die_after_report" => Some(Directive::DieAfterReport),
+            _ => None,
+        }
+    }
+}
+
+/// A message travelling worker → coordinator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ToCoordinator {
+    /// First message on a fresh connection: identifies the worker.
+    Hello {
+        /// The worker id the coordinator assigned at spawn time (or a
+        /// self-chosen id for externally attached workers).
+        worker: u64,
+        /// The worker's OS pid (diagnostics only).
+        pid: u32,
+    },
+    /// Periodic liveness beacon, sent even while a cell is computing.
+    Heartbeat {
+        /// Sender.
+        worker: u64,
+    },
+    /// A finished cell.
+    Result {
+        /// Cell index (the coordinator's representative index for the
+        /// cell's content key).
+        cell: usize,
+        /// Attempt number the assignment carried (stale-result detection).
+        attempt: u32,
+        /// The serialized cell result.
+        result: Json,
+    },
+    /// A cell that failed in a way the worker could observe (panic caught,
+    /// key mismatch against the worker's rebuilt grid).
+    CellError {
+        /// Cell index.
+        cell: usize,
+        /// Attempt number the assignment carried.
+        attempt: u32,
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+/// A message travelling coordinator → worker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ToWorker {
+    /// Compute one cell.
+    Assign {
+        /// Cell index in the coordinator's work list.
+        cell: usize,
+        /// Attempt number (echoed back in the result).
+        attempt: u32,
+        /// The cell's full content key; the worker must verify it against
+        /// its own rebuilt grid before computing (catches version or
+        /// option drift between coordinator and worker binaries).
+        key: String,
+        /// Chaos directive (always [`Directive::None`] outside the chaos
+        /// harness).
+        chaos: Directive,
+    },
+    /// Drain and exit cleanly.
+    Shutdown,
+}
+
+fn num(j: &Json, k: &str) -> Option<f64> {
+    j.get(k).and_then(Json::as_f64)
+}
+
+impl ToCoordinator {
+    /// Serializes to a single wire line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ToCoordinator::Hello { worker, pid } => Json::Obj(vec![
+                ("type".into(), Json::str("hello")),
+                ("worker".into(), Json::Num(*worker as f64)),
+                ("pid".into(), Json::Num(f64::from(*pid))),
+            ]),
+            ToCoordinator::Heartbeat { worker } => Json::Obj(vec![
+                ("type".into(), Json::str("heartbeat")),
+                ("worker".into(), Json::Num(*worker as f64)),
+            ]),
+            ToCoordinator::Result { cell, attempt, result } => Json::Obj(vec![
+                ("type".into(), Json::str("result")),
+                ("cell".into(), Json::Num(*cell as f64)),
+                ("attempt".into(), Json::Num(f64::from(*attempt))),
+                ("result".into(), result.clone()),
+            ]),
+            ToCoordinator::CellError { cell, attempt, error } => Json::Obj(vec![
+                ("type".into(), Json::str("cell_error")),
+                ("cell".into(), Json::Num(*cell as f64)),
+                ("attempt".into(), Json::Num(f64::from(*attempt))),
+                ("error".into(), Json::str(error.clone())),
+            ]),
+        }
+    }
+
+    /// Parses one wire line.
+    pub fn parse(line: &str) -> Option<ToCoordinator> {
+        let j = Json::parse(line.trim()).ok()?;
+        match j.get("type")?.as_str()? {
+            "hello" => Some(ToCoordinator::Hello {
+                worker: num(&j, "worker")? as u64,
+                pid: num(&j, "pid")? as u32,
+            }),
+            "heartbeat" => Some(ToCoordinator::Heartbeat { worker: num(&j, "worker")? as u64 }),
+            "result" => Some(ToCoordinator::Result {
+                cell: num(&j, "cell")? as usize,
+                attempt: num(&j, "attempt")? as u32,
+                result: j.get("result")?.clone(),
+            }),
+            "cell_error" => Some(ToCoordinator::CellError {
+                cell: num(&j, "cell")? as usize,
+                attempt: num(&j, "attempt")? as u32,
+                error: j.get("error")?.as_str()?.to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl ToWorker {
+    /// Serializes to a single wire line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ToWorker::Assign { cell, attempt, key, chaos } => Json::Obj(vec![
+                ("type".into(), Json::str("assign")),
+                ("cell".into(), Json::Num(*cell as f64)),
+                ("attempt".into(), Json::Num(f64::from(*attempt))),
+                ("key".into(), Json::str(key.clone())),
+                ("chaos".into(), Json::str(chaos.key())),
+            ]),
+            ToWorker::Shutdown => Json::Obj(vec![("type".into(), Json::str("shutdown"))]),
+        }
+    }
+
+    /// Parses one wire line.
+    pub fn parse(line: &str) -> Option<ToWorker> {
+        let j = Json::parse(line.trim()).ok()?;
+        match j.get("type")?.as_str()? {
+            "assign" => Some(ToWorker::Assign {
+                cell: num(&j, "cell")? as usize,
+                attempt: num(&j, "attempt")? as u32,
+                key: j.get("key")?.as_str()?.to_string(),
+                chaos: Directive::parse(j.get("chaos")?.as_str()?)?,
+            }),
+            "shutdown" => Some(ToWorker::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Writes one message line; any I/O failure means the peer is gone and the
+/// caller must treat the connection as dead.
+pub fn send(w: &mut impl Write, json: &Json) -> std::io::Result<()> {
+    let mut line = json.to_string();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_coordinator_round_trips() {
+        let msgs = [
+            ToCoordinator::Hello { worker: 3, pid: 12345 },
+            ToCoordinator::Heartbeat { worker: 7 },
+            ToCoordinator::Result {
+                cell: 11,
+                attempt: 2,
+                result: Json::Obj(vec![("speedup".into(), Json::Num(1.5))]),
+            },
+            ToCoordinator::CellError {
+                cell: 4,
+                attempt: 3,
+                error: "panic: \"index\" out\nof bounds".into(),
+            },
+        ];
+        for m in msgs {
+            let line = m.to_json().to_string();
+            assert!(!line.contains('\n'), "wire lines must be single-line: {line}");
+            assert_eq!(ToCoordinator::parse(&line), Some(m));
+        }
+    }
+
+    #[test]
+    fn to_worker_round_trips() {
+        for chaos in [
+            Directive::None,
+            Directive::Stall,
+            Directive::DieBeforeReport,
+            Directive::DieAfterReport,
+        ] {
+            let m = ToWorker::Assign { cell: 9, attempt: 1, key: "stamp|x|1t".into(), chaos };
+            assert_eq!(ToWorker::parse(&m.to_json().to_string()), Some(m));
+        }
+        let m = ToWorker::Shutdown;
+        assert_eq!(ToWorker::parse(&m.to_json().to_string()), Some(m));
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected_not_panicked() {
+        assert_eq!(ToCoordinator::parse(""), None);
+        assert_eq!(ToCoordinator::parse("{\"type\":\"result\"}"), None);
+        assert_eq!(ToCoordinator::parse("{\"type\":\"unknown\"}"), None);
+        assert_eq!(ToWorker::parse("{\"typ"), None);
+    }
+}

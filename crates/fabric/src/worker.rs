@@ -1,0 +1,118 @@
+//! The worker side of the fabric: connect, announce, heartbeat, compute.
+//!
+//! A worker is deliberately thin — all scheduling intelligence lives in
+//! the coordinator. The worker's obligations are exactly three:
+//!
+//! 1. **Announce** itself (`hello`) so the coordinator can match the
+//!    connection to the spawned child (or register an external worker).
+//! 2. **Heartbeat** on a side thread, so liveness is observable even while
+//!    a long cell computes on the main thread.
+//! 3. **Compute** assignments via the caller's closure and report exactly
+//!    one `result` or `cell_error` line per assignment.
+//!
+//! Chaos directives riding on assignments are honored here: `stall` wedges
+//! instead of computing (until the coordinator's lease timeout kills us or
+//! the connection drops), and the two die-directives exit the process
+//! abruptly around the report — the coordinator must recover either way.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use htm_analyze::Json;
+
+use crate::proto::{send, Directive, ToCoordinator, ToWorker};
+
+/// Exit code for chaos-directed deaths (distinguishable from real panics
+/// in worker logs; the coordinator treats any death the same way).
+pub const CHAOS_EXIT: i32 = 86;
+
+fn locked_send(stream: &Mutex<TcpStream>, msg: &ToCoordinator) -> bool {
+    let Ok(mut s) = stream.lock() else {
+        return false;
+    };
+    send(&mut *s, &msg.to_json()).is_ok()
+}
+
+/// Connects to the coordinator at `addr` and serves assignments until
+/// `shutdown`, EOF, or a connection error. `compute` maps an assigned cell
+/// index to `Ok(serialized result)` or `Err(message)`; panics inside it
+/// are the *caller's* job to catch (the CLI wraps it in `catch_unwind`).
+///
+/// Returns `Err` only for setup failures (connect, hello); once serving,
+/// all exits are `Ok` — the coordinator judges us by our messages, not our
+/// exit status.
+pub fn serve(
+    addr: &str,
+    worker_id: u64,
+    heartbeat_ms: u64,
+    mut compute: impl FnMut(usize, &str) -> Result<Json, String>,
+) -> Result<(), String> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| format!("fabric worker {worker_id}: connect {addr}: {e}"))?;
+    let reader = BufReader::new(
+        stream.try_clone().map_err(|e| format!("fabric worker {worker_id}: clone stream: {e}"))?,
+    );
+    let writer = Arc::new(Mutex::new(stream));
+
+    if !locked_send(&writer, &ToCoordinator::Hello { worker: worker_id, pid: std::process::id() }) {
+        return Err(format!("fabric worker {worker_id}: hello failed"));
+    }
+
+    // Heartbeat side thread: liveness while the main thread computes.
+    let orphaned = Arc::new(AtomicBool::new(false));
+    let hb_writer = Arc::clone(&writer);
+    let hb_orphaned = Arc::clone(&orphaned);
+    let hb = std::thread::spawn(move || {
+        let period = Duration::from_millis(heartbeat_ms.max(1));
+        while !hb_orphaned.load(Ordering::SeqCst) {
+            if !locked_send(&hb_writer, &ToCoordinator::Heartbeat { worker: worker_id }) {
+                hb_orphaned.store(true, Ordering::SeqCst);
+                break;
+            }
+            std::thread::sleep(period);
+        }
+    });
+
+    let mut lines = reader.lines();
+    while let Some(Ok(line)) = lines.next() {
+        match ToWorker::parse(&line) {
+            Some(ToWorker::Assign { cell, attempt, key, chaos }) => {
+                if chaos == Directive::Stall {
+                    // Wedge deliberately: keep heartbeating (a stalled cell
+                    // is NOT a dead worker — only the lease timeout may
+                    // reclaim it) until the coordinator gives up on us.
+                    while !orphaned.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    break;
+                }
+                let outcome = compute(cell, &key);
+                if chaos == Directive::DieBeforeReport {
+                    std::process::exit(CHAOS_EXIT);
+                }
+                let msg = match outcome {
+                    Ok(result) => ToCoordinator::Result { cell, attempt, result },
+                    Err(error) => ToCoordinator::CellError { cell, attempt, error },
+                };
+                let sent = locked_send(&writer, &msg);
+                if chaos == Directive::DieAfterReport {
+                    std::process::exit(CHAOS_EXIT);
+                }
+                if !sent {
+                    break;
+                }
+            }
+            Some(ToWorker::Shutdown) | None => break,
+        }
+    }
+
+    orphaned.store(true, Ordering::SeqCst);
+    if let Ok(s) = writer.lock() {
+        let _ = s.shutdown(std::net::Shutdown::Both);
+    }
+    let _ = hb.join();
+    Ok(())
+}
