@@ -67,7 +67,7 @@ impl Json {
     /// Parses a JSON document (complete input: trailing garbage is an
     /// error).
     pub fn parse(input: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -135,9 +135,16 @@ impl fmt::Display for Json {
     }
 }
 
+/// Nesting bound for `[`/`{`: parsing recurses, so an adversarial or
+/// corrupt document (`[[[[…`) must become a parse error well before it can
+/// exhaust the thread's stack. Real documents here (cache entries, wire
+/// messages, lint reports) nest a handful of levels at most.
+const MAX_DEPTH: u32 = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: u32,
 }
 
 impl Parser<'_> {
@@ -243,7 +250,16 @@ impl Parser<'_> {
                             {
                                 self.pos += 2;
                                 let lo = self.hex4()?;
-                                char::from_u32(0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00))
+                                if (0xdc00..0xe000).contains(&lo) {
+                                    char::from_u32(0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00))
+                                } else {
+                                    // A high surrogate followed by a
+                                    // non-low-surrogate escape: both halves
+                                    // are unpaired (`lo - 0xdc00` would
+                                    // underflow). Replace the broken pair.
+                                    out.push(char::REPLACEMENT_CHARACTER);
+                                    char::from_u32(lo)
+                                }
                             } else {
                                 char::from_u32(hi)
                             };
@@ -268,12 +284,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -284,6 +310,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -293,10 +320,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -312,6 +341,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -353,6 +383,36 @@ mod tests {
         assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(-25.0));
         assert_eq!(v.get("b"), Some(&Json::Bool(false)));
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // One past the bound fails cleanly…
+        let deep = "[".repeat(MAX_DEPTH as usize + 1);
+        assert!(Json::parse(&deep).unwrap_err().contains("nesting"));
+        // …as does a pathological wire-sized document.
+        let hostile = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert!(Json::parse(&hostile).is_err());
+        // Mixed nesting counts both container kinds.
+        let mixed = "{\"k\":[".repeat(80) + "0";
+        assert!(Json::parse(&mixed).unwrap_err().contains("nesting"));
+        // At the bound, parsing still works.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH as usize), "]".repeat(MAX_DEPTH as usize));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn unpaired_surrogate_escapes_degrade_to_replacement() {
+        // Lone high surrogate at end of string.
+        assert_eq!(Json::parse("\"\\ud800\"").unwrap(), Json::str("\u{fffd}"));
+        // High surrogate followed by a non-surrogate escape: used to
+        // underflow in the combining arithmetic; both halves must land as
+        // replacement + the literal scalar.
+        assert_eq!(Json::parse("\"\\ud800\\u0041\"").unwrap(), Json::str("\u{fffd}A"));
+        // Lone low surrogate.
+        assert_eq!(Json::parse("\"\\udc00x\"").unwrap(), Json::str("\u{fffd}x"));
+        // A valid pair still decodes.
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::str("\u{1f600}"));
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   no block can commit in hardware on this platform,
 //! * `hot-line` — one conflict line accounts for most attributed aborts,
 //! * `excessive-retry` — the run burned far more aborted blocks than
-//!   committed ones.
+//!   committed ones,
+//! * `opacity` — the model checker found a schedule on which an aborted
+//!   attempt observed no consistent snapshot,
+//! * `model-check` — the model checker found a violating schedule of any
+//!   other class (serializability, lost update, deadlock, starvation).
 
 use std::fmt;
 
@@ -68,16 +72,22 @@ pub enum Rule {
     HotLine,
     /// Aborted blocks dwarf committed ones.
     ExcessiveRetry,
+    /// A model-checked schedule produced a non-opaque aborted attempt.
+    Opacity,
+    /// A model-checked schedule violated any other checked property.
+    ModelCheck,
 }
 
 impl Rule {
     /// Every rule, in report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 7] = [
         Rule::Race,
         Rule::FalseSharing,
         Rule::CapacityOverflow,
         Rule::HotLine,
         Rule::ExcessiveRetry,
+        Rule::Opacity,
+        Rule::ModelCheck,
     ];
 
     /// The rule's kebab-case name (CLI and JSON identifier).
@@ -88,6 +98,8 @@ impl Rule {
             Rule::CapacityOverflow => "capacity-overflow",
             Rule::HotLine => "hot-line",
             Rule::ExcessiveRetry => "excessive-retry",
+            Rule::Opacity => "opacity",
+            Rule::ModelCheck => "model-check",
         }
     }
 
@@ -310,6 +322,31 @@ pub fn lint_cell(
     out
 }
 
+/// Packages one model-checker counterexample as a lint violation.
+///
+/// `opacity`-class counterexamples map to [`Rule::Opacity`]; every other
+/// class maps to [`Rule::ModelCheck`]. Both are always errors: a violating
+/// schedule is an engine-correctness finding, not a tuning matter. `bench`
+/// names the kernel, `class_key` the model checker's violation class, and
+/// `violating` the number of violating schedules (the measure).
+pub fn model_violation(
+    bench: &str,
+    platform: &str,
+    class_key: &str,
+    detail: &str,
+    violating: u64,
+) -> Violation {
+    let rule = if class_key == "opacity" { Rule::Opacity } else { Rule::ModelCheck };
+    Violation {
+        rule,
+        severity: Severity::Error,
+        bench: bench.to_owned(),
+        platform: platform.to_owned(),
+        measure: violating as f64,
+        detail: format!("[{class_key}] {detail}"),
+    }
+}
+
 /// A CI gate: the set of rules whose violations fail the run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Gate {
@@ -404,6 +441,23 @@ mod tests {
         assert!(Gate::parse("").unwrap().rules().is_empty());
         assert!(Gate::parse("bogus").is_err());
         assert_eq!(Gate::all().rules().len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn model_violations_split_on_the_opacity_class() {
+        let o = model_violation("snapshot", "IntelCore", "opacity", "torn read", 3);
+        assert_eq!(o.rule, Rule::Opacity);
+        assert_eq!(o.severity, Severity::Error);
+        assert_eq!(o.measure, 3.0);
+        let m = model_violation("counter", "IntelCore", "certify", "stale read", 4);
+        assert_eq!(m.rule, Rule::ModelCheck);
+        assert!(m.detail.contains("[certify]"), "{}", m.detail);
+        // Both new rules ride the standard JSON and gate plumbing.
+        let text = report_to_json(&[o.clone(), m]).to_string();
+        let back = report_from_json(&text).unwrap();
+        assert_eq!(back[0], o);
+        let gate = Gate::parse("opacity,model-check").unwrap();
+        assert_eq!(gate.failing(&back).len(), 2);
     }
 
     #[test]

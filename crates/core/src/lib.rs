@@ -48,6 +48,7 @@
 pub mod abort;
 pub mod addr;
 pub mod alloc;
+pub mod coop;
 pub mod cost;
 pub mod error;
 pub mod hb;
@@ -57,6 +58,7 @@ pub mod verify;
 pub use abort::{Abort, AbortCategory, AbortCause, TxResult};
 pub use addr::{Geometry, LineId, WordAddr, WORD_BYTES};
 pub use alloc::{SimAlloc, ThreadAlloc};
+pub use coop::{CoopHooks, CoopPoint};
 pub use cost::{Clock, CostModel};
 pub use error::{panic_message, SimError, SimResult};
 pub use hb::{
@@ -64,7 +66,10 @@ pub use hb::{
     VectorClock,
 };
 pub use mem::{ConflictPolicy, DoomOutcome, SlotId, TxMemory, MAX_SLOTS};
-pub use verify::{CertifyReport, EventKind, TxEvent, Violation};
+pub use verify::{
+    check_opacity, AbortedAttempt, CertifyReport, EventKind, OpacityReport, OpacityViolation,
+    TxEvent, Violation,
+};
 
 /// Reinterprets an `f64` as a simulated memory word.
 ///

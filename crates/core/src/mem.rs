@@ -127,6 +127,15 @@ pub struct TxMemory {
     /// readers, deliberately breaking conflict detection so the runtime
     /// certifier can be shown to catch real serializability violations.
     test_skip_reader_doom: AtomicBool,
+    /// Test-only sabotage switch: when set, software commits skip bumping
+    /// the hybrid commit epoch, so concurrent soft readers can observe torn
+    /// write-backs (an opacity bug the model checker must catch).
+    test_skip_epoch_bump: AtomicBool,
+    /// Test-only sabotage switch: when set, POWER8 ROT commits publish
+    /// their write buffer to the arena *before* validating their soft read
+    /// log, leaking dirty values on validation failure (a model-checker
+    /// seeded bug).
+    test_early_rot_publish: AtomicBool,
 }
 
 impl std::fmt::Debug for TxMemory {
@@ -167,6 +176,8 @@ impl TxMemory {
             blame,
             geometry,
             test_skip_reader_doom: AtomicBool::new(false),
+            test_skip_epoch_bump: AtomicBool::new(false),
+            test_early_rot_publish: AtomicBool::new(false),
         }
     }
 
@@ -178,6 +189,32 @@ impl TxMemory {
     #[doc(hidden)]
     pub fn set_test_skip_reader_doom(&self, on: bool) {
         self.test_skip_reader_doom.store(on, SeqCst);
+    }
+
+    /// Deliberately skips the hybrid-epoch bump around software write-backs
+    /// (model-checker seeded bug #2); must never be set outside tests.
+    #[doc(hidden)]
+    pub fn set_test_skip_epoch_bump(&self, on: bool) {
+        self.test_skip_epoch_bump.store(on, SeqCst);
+    }
+
+    /// Whether [`TxMemory::set_test_skip_epoch_bump`] is active.
+    #[doc(hidden)]
+    pub fn test_skip_epoch_bump(&self) -> bool {
+        self.test_skip_epoch_bump.load(SeqCst)
+    }
+
+    /// Deliberately publishes ROT write buffers before validation
+    /// (model-checker seeded bug #3); must never be set outside tests.
+    #[doc(hidden)]
+    pub fn set_test_early_rot_publish(&self, on: bool) {
+        self.test_early_rot_publish.store(on, SeqCst);
+    }
+
+    /// Whether [`TxMemory::set_test_early_rot_publish`] is active.
+    #[doc(hidden)]
+    pub fn test_early_rot_publish(&self) -> bool {
+        self.test_early_rot_publish.load(SeqCst)
     }
 
     /// FNV-1a digest over the whole word arena.
@@ -239,6 +276,7 @@ impl TxMemory {
     /// result verification after all workers have joined.
     #[inline]
     pub fn read_word(&self, addr: WordAddr) -> u64 {
+        crate::coop::access(self.line_of(addr).0 as u64, false);
         self.word(addr).load(SeqCst)
     }
 
@@ -249,6 +287,7 @@ impl TxMemory {
     /// transactions the way real coherence traffic would.
     #[inline]
     pub fn write_word(&self, addr: WordAddr, value: u64) {
+        crate::coop::access(self.line_of(addr).0 as u64, true);
         self.word(addr).store(value, SeqCst);
     }
 
@@ -378,6 +417,7 @@ impl TxMemory {
                 continue;
             }
             while status.load(SeqCst) & STATE_MASK == COMMITTING {
+                crate::coop::point(crate::coop::CoopPoint::Blocked);
                 std::thread::yield_now();
             }
         }
@@ -404,6 +444,7 @@ impl TxMemory {
         line: LineId,
         policy: ConflictPolicy,
     ) -> Result<(), AbortCause> {
+        crate::coop::access(line.0 as u64, false);
         let ls = self.line(line);
         ls.readers.fetch_or(slot.mask(), SeqCst);
         let mut spins = 0u64;
@@ -457,6 +498,7 @@ impl TxMemory {
         line: LineId,
         policy: ConflictPolicy,
     ) -> Result<(), AbortCause> {
+        crate::coop::access(line.0 as u64, true);
         let ls = self.line(line);
         let mut spins = 0u64;
         loop {
@@ -569,6 +611,7 @@ impl TxMemory {
     /// Used by the global-lock fallback path, by POWER8 suspended-mode code
     /// and by lock-free algorithms running alongside transactions.
     pub fn nontx_load(&self, by: Option<SlotId>, addr: WordAddr) -> u64 {
+        crate::coop::access(self.line_of(addr).0 as u64, false);
         let line = self.line_of(addr);
         let ls = self.line(line);
         let mut spins = 0u64;
@@ -589,6 +632,7 @@ impl TxMemory {
     /// Non-transactional store to `addr` by `by`, dooming all conflicting
     /// transactional readers and writers.
     pub fn nontx_store(&self, by: Option<SlotId>, addr: WordAddr, value: u64) {
+        crate::coop::access(self.line_of(addr).0 as u64, true);
         self.invalidate_line_for_nontx(self.line_of(addr), by);
         self.word(addr).store(value, SeqCst);
     }
@@ -605,6 +649,7 @@ impl TxMemory {
         expected: u64,
         new: u64,
     ) -> Result<u64, u64> {
+        crate::coop::access(self.line_of(addr).0 as u64, true);
         self.invalidate_line_for_nontx(self.line_of(addr), by);
         self.word(addr).compare_exchange(expected, new, SeqCst, SeqCst)
     }
@@ -612,6 +657,7 @@ impl TxMemory {
     /// Non-transactional fetch-add on `addr` by `by`, returning the previous
     /// value.
     pub fn nontx_fetch_add(&self, by: Option<SlotId>, addr: WordAddr, delta: u64) -> u64 {
+        crate::coop::access(self.line_of(addr).0 as u64, true);
         self.invalidate_line_for_nontx(self.line_of(addr), by);
         self.word(addr).fetch_add(delta, SeqCst)
     }
@@ -654,6 +700,10 @@ impl TxMemory {
 
     #[inline]
     fn spin(&self, spins: &mut u64) {
+        // Under the model checker's cooperative scheduler the condition we
+        // spin on can only change when another thread is granted a step, so
+        // park instead of burning the spin budget against a paused peer.
+        crate::coop::point(crate::coop::CoopPoint::Blocked);
         *spins += 1;
         assert!(*spins < SPIN_LIMIT, "conflict-protocol deadlock (spin limit exceeded)");
         std::hint::spin_loop();

@@ -27,6 +27,8 @@ commands:
   list                 list available specs
   run <spec>... | all  run specs (tables to stdout, TSV/JSON under target/results)
   diff <spec>...       run specs, compare TSV against the saved files, don't overwrite
+  replay <trace>...    re-execute saved model-checker counterexample traces and
+                       verify each recorded violation reproduces
 options:
   --scale tiny|sim|full   input scale (default: sim; lint defaults to tiny)
   --smoke                 shorthand for --scale tiny
@@ -303,6 +305,45 @@ fn diff_lines(old: &[String], new: &[String]) -> Vec<String> {
     out
 }
 
+/// Replays saved model-checker counterexample traces: for each file, the
+/// recorded kernel/platform/tier/bug configuration is rebuilt, the exact
+/// grant schedule is forced through a fresh controlled execution, and the
+/// recorded violation class must reappear. Exit 1 on any divergence.
+fn cmd_replay(cli: &Cli) -> i32 {
+    if cli.names.is_empty() {
+        usage_error("replay needs one or more trace files");
+    }
+    let mut failed = false;
+    for path in &cli.names {
+        let trace = match htm_model::ModelTrace::load(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot load trace: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match trace.replay() {
+            Ok(diagram) => {
+                println!(
+                    "{path}: `{}` violation reproduced ({} on {:?}/{}, schedule of {} step(s)):",
+                    trace.class.key(),
+                    trace.kernel,
+                    trace.platform,
+                    trace.tier.key(),
+                    trace.schedule.len()
+                );
+                print!("{diagram}");
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
 /// The hidden `worker` command the fabric coordinator spawns: rebuild the
 /// spec's cell grid from the registry (cell builders are deterministic, so
 /// coordinator and worker agree on the grid), connect back, and serve
@@ -418,6 +459,7 @@ fn main() {
         }
         "run" => cmd_run(&cli),
         "diff" => cmd_diff(&cli),
+        "replay" => cmd_replay(&cli),
         other => usage_error(&format!("unknown command {other:?}")),
     };
     std::process::exit(code);

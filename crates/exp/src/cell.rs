@@ -335,6 +335,17 @@ pub enum CellKind {
         /// Operations per thread.
         n_ops: u64,
     },
+    /// One model-checker cell: exhaustive DPOR exploration of a suite
+    /// kernel under one fallback tier, checking opacity, serializability,
+    /// serial equivalence, and deadlock on every schedule.
+    Model {
+        /// Suite kernel name (see `htm_model::kernel::suite`).
+        kernel: &'static str,
+        /// Platform.
+        platform: Platform,
+        /// Fallback tier under check.
+        tier: htm_model::Tier,
+    },
     /// One `htm-lint` cell: a sanitized run plus footprint traces, the
     /// static capacity prediction, and the rule engine.
     Lint {
@@ -378,6 +389,9 @@ impl CellKind {
             }
             CellKind::PolicyMicro { requester_wins, n_ops } => {
                 format!("policymicro|rw{requester_wins}|o{n_ops}")
+            }
+            CellKind::Model { kernel, platform, tier } => {
+                format!("model|{}|{}|{}", kernel, platform_key(*platform), tier.key())
             }
             CellKind::Lint { bench, platform, variant, threads, scale, seed, fallback } => {
                 format!(
@@ -487,6 +501,7 @@ impl CellKind {
             CellKind::PolicyMicro { requester_wins, n_ops } => {
                 policy_micro(*requester_wins, *n_ops)
             }
+            CellKind::Model { kernel, platform, tier } => model_cell(kernel, *platform, *tier),
             CellKind::Lint { bench, platform, variant, threads, scale, seed, fallback } => {
                 lint_cell(*bench, *platform, *variant, *threads, *scale, *seed, *fallback)
             }
@@ -556,6 +571,45 @@ fn policy_micro(requester_wins: bool, n_ops: u64) -> CellResult {
     let mut out = CellResult::new();
     out.put("speedup", seq as f64 / stats.cycles() as f64);
     out.put("abort_ratio", stats.abort_ratio());
+    out
+}
+
+/// One model-checker cell: exhaustive exploration (DPOR mode) of one suite
+/// kernel under one tier, reporting the explored/pruned counts and carrying
+/// any counterexamples as lint violations (JSON note) plus a replayable
+/// trace (`htm-exp replay` consumes it).
+fn model_cell(kernel: &str, platform: Platform, tier: htm_model::Tier) -> CellResult {
+    let k = htm_model::kernel::by_name(kernel).expect("model cell names a suite kernel");
+    let cfg = htm_model::ModelConfig::new(k, platform, tier);
+    let r = htm_model::explore(&cfg);
+    assert!(!r.truncated, "model-check cells must explore exhaustively:\n{r}");
+    let mut out = CellResult::new();
+    out.put("schedules", r.schedules as f64);
+    out.put("steps", r.steps_total as f64);
+    out.put("max_depth", r.max_depth as f64);
+    out.put("sleep_pruned", r.sleep_pruned as f64);
+    out.put("states", r.digests.len() as f64);
+    out.put("violating", r.violating_schedules as f64);
+    let violations: Vec<lint::Violation> = r
+        .counterexamples
+        .iter()
+        .map(|cx| {
+            lint::model_violation(
+                kernel,
+                platform_key(platform),
+                cx.class.key(),
+                &cx.detail,
+                r.violating_schedules,
+            )
+        })
+        .collect();
+    out.note("violations", lint::report_to_json(&violations).to_string());
+    let trace = r
+        .counterexamples
+        .first()
+        .map(|cx| htm_model::ModelTrace::from_counterexample(&cfg, cx).to_text())
+        .unwrap_or_default();
+    out.note("trace", trace);
     out
 }
 

@@ -8,6 +8,7 @@ mod ablations;
 mod adaptive;
 mod figs;
 mod hytm;
+mod model;
 mod tools;
 
 use htm_machine::Platform;
@@ -22,7 +23,7 @@ pub fn all() -> &'static [&'static ExperimentSpec] {
     &ALL_SPECS
 }
 
-static ALL_SPECS: [&ExperimentSpec; 23] = [
+static ALL_SPECS: [&ExperimentSpec; 24] = [
     &tools::TABLE1,
     &figs::FIG2,
     &figs::FIG3,
@@ -45,6 +46,7 @@ static ALL_SPECS: [&ExperimentSpec; 23] = [
     &adaptive::ADAPTIVE,
     &tools::CERTIFY_OVERHEAD,
     &tools::LINT,
+    &model::MODEL,
     &tools::FABRIC_SMOKE,
 ];
 
@@ -89,7 +91,7 @@ mod tests {
 
     #[test]
     fn registry_has_all_specs() {
-        assert_eq!(all().len(), 23);
+        assert_eq!(all().len(), 24);
         for name in [
             "table1",
             "fig2",
@@ -113,6 +115,7 @@ mod tests {
             "adaptive",
             "certify_overhead",
             "lint",
+            "model",
             "fabric_smoke",
         ] {
             assert!(find(name).is_some(), "missing spec {name}");

@@ -1,0 +1,124 @@
+//! The `model` spec: the model-checking CI surface.
+//!
+//! Every suite kernel is explored exhaustively (DPOR mode) under every
+//! rung of the fallback ladder — hardware-first, STM, validated ROT
+//! (POWER8), straight-to-lock, and the adaptive manager — on the real TM
+//! engine. The rendered table reports the explored/pruned schedule counts
+//! and distinct final states per cell; any counterexample surfaces as an
+//! `opacity` or `model-check` lint violation, so
+//! `htm-exp run model --gate opacity,model-check` turns a violating
+//! schedule into a failing exit status. Each violating cell also saves a
+//! replayable trace for `htm-exp replay`.
+
+use htm_machine::Platform;
+use htm_model::{Tier, ALL_TIERS};
+
+use crate::cell::{platform_key, CellKind, CellSpec};
+use crate::spec::ExperimentSpec;
+
+/// The model grid: every suite kernel under every tier. ROT is POWER8
+/// hardware; the other tiers run on the Intel Core model (the tier logic
+/// under check is platform-independent, and `htm-model`'s own tests cover
+/// the cross-platform sweep).
+fn model_grid() -> Vec<(&'static str, Platform, Tier)> {
+    let mut grid = Vec::new();
+    for kernel in htm_model::kernel::suite() {
+        for tier in ALL_TIERS {
+            let platform = if tier == Tier::Rot { Platform::Power8 } else { Platform::IntelCore };
+            grid.push((kernel.name, platform, tier));
+        }
+    }
+    grid
+}
+
+fn model_id(kernel: &str, tier: Tier) -> String {
+    format!("model-{}-{}", kernel, tier.key())
+}
+
+pub static MODEL: ExperimentSpec = ExperimentSpec {
+    name: "model",
+    title: "model check: exhaustive schedule exploration (opacity, serializability, deadlock)",
+    default_scale: None,
+    build: |_opts| {
+        model_grid()
+            .into_iter()
+            .map(|(kernel, platform, tier)| {
+                CellSpec::new(model_id(kernel, tier), CellKind::Model { kernel, platform, tier })
+            })
+            .collect()
+    },
+    render: |_opts, set, sink| {
+        let headers: Vec<String> = [
+            "kernel",
+            "tier",
+            "platform",
+            "schedules",
+            "steps",
+            "depth",
+            "pruned",
+            "states",
+            "violating",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        let mut violations = Vec::new();
+        let mut traces = Vec::new();
+        for (kernel, platform, tier) in model_grid() {
+            let r = set.get(&model_id(kernel, tier));
+            let cols = [
+                r.get("schedules") as u64,
+                r.get("steps") as u64,
+                r.get("max_depth") as u64,
+                r.get("sleep_pruned") as u64,
+                r.get("states") as u64,
+                r.get("violating") as u64,
+            ];
+            rows.push(
+                [kernel, tier.key(), platform_key(platform)]
+                    .into_iter()
+                    .map(str::to_owned)
+                    .chain(cols.iter().map(u64::to_string))
+                    .collect(),
+            );
+            tsv.push(format!(
+                "{kernel}\t{}\t{}\t{}",
+                tier.key(),
+                platform_key(platform),
+                cols.map(|c| c.to_string()).join("\t")
+            ));
+            violations.extend(
+                htm_analyze::lint::report_from_json(r.get_note("violations"))
+                    .expect("model violation JSON round-trips"),
+            );
+            let trace = r.get_note("trace");
+            if !trace.is_empty() {
+                traces.push((model_id(kernel, tier), trace.to_owned()));
+            }
+        }
+        sink.table("htm-model (exhaustive schedule exploration)", &headers, &rows);
+        sink.tsv(
+            "model",
+            "kernel\ttier\tplatform\tschedules\tsteps\tdepth\tpruned\tstates\tviolating",
+            tsv,
+        );
+        if violations.is_empty() {
+            sink.raw("\nno model-check violations\n");
+        } else {
+            sink.raw(&format!("\n{} model-check violation(s):\n", violations.len()));
+            for v in &violations {
+                sink.raw(&format!("  {v}\n"));
+            }
+            for (id, trace) in &traces {
+                sink.raw(&format!("\nreplayable trace for {id} (feed to `htm-exp replay`):\n"));
+                for line in trace.lines() {
+                    sink.raw(&format!("  {line}\n"));
+                }
+            }
+        }
+        sink.json("htm_model", htm_analyze::lint::report_to_json(&violations));
+        sink.report_violations(violations);
+    },
+};

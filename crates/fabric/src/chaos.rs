@@ -71,6 +71,12 @@ pub struct ChaosEvent {
     pub action: ChaosAction,
 }
 
+/// Largest `kills` a parsed storm accepts (no real fabric run hands out
+/// anywhere near this many assignments).
+pub const MAX_STORM_KILLS: usize = 4096;
+/// Largest `span` a parsed storm accepts.
+pub const MAX_STORM_SPAN: usize = 1 << 20;
+
 /// A deterministic fault schedule. The default (empty) plan injects
 /// nothing.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -159,6 +165,15 @@ impl ChaosPlan {
                     other => return Err(format!("unknown chaos storm parameter {other:?}")),
                 }
             }
+            // `storm` draws distinct sequence numbers by rejection sampling
+            // (quadratic in `kills`), so absurd parameters from the CLI
+            // must be refused here rather than spun on for hours.
+            if kills > MAX_STORM_KILLS {
+                return Err(format!("chaos storm kills={kills} exceeds {MAX_STORM_KILLS}"));
+            }
+            if span > MAX_STORM_SPAN {
+                return Err(format!("chaos storm span={span} exceeds {MAX_STORM_SPAN}"));
+            }
             return Ok(ChaosPlan::storm(seed, kills, span));
         }
         let mut plan = ChaosPlan::none();
@@ -234,5 +249,26 @@ mod tests {
         assert!(ChaosPlan::parse("explode@3").is_err());
         assert!(ChaosPlan::parse("kill").is_err());
         assert!(ChaosPlan::parse("storm:power=9").is_err());
+    }
+
+    #[test]
+    fn hostile_plan_strings_are_rejected_quickly_not_spun_on() {
+        // Rejection sampling over distinct sequence numbers is quadratic
+        // in `kills`; these must fail fast instead of looping for hours
+        // (or forever, for kills > span after the span clamp).
+        assert!(ChaosPlan::parse("storm:kills=18446744073709551615").is_err());
+        assert!(ChaosPlan::parse("storm:kills=1000000000,span=1").is_err());
+        assert!(ChaosPlan::parse("storm:span=18446744073709551615").is_err());
+        // Other malformed spellings reject cleanly too.
+        assert!(ChaosPlan::parse("storm:kills=-3").is_err());
+        assert!(ChaosPlan::parse("storm:kills=4.5").is_err());
+        assert!(ChaosPlan::parse("kill@-1").is_err());
+        assert!(ChaosPlan::parse("kill@99999999999999999999999999").is_err());
+        assert!(ChaosPlan::parse("kill@2;;stall@5").is_ok(), "empty segments are skipped");
+        assert!(ChaosPlan::parse(";").unwrap().is_empty());
+        // The largest accepted storm still builds in reasonable time.
+        let p = ChaosPlan::parse(&format!("storm:kills={MAX_STORM_KILLS},span={MAX_STORM_KILLS}"))
+            .unwrap();
+        assert_eq!(p.events.len(), MAX_STORM_KILLS);
     }
 }

@@ -111,8 +111,24 @@ pub enum ToWorker {
     Shutdown,
 }
 
-fn num(j: &Json, k: &str) -> Option<f64> {
-    j.get(k).and_then(Json::as_f64)
+/// Reads field `k` as a non-negative integer no larger than `max`.
+///
+/// Wire input is untrusted: a raw `as` cast would silently fold `-1`, NaN,
+/// or `1e300` into an in-range index, and a hostile or corrupt peer line
+/// could then poison the coordinator's lease table. Anything non-integral
+/// or out of range rejects the whole message instead.
+fn uint(j: &Json, k: &str, max: u64) -> Option<u64> {
+    let n = j.get(k).and_then(Json::as_f64)?;
+    if !n.is_finite() || n.fract() != 0.0 || n < 0.0 || n > max as f64 {
+        return None;
+    }
+    Some(n as u64)
+}
+
+fn idx(j: &Json, k: &str) -> Option<usize> {
+    // Cell indexes and attempt counters live well inside f64's exact
+    // integer range; cap there so the f64 → u64 round-trip is lossless.
+    uint(j, k, 1 << 53).map(|n| n as usize)
 }
 
 impl ToCoordinator {
@@ -148,18 +164,18 @@ impl ToCoordinator {
         let j = Json::parse(line.trim()).ok()?;
         match j.get("type")?.as_str()? {
             "hello" => Some(ToCoordinator::Hello {
-                worker: num(&j, "worker")? as u64,
-                pid: num(&j, "pid")? as u32,
+                worker: uint(&j, "worker", 1 << 53)?,
+                pid: uint(&j, "pid", u64::from(u32::MAX))? as u32,
             }),
-            "heartbeat" => Some(ToCoordinator::Heartbeat { worker: num(&j, "worker")? as u64 }),
+            "heartbeat" => Some(ToCoordinator::Heartbeat { worker: uint(&j, "worker", 1 << 53)? }),
             "result" => Some(ToCoordinator::Result {
-                cell: num(&j, "cell")? as usize,
-                attempt: num(&j, "attempt")? as u32,
+                cell: idx(&j, "cell")?,
+                attempt: uint(&j, "attempt", u64::from(u32::MAX))? as u32,
                 result: j.get("result")?.clone(),
             }),
             "cell_error" => Some(ToCoordinator::CellError {
-                cell: num(&j, "cell")? as usize,
-                attempt: num(&j, "attempt")? as u32,
+                cell: idx(&j, "cell")?,
+                attempt: uint(&j, "attempt", u64::from(u32::MAX))? as u32,
                 error: j.get("error")?.as_str()?.to_string(),
             }),
             _ => None,
@@ -187,8 +203,8 @@ impl ToWorker {
         let j = Json::parse(line.trim()).ok()?;
         match j.get("type")?.as_str()? {
             "assign" => Some(ToWorker::Assign {
-                cell: num(&j, "cell")? as usize,
-                attempt: num(&j, "attempt")? as u32,
+                cell: idx(&j, "cell")?,
+                attempt: uint(&j, "attempt", u64::from(u32::MAX))? as u32,
                 key: j.get("key")?.as_str()?.to_string(),
                 chaos: Directive::parse(j.get("chaos")?.as_str()?)?,
             }),
@@ -255,5 +271,44 @@ mod tests {
         assert_eq!(ToCoordinator::parse("{\"type\":\"result\"}"), None);
         assert_eq!(ToCoordinator::parse("{\"type\":\"unknown\"}"), None);
         assert_eq!(ToWorker::parse("{\"typ"), None);
+    }
+
+    #[test]
+    fn hostile_numerics_are_rejected_not_wrapped() {
+        // Each of these would survive a bare `as` cast by folding into a
+        // legal-looking value (negative → 0, NaN → 0, 1e300 → saturate);
+        // the parser must reject the message outright.
+        for line in [
+            r#"{"type":"result","cell":-1,"attempt":1,"result":{}}"#,
+            r#"{"type":"result","cell":1.5,"attempt":1,"result":{}}"#,
+            r#"{"type":"result","cell":1e300,"attempt":1,"result":{}}"#,
+            r#"{"type":"cell_error","cell":3,"attempt":-2,"error":"x"}"#,
+            r#"{"type":"hello","worker":0,"pid":4294967296}"#,
+            r#"{"type":"heartbeat","worker":NaN}"#,
+            r#"{"type":"hello","worker":"7","pid":1}"#,
+        ] {
+            assert_eq!(ToCoordinator::parse(line), None, "accepted hostile line: {line}");
+        }
+        assert_eq!(
+            ToWorker::parse(r#"{"type":"assign","cell":-4,"attempt":0,"key":"k","chaos":"none"}"#),
+            None
+        );
+        // Boundary values still parse.
+        let ok = r#"{"type":"hello","worker":9007199254740992,"pid":4294967295}"#;
+        assert_eq!(
+            ToCoordinator::parse(ok),
+            Some(ToCoordinator::Hello { worker: 1 << 53, pid: u32::MAX })
+        );
+    }
+
+    #[test]
+    fn pathological_documents_never_panic_the_wire_parser() {
+        // Deep nesting (stack-overflow probe), huge strings, truncated
+        // escapes: all must come back as a clean rejection.
+        let deep = format!("{}{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert_eq!(ToCoordinator::parse(&deep), None);
+        let nested_obj = format!("{}1", "{\"result\":[".repeat(10_000));
+        assert_eq!(ToWorker::parse(&nested_obj), None);
+        assert_eq!(ToCoordinator::parse("{\"type\":\"result\",\"error\":\"\\ud800\\u0041"), None);
     }
 }

@@ -1,0 +1,267 @@
+//! Micro-kernels for the model checker.
+//!
+//! A [`Kernel`] is a tiny multi-threaded program over a handful of shared
+//! words: each thread runs a fixed sequence of atomic blocks, each block a
+//! fixed sequence of [`Op`]s. Kernels are deliberately loop- and
+//! branch-free so that every thread's behavior is a pure function of the
+//! values it reads — which makes block-level serial executions well-defined
+//! and lets the explorer compare any interleaved final state against the
+//! set of serial ones.
+//!
+//! Variables are indices into a per-run address table; the harness places
+//! each variable on its own 256-byte-aligned line so it occupies its own
+//! conflict-detection line on every platform.
+
+use htm_runtime::{ThreadCtx, Tx};
+
+/// One straight-line operation inside an atomic block, over variable
+/// indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read variable `a` (and discard the value — it still joins the read
+    /// set, so it matters for conflicts and opacity).
+    Read(usize),
+    /// Store the constant `k` to variable `a`.
+    Set(usize, u64),
+    /// `a += k`.
+    Add(usize, u64),
+    /// `to = from + k` (reads one variable, writes another).
+    Copy { from: usize, to: usize, k: u64 },
+}
+
+/// One atomic block: the ops run inside a single `ctx.atomic` body.
+#[derive(Clone, Debug)]
+pub struct Block(pub Vec<Op>);
+
+/// One thread's program: its blocks run in order.
+#[derive(Clone, Debug)]
+pub struct ThreadProgram(pub Vec<Block>);
+
+/// A named multi-threaded micro-program.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    pub name: &'static str,
+    /// Number of shared variables (indices `0..vars`).
+    pub vars: usize,
+    /// Initial value per variable (missing entries default to 0).
+    pub init: Vec<u64>,
+    pub threads: Vec<ThreadProgram>,
+}
+
+impl Kernel {
+    pub fn nthreads(&self) -> u32 {
+        self.threads.len() as u32
+    }
+
+    pub fn total_blocks(&self) -> usize {
+        self.threads.iter().map(|t| t.0.len()).sum()
+    }
+
+    /// Initial value of variable `v`.
+    pub fn init_of(&self, v: usize) -> u64 {
+        self.init.get(v).copied().unwrap_or(0)
+    }
+
+    /// Runs thread `tid`'s whole program on `ctx` (all its blocks, in
+    /// order).
+    pub fn run_thread(&self, ctx: &mut ThreadCtx, tid: u32, addrs: &[htm_core::WordAddr]) {
+        for block in &self.threads[tid as usize].0 {
+            run_block(block, ctx, addrs);
+        }
+    }
+
+    /// Runs one block (identified by `(tid, idx)`) — the building piece of
+    /// serial reference executions.
+    pub fn run_one_block(
+        &self,
+        ctx: &mut ThreadCtx,
+        tid: u32,
+        idx: usize,
+        addrs: &[htm_core::WordAddr],
+    ) {
+        run_block(&self.threads[tid as usize].0[idx], ctx, addrs);
+    }
+
+    /// All interleavings of the threads' block sequences that preserve each
+    /// thread's block order, as `(tid, block_idx)` sequences. This is the
+    /// space of serial block-level executions any serializable run must
+    /// match.
+    pub fn serial_orders(&self) -> Vec<Vec<(u32, usize)>> {
+        let counts: Vec<usize> = self.threads.iter().map(|t| t.0.len()).collect();
+        let mut orders = Vec::new();
+        let mut taken = vec![0usize; counts.len()];
+        let mut cur: Vec<(u32, usize)> = Vec::new();
+        fn rec(
+            counts: &[usize],
+            taken: &mut Vec<usize>,
+            cur: &mut Vec<(u32, usize)>,
+            orders: &mut Vec<Vec<(u32, usize)>>,
+        ) {
+            if cur.len() == counts.iter().sum::<usize>() {
+                orders.push(cur.clone());
+                return;
+            }
+            for t in 0..counts.len() {
+                if taken[t] < counts[t] {
+                    cur.push((t as u32, taken[t]));
+                    taken[t] += 1;
+                    rec(counts, taken, cur, orders);
+                    taken[t] -= 1;
+                    cur.pop();
+                }
+            }
+        }
+        rec(&counts, &mut taken, &mut cur, &mut orders);
+        orders
+    }
+}
+
+fn run_block(block: &Block, ctx: &mut ThreadCtx, addrs: &[htm_core::WordAddr]) {
+    let ops = &block.0;
+    ctx.atomic(|tx: &mut Tx<'_>| {
+        for op in ops {
+            match *op {
+                Op::Read(a) => {
+                    tx.load(addrs[a])?;
+                }
+                Op::Set(a, k) => tx.store(addrs[a], k)?,
+                Op::Add(a, k) => {
+                    let v = tx.load(addrs[a])?;
+                    tx.store(addrs[a], v.wrapping_add(k))?;
+                }
+                Op::Copy { from, to, k } => {
+                    let v = tx.load(addrs[from])?;
+                    tx.store(addrs[to], v.wrapping_add(k))?;
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// `counter`: both threads increment one shared counter (2 blocks and 1
+/// block respectively — 3 blocks total, the exhaustiveness acceptance
+/// kernel). Any lost update diverges from every serial final state.
+pub fn counter() -> Kernel {
+    Kernel {
+        name: "counter",
+        vars: 1,
+        init: vec![0],
+        threads: vec![
+            ThreadProgram(vec![Block(vec![Op::Add(0, 1)]), Block(vec![Op::Add(0, 1)])]),
+            ThreadProgram(vec![Block(vec![Op::Add(0, 1)])]),
+        ],
+    }
+}
+
+/// `snapshot`: thread 0 keeps the invariant `x == y` by updating both in
+/// one block; thread 1 copies both into private result slots. A torn
+/// observation (in a committed *or aborted* attempt) is an
+/// opacity/serializability violation.
+pub fn snapshot() -> Kernel {
+    Kernel {
+        name: "snapshot",
+        vars: 4, // x, y, rx, ry
+        init: vec![0, 0, 0, 0],
+        threads: vec![
+            ThreadProgram(vec![Block(vec![Op::Set(0, 7), Op::Set(1, 7)])]),
+            ThreadProgram(vec![Block(vec![
+                Op::Copy { from: 0, to: 2, k: 0 },
+                Op::Copy { from: 1, to: 3, k: 0 },
+            ])]),
+        ],
+    }
+}
+
+/// `chain`: thread 0 writes x then derives y from it; thread 1 reads y into
+/// a result slot and bumps x. Exercises write-after-read and read-after-
+/// write edges across three blocks per thread... (2 threads x 2-3 blocks).
+pub fn chain() -> Kernel {
+    Kernel {
+        name: "chain",
+        vars: 3, // x, y, r
+        init: vec![1, 0, 0],
+        threads: vec![
+            ThreadProgram(vec![
+                Block(vec![Op::Set(0, 5)]),
+                Block(vec![Op::Copy { from: 0, to: 1, k: 1 }]),
+            ]),
+            ThreadProgram(vec![Block(vec![Op::Copy { from: 1, to: 2, k: 0 }, Op::Add(0, 10)])]),
+        ],
+    }
+}
+
+/// `dirty-read`: thread 0 writes y from x twice (forcing revalidation
+/// traffic); thread 1 updates x, then copies y into a result slot — the
+/// reader that surfaces never-committed values if a broken commit path
+/// publishes early.
+pub fn dirty_read() -> Kernel {
+    Kernel {
+        name: "dirty-read",
+        vars: 3, // x, y, r
+        init: vec![0, 0, 0],
+        threads: vec![
+            ThreadProgram(vec![Block(vec![Op::Read(0), Op::Set(1, 99)])]),
+            ThreadProgram(vec![
+                Block(vec![Op::Add(0, 1)]),
+                Block(vec![Op::Copy { from: 1, to: 2, k: 0 }]),
+            ]),
+        ],
+    }
+}
+
+/// The default model-checking suite.
+pub fn suite() -> Vec<Kernel> {
+    vec![counter(), snapshot(), chain(), dirty_read()]
+}
+
+/// Looks a suite kernel up by name (trace replay entry point).
+pub fn by_name(name: &str) -> Option<Kernel> {
+    suite().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_orders_are_the_multinomial_interleavings() {
+        let k = counter(); // 2 + 1 blocks -> C(3,1) = 3 orders
+        assert_eq!(k.serial_orders().len(), 3);
+        let k = snapshot(); // 1 + 1 -> 2
+        assert_eq!(k.serial_orders().len(), 2);
+        let k = chain(); // 2 + 1 -> 3
+        assert_eq!(k.serial_orders().len(), 3);
+        for order in counter().serial_orders() {
+            // Per-thread block order is preserved.
+            let t0: Vec<usize> = order.iter().filter(|&&(t, _)| t == 0).map(|&(_, b)| b).collect();
+            assert_eq!(t0, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn suite_kernels_are_well_formed_and_uniquely_named() {
+        let s = suite();
+        let mut names: Vec<&str> = s.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), s.len(), "duplicate kernel names");
+        for k in &s {
+            assert!(k.nthreads() >= 2, "{}: model kernels are concurrent", k.name);
+            assert!(k.total_blocks() >= 2);
+            for t in &k.threads {
+                for b in &t.0 {
+                    for op in &b.0 {
+                        let vars = match *op {
+                            Op::Read(a) | Op::Set(a, _) | Op::Add(a, _) => vec![a],
+                            Op::Copy { from, to, .. } => vec![from, to],
+                        };
+                        assert!(vars.into_iter().all(|v| v < k.vars), "{}: var oob", k.name);
+                    }
+                }
+            }
+        }
+        assert!(by_name("counter").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,482 @@
+//! The cooperative schedule controller.
+//!
+//! One [`Controller`] drives one execution of a kernel: every worker thread
+//! installs a [`ControllerHooks`] handle as its `htm_core::coop` hook set,
+//! registers, and from then on runs only while it holds the controller's
+//! grant. Exactly one thread runs at a time; at every scheduling point the
+//! pausing thread updates the shared state, picks the next thread (obeying
+//! a forced schedule prefix when the explorer replays or extends a path),
+//! and parks until re-granted.
+//!
+//! A *step* is everything a thread executes between two of its own pauses.
+//! The controller records, per step, the chosen thread, the candidate set
+//! the choice was made from, and the line-granular access footprint — the
+//! inputs dynamic partial-order reduction needs.
+//!
+//! Threads that pause at [`CoopPoint::Blocked`] observed a condition only
+//! another thread can change (a held lock, a committing slot, an odd
+//! epoch). They are *disabled*: the controller does not schedule them while
+//! any other thread is runnable, and re-enables them after any other thread
+//! completes a step. Scheduling a blocked thread early would only re-run
+//! its spin poll, so excluding it loses no behaviors. When every live
+//! thread is blocked for several consecutive rounds the schedule is a
+//! deadlock; a global step bound catches livelock/starvation.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex};
+
+use htm_core::coop::{CoopHooks, CoopPoint};
+
+/// Line-granular step footprint: line id → whether the step wrote it.
+/// [`htm_core::coop::EPOCH_LINE`] stands in for the hybrid commit epoch.
+pub type Footprint = BTreeMap<u64, bool>;
+
+/// Whether two step footprints conflict (both touch a line, at least one
+/// write).
+pub fn conflicts(a: &Footprint, b: &Footprint) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().any(|(line, &w)| match large.get(line) {
+        Some(&w2) => w || w2,
+        None => false,
+    })
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Ready,
+    Blocked,
+    Done,
+}
+
+/// One scheduling decision: which thread was granted a step, out of which
+/// candidates, and what the step touched.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Thread granted the step.
+    pub chosen: u32,
+    /// Runnable candidates the choice was made from. For grants that only
+    /// re-enabled blocked threads this is just `[chosen]` (no real branch).
+    pub candidates: Vec<u32>,
+    /// The candidates were blocked threads re-enabled for a deadlock probe.
+    pub promoted: bool,
+    /// Access footprint of the step (filled when the thread next pauses).
+    pub fp: Footprint,
+    /// The point that ended the step; `None` means the thread finished.
+    pub end_point: Option<CoopPoint>,
+}
+
+/// Why the controller aborted a schedule before it ran to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedAbort {
+    /// Every live thread stayed blocked across repeated probe rounds.
+    Deadlock(String),
+    /// The schedule exceeded the global step bound (livelock/starvation).
+    StepBound(String),
+    /// A forced schedule did not match the execution (internal error or a
+    /// trace replayed against the wrong kernel/config).
+    Divergence(String),
+}
+
+impl SchedAbort {
+    pub fn message(&self) -> &str {
+        match self {
+            SchedAbort::Deadlock(m) | SchedAbort::StepBound(m) | SchedAbort::Divergence(m) => m,
+        }
+    }
+}
+
+/// Distinctive prefix of the panic the controller raises to tear a doomed
+/// schedule down through the executor's worker-panic recovery.
+pub const ABORT_PANIC_PREFIX: &str = "htm-model schedule abort";
+
+struct SchedState {
+    status: Vec<ThreadState>,
+    registered: u32,
+    /// Thread currently granted the right to run (`None` once all done).
+    current: Option<u32>,
+    /// Previously granted thread (the no-switch default choice).
+    prev: Option<u32>,
+    forced: Vec<u32>,
+    log: Vec<Decision>,
+    /// Index into `log` of each thread's open (unfinished) step.
+    open: Vec<Option<usize>>,
+    /// Footprint accumulating for each thread's open step.
+    cur_fp: Vec<Footprint>,
+    /// Consecutive grant rounds where only blocked threads were runnable.
+    blocked_streak: u32,
+    preemptions: u32,
+    abort: Option<SchedAbort>,
+}
+
+/// Shared scheduler for one controlled execution.
+pub struct Controller {
+    nthreads: u32,
+    max_steps: u64,
+    preemption_bound: Option<u32>,
+    inner: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Controller {
+    /// `forced` pins the first `forced.len()` grants; past the prefix the
+    /// default policy picks (deterministically) the previously running
+    /// thread if still runnable, else the lowest-numbered runnable thread.
+    pub fn new(nthreads: u32, forced: Vec<u32>, max_steps: u64) -> Arc<Controller> {
+        Arc::new(Controller {
+            nthreads,
+            max_steps,
+            preemption_bound: None,
+            inner: Mutex::new(SchedState {
+                status: vec![ThreadState::Ready; nthreads as usize],
+                registered: 0,
+                current: None,
+                prev: None,
+                forced,
+                log: Vec::new(),
+                open: vec![None; nthreads as usize],
+                cur_fp: vec![Footprint::new(); nthreads as usize],
+                blocked_streak: 0,
+                preemptions: 0,
+                abort: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Like [`Controller::new`] but capping preemptive context switches: a
+    /// switch away from a still-runnable thread consumes one unit of
+    /// `bound`; once exhausted, a runnable thread keeps running until it
+    /// blocks or finishes.
+    pub fn with_preemption_bound(
+        nthreads: u32,
+        forced: Vec<u32>,
+        max_steps: u64,
+        bound: u32,
+    ) -> Arc<Controller> {
+        let mut c = Controller::new(nthreads, forced, max_steps);
+        Arc::get_mut(&mut c).expect("fresh controller").preemption_bound = Some(bound);
+        c
+    }
+
+    /// Per-thread hook handle for [`htm_core::coop::install`].
+    pub fn hooks(self: &Arc<Controller>, tid: u32) -> Rc<ControllerHooks> {
+        Rc::new(ControllerHooks { ctrl: Arc::clone(self), tid })
+    }
+
+    /// Registers thread `tid` and parks until the first grant. Every worker
+    /// must call this exactly once, before touching shared state.
+    pub fn register(&self, tid: u32) {
+        let mut s = self.inner.lock().unwrap();
+        s.registered += 1;
+        if s.registered == self.nthreads {
+            self.grant_next(&mut s);
+        }
+        self.wait_for_grant(s, tid);
+    }
+
+    /// RAII completion guard: marks the thread done on drop (normal exit
+    /// *and* unwind), so a panicking worker cannot strand its siblings.
+    pub fn finish_guard(self: &Arc<Controller>, tid: u32) -> FinishGuard {
+        FinishGuard { ctrl: Arc::clone(self), tid }
+    }
+
+    /// Drains the decision log and the abort verdict after the run.
+    pub fn take_result(&self) -> (Vec<Decision>, Option<SchedAbort>) {
+        let mut s = self.inner.lock().unwrap();
+        (std::mem::take(&mut s.log), s.abort.clone())
+    }
+
+    fn pause(&self, tid: u32, point: CoopPoint) {
+        let mut s = self.inner.lock().unwrap();
+        self.close_step(&mut s, tid, Some(point));
+        s.status[tid as usize] = if point == CoopPoint::Blocked {
+            ThreadState::Blocked
+        } else {
+            s.blocked_streak = 0;
+            ThreadState::Ready
+        };
+        if s.current == Some(tid) {
+            s.prev = Some(tid);
+            s.current = None;
+            self.grant_next(&mut s);
+        }
+        self.wait_for_grant(s, tid);
+    }
+
+    fn access(&self, tid: u32, line: u64, write: bool) {
+        let mut s = self.inner.lock().unwrap();
+        let e = s.cur_fp[tid as usize].entry(line).or_insert(false);
+        *e |= write;
+    }
+
+    fn finish(&self, tid: u32) {
+        let mut s = self.inner.lock().unwrap();
+        self.close_step(&mut s, tid, None);
+        s.status[tid as usize] = ThreadState::Done;
+        s.blocked_streak = 0;
+        if s.current == Some(tid) || s.current.is_none() {
+            s.prev = Some(tid);
+            s.current = None;
+            self.grant_next(&mut s);
+        }
+    }
+
+    fn close_step(&self, s: &mut SchedState, tid: u32, point: Option<CoopPoint>) {
+        if let Some(i) = s.open[tid as usize].take() {
+            s.log[i].fp = std::mem::take(&mut s.cur_fp[tid as usize]);
+            s.log[i].end_point = point;
+        } else {
+            // Accesses before the first grant (worker preamble) belong to no
+            // step; drop them rather than attributing them to a later one.
+            s.cur_fp[tid as usize].clear();
+        }
+    }
+
+    /// Picks and grants the next step. Caller holds the state lock.
+    fn grant_next(&self, s: &mut SchedState) {
+        if s.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let ready: Vec<u32> =
+            (0..self.nthreads).filter(|&t| s.status[t as usize] == ThreadState::Ready).collect();
+        let (mut candidates, promoted) = if !ready.is_empty() {
+            s.blocked_streak = 0;
+            (ready, false)
+        } else {
+            let blocked: Vec<u32> = (0..self.nthreads)
+                .filter(|&t| s.status[t as usize] == ThreadState::Blocked)
+                .collect();
+            if blocked.is_empty() {
+                // All threads done.
+                self.cv.notify_all();
+                return;
+            }
+            s.blocked_streak += 1;
+            if s.blocked_streak > 16 * self.nthreads + 16 {
+                s.abort = Some(SchedAbort::Deadlock(format!(
+                    "deadlock: threads {blocked:?} stayed blocked through {} probe rounds",
+                    s.blocked_streak
+                )));
+                self.cv.notify_all();
+                return;
+            }
+            // Probe one blocked thread (it will re-check its condition and
+            // re-block if nothing changed); the others stay blocked so the
+            // streak keeps counting fruitless rounds.
+            (blocked, true)
+        };
+        // A spent preemption budget pins the schedule to the running thread
+        // until it blocks or finishes. Probe rounds are exempt: a probe is
+        // not a preemption, and pinning it would starve the other blocked
+        // threads of their re-check.
+        if !promoted {
+            if let Some(bound) = self.preemption_bound {
+                if s.preemptions >= bound {
+                    if let Some(p) = s.prev {
+                        if candidates.contains(&p) {
+                            candidates = vec![p];
+                        }
+                    }
+                }
+            }
+        }
+        let pos = s.log.len();
+        let chosen = if pos < s.forced.len() {
+            let t = s.forced[pos];
+            if t >= self.nthreads || s.status[t as usize] == ThreadState::Done {
+                s.abort = Some(SchedAbort::Divergence(format!(
+                    "forced schedule picks thread {t} at step {pos}, but it is not runnable"
+                )));
+                self.cv.notify_all();
+                return;
+            }
+            s.status[t as usize] = ThreadState::Ready;
+            t
+        } else if promoted {
+            // Rotate the probe across every blocked thread: one thread's
+            // condition may hinge on another blocked thread being granted
+            // first (a spin whose owner has since released), so declaring
+            // deadlock is sound only after each thread re-checked
+            // fruitlessly. Sticking with `prev` here would probe one
+            // thread forever and report phantom deadlocks.
+            candidates[(s.blocked_streak - 1) as usize % candidates.len()]
+        } else if let Some(p) = s.prev.filter(|p| candidates.contains(p)) {
+            p
+        } else {
+            candidates[0]
+        };
+        s.status[chosen as usize] = ThreadState::Ready;
+        if let Some(p) = s.prev {
+            if chosen != p && s.status[p as usize] == ThreadState::Ready {
+                s.preemptions += 1;
+            }
+        }
+        if s.log.len() as u64 >= self.max_steps {
+            s.abort = Some(SchedAbort::StepBound(format!(
+                "starvation/livelock: schedule exceeded the {}-step bound",
+                self.max_steps
+            )));
+            self.cv.notify_all();
+            return;
+        }
+        // Re-enabled blocked threads carry no real branch: record the grant
+        // as forced so the explorer does not branch over spin polls.
+        let candidates = if promoted { vec![chosen] } else { candidates };
+        s.log.push(Decision {
+            chosen,
+            candidates,
+            promoted,
+            fp: Footprint::new(),
+            end_point: None,
+        });
+        s.open[chosen as usize] = Some(s.log.len() - 1);
+        s.current = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    fn wait_for_grant(&self, mut s: std::sync::MutexGuard<'_, SchedState>, tid: u32) {
+        loop {
+            if let Some(a) = &s.abort {
+                let msg = format!("{ABORT_PANIC_PREFIX}: {}", a.message());
+                drop(s);
+                // Unwind through the engine; the executor's worker-panic
+                // recovery rolls the transaction back and the explorer reads
+                // the structured verdict from the controller.
+                std::panic::panic_any(msg);
+            }
+            if s.current == Some(tid) {
+                return;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+}
+
+/// Per-thread coop hook handle (see [`Controller::hooks`]).
+pub struct ControllerHooks {
+    ctrl: Arc<Controller>,
+    tid: u32,
+}
+
+impl CoopHooks for ControllerHooks {
+    fn pause(&self, point: CoopPoint) {
+        self.ctrl.pause(self.tid, point);
+    }
+    fn access(&self, line: u64, write: bool) {
+        self.ctrl.access(self.tid, line, write);
+    }
+}
+
+/// Marks a thread done on drop (see [`Controller::finish_guard`]).
+pub struct FinishGuard {
+    ctrl: Arc<Controller>,
+    tid: u32,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.ctrl.finish(self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_threads(ctrl: &Arc<Controller>, bodies: Vec<Box<dyn FnOnce() + Send>>) {
+        std::thread::scope(|scope| {
+            for (tid, body) in bodies.into_iter().enumerate() {
+                let ctrl = Arc::clone(ctrl);
+                scope.spawn(move || {
+                    let tid = tid as u32;
+                    let hooks = ctrl.hooks(tid);
+                    let _g = htm_core::coop::install(hooks);
+                    let _f = ctrl.finish_guard(tid);
+                    ctrl.register(tid);
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+                    // Swallow the abort panic: the test asserts on the
+                    // structured verdict instead.
+                    drop(r);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn serializes_two_threads_and_logs_footprints() {
+        let ctrl = Controller::new(2, Vec::new(), 1000);
+        let mk = |_tid: u32| {
+            Box::new(move || {
+                htm_core::coop::access(7, false);
+                htm_core::coop::point(CoopPoint::BlockStart);
+                htm_core::coop::access(7, true);
+                htm_core::coop::point(CoopPoint::PreCommit);
+            }) as Box<dyn FnOnce() + Send>
+        };
+        run_threads(&ctrl, vec![mk(0), mk(1)]);
+        let (log, abort) = ctrl.take_result();
+        assert!(abort.is_none(), "clean run: {abort:?}");
+        // Each thread: preamble-to-BlockStart, BlockStart-to-PreCommit,
+        // PreCommit-to-done = 3 steps.
+        assert_eq!(log.len(), 6);
+        let t0_writes: Vec<&Decision> =
+            log.iter().filter(|d| d.chosen == 0 && d.fp.get(&7) == Some(&true)).collect();
+        assert_eq!(t0_writes.len(), 1, "exactly one step carries thread 0's write");
+        // Default policy without a forced prefix keeps running one thread to
+        // completion before switching.
+        assert_eq!(log.iter().map(|d| d.chosen).collect::<Vec<_>>(), vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn forced_prefix_steers_the_interleaving() {
+        let ctrl = Controller::new(2, vec![0, 1, 0, 1, 0, 1], 1000);
+        let mk = |_tid: u32| {
+            Box::new(move || {
+                htm_core::coop::point(CoopPoint::BlockStart);
+                htm_core::coop::point(CoopPoint::PreCommit);
+            }) as Box<dyn FnOnce() + Send>
+        };
+        run_threads(&ctrl, vec![mk(0), mk(1)]);
+        let (log, abort) = ctrl.take_result();
+        assert!(abort.is_none(), "clean run: {abort:?}");
+        assert_eq!(log.iter().map(|d| d.chosen).collect::<Vec<_>>(), vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn all_blocked_threads_is_reported_as_deadlock() {
+        let ctrl = Controller::new(2, Vec::new(), 10_000);
+        let mk = |_tid: u32| {
+            Box::new(move || loop {
+                htm_core::coop::point(CoopPoint::Blocked);
+            }) as Box<dyn FnOnce() + Send>
+        };
+        run_threads(&ctrl, vec![mk(0), mk(1)]);
+        let (_, abort) = ctrl.take_result();
+        assert!(matches!(abort, Some(SchedAbort::Deadlock(_))), "got {abort:?}");
+    }
+
+    #[test]
+    fn runaway_schedule_hits_the_step_bound() {
+        let ctrl = Controller::new(1, Vec::new(), 64);
+        let body = Box::new(move || loop {
+            htm_core::coop::point(CoopPoint::BlockStart);
+        }) as Box<dyn FnOnce() + Send>;
+        run_threads(&ctrl, vec![body]);
+        let (_, abort) = ctrl.take_result();
+        assert!(matches!(abort, Some(SchedAbort::StepBound(_))), "got {abort:?}");
+    }
+
+    #[test]
+    fn footprint_conflict_is_symmetric_and_write_sensitive() {
+        let fp = |entries: &[(u64, bool)]| entries.iter().copied().collect::<Footprint>();
+        let r7 = fp(&[(7, false)]);
+        let w7 = fp(&[(7, true)]);
+        let w9 = fp(&[(9, true)]);
+        assert!(!conflicts(&r7, &r7), "read-read never conflicts");
+        assert!(conflicts(&r7, &w7) && conflicts(&w7, &r7));
+        assert!(conflicts(&w7, &w7));
+        assert!(!conflicts(&w7, &w9), "distinct lines never conflict");
+    }
+}

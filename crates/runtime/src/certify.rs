@@ -43,7 +43,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use htm_core::{CertifyReport, EventKind, TxEvent, Violation, WordAddr};
+use htm_core::{AbortedAttempt, CertifyReport, EventKind, TxEvent, Violation, WordAddr};
 
 /// Per-thread bound on recorded events; past it the log drops events and
 /// the report is marked truncated.
@@ -60,6 +60,7 @@ pub(crate) struct CertCapture {
     reads: Vec<(WordAddr, u64)>,
     read_addrs: HashSet<WordAddr>,
     irr_writes: HashMap<WordAddr, u64>,
+    aborted: Vec<AbortedAttempt>,
 }
 
 impl CertCapture {
@@ -71,6 +72,7 @@ impl CertCapture {
             reads: Vec::new(),
             read_addrs: HashSet::new(),
             irr_writes: HashMap::new(),
+            aborted: Vec::new(),
         }
     }
 
@@ -168,9 +170,29 @@ impl CertCapture {
         });
     }
 
-    /// Returns the recorded events and whether any bound was hit.
-    pub(crate) fn take(self) -> (Vec<TxEvent>, bool) {
-        (self.events, self.truncated)
+    /// Flushes the current attempt's captured reads as an [`AbortedAttempt`]
+    /// for the opacity check (rollback paths call this instead of a
+    /// `commit_*`), then clears the per-attempt state so retries start
+    /// clean.
+    pub(crate) fn abort_attempt(&mut self, kind: EventKind) {
+        if !self.reads.is_empty() {
+            if self.aborted.len() < MAX_EVENTS_PER_THREAD {
+                let mut reads = std::mem::take(&mut self.reads);
+                reads.sort_unstable_by_key(|&(a, _)| a);
+                self.aborted.push(AbortedAttempt { thread: self.thread, kind, reads });
+            } else {
+                self.truncated = true;
+            }
+        }
+        self.reads.clear();
+        self.read_addrs.clear();
+        self.irr_writes.clear();
+    }
+
+    /// Returns the recorded events, the aborted attempts, and whether any
+    /// bound was hit.
+    pub(crate) fn take(self) -> (Vec<TxEvent>, Vec<AbortedAttempt>, bool) {
+        (self.events, self.aborted, self.truncated)
     }
 }
 
@@ -417,7 +439,7 @@ mod tests {
         buf.insert(WordAddr(5), 50);
         buf.insert(WordAddr(2), 20);
         c.commit_soft(7, &buf);
-        let (events, truncated) = c.take();
+        let (events, _aborted, truncated) = c.take();
         assert!(!truncated);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, EventKind::Software);
@@ -436,7 +458,7 @@ mod tests {
         c.on_irr_read(WordAddr(2), 5); // own write: not pre-state
         c.on_irr_read(WordAddr(3), 7);
         c.commit_irrevocable(4);
-        let (events, truncated) = c.take();
+        let (events, _aborted, truncated) = c.take();
         assert!(!truncated);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].reads, vec![(WordAddr(1), 10), (WordAddr(3), 7)]);
@@ -451,7 +473,7 @@ mod tests {
         for seq in 0..(MAX_EVENTS_PER_THREAD + 2) as u64 {
             c.nontx_write(seq, WordAddr(0), seq);
         }
-        let (events, truncated) = c.take();
+        let (events, _aborted, truncated) = c.take();
         assert_eq!(events.len(), MAX_EVENTS_PER_THREAD);
         assert!(truncated);
     }

@@ -490,6 +490,10 @@ impl ThreadCtx {
             return self.replay_block(&mut body);
         }
 
+        // Model-checker scheduling point: one pause per atomic block, before
+        // any speculation starts (covers the degraded and adaptive paths too).
+        htm_core::coop::point(htm_core::coop::CoopPoint::BlockStart);
+
         let cfg = self.eng.machine().config();
         let is_bgq = cfg.platform == Platform::BlueGeneQ;
         // Graceful degradation after a watchdog trip: skip speculation
@@ -803,10 +807,15 @@ impl ThreadCtx {
             Ok(r)
         })();
         match result {
-            Ok(r) => match self.eng.commit_hw() {
-                Ok(()) => Outcome::Committed(r),
-                Err(cause) => Outcome::Aborted(cause),
-            },
+            Ok(r) => {
+                // Model-checker scheduling point: the body ran, the commit
+                // (conflict check + write-back) has not started.
+                htm_core::coop::point(htm_core::coop::CoopPoint::PreCommit);
+                match self.eng.commit_hw() {
+                    Ok(()) => Outcome::Committed(r),
+                    Err(cause) => Outcome::Aborted(cause),
+                }
+            }
             Err(abort) => {
                 self.eng.rollback_hw();
                 Outcome::Aborted(abort.cause)
@@ -978,10 +987,13 @@ impl ThreadCtx {
     fn attempt_stm<R>(&mut self, body: &mut impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> Outcome<R> {
         self.eng.begin_soft();
         match body(&mut Tx { eng: &mut self.eng }) {
-            Ok(r) => match self.commit_stm() {
-                Ok(()) => Outcome::Committed(r),
-                Err(cause) => Outcome::Aborted(cause),
-            },
+            Ok(r) => {
+                htm_core::coop::point(htm_core::coop::CoopPoint::PreCommit);
+                match self.commit_stm() {
+                    Ok(()) => Outcome::Committed(r),
+                    Err(cause) => Outcome::Aborted(cause),
+                }
+            }
             Err(abort) => {
                 self.eng.rollback_soft();
                 Outcome::Aborted(abort.cause)
@@ -1082,6 +1094,7 @@ impl ThreadCtx {
         self.eng.begin_rot();
         match body(&mut Tx { eng: &mut self.eng }) {
             Ok(r) => {
+                htm_core::coop::point(htm_core::coop::CoopPoint::PreCommit);
                 let cost = self.eng.machine().config().cost;
                 let tag = self.thread_id() as u64 + 1;
                 let waited = self.lock.acquire(self.eng.mem(), tag, self.eng.clock(), &cost);
@@ -1295,6 +1308,7 @@ impl ThreadCtx {
         self.eng.begin_spill();
         match body(&mut Tx { eng: &mut self.eng }) {
             Ok(r) => {
+                htm_core::coop::point(htm_core::coop::CoopPoint::PreCommit);
                 let cost = self.eng.machine().config().cost;
                 let tag = self.thread_id() as u64 + 1;
                 let waited = self.lock.acquire(self.eng.mem(), tag, self.eng.clock(), &cost);

@@ -11,8 +11,8 @@ use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
 
 use htm_core::{
-    detect_races, panic_message, ConflictPolicy, Geometry, Segment, SimAlloc, SimError, SimResult,
-    SyncClock, ThreadAlloc, TxEvent, TxMemory, WordAddr,
+    check_opacity, detect_races, panic_message, AbortedAttempt, ConflictPolicy, Geometry, Segment,
+    SimAlloc, SimError, SimResult, SyncClock, ThreadAlloc, TxEvent, TxMemory, WordAddr,
 };
 use htm_hytm::FallbackPolicy;
 use htm_machine::{Machine, MachineConfig};
@@ -68,6 +68,13 @@ pub struct SimConfig {
     /// attributed to their aggressor, and each parallel run's [`RunStats`]
     /// carries a [`RaceReport`](htm_core::RaceReport).
     pub sanitize: bool,
+    /// Known initial memory image for the opacity check (addresses written
+    /// by setup phases before the certified window). Addresses absent here
+    /// are treated conservatively (any pre-first-write value passes); the
+    /// model checker supplies its kernels' full working set so torn reads
+    /// of initial values are caught too. Only consulted when `certify` is
+    /// on.
+    pub certify_init: Vec<(WordAddr, u64)>,
 }
 
 impl SimConfig {
@@ -85,6 +92,7 @@ impl SimConfig {
             fallback: FallbackPolicy::Lock,
             certify: false,
             sanitize: false,
+            certify_init: Vec::new(),
         }
     }
 
@@ -148,6 +156,13 @@ impl SimConfig {
         self.sanitize = on;
         self
     }
+
+    /// Declares known initial memory values for the opacity check (see
+    /// [`SimConfig::certify_init`]).
+    pub fn certify_init(mut self, init: Vec<(WordAddr, u64)>) -> SimConfig {
+        self.certify_init = init;
+        self
+    }
 }
 
 /// How a parallel run executes: normally, recording a schedule trace, or
@@ -162,7 +177,7 @@ enum RunMode<'t> {
 /// What one worker thread hands back to the executor.
 struct WorkerOut {
     stats: ThreadStats,
-    cert: Option<(Vec<TxEvent>, bool)>,
+    cert: Option<(Vec<TxEvent>, Vec<AbortedAttempt>, bool)>,
     hb: Option<(Vec<Segment>, bool)>,
     recording: Vec<BlockRecord>,
     replay_leftover: usize,
@@ -580,14 +595,16 @@ impl Sim {
         let mut threads = Vec::with_capacity(outs.len());
         let mut per_thread = Vec::with_capacity(outs.len());
         let mut events: Vec<TxEvent> = Vec::new();
+        let mut aborted: Vec<AbortedAttempt> = Vec::new();
         let mut truncated = false;
         let mut segments: Vec<Segment> = Vec::new();
         let mut hb_truncated = false;
         for o in outs {
             threads.push(o.stats);
             per_thread.push(o.recording);
-            if let Some((ev, tr)) = o.cert {
+            if let Some((ev, ab, tr)) = o.cert {
                 events.extend(ev);
+                aborted.extend(ab);
                 truncated |= tr;
             }
             if let Some((segs, tr)) = o.hb {
@@ -597,6 +614,8 @@ impl Sim {
         }
         let mut stats = RunStats::new(threads);
         if self.cfg.certify {
+            stats.opacity =
+                Some(check_opacity(&events, &aborted, &self.cfg.certify_init, truncated));
             stats.certify =
                 Some(crate::certify::certify(events, truncated, self.lock.acquisitions(&self.mem)));
         }

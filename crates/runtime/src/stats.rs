@@ -13,7 +13,7 @@
 //! * **transaction footprints** — distinct load/store lines per committed
 //!   transaction, for the Figure 10/11 scatter plots.
 
-use htm_core::{AbortCategory, CertifyReport, ConflictEvent, RaceReport};
+use htm_core::{AbortCategory, CertifyReport, ConflictEvent, OpacityReport, RaceReport};
 
 /// Counters collected by one worker thread.
 #[derive(Clone, Debug, Default)]
@@ -136,12 +136,16 @@ pub struct RunStats {
     /// Happens-before race report, present when the run was executed with
     /// the sanitizer enabled ([`SimConfig::sanitize`](crate::SimConfig)).
     pub race: Option<RaceReport>,
+    /// Opacity report over aborted attempts, present when the run was
+    /// executed with certification enabled
+    /// ([`SimConfig::certify`](crate::SimConfig)).
+    pub opacity: Option<OpacityReport>,
 }
 
 impl RunStats {
     /// Builds aggregate stats from per-thread results.
     pub fn new(threads: Vec<ThreadStats>) -> RunStats {
-        RunStats { threads, certify: None, race: None }
+        RunStats { threads, certify: None, race: None, opacity: None }
     }
 
     /// Folds another run into this one, thread by thread, as if each
@@ -176,6 +180,16 @@ impl RunStats {
                 a.races.extend(b.races.iter().cloned());
                 a.segments.extend(b.segments.iter().cloned());
                 a.words_checked += b.words_checked;
+                a.truncated |= b.truncated;
+                Some(a)
+            }
+            (a, b) => a.or_else(|| b.clone()),
+        };
+        self.opacity = match (self.opacity.take(), &other.opacity) {
+            (Some(mut a), Some(b)) => {
+                a.attempts += b.attempts;
+                a.reads_checked += b.reads_checked;
+                a.violations.extend(b.violations.iter().cloned());
                 a.truncated |= b.truncated;
                 Some(a)
             }

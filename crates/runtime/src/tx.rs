@@ -24,8 +24,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use htm_core::{
-    Abort, AbortCause, Clock, ConflictPolicy, LineId, Segment, SlotId, SyncClock, ThreadAlloc,
-    TxEvent, TxMemory, TxResult, WordAddr,
+    Abort, AbortCause, AbortedAttempt, Clock, ConflictPolicy, EventKind, LineId, Segment, SlotId,
+    SyncClock, ThreadAlloc, TxEvent, TxMemory, TxResult, WordAddr,
 };
 use htm_hytm::{cost as hytm_cost, SoftLog, REVALIDATE_PERIOD, STM_MAX_ACCESSES};
 use htm_machine::{Machine, Prefetcher, Tracker};
@@ -315,9 +315,9 @@ impl TxnEngine {
         self.cert = Some(RefCell::new(CertCapture::new(self.thread_id)));
     }
 
-    /// Takes the certifier capture, returning its events and whether any
-    /// bound was hit.
-    pub(crate) fn take_cert(&mut self) -> Option<(Vec<TxEvent>, bool)> {
+    /// Takes the certifier capture, returning its events, its aborted
+    /// attempts (for the opacity check), and whether any bound was hit.
+    pub(crate) fn take_cert(&mut self) -> Option<(Vec<TxEvent>, Vec<AbortedAttempt>, bool)> {
         self.cert.take().map(|c| c.into_inner().take())
     }
 
@@ -520,6 +520,21 @@ impl TxnEngine {
                 return Err(cause);
             }
         }
+        if htm_core::coop::enabled() {
+            // The commit sequence re-touches the transaction's whole tracked
+            // footprint: start_commit checks the doom state the protocol
+            // keeps per line, so a schedule explorer must see this step
+            // conflict with any concurrent access to those lines.
+            for &line in &self.read_lines {
+                htm_core::coop::access(line.0 as u64, false);
+            }
+            for &line in &self.write_lines {
+                htm_core::coop::access(line.0 as u64, true);
+            }
+            for &addr in self.spill_writes.keys() {
+                htm_core::coop::access(self.mem.line_of(addr).0 as u64, true);
+            }
+        }
         match self.mem.start_commit(self.slot) {
             Ok(()) => {
                 // Linearization point: the slot is COMMITTING and still
@@ -550,18 +565,49 @@ impl TxnEngine {
                 if let Some(h) = &mut self.hb {
                     h.get_mut().commit_tx();
                 }
-                self.epoch_bump(); // odd: write-back in place (hybrid only)
-                for (&addr, &value) in &self.write_buf {
-                    self.mem.write_word(addr, value);
+                // Seeded bug #2 (model-checker regression corpus): the epoch
+                // protocol guards *every* in-place write-back — skipping the
+                // bumps here lets a software snapshot read this flush
+                // mid-flight, a torn, non-opaque observation.
+                let skip_epoch_bump = self.mem.test_skip_epoch_bump();
+                if !skip_epoch_bump {
+                    self.epoch_bump(); // odd: write-back in place (hybrid only)
                 }
-                // Spilled stores target lines this slot does not own, so
-                // they publish as dooming non-transactional stores (any
-                // hardware reader of a spilled line aborts), inside the
-                // same epoch window as the owned write-back.
-                for (&addr, &value) in &self.spill_writes {
-                    self.mem.nontx_store(Some(self.slot), addr, value);
+                if htm_core::coop::enabled() {
+                    // Model-checked run: flush in address order (HashMap
+                    // iteration is per-process random, which would make
+                    // counterexample schedules unreplayable across runs) and
+                    // pause before each store so torn write-backs are
+                    // explorable interleavings.
+                    let mut stores: Vec<(WordAddr, u64)> =
+                        self.write_buf.iter().map(|(&a, &v)| (a, v)).collect();
+                    stores.sort_unstable_by_key(|&(a, _)| a);
+                    for (addr, value) in stores {
+                        htm_core::coop::point(htm_core::coop::CoopPoint::WriteBack);
+                        self.mem.write_word(addr, value);
+                    }
+                    let mut spills: Vec<(WordAddr, u64)> =
+                        self.spill_writes.iter().map(|(&a, &v)| (a, v)).collect();
+                    spills.sort_unstable_by_key(|&(a, _)| a);
+                    for (addr, value) in spills {
+                        htm_core::coop::point(htm_core::coop::CoopPoint::WriteBack);
+                        self.mem.nontx_store(Some(self.slot), addr, value);
+                    }
+                } else {
+                    for (&addr, &value) in &self.write_buf {
+                        self.mem.write_word(addr, value);
+                    }
+                    // Spilled stores target lines this slot does not own, so
+                    // they publish as dooming non-transactional stores (any
+                    // hardware reader of a spilled line aborts), inside the
+                    // same epoch window as the owned write-back.
+                    for (&addr, &value) in &self.spill_writes {
+                        self.mem.nontx_store(Some(self.slot), addr, value);
+                    }
                 }
-                self.epoch_bump(); // even: write-back published
+                if !skip_epoch_bump {
+                    self.epoch_bump(); // even: write-back published
+                }
                 let was_rot_soft = self.rot_soft;
                 let was_spill = self.spill_mode;
                 self.release_lines();
@@ -603,6 +649,7 @@ impl TxnEngine {
     #[inline]
     fn epoch_bump(&self) {
         if let Some(e) = &self.hybrid_epoch {
+            htm_core::coop::access(htm_core::coop::EPOCH_LINE, true);
             e.fetch_add(1, Ordering::SeqCst);
         }
     }
@@ -613,10 +660,12 @@ impl TxnEngine {
         match &self.hybrid_epoch {
             None => 0,
             Some(e) => loop {
+                htm_core::coop::access(htm_core::coop::EPOCH_LINE, false);
                 let v = e.load(Ordering::SeqCst);
                 if v & 1 == 0 {
                     break v;
                 }
+                htm_core::coop::point(htm_core::coop::CoopPoint::Blocked);
                 std::thread::yield_now();
             },
         }
@@ -631,8 +680,10 @@ impl TxnEngine {
             return (self.mem.read_word(addr), 0);
         };
         loop {
+            htm_core::coop::access(htm_core::coop::EPOCH_LINE, false);
             let e0 = e.load(Ordering::SeqCst);
             if e0 & 1 == 1 {
+                htm_core::coop::point(htm_core::coop::CoopPoint::Blocked);
                 std::thread::yield_now();
                 continue;
             }
@@ -711,6 +762,9 @@ impl TxnEngine {
     pub(crate) fn rollback_soft(&mut self) {
         assert_eq!(self.state, BlockState::SoftwareTx, "rollback outside software tx");
         self.charge(self.machine.config().cost.abort);
+        if let Some(c) = &mut self.cert {
+            c.get_mut().abort_attempt(EventKind::Software);
+        }
         if let Some(h) = &mut self.hb {
             h.get_mut().rollback_tx();
         }
@@ -758,11 +812,31 @@ impl TxnEngine {
         if let Some(h) = &mut self.hb {
             h.get_mut().commit_tx();
         }
-        self.epoch_bump(); // odd: in-place write-back begins
-        for (&addr, &value) in &self.write_buf {
-            self.mem.nontx_store(Some(self.slot), addr, value);
+        // Seeded bug #2 (model-checker regression corpus): skipping the
+        // epoch bump lets concurrent software snapshots read the write-back
+        // mid-flight — a torn, non-opaque observation.
+        let skip_epoch_bump = self.mem.test_skip_epoch_bump();
+        if !skip_epoch_bump {
+            self.epoch_bump(); // odd: in-place write-back begins
         }
-        self.epoch_bump(); // even: write-back published
+        if htm_core::coop::enabled() {
+            // Address-ordered flush with a pause per store (see the
+            // hardware commit path for why).
+            let mut stores: Vec<(WordAddr, u64)> =
+                self.write_buf.iter().map(|(&a, &v)| (a, v)).collect();
+            stores.sort_unstable_by_key(|&(a, _)| a);
+            for (addr, value) in stores {
+                htm_core::coop::point(htm_core::coop::CoopPoint::WriteBack);
+                self.mem.nontx_store(Some(self.slot), addr, value);
+            }
+        } else {
+            for (&addr, &value) in &self.write_buf {
+                self.mem.nontx_store(Some(self.slot), addr, value);
+            }
+        }
+        if !skip_epoch_bump {
+            self.epoch_bump(); // even: write-back published
+        }
         if self.trace_footprints {
             let rl: HashSet<LineId> =
                 self.soft_log.entries().iter().map(|&(a, _)| self.mem.line_of(a)).collect();
@@ -801,6 +875,15 @@ impl TxnEngine {
     /// validation or a hardware doom.
     pub(crate) fn rot_commit_under_lock(&mut self) -> Result<(), AbortCause> {
         assert!(self.rot_soft, "rot commit outside a ROT-tier transaction");
+        // Seeded bug #3 (model-checker regression corpus): publishing the
+        // write buffer before validation bypasses both conflict detection
+        // (plain stores doom nobody) and the epoch, so a failed validation
+        // leaves dirty never-committed values in the arena.
+        if self.mem.test_early_rot_publish() && self.aborted.is_none() {
+            for (&addr, &value) in &self.write_buf {
+                self.mem.write_word(addr, value);
+            }
+        }
         if self.aborted.is_none() {
             self.charge(
                 hytm_cost::ROT_COMMIT_OVERHEAD
@@ -877,6 +960,14 @@ impl TxnEngine {
     pub(crate) fn rollback_hw(&mut self) {
         assert_eq!(self.state, BlockState::HardwareTx, "rollback outside hardware tx");
         self.charge(self.machine.config().cost.abort);
+        let kind = if self.rot_soft || self.has_spilled() {
+            EventKind::Software
+        } else {
+            EventKind::Hardware { rot: self.rollback_only }
+        };
+        if let Some(c) = &mut self.cert {
+            c.get_mut().abort_attempt(kind);
+        }
         if let Some(h) = &mut self.hb {
             h.get_mut().rollback_tx();
         }
