@@ -73,6 +73,45 @@ impl ConflictMatrix {
     }
 }
 
+/// A hot application key behind conflict aborts: blame resolved from
+/// conflict-detection lines back to the keys stored on them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotKey {
+    /// The application key (e.g. a KV-store key).
+    pub key: u64,
+    /// The conflict line the key's storage occupies.
+    pub line: LineId,
+    /// Conflict aborts attributed to that line.
+    pub conflicts: u64,
+}
+
+impl fmt::Display for HotKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key {} on {:?}: {} conflict abort(s)", self.key, self.line, self.conflicts)
+    }
+}
+
+/// Resolves the matrix's hot lines to application keys: the service-traffic
+/// answer to "which keys are behind the p99 collapse".
+///
+/// `key_lines` maps each application key to the conflict line holding its
+/// storage (workloads snapshot this after setup, e.g. via
+/// `TmHashTable::value_addr`). A line shared by several keys blames all of
+/// them with the line's full count — the conflict hardware cannot tell them
+/// apart either. Keys on cold lines are omitted; the result is sorted
+/// hottest-first (ties broken by key, so the order is deterministic).
+pub fn hot_keys(matrix: &ConflictMatrix, key_lines: &BTreeMap<u64, LineId>) -> Vec<HotKey> {
+    let mut v: Vec<HotKey> = key_lines
+        .iter()
+        .filter_map(|(&key, &line)| {
+            let conflicts = matrix.line(line);
+            (conflicts > 0).then_some(HotKey { key, line, conflicts })
+        })
+        .collect();
+    v.sort_by(|a, b| b.conflicts.cmp(&a.conflicts).then(a.key.cmp(&b.key)));
+    v
+}
+
 impl fmt::Display for ConflictMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} attributed conflict abort(s)", self.total)?;
@@ -200,6 +239,32 @@ mod tests {
         assert_eq!(m.hot_lines(), vec![(LineId(5), 2), (LineId(6), 1)]);
         let shown = m.to_string();
         assert!(shown.contains("thread 1 doomed thread 0: 2"), "{shown}");
+    }
+
+    #[test]
+    fn hot_keys_resolve_lines_deterministically() {
+        let m = ConflictMatrix::from_events([
+            ev(0, Some(1), 5),
+            ev(0, Some(1), 5),
+            ev(1, Some(0), 5),
+            ev(1, None, 6),
+        ]);
+        let mut key_lines = BTreeMap::new();
+        key_lines.insert(42u64, LineId(5));
+        key_lines.insert(7u64, LineId(6));
+        key_lines.insert(99u64, LineId(100)); // cold line: omitted
+        key_lines.insert(43u64, LineId(5)); // shares the hot line with 42
+        let hot = hot_keys(&m, &key_lines);
+        assert_eq!(
+            hot,
+            vec![
+                HotKey { key: 42, line: LineId(5), conflicts: 3 },
+                HotKey { key: 43, line: LineId(5), conflicts: 3 },
+                HotKey { key: 7, line: LineId(6), conflicts: 1 },
+            ]
+        );
+        assert!(hot[0].to_string().contains("key 42"));
+        assert!(hot_keys(&ConflictMatrix::default(), &key_lines).is_empty());
     }
 
     #[test]

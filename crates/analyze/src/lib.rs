@@ -35,7 +35,7 @@ pub mod json;
 pub mod lint;
 
 pub use adapt::{AdaptFeedback, ThreadFeedback};
-pub use blame::{detect_false_sharing, ConflictMatrix, FalseSharing};
+pub use blame::{detect_false_sharing, hot_keys, ConflictMatrix, FalseSharing, HotKey};
 pub use capacity::{predict_capacity, CapacityCell};
 pub use json::Json;
 pub use lint::{lint_cell, Gate, Rule, Severity, Thresholds, Violation};

@@ -327,9 +327,11 @@ mod tests {
                 while let Some(v) = q.dequeue(ctx, imp) {
                     got.push(v);
                 }
-                seen.lock().unwrap().extend(got);
+                // Poison-tolerant: a panic on a sibling worker thread must
+                // not cascade into a second, misleading panic here.
+                seen.lock().unwrap_or_else(|p| p.into_inner()).extend(got);
             });
-            let mut all = seen.into_inner().unwrap();
+            let mut all = seen.into_inner().unwrap_or_else(|p| p.into_inner());
             all.sort_unstable();
             let expected: Vec<u64> =
                 (0..4u64).flat_map(|t| (0..100u64).map(move |i| t * 1000 + i + 1)).collect();

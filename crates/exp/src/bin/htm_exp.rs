@@ -43,6 +43,11 @@ options:
   --gate rule1,rule2,...  exit 1 if a gated lint rule fires
   --results-dir PATH      artifact directory (default target/results)
   --quiet                 suppress per-cell progress on stderr
+svc options (the service-traffic spec):
+  --sessions N            simulated client sessions per cell (default: per
+                          scale; underscores allowed: 1_000_000)
+  --skew S                run one Zipf skew instead of the two-skew grid;
+                          permille integer (1100) or decimal (1.1)
 fabric options (fault-tolerant multi-process runs):
   --fabric                shard cells to worker processes with lease-based
                           retry; crashed or hung workers are respawned and
@@ -148,6 +153,18 @@ fn parse_cli() -> Cli {
                 let plan = ChaosPlan::parse(&next(&mut args, "--chaos"))
                     .unwrap_or_else(|e| usage_error(&e));
                 cli.opts.fabric.get_or_insert_with(FabricConfig::default).chaos = plan;
+            }
+            "--sessions" => {
+                cli.opts.svc_sessions = Some(
+                    htm_exp::parse_sessions(&next(&mut args, "--sessions"))
+                        .unwrap_or_else(|e| usage_error(&e)),
+                );
+            }
+            "--skew" => {
+                cli.opts.svc_skew = Some(
+                    htm_exp::parse_skew_permille(&next(&mut args, "--skew"))
+                        .unwrap_or_else(|e| usage_error(&e)),
+                );
             }
             "--filter" => cli.opts.filter = Some(next(&mut args, "--filter")),
             "--gate" => {
@@ -397,6 +414,18 @@ fn cmd_worker(args: Vec<String>) -> i32 {
                 opts.fallback = Some(
                     htm_runtime::FallbackPolicy::parse(&s)
                         .unwrap_or_else(|| usage_error(&format!("worker: bad --fallback {s:?}"))),
+                );
+            }
+            "--sessions" => {
+                opts.svc_sessions = Some(
+                    htm_exp::parse_sessions(&next(&mut it, "--sessions"))
+                        .unwrap_or_else(|e| usage_error(&format!("worker: {e}"))),
+                );
+            }
+            "--skew" => {
+                opts.svc_skew = Some(
+                    htm_exp::parse_skew_permille(&next(&mut it, "--skew"))
+                        .unwrap_or_else(|e| usage_error(&format!("worker: {e}"))),
                 );
             }
             "--filter" => opts.filter = Some(next(&mut it, "--filter")),

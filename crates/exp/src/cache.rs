@@ -34,8 +34,9 @@ use htm_analyze::Json;
 use crate::cell::CellResult;
 
 /// Version prefix folded into every cache key; bump on simulator changes
-/// that alter results (v4: checksum envelope).
-pub const CACHE_VERSION: &str = "v4";
+/// that alter results (v5: service-workload cells, latency histograms in
+/// run stats, sink percentile columns).
+pub const CACHE_VERSION: &str = "v5";
 
 /// 64-bit FNV-1a (dependency-free, stable across platforms and runs).
 pub fn fnv64(s: &str) -> u64 {
@@ -256,6 +257,35 @@ mod tests {
             Load::Healed(why) => assert!(why.contains("checksum"), "unexpected cause: {why}"),
             other => panic!("bit flip must heal, got {other:?}"),
         }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn old_version_entry_is_a_miss_not_a_hit() {
+        let cache = temp_cache("oldversion");
+        // Hand-craft a previous-version entry at the exact path the
+        // current version hashes "k" to: intact checksum envelope, stale
+        // version prefix in the key text. A version bump must invalidate
+        // it (miss + recompute), and an intact stale entry is not
+        // corruption, so it must not be quarantined either.
+        let body = Json::Obj(vec![
+            ("key".into(), Json::str("v4|k")),
+            ("id".into(), Json::str("id")),
+            ("result".into(), sample().to_json()),
+        ]);
+        let body_text = body.to_string();
+        let envelope = Json::Obj(vec![
+            ("sum".into(), Json::str(format!("{:016x}", fnv64(&body_text)))),
+            ("body".into(), body),
+        ]);
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        let path = cache.path_for("k");
+        std::fs::write(&path, envelope.to_string()).unwrap();
+        assert_eq!(cache.load_checked("k"), Load::Miss);
+        assert!(path.exists(), "stale-but-intact entries are not quarantined");
+        // A fresh store overwrites it and hits under the current version.
+        cache.store("k", "id", &sample()).unwrap();
+        assert_eq!(cache.load("k"), Some(sample()));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

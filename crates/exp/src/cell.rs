@@ -224,6 +224,170 @@ pub fn scale_key(s: Scale) -> &'static str {
     }
 }
 
+/// What one service-traffic cell computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SvcMode {
+    /// Throughput and latency percentiles from a measured run.
+    Measure,
+    /// A sanitized run whose conflict lines are resolved back to the hot
+    /// keys behind the latency tail.
+    Blame,
+    /// A brutal-contention cell (tiny key space, extreme skew) feeding the
+    /// lint rule engine.
+    Lint,
+}
+
+impl SvcMode {
+    fn key(self) -> &'static str {
+        match self {
+            SvcMode::Measure => "measure",
+            SvcMode::Blame => "blame",
+            SvcMode::Lint => "lint",
+        }
+    }
+}
+
+/// One service-traffic cell: (platform × fallback tier × Zipf skew) at a
+/// scale, run as [`htm_svc::SvcWorkload`] under the deterministic
+/// round-robin scheduler (so the cell caches and shards like any other).
+#[derive(Clone, Debug)]
+pub struct SvcCell {
+    /// Platform under test.
+    pub platform: Platform,
+    /// Fallback tier when the retry counters are exhausted.
+    pub fallback: FallbackPolicy,
+    /// Zipf exponent in permille (`600` = s 0.6).
+    pub skew_permille: u32,
+    /// Input scale (sessions per cell via [`htm_svc::params_for`]).
+    pub scale: Scale,
+    /// Session-count override (`--sessions`); `None` = the scale default.
+    pub sessions: Option<u64>,
+    /// Cell seed (derived from the root seed at build time).
+    pub seed: u64,
+    /// What to compute.
+    pub mode: SvcMode,
+}
+
+impl SvcCell {
+    fn params(&self) -> htm_svc::SvcParams {
+        let mut p = match self.mode {
+            // Lint cells always run the brutal-contention shape; the skew
+            // field is kept in the key for honesty, not consulted here.
+            SvcMode::Lint => htm_svc::lint_params(),
+            _ => htm_svc::params_for(self.scale, self.skew_permille),
+        };
+        if let Some(n) = self.sessions {
+            p.sessions = n;
+        }
+        p
+    }
+
+    fn key(&self) -> String {
+        format!(
+            "svc|{}|fb{}|z{}|{}|n{}|s{}|{}",
+            platform_key(self.platform),
+            self.fallback.key(),
+            self.skew_permille,
+            scale_key(self.scale),
+            self.sessions.unwrap_or(0),
+            self.seed,
+            self.mode.key(),
+        )
+    }
+
+    fn run_measure(&self) -> CellResult {
+        let machine = self.platform.config();
+        let params = self.params();
+        let make = || htm_svc::SvcWorkload::new(params, self.seed);
+        let bench = BenchParams {
+            threads: htm_svc::threads_for(&params),
+            scale: self.scale,
+            seed: self.seed,
+            fallback: self.fallback,
+            ..BenchParams::default()
+        };
+        let r = stamp::measure(&make, &machine, &bench);
+        let mut out = stamp_result(&Cell::summarize(std::slice::from_ref(&r)), &r.stats);
+        let lat = r.stats.latency();
+        out.put("sessions", params.sessions as f64);
+        out.put("requests", lat.count() as f64);
+        out.put("cycles", r.stats.cycles() as f64);
+        out.put("seq_cycles", r.seq_cycles as f64);
+        // Offered work completed per million simulated cycles.
+        out.put("throughput_rpmc", lat.count() as f64 * 1e6 / r.stats.cycles().max(1) as f64);
+        out.put("p50", lat.value_at(50.0) as f64);
+        out.put("p90", lat.value_at(90.0) as f64);
+        out.put("p99", lat.value_at(99.0) as f64);
+        out.put("p999", lat.value_at(99.9) as f64);
+        out
+    }
+
+    fn run_blame(&self) -> CellResult {
+        let machine = self.platform.config();
+        let params = self.params();
+        let (stats, hot) = htm_svc::blame_hot_keys(
+            &params,
+            &machine,
+            RetryPolicy::default(),
+            self.seed,
+            self.fallback,
+        );
+        let matrix = htm_analyze::ConflictMatrix::from_stats(&stats);
+        let mut out = CellResult::new();
+        out.put("requests", stats.latency().count() as f64);
+        out.put("aborts", stats.total_aborts() as f64);
+        out.put("conflicts", matrix.total() as f64);
+        out.put("hot_keys", hot.len() as f64);
+        out.note("hot_keys", hot_keys_note(&hot));
+        out
+    }
+
+    fn run_lint(&self) -> CellResult {
+        let machine = self.platform.config();
+        let params = self.params();
+        let (stats, hot) = htm_svc::blame_hot_keys(
+            &params,
+            &machine,
+            RetryPolicy::default(),
+            self.seed,
+            self.fallback,
+        );
+        // No sequential footprint trace for the service workload (the
+        // interesting rules — races, hot-line, excessive-retry — come from
+        // the sanitized stats); false sharing cannot arise anyway, since
+        // every key node sits on its own line. The hot-line share is tuned
+        // below the STAMP default: multi-key order transactions always
+        // spread a fraction of conflicts across their secondary keys, so
+        // even a maximally skewed service mix concentrates ~70% (not 75%+)
+        // of conflicts on the Zipf head's line.
+        let thresholds = Thresholds { hot_line_share: 0.6, ..Thresholds::default() };
+        let violations = lint::lint_cell(
+            "svc",
+            platform_key(self.platform),
+            &stats,
+            None,
+            &[],
+            machine.granularity.max(8) / 8,
+            &thresholds,
+        );
+        let mut out = CellResult::new();
+        out.put("commits", stats.committed_blocks() as f64);
+        out.put("aborts", stats.total_aborts() as f64);
+        out.put("races", stats.race.as_ref().map_or(0, |r| r.races.len()) as f64);
+        out.put("hot_keys", hot.len() as f64);
+        out.put("violations", violations.len() as f64);
+        out.note("violations", lint::report_to_json(&violations).to_string());
+        out.note("hot_keys", hot_keys_note(&hot));
+        out
+    }
+}
+
+/// The blame excerpt carried in svc cell results: the hottest keys, one
+/// per line, ready for the render pass to print verbatim.
+fn hot_keys_note(hot: &[htm_analyze::HotKey]) -> String {
+    hot.iter().take(8).map(|h| h.to_string()).collect::<Vec<_>>().join("\n")
+}
+
 /// Figure-6 queue implementation under test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueueSpec {
@@ -346,6 +510,9 @@ pub enum CellKind {
         /// Fallback tier under check.
         tier: htm_model::Tier,
     },
+    /// One service-traffic cell (measure, blame, or lint — see
+    /// [`SvcMode`]).
+    Svc(SvcCell),
     /// One `htm-lint` cell: a sanitized run plus footprint traces, the
     /// static capacity prediction, and the rule engine.
     Lint {
@@ -393,6 +560,7 @@ impl CellKind {
             CellKind::Model { kernel, platform, tier } => {
                 format!("model|{}|{}|{}", kernel, platform_key(*platform), tier.key())
             }
+            CellKind::Svc(c) => c.key(),
             CellKind::Lint { bench, platform, variant, threads, scale, seed, fallback } => {
                 format!(
                     "lint|{}|{}|{}|{}t|{}|s{}|fb{}",
@@ -502,6 +670,11 @@ impl CellKind {
                 policy_micro(*requester_wins, *n_ops)
             }
             CellKind::Model { kernel, platform, tier } => model_cell(kernel, *platform, *tier),
+            CellKind::Svc(c) => match c.mode {
+                SvcMode::Measure => c.run_measure(),
+                SvcMode::Blame => c.run_blame(),
+                SvcMode::Lint => c.run_lint(),
+            },
             CellKind::Lint { bench, platform, variant, threads, scale, seed, fallback } => {
                 lint_cell(*bench, *platform, *variant, *threads, *scale, *seed, *fallback)
             }
@@ -784,6 +957,54 @@ mod tests {
         let mut other = base;
         other.fallback = FallbackPolicy::Stm;
         assert_ne!(k, CellKind::Stamp(other).key());
+    }
+
+    #[test]
+    fn svc_keys_distinguish_all_inputs() {
+        let base = SvcCell {
+            platform: Platform::IntelCore,
+            fallback: FallbackPolicy::Lock,
+            skew_permille: 600,
+            scale: Scale::Tiny,
+            sessions: None,
+            seed: 42,
+            mode: SvcMode::Measure,
+        };
+        let k = CellKind::Svc(base.clone()).key();
+        let vary = [
+            SvcCell { platform: Platform::Power8, ..base.clone() },
+            SvcCell { fallback: FallbackPolicy::Stm, ..base.clone() },
+            SvcCell { skew_permille: 1100, ..base.clone() },
+            SvcCell { scale: Scale::Sim, ..base.clone() },
+            SvcCell { sessions: Some(500), ..base.clone() },
+            SvcCell { seed: 43, ..base.clone() },
+            SvcCell { mode: SvcMode::Blame, ..base.clone() },
+            SvcCell { mode: SvcMode::Lint, ..base.clone() },
+        ];
+        for v in vary {
+            assert_ne!(k, CellKind::Svc(v.clone()).key(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn svc_measure_cell_reports_latency_percentiles() {
+        let c = SvcCell {
+            platform: Platform::IntelCore,
+            fallback: FallbackPolicy::Lock,
+            skew_permille: 600,
+            scale: Scale::Tiny,
+            sessions: Some(60),
+            seed: 7,
+            mode: SvcMode::Measure,
+        };
+        let kind = CellKind::Svc(c);
+        let r = kind.compute();
+        assert!(r.get("requests") >= 60.0);
+        assert!(r.get("throughput_rpmc") > 0.0);
+        assert!(r.get("p999") >= r.get("p99"));
+        assert!(r.get("p99") >= r.get("p50"));
+        // Deterministic scheduler: the whole result is bit-identical.
+        assert_eq!(r, kind.compute());
     }
 
     #[test]

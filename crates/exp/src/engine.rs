@@ -397,6 +397,14 @@ fn worker_command(spec_name: &str, opts: &RunOpts, fcfg: &FabricConfig) -> Optio
         cmd.push("--filter".into());
         cmd.push(f.clone());
     }
+    if let Some(n) = opts.svc_sessions {
+        cmd.push("--sessions".into());
+        cmd.push(n.to_string());
+    }
+    if let Some(z) = opts.svc_skew {
+        cmd.push("--skew".into());
+        cmd.push(z.to_string());
+    }
     Some(cmd)
 }
 

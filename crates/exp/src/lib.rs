@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod args;
 pub mod cache;
 pub mod cell;
 pub mod engine;
@@ -46,8 +47,9 @@ pub mod sink;
 pub mod spec;
 pub mod specs;
 
+pub use args::{parse_sessions, parse_skew_permille};
 pub use cache::{Load, ResultCache};
-pub use cell::{CellKind, CellResult, CellSpec, MachineTweak, StampCell};
+pub use cell::{CellKind, CellResult, CellSpec, MachineTweak, StampCell, SvcCell, SvcMode};
 pub use engine::{run_spec, EngineReport, FabricReport, SpecRun};
 pub use grid::{bgq_mode_for, geomean, machine_for, run_cell, tuned_policy, Cell};
 pub use sink::{render_table_string, save_tsv, Sink};

@@ -55,6 +55,14 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}", x * 100.0)
 }
 
+/// Fixed-width latency-percentile column: integer simulated cycles,
+/// right-aligned to ten characters so the p50/p99 columns of the service
+/// tables and their TSV keep a stable layout at any magnitude (the golden
+/// test pins the rendering bit for bit).
+pub fn p_fixed(cycles: f64) -> String {
+    format!("{:>10}", cycles.round() as u64)
+}
+
 /// Writes TSV rows to `<dir>/<name>.tsv`, creating parent directories.
 /// Returns the path written. Unlike the legacy best-effort helper, I/O
 /// failure is an error the caller must handle.
@@ -173,5 +181,18 @@ mod tests {
     fn fmt_helpers() {
         assert_eq!(f2(1.234), "1.23");
         assert_eq!(pct(0.1234), "12.3");
+    }
+
+    #[test]
+    fn percentile_columns_are_fixed_width() {
+        assert_eq!(p_fixed(0.0), "         0");
+        assert_eq!(p_fixed(123.4), "       123");
+        assert_eq!(p_fixed(98765.5), "     98766");
+        assert_eq!(p_fixed(1234567890.0), "1234567890");
+        // Every rendering is exactly ten characters until the value
+        // itself outgrows the column.
+        for v in [1.0, 99.0, 1e6, 1e9] {
+            assert_eq!(p_fixed(v).len(), 10);
+        }
     }
 }

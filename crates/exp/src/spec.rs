@@ -51,6 +51,12 @@ pub struct RunOpts {
     /// executable (integration tests point this at the real `htm-exp`
     /// binary, since their own executable is the test harness).
     pub worker_exe: Option<PathBuf>,
+    /// `svc` spec: session-count override per cell (`--sessions`);
+    /// `None` = the scale default (`htm_svc::params_for`).
+    pub svc_sessions: Option<u64>,
+    /// `svc` spec: run a single Zipf skew in permille (`--skew`) instead
+    /// of the default two-skew grid.
+    pub svc_skew: Option<u32>,
 }
 
 impl Default for RunOpts {
@@ -70,6 +76,8 @@ impl Default for RunOpts {
             quiet: false,
             fabric: None,
             worker_exe: None,
+            svc_sessions: None,
+            svc_skew: None,
         }
     }
 }

@@ -9,6 +9,7 @@ mod adaptive;
 mod figs;
 mod hytm;
 mod model;
+mod svc;
 mod tools;
 
 use htm_machine::Platform;
@@ -23,7 +24,7 @@ pub fn all() -> &'static [&'static ExperimentSpec] {
     &ALL_SPECS
 }
 
-static ALL_SPECS: [&ExperimentSpec; 24] = [
+static ALL_SPECS: [&ExperimentSpec; 25] = [
     &tools::TABLE1,
     &figs::FIG2,
     &figs::FIG3,
@@ -44,6 +45,7 @@ static ALL_SPECS: [&ExperimentSpec; 24] = [
     &ablations::ABLATION_FAULTS,
     &hytm::HYTM,
     &adaptive::ADAPTIVE,
+    &svc::SVC,
     &tools::CERTIFY_OVERHEAD,
     &tools::LINT,
     &model::MODEL,
@@ -91,7 +93,7 @@ mod tests {
 
     #[test]
     fn registry_has_all_specs() {
-        assert_eq!(all().len(), 24);
+        assert_eq!(all().len(), 25);
         for name in [
             "table1",
             "fig2",
@@ -113,6 +115,7 @@ mod tests {
             "ablation_faults",
             "hytm",
             "adaptive",
+            "svc",
             "certify_overhead",
             "lint",
             "model",

@@ -1,0 +1,163 @@
+//! The service-traffic spec: `htm-exp run svc`.
+//!
+//! The paper's STAMP grid answers "how fast is each HTM on kernel X";
+//! this spec asks the production question instead — what do skewed, bursty
+//! request streams see, in throughput and tail latency, on each platform
+//! under each fallback tier? The default grid is 4 platforms × 4 tiers
+//! (lock, stm, rot, adaptive) × 2 Zipf skews at `Sim` scale: 33 000
+//! sessions per cell, 1 056 000 simulated client sessions total. Four
+//! sanitized blame cells (one per platform, at the high skew) resolve
+//! conflict lines back to the hot keys behind the p99 collapse.
+//!
+//! Every cell runs under the deterministic round-robin scheduler
+//! (`htm_svc::sched`), so the tables and TSV are bit-identical run to run
+//! and the cells cache and shard over the fabric like any other.
+
+use htm_machine::Platform;
+use htm_runtime::FallbackPolicy;
+use stamp::Scale;
+
+use crate::cell::{platform_key, CellKind, CellSpec, SvcCell, SvcMode};
+use crate::sink::{f2, p_fixed, pct};
+use crate::spec::{ExperimentSpec, RunOpts};
+
+/// The fallback ladder the grid crosses (the hytm tiers plus adaptive).
+const SVC_TIERS: [FallbackPolicy; 4] =
+    [FallbackPolicy::Lock, FallbackPolicy::Stm, FallbackPolicy::Rot, FallbackPolicy::Adaptive];
+
+/// Default Zipf skews in permille: moderate (s 0.6) and hot-headed
+/// (s 1.1), the regimes the paper's contention discussion spans.
+const SVC_SKEWS: [u32; 2] = [600, 1100];
+
+fn skews(opts: &RunOpts) -> Vec<u32> {
+    match opts.svc_skew {
+        Some(z) => vec![z],
+        None => SVC_SKEWS.to_vec(),
+    }
+}
+
+fn svc_id(platform: Platform, fb: FallbackPolicy, skew: u32) -> String {
+    format!("svc-{}-{}-z{skew}", platform_key(platform), fb.key())
+}
+
+fn blame_id(platform: Platform) -> String {
+    format!("svc-blame-{}", platform_key(platform))
+}
+
+/// The service-traffic grid (see module docs).
+pub static SVC: ExperimentSpec = ExperimentSpec {
+    name: "svc",
+    title: "service traffic: throughput + latency percentiles per platform x tier x skew",
+    default_scale: None,
+    build: |opts| {
+        let skews = skews(opts);
+        let mut cells = Vec::new();
+        for platform in Platform::ALL {
+            for fb in SVC_TIERS {
+                for &skew in &skews {
+                    cells.push(CellSpec::new(
+                        svc_id(platform, fb, skew),
+                        CellKind::Svc(SvcCell {
+                            platform,
+                            fallback: fb,
+                            skew_permille: skew,
+                            scale: opts.scale,
+                            sessions: opts.svc_sessions,
+                            seed: opts.seed,
+                            mode: SvcMode::Measure,
+                        }),
+                    ));
+                }
+            }
+        }
+        // Blame cells run under the race sanitizer, so they stay tiny
+        // regardless of `--scale`; the hot-key ranking needs contention,
+        // not volume, and the high skew supplies it.
+        let blame_skew = skews.iter().copied().max().unwrap_or(1100);
+        for platform in Platform::ALL {
+            cells.push(CellSpec::new(
+                blame_id(platform),
+                CellKind::Svc(SvcCell {
+                    platform,
+                    fallback: FallbackPolicy::Lock,
+                    skew_permille: blame_skew,
+                    scale: Scale::Tiny,
+                    sessions: None,
+                    seed: opts.seed,
+                    mode: SvcMode::Blame,
+                }),
+            ));
+        }
+        cells
+    },
+    render: |opts, set, sink| {
+        let skews = skews(opts);
+        let headers: Vec<String> =
+            ["cell", "speedup", "abort%", "req/Mcyc", "p50", "p90", "p99", "p99.9"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let mut rows = Vec::new();
+        let mut tsv = Vec::new();
+        let mut sessions_total = 0u64;
+        for platform in Platform::ALL {
+            for fb in SVC_TIERS {
+                for &skew in &skews {
+                    let r = set.get(&svc_id(platform, fb, skew));
+                    sessions_total += r.get("sessions") as u64;
+                    rows.push(vec![
+                        format!("{} {} z{skew}", platform.short_name(), fb.key()),
+                        f2(r.get("speedup")),
+                        pct(r.get("abort_ratio")),
+                        f2(r.get("throughput_rpmc")),
+                        p_fixed(r.get("p50")),
+                        p_fixed(r.get("p90")),
+                        p_fixed(r.get("p99")),
+                        p_fixed(r.get("p999")),
+                    ]);
+                    tsv.push(format!(
+                        "{}\t{}\t{skew}\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}",
+                        platform_key(platform),
+                        fb.key(),
+                        r.get("sessions") as u64,
+                        r.get("requests") as u64,
+                        r.get("speedup"),
+                        r.get("throughput_rpmc"),
+                        p_fixed(r.get("p50")),
+                        p_fixed(r.get("p90")),
+                        p_fixed(r.get("p99")),
+                        p_fixed(r.get("p999")),
+                    ));
+                }
+            }
+        }
+        sink.table(
+            "Service traffic: latency percentiles in simulated cycles (open-loop)",
+            &headers,
+            &rows,
+        );
+        sink.raw(&format!("\nsimulated client sessions across the grid: {sessions_total}\n"));
+        sink.raw("\nhot keys behind the skewed tail (sanitized blame, hottest first):\n");
+        for platform in Platform::ALL {
+            let r = set.get(&blame_id(platform));
+            sink.raw(&format!(
+                "  {} ({} attributed conflict(s)):\n",
+                platform_key(platform),
+                r.get("conflicts") as u64
+            ));
+            let note = r.get_note("hot_keys");
+            if note.is_empty() {
+                sink.raw("    none\n");
+            } else {
+                for line in note.lines().take(4) {
+                    sink.raw(&format!("    {line}\n"));
+                }
+            }
+        }
+        sink.tsv(
+            "svc",
+            "platform\tfallback\tskew_permille\tsessions\trequests\tspeedup\tthroughput_rpmc\tp50\tp90\tp99\tp999",
+            tsv,
+        );
+    },
+};

@@ -6,7 +6,9 @@ use htm_machine::Platform;
 use htm_runtime::{FallbackPolicy, RetryPolicy};
 use stamp::{BenchId, Scale, Variant};
 
-use crate::cell::{platform_key, CellKind, CellSpec, QueueSpec, StampCell, TlsKernelId};
+use crate::cell::{
+    platform_key, CellKind, CellSpec, QueueSpec, StampCell, SvcCell, SvcMode, TlsKernelId,
+};
 use crate::sink::f2;
 use crate::spec::ExperimentSpec;
 
@@ -256,6 +258,27 @@ fn lint_grid() -> Vec<(BenchId, Platform, FallbackPolicy)> {
     grid
 }
 
+/// The svc lint cells: the brutal-contention service shape (tiny key
+/// space under extreme skew, `htm_svc::lint_params`) sanitized on the two
+/// word-granularity platforms — the grid where the hot-line and
+/// excessive-retry rules have real traffic to fire on.
+const SVC_LINT_PLATFORMS: [Platform; 2] = [Platform::IntelCore, Platform::Power8];
+
+fn svc_lint_cell(platform: Platform, seed: u64) -> CellSpec {
+    CellSpec::new(
+        format!("lint-svc-{}", platform_key(platform)),
+        CellKind::Svc(SvcCell {
+            platform,
+            fallback: FallbackPolicy::Lock,
+            skew_permille: htm_svc::lint_params().skew_permille,
+            scale: Scale::Tiny,
+            sessions: None,
+            seed,
+            mode: SvcMode::Lint,
+        }),
+    )
+}
+
 /// The workload linter: race sanitizer + abort-blame/capacity analyzers +
 /// rule engine over the full grid (including the hybrid-TM fallback
 /// tiers); violations feed the CLI `--gate`.
@@ -266,7 +289,7 @@ pub static LINT: ExperimentSpec = ExperimentSpec {
     // run time); `--scale` still overrides.
     default_scale: Some(Scale::Tiny),
     build: |opts| {
-        lint_grid()
+        let mut cells: Vec<CellSpec> = lint_grid()
             .into_iter()
             .map(|(bench, platform, fallback)| {
                 CellSpec::new(
@@ -282,7 +305,9 @@ pub static LINT: ExperimentSpec = ExperimentSpec {
                     },
                 )
             })
-            .collect()
+            .collect();
+        cells.extend(SVC_LINT_PLATFORMS.map(|p| svc_lint_cell(p, opts.seed)));
+        cells
     },
     render: |_opts, set, sink| {
         let headers: Vec<String> = [
@@ -310,6 +335,25 @@ pub static LINT: ExperimentSpec = ExperimentSpec {
                 format!("{}", r.get("aborts") as u64),
                 format!("{}", r.get("races") as u64),
                 format!("{:.0}%", r.get("cap_fraction") * 100.0),
+                format!("{}", r.get("violations") as u64),
+            ]);
+            violations.extend(
+                lint::report_from_json(r.get_note("violations"))
+                    .expect("lint violation JSON round-trips"),
+            );
+        }
+        for platform in SVC_LINT_PLATFORMS {
+            let r = set.get(&format!("lint-svc-{}", platform_key(platform)));
+            rows.push(vec![
+                "svc".to_owned(),
+                platform_key(platform).to_owned(),
+                FallbackPolicy::Lock.key().to_owned(),
+                format!("{}", r.get("commits") as u64),
+                format!("{}", r.get("aborts") as u64),
+                format!("{}", r.get("races") as u64),
+                // The service store carves every key onto its own line, so
+                // there is no footprint trace and no capacity prediction.
+                "-".to_owned(),
                 format!("{}", r.get("violations") as u64),
             ]);
             violations.extend(
@@ -390,3 +434,25 @@ pub static FABRIC_SMOKE: ExperimentSpec = ExperimentSpec {
         sink.tsv("fabric_smoke", "cell\tmetric\tvalue", tsv);
     },
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svc_lint_cells_fire_contention_rules_without_races() {
+        // The brutal-contention service shape must trip both abort-blame
+        // rules — the Zipf head concentrates conflicts on one line
+        // (hot-line) and the retry storm burns aborted blocks well past
+        // the threshold (excessive-retry) — while staying sanitizer-clean
+        // (the non-transactional queue handoff is fetch-add based).
+        let spec = svc_lint_cell(Platform::IntelCore, 42);
+        let r = spec.kind.compute();
+        assert_eq!(r.get("races"), 0.0, "svc handoff must be race-free");
+        let report = htm_analyze::lint::report_from_json(r.get_note("violations"))
+            .expect("violations note parses");
+        let rules: Vec<htm_analyze::Rule> = report.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&htm_analyze::Rule::ExcessiveRetry), "got {rules:?}");
+        assert!(rules.contains(&htm_analyze::Rule::HotLine), "got {rules:?}");
+    }
+}

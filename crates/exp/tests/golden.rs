@@ -15,7 +15,7 @@
 //!   `--no-cache` run recomputes deterministic cells to the same values,
 //!   and overlapping specs (fig2/fig3) share cells.
 
-use htm_exp::cell::{CellKind, QueueSpec, StampCell};
+use htm_exp::cell::{CellKind, QueueSpec, StampCell, SvcCell, SvcMode};
 use htm_exp::engine::compute_cells;
 use htm_exp::sink::{f2, render_table_string};
 use htm_exp::{specs, CellSpec, RunOpts};
@@ -269,6 +269,75 @@ fn truncated_cache_entry_heals_and_recomputes_identically() {
     assert_eq!((r3.computed, r3.cached, r3.healed), (0, 2, 0));
     assert_eq!(cold, warm);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn svc_tsv_renders_fixed_width_percentiles_bit_for_bit() {
+    // The svc cells run under the deterministic round-robin scheduler, so
+    // — unlike the STAMP grid — even multi-threaded service cells are
+    // reproducible and the whole TSV pins bit-for-bit. Three things are
+    // golden here: the row format (fixed 10-character right-aligned
+    // percentile fields, transliterated verbatim below), agreement with a
+    // cell recomputed outside the engine, and a second `--no-cache` run
+    // landing on identical bytes.
+    let opts = RunOpts {
+        use_cache: false,
+        quiet: true,
+        svc_sessions: Some(40),
+        svc_skew: Some(600),
+        ..RunOpts::default()
+    };
+    let spec = specs::find("svc").unwrap();
+    let run = htm_exp::run_spec(spec, &opts);
+    let tsv = run.sink.tsv.iter().find(|f| f.name == "svc").expect("svc tsv emitted");
+    assert_eq!(
+        tsv.header,
+        "platform\tfallback\tskew_permille\tsessions\trequests\tspeedup\tthroughput_rpmc\tp50\tp90\tp99\tp999"
+    );
+    assert_eq!(tsv.rows.len(), 16, "4 platforms x 4 tiers x 1 skew");
+    for row in &tsv.rows {
+        let fields: Vec<&str> = row.split('\t').collect();
+        assert_eq!(fields.len(), 11, "row {row:?}");
+        for field in &fields[7..] {
+            assert_eq!(field.len(), 10, "percentile field {field:?} in {row:?}");
+            assert!(
+                field.trim_start().chars().all(|c| c.is_ascii_digit())
+                    && !field.trim_start().is_empty(),
+                "right-aligned integer, got {field:?}"
+            );
+        }
+    }
+
+    // Verbatim transliteration of the spec's TSV row for one cell,
+    // recomputed directly (no engine, no cache).
+    let cell = SvcCell {
+        platform: Platform::IntelCore,
+        fallback: FallbackPolicy::Lock,
+        skew_permille: 600,
+        scale: opts.scale,
+        sessions: opts.svc_sessions,
+        seed: opts.seed,
+        mode: SvcMode::Measure,
+    };
+    let r = CellKind::Svc(cell).compute();
+    let fixed = |x: f64| format!("{:>10}", x.round() as u64);
+    let expected = format!(
+        "intel\tlock\t600\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\t{}\t{}",
+        r.get("sessions") as u64,
+        r.get("requests") as u64,
+        r.get("speedup"),
+        r.get("throughput_rpmc"),
+        fixed(r.get("p50")),
+        fixed(r.get("p90")),
+        fixed(r.get("p99")),
+        fixed(r.get("p999")),
+    );
+    assert!(tsv.rows.contains(&expected), "expected row {expected:?} in {:?}", tsv.rows);
+
+    let again = htm_exp::run_spec(spec, &opts);
+    assert_eq!(run.sink.text, again.sink.text, "svc tables are bit-identical run to run");
+    let tsv2 = again.sink.tsv.iter().find(|f| f.name == "svc").unwrap();
+    assert_eq!(tsv.rows, tsv2.rows, "svc TSV is bit-identical run to run");
 }
 
 #[test]

@@ -427,6 +427,26 @@ impl ThreadCtx {
         r
     }
 
+    /// Non-transactional fetch-add outside atomic blocks (bounded-queue
+    /// head/tail handoff in service workloads): retries the CAS until it
+    /// installs `observed + delta` and returns the value it replaced.
+    pub fn fetch_add_word(&self, addr: WordAddr, delta: u64) -> u64 {
+        let mut cur = self.read_word(addr);
+        loop {
+            match self.cas_word(addr, cur, cur.wrapping_add(delta)) {
+                Ok(_) => return cur,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records one completed request's simulated-cycle latency into this
+    /// thread's [`LatencyHistogram`](crate::LatencyHistogram) (folded into
+    /// [`RunStats::latency`](crate::RunStats::latency) after the run).
+    pub fn record_latency(&mut self, cycles: u64) {
+        self.eng.stats.latency.record(cycles);
+    }
+
     /// Release edge on `sync` for the race sanitizer (no-op when the
     /// sanitizer is off). Synchronization constructs built on host
     /// primitives — phase barriers, ad-hoc flags — call this *before* the

@@ -79,6 +79,6 @@ pub use htm_core::CertifyReport;
 pub use htm_hytm::FallbackPolicy;
 pub use lock::GlobalLock;
 pub use replay::ScheduleTrace;
-pub use stats::{percentile, RunStats, ThreadStats};
+pub use stats::{percentile, LatencyHistogram, RunStats, ThreadStats};
 pub use trace::SeqTracer;
 pub use tx::{ExecMode, Tx};

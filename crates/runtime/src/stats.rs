@@ -15,6 +15,118 @@
 
 use htm_core::{AbortCategory, CertifyReport, ConflictEvent, OpacityReport, RaceReport};
 
+/// Sub-bucket resolution of [`LatencyHistogram`]: each power-of-two value
+/// range is split into `2^SUB_BITS` linear sub-buckets, bounding the
+/// relative quantization error at `2^-SUB_BITS` (12.5%).
+const SUB_BITS: u32 = 3;
+
+/// HDR-style log-bucketed histogram of simulated-cycle request latencies.
+///
+/// Values are placed into buckets whose width grows geometrically: exact
+/// below `2^(SUB_BITS+1)`, then `2^SUB_BITS` linear sub-buckets per
+/// power-of-two range. Recording is O(1), memory is O(log(max value)), and
+/// two histograms merge by element-wise addition — so per-thread histograms
+/// fold into a run-wide one exactly like the scalar counters on
+/// [`ThreadStats`], and merging is associative and commutative.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bucket counts, grown lazily to the highest index touched.
+    buckets: Vec<u64>,
+    /// Total recorded values.
+    count: u64,
+    /// Sum of recorded values (for mean latency).
+    sum: u64,
+}
+
+impl LatencyHistogram {
+    /// Bucket index for `v`: identity below `2^(SUB_BITS+1)`, then
+    /// `shift * 2^SUB_BITS + (v >> shift)` where `shift` positions the
+    /// top `SUB_BITS + 1` bits of `v`.
+    fn index(v: u64) -> usize {
+        if v < (1 << (SUB_BITS + 1)) {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (shift as usize) * (1 << SUB_BITS) + (v >> shift) as usize
+    }
+
+    /// Largest value mapping to bucket `idx` (the reported quantile value:
+    /// nearest-rank percentiles err on the conservative side).
+    fn upper_bound(idx: usize) -> u64 {
+        if idx < (1 << (SUB_BITS + 1)) {
+            return idx as u64;
+        }
+        let shift = (idx >> SUB_BITS) as u32 - 1;
+        let top = ((1 << SUB_BITS) + (idx & ((1 << SUB_BITS) - 1))) as u64;
+        // The highest bucket's bound wraps past u64::MAX; wrapping_sub
+        // turns the wrapped 0 into u64::MAX, which is the true cover.
+        ((top + 1) << shift).wrapping_sub(1)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = Self::index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank `pct`-percentile (0–100) over bucket upper bounds, or 0
+    /// when empty. `value_at(50.0)` is the median, `value_at(99.9)` the
+    /// tail the service experiment reports.
+    pub fn value_at(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::upper_bound(idx);
+            }
+        }
+        Self::upper_bound(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Element-wise fold of `other` into `self`. Associative and
+    /// commutative: merging per-thread histograms in any grouping yields
+    /// identical percentiles.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
 /// Counters collected by one worker thread.
 #[derive(Clone, Debug, Default)]
 pub struct ThreadStats {
@@ -82,6 +194,10 @@ pub struct ThreadStats {
     /// Conflict aborts attributed to their aggressor thread and line,
     /// recorded only under [`SimConfig::sanitize`](crate::SimConfig).
     pub conflicts: Vec<ConflictEvent>,
+    /// Per-request simulated-cycle latencies recorded by service workloads
+    /// via [`ThreadCtx::record_latency`](crate::ThreadCtx::record_latency)
+    /// (empty for workloads that never record).
+    pub latency: LatencyHistogram,
 }
 
 impl ThreadStats {
@@ -122,6 +238,7 @@ impl ThreadStats {
         self.degraded_cycles += other.degraded_cycles;
         self.footprints.extend_from_slice(&other.footprints);
         self.conflicts.extend_from_slice(&other.conflicts);
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -354,6 +471,16 @@ impl RunStats {
             + self.spill_commits()
     }
 
+    /// Run-wide latency histogram: per-thread histograms merged (empty for
+    /// workloads that never record latencies).
+    pub fn latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        for t in &self.threads {
+            h.merge(&t.latency);
+        }
+        h
+    }
+
     /// All recorded footprints, concatenated across threads.
     pub fn footprints(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.threads.iter().flat_map(|t| t.footprints.iter().copied())
@@ -575,6 +702,73 @@ mod tests {
         let mut rhs = b.clone();
         rhs.merge(&RunStats::new(vec![]));
         assert_eq!(rhs.certify.as_ref().unwrap().events, 4);
+    }
+
+    #[test]
+    fn histogram_index_is_monotone_with_bounded_error() {
+        let mut last = 0usize;
+        for v in 0..10_000u64 {
+            let idx = LatencyHistogram::index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            last = idx;
+            let ub = LatencyHistogram::upper_bound(idx);
+            assert!(ub >= v, "upper bound {ub} below value {v}");
+            // Relative quantization error bounded by 2^-SUB_BITS.
+            assert!(
+                (ub - v) as f64 <= (v as f64) / (1 << SUB_BITS) as f64 + 1.0,
+                "bucket too wide at {v}: upper {ub}"
+            );
+        }
+        // Large values stay in range and monotone.
+        let a = LatencyHistogram::index(u64::MAX / 2);
+        let b = LatencyHistogram::index(u64::MAX);
+        assert!(b >= a);
+        assert!(LatencyHistogram::upper_bound(b) >= u64::MAX - u64::MAX / (1 << SUB_BITS));
+    }
+
+    #[test]
+    fn histogram_percentiles_nearest_rank() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.value_at(99.0), 0);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        // Bucketing rounds up to the bucket's upper bound; error <= 12.5%.
+        let p50 = h.value_at(50.0);
+        assert!((500..=570).contains(&p50), "p50 {p50}");
+        let p99 = h.value_at(99.0);
+        assert!((990..=1120).contains(&p99), "p99 {p99}");
+        assert_eq!(h.value_at(100.0), h.value_at(99.99999));
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_matches_threadstats_merge() {
+        let mk = |vals: &[u64]| {
+            let mut h = LatencyHistogram::default();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[1, 50, 900]);
+        let b = mk(&[7, 7, 12_000]);
+        let c = mk(&[3, 1_000_000]);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+
+        let mut ta = ThreadStats { latency: a, ..Default::default() };
+        let tb = ThreadStats { latency: b, ..Default::default() };
+        ta.merge(&tb);
+        let s = RunStats::new(vec![ta, ThreadStats { latency: c, ..Default::default() }]);
+        assert_eq!(s.latency(), ab_c);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! The sharded transactional store and its bounded request queues.
+//!
+//! One [`TmHashTable`] per shard holds the key space, with every entry's
+//! chain node carved out of its own conflict-detection line via the
+//! line-aware allocator (`ThreadCtx::alloc_line`) — so contention observed
+//! on a line is contention on a *key*, and the abort-blame pass can name
+//! the hot keys behind a latency collapse instead of whatever the
+//! allocator packed next to them.
+//!
+//! Values are updated **additively** (wrapping adds). Adds commute, so the
+//! final store state is independent of commit order — the property that
+//! makes the service workload's digest comparable between the sequential
+//! reference and any parallel schedule.
+//!
+//! Each shard also owns a bounded request ring in simulated memory
+//! (head/tail words handed off with non-transactional fetch-adds): the
+//! queue a worker admits arrived requests into and drains, whose wait time
+//! is what the open-loop latency percentiles surface under overload.
+
+use std::collections::BTreeMap;
+
+use htm_core::{LineId, TxResult, WordAddr};
+use htm_runtime::{Sim, ThreadCtx, Tx};
+use tm_structs::TmHashTable;
+
+use crate::traffic::SvcParams;
+
+/// Initial value of `key` (deterministic; the verify total builds on it).
+pub fn initial_value(key: u64) -> u64 {
+    key.wrapping_mul(3).wrapping_add(1)
+}
+
+/// One shard's bounded request queue: `[head, tail]` on a line of their
+/// own, plus a ring of `cap` request-index slots.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardQueue {
+    /// Head/tail counter pair (head at offset 0, tail at offset 1).
+    pub ctrs: WordAddr,
+    /// Ring slots.
+    pub ring: WordAddr,
+    /// Ring capacity.
+    pub cap: u32,
+}
+
+impl ShardQueue {
+    /// Admits request index `idx` (caller checked capacity): writes the
+    /// slot and bumps the tail with a non-transactional fetch-add.
+    pub fn push(&self, ctx: &mut ThreadCtx, tail: u64, idx: u64) {
+        ctx.write_word(self.ring.offset((tail % self.cap as u64) as u32), idx);
+        ctx.fetch_add_word(self.ctrs.offset(1), 1);
+    }
+
+    /// Drains the head slot, returning the request index stored there.
+    pub fn pop(&self, ctx: &mut ThreadCtx, head: u64) -> u64 {
+        let idx = ctx.read_word(self.ring.offset((head % self.cap as u64) as u32));
+        ctx.fetch_add_word(self.ctrs.offset(0), 1);
+        idx
+    }
+}
+
+/// The sharded store, built once per run at setup.
+#[derive(Debug)]
+pub struct Store {
+    params: SvcParams,
+    /// One hash table per shard.
+    pub tables: Vec<TmHashTable>,
+    /// Direct value-word addresses, indexed by key (the service's hot
+    /// index: point writes go straight to the value line).
+    pub value_addrs: Vec<WordAddr>,
+    /// One bounded request queue per shard.
+    pub queues: Vec<ShardQueue>,
+    /// Per-shard done flags (each on its own line), set transactionally by
+    /// the owning worker and polled transactionally by the compactor.
+    pub done_flags: Vec<WordAddr>,
+    /// Sum of all initial values (wrapping).
+    pub initial_total: u64,
+}
+
+impl Store {
+    /// Builds tables, line-aligned entry nodes, queues and done flags.
+    pub fn build(sim: &Sim, params: &SvcParams) -> Store {
+        let mut ctx = sim.seq_ctx();
+        let total_keys = params.total_keys();
+
+        let tables: Vec<TmHashTable> = (0..params.shards)
+            .map(|_| ctx.atomic(|tx| TmHashTable::create(tx, params.keys_per_shard.max(4))))
+            .collect();
+
+        // Every key's chain node on a line of its own; link in batches so
+        // setup stays one short atomic block per 64 keys.
+        let mut nodes = Vec::with_capacity(total_keys as usize);
+        for _ in 0..total_keys {
+            nodes.push(ctx.alloc_line(TmHashTable::node_words()));
+        }
+        let mut initial_total = 0u64;
+        for batch in (0..total_keys).collect::<Vec<u64>>().chunks(64) {
+            let batch: Vec<u64> = batch.to_vec();
+            ctx.atomic(|tx| {
+                for &key in &batch {
+                    let shard = params.shard_of(key) as usize;
+                    let linked = tables[shard].insert_node_at(
+                        tx,
+                        nodes[key as usize],
+                        key,
+                        initial_value(key),
+                    )?;
+                    assert!(linked, "duplicate key {key} at setup");
+                }
+                Ok(())
+            });
+        }
+        let mut value_addrs = Vec::with_capacity(total_keys as usize);
+        for key in 0..total_keys {
+            let shard = params.shard_of(key) as usize;
+            let addr =
+                ctx.atomic(|tx| tables[shard].value_addr(tx, key)).expect("key inserted at setup");
+            value_addrs.push(addr);
+            initial_total = initial_total.wrapping_add(initial_value(key));
+        }
+
+        let queues = (0..params.shards)
+            .map(|_| ShardQueue {
+                ctrs: ctx.alloc_line(2),
+                ring: ctx.alloc_line(params.queue_cap.max(1)),
+                cap: params.queue_cap.max(1),
+            })
+            .collect();
+        let done_flags = (0..params.shards).map(|_| ctx.alloc_line(1)).collect();
+
+        Store { params: *params, tables, value_addrs, queues, done_flags, initial_total }
+    }
+
+    /// Transactional read of `key`'s value through its direct address.
+    pub fn load(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<u64> {
+        tx.load(self.value_addrs[key as usize])
+    }
+
+    /// Transactional additive update: `value += delta` (wrapping).
+    pub fn add(&self, tx: &mut Tx<'_>, key: u64, delta: u64) -> TxResult<()> {
+        let addr = self.value_addrs[key as usize];
+        let v = tx.load(addr)?;
+        tx.store(addr, v.wrapping_add(delta))
+    }
+
+    /// Maps each key to the conflict-detection line its value word lives
+    /// on (input to [`htm_analyze::hot_keys`]). `words_per_line` is the
+    /// platform's conflict granularity in words.
+    pub fn key_lines(&self, words_per_line: u32) -> BTreeMap<u64, LineId> {
+        let wpl = words_per_line.max(1);
+        self.value_addrs
+            .iter()
+            .enumerate()
+            .map(|(key, addr)| (key as u64, LineId(addr.0 / wpl)))
+            .collect()
+    }
+
+    /// Reads the whole store sequentially: `(key, value)` pairs in key
+    /// order plus the wrapping value total.
+    pub fn snapshot(&self, sim: &Sim) -> (Vec<(u64, u64)>, u64) {
+        let mut ctx = sim.seq_ctx();
+        let mut pairs = Vec::with_capacity(self.value_addrs.len());
+        let mut total = 0u64;
+        for key in 0..self.value_addrs.len() as u64 {
+            let shard = self.params.shard_of(key) as usize;
+            let v = ctx
+                .atomic(|tx| self.tables[shard].get(tx, key))
+                .unwrap_or_else(|| panic!("key {key} lost from shard {shard}"));
+            total = total.wrapping_add(v);
+            pairs.push((key, v));
+        }
+        (pairs, total)
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic open-loop traffic generator.
+//!
+//! Millions of simulated client sessions produce request streams ahead of
+//! the run: each session gets a home shard, a burst-modulated start time,
+//! and a short run of requests drawn from the configured mix. Arrival times
+//! are *open-loop* — clients do not wait for responses, so a slow tier
+//! accumulates queue delay that the latency percentiles expose (the p99
+//! collapse the experiment is after), instead of throttling the offered
+//! load the way a closed loop would.
+//!
+//! Generation is pure: the same [`SvcParams`] and seed yield bit-identical
+//! streams (pinned by the property tests), which is what makes svc cells
+//! cacheable and fabric-shardable like every other workload.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Maximum keys one order transaction touches.
+pub const MAX_ORDER_KEYS: usize = 8;
+
+/// Parameters of one service-workload instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SvcParams {
+    /// Simulated client sessions.
+    pub sessions: u64,
+    /// Store shards (and foreground worker threads).
+    pub shards: u32,
+    /// Keys per shard; the global key space is `shards * keys_per_shard`.
+    pub keys_per_shard: u32,
+    /// Zipf exponent in permille (`600` = s 0.6).
+    pub skew_permille: u32,
+    /// Mean simulated cycles between session starts per shard, outside
+    /// bursts (the open-loop offered load).
+    pub mean_gap: u32,
+    /// Bounded per-shard request-queue capacity.
+    pub queue_cap: u32,
+    /// Keys the compaction thread reads and rewrites per batch.
+    pub compaction_batch: u32,
+}
+
+impl Default for SvcParams {
+    fn default() -> SvcParams {
+        SvcParams {
+            sessions: 2000,
+            shards: 4,
+            keys_per_shard: 512,
+            skew_permille: 600,
+            mean_gap: 600,
+            queue_cap: 64,
+            compaction_batch: 24,
+        }
+    }
+}
+
+impl SvcParams {
+    /// Total keys in the store.
+    pub fn total_keys(&self) -> u64 {
+        self.shards as u64 * self.keys_per_shard as u64
+    }
+
+    /// Home shard of `key`: round-robin, so the Zipf head (keys 0, 1, 2,
+    /// …) spreads across shards and every worker sees hot traffic.
+    pub fn shard_of(&self, key: u64) -> u32 {
+        (key % self.shards as u64) as u32
+    }
+}
+
+/// One request's operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Point read.
+    Get(u64),
+    /// Point read-modify-write: add `delta` to the key's value (additive,
+    /// so the final store state is schedule-independent).
+    Put(u64, u64),
+    /// Multi-key order: transfer-style read-modify-write over 2–8 keys.
+    /// `keys[0]` is debited by the sum the other keys are credited, so the
+    /// store's value total is invariant under orders.
+    Order(Vec<u64>, Vec<u64>),
+    /// Range scan: read `len` keys of the home shard starting at `start`.
+    Scan(u64, u32),
+}
+
+/// One request: arrival time plus operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Open-loop arrival time in simulated cycles.
+    pub arrival: u64,
+    /// Session the request belongs to (diagnostics only).
+    pub session: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// The generated traffic: per-shard arrival-ordered request streams.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Traffic {
+    /// Requests of each shard, sorted by `(arrival, generation index)`.
+    pub shards: Vec<Vec<Request>>,
+    /// Sum of all put/order deltas credited minus debited — zero for
+    /// orders by construction, so this is just the put total. `verify`
+    /// checks the final store total against it.
+    pub put_total: u64,
+}
+
+impl Traffic {
+    /// Total requests across shards.
+    pub fn len(&self) -> u64 {
+        self.shards.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Whether no requests were generated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Bursty phase modulation: the horizon is split into eight phases; two of
+/// them run at 4× the base arrival rate (gaps divided by 4).
+const PHASES: u64 = 8;
+const BURST_PHASES: [u64; 2] = [2, 5];
+const BURST_FACTOR: u64 = 4;
+
+fn burst_div(phase: u64) -> u64 {
+    if BURST_PHASES.contains(&(phase % PHASES)) {
+        BURST_FACTOR
+    } else {
+        1
+    }
+}
+
+/// Generates the full traffic for `params` from `seed`. Pure function of
+/// its arguments: bit-identical streams per seed.
+pub fn generate(params: &SvcParams, seed: u64) -> Traffic {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5bc1_57a4_9e37_79b9);
+    let zipf = Zipf::new(params.total_keys(), params.skew_permille);
+    let mut shards: Vec<Vec<(u64, Request)>> = (0..params.shards).map(|_| Vec::new()).collect();
+    let mut put_total = 0u64;
+
+    // Session starts walk forward per shard; the phase a start lands in
+    // divides the next gap, so bursts compress arrivals.
+    let mut shard_clock = vec![0u64; params.shards as usize];
+    let phase_len =
+        (params.sessions / params.shards.max(1) as u64).max(1) * params.mean_gap as u64 / PHASES;
+    let phase_len = phase_len.max(1);
+    let mut gen_idx = 0u64;
+
+    for session in 0..params.sessions {
+        let home = (session % params.shards as u64) as u32;
+        let clock = &mut shard_clock[home as usize];
+        let phase = *clock / phase_len;
+        let gap = rng.gen_range(1..=2 * params.mean_gap as u64) / burst_div(phase);
+        *clock += gap.max(1);
+        let start = *clock;
+
+        let n_reqs = rng.gen_range(1..=4u32);
+        let mut t = start;
+        for _ in 0..n_reqs {
+            let op = match rng.gen_range(0..100u32) {
+                0..=49 => Op::Get(zipf.sample(&mut rng)),
+                50..=79 => {
+                    let delta = rng.gen_range(1..=1000u64);
+                    put_total = put_total.wrapping_add(delta);
+                    Op::Put(zipf.sample(&mut rng), delta)
+                }
+                // An order needs two distinct keys; in a degenerate key
+                // space the arm falls through to a scan instead of
+                // spinning forever looking for a second key.
+                80..=94 if params.total_keys() >= 2 => {
+                    let n = (rng.gen_range(2..=MAX_ORDER_KEYS as u32) as u64)
+                        .min(params.total_keys()) as usize;
+                    let mut keys = Vec::with_capacity(n);
+                    while keys.len() < n {
+                        let k = zipf.sample(&mut rng);
+                        if !keys.contains(&k) {
+                            keys.push(k);
+                        }
+                    }
+                    // Transfer: keys[1..] each credited, keys[0] debited
+                    // by the total, so the store sum is invariant.
+                    let credits: Vec<u64> = (1..n).map(|_| rng.gen_range(1..=100u64)).collect();
+                    let debit = credits.iter().fold(0u64, |a, &c| a.wrapping_add(c));
+                    let mut deltas = vec![0u64.wrapping_sub(debit)];
+                    deltas.extend(credits);
+                    Op::Order(keys, deltas)
+                }
+                _ => {
+                    let start_key = zipf.sample(&mut rng);
+                    Op::Scan(start_key, rng.gen_range(8..=32u32))
+                }
+            };
+            shards[home as usize].push((gen_idx, Request { arrival: t, session, op }));
+            gen_idx += 1;
+            t += rng.gen_range(1..=params.mean_gap as u64 / 2 + 1);
+        }
+    }
+
+    let shards = shards
+        .into_iter()
+        .map(|mut v| {
+            // Stable arrival order: generation index breaks ties, so the
+            // stream is deterministic even when arrivals collide.
+            v.sort_by_key(|(idx, r)| (r.arrival, *idx));
+            v.into_iter().map(|(_, r)| r).collect()
+        })
+        .collect();
+    Traffic { shards, put_total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_seed_deterministic_and_sorted() {
+        let p = SvcParams { sessions: 500, ..Default::default() };
+        let a = generate(&p, 42);
+        let b = generate(&p, 42);
+        assert_eq!(a, b);
+        let c = generate(&p, 43);
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(a.len() >= 500);
+        for shard in &a.shards {
+            assert!(shard.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        }
+    }
+
+    #[test]
+    fn orders_are_sum_invariant() {
+        let p = SvcParams { sessions: 300, ..Default::default() };
+        let t = generate(&p, 7);
+        let mut orders = 0;
+        for r in t.shards.iter().flatten() {
+            if let Op::Order(keys, deltas) = &r.op {
+                orders += 1;
+                assert_eq!(keys.len(), deltas.len());
+                assert!((2..=MAX_ORDER_KEYS).contains(&keys.len()));
+                let sum = deltas.iter().fold(0u64, |a, &d| a.wrapping_add(d));
+                assert_eq!(sum, 0, "order deltas must cancel");
+                let mut k = keys.clone();
+                k.sort_unstable();
+                k.dedup();
+                assert_eq!(k.len(), keys.len(), "order keys must be distinct");
+            }
+        }
+        assert!(orders > 0, "mix must include orders");
+    }
+}

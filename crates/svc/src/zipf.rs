@@ -1,0 +1,111 @@
+//! Deterministic Zipfian key sampler.
+//!
+//! Service traffic is skewed: a few keys take most of the requests. The
+//! sampler draws rank `r` (0-based) with probability proportional to
+//! `1 / (r + 1)^s`, by inverse-CDF binary search over a precomputed
+//! cumulative table — O(log n) per draw, bit-identical across runs for the
+//! same seed, and exact enough for the rank-frequency property tests to pin
+//! the exponent empirically.
+//!
+//! The exponent is carried as **permille** (`s = skew_permille / 1000`) so
+//! cell cache keys stay integer-only.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Zipfian sampler over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probability table: `cdf[r]` = P(rank ≤ r).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `skew_permille / 1000`
+    /// (0 = uniform). `n` is clamped to ≥ 1.
+    pub fn new(n: u64, skew_permille: u32) -> Zipf {
+        let n = n.max(1);
+        let s = skew_permille as f64 / 1000.0;
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Theoretical probability of rank `r` (for the property tests).
+    pub fn share(&self, r: u64) -> f64 {
+        let r = r as usize;
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // First index with cdf >= u.
+        let mut lo = 0usize;
+        let mut hi = self.cdf.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cdf[mid] < u {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_skew_zero() {
+        let z = Zipf::new(4, 0);
+        for r in 0..4 {
+            assert!((z.share(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(100, 1200);
+        assert!(z.share(0) > z.share(1));
+        assert!(z.share(1) > z.share(50));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut hits0 = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) == 0 {
+                hits0 += 1;
+            }
+        }
+        let expect = z.share(0) * 10_000.0;
+        assert!((hits0 as f64 - expect).abs() < expect * 0.15, "{hits0} vs {expect}");
+    }
+
+    #[test]
+    fn degenerate_n_is_clamped() {
+        let z = Zipf::new(0, 990);
+        assert_eq!(z.n(), 1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the service workload's deterministic inputs.
+//!
+//! Three properties over random parameters:
+//!
+//! 1. **Zipf rank-frequency tracks the exponent** — the empirical
+//!    frequency of each head rank stays within tolerance of the
+//!    theoretical share implied by `s = skew_permille / 1000`, the shares
+//!    sum to one, and rank order is never inverted.
+//! 2. **Bit-identical streams per seed** — `traffic::generate` is a pure
+//!    function of `(SvcParams, seed)`: same inputs give byte-equal
+//!    streams, different seeds diverge, and every generated stream is
+//!    well-formed (sorted arrivals, in-range keys, sum-invariant orders).
+//! 3. **Latency-histogram merge is associative** — merging per-thread
+//!    histograms in any grouping or order equals recording the
+//!    concatenated samples, so `RunStats::latency()` (and the fabric's
+//!    cell merging) cannot depend on thread order.
+
+use htm_runtime::LatencyHistogram;
+use htm_svc::traffic::{self, MAX_ORDER_KEYS};
+use htm_svc::{Op, SvcParams, Zipf};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn zipf_rank_frequency_tracks_the_exponent(
+        skew in 0u32..=1500,
+        n in 8u64..256,
+        seed in 0u64..(1u64 << 48),
+    ) {
+        let z = Zipf::new(n, skew);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        const DRAWS: u64 = 20_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..DRAWS {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Head ranks: empirical frequency within tolerance of the share
+        // the exponent implies. At 20k draws the sampling noise is well
+        // under the 2-percentage-point floor.
+        for r in 0..n.min(5) {
+            let f = counts[r as usize] as f64 / DRAWS as f64;
+            let p = z.share(r);
+            let tol = (p * 0.25).max(0.02);
+            prop_assert!((f - p).abs() <= tol, "rank {}: empirical {} vs theoretical {}", r, f, p);
+        }
+        // The shares are a distribution, and skew never inverts ranks.
+        let total: f64 = (0..n).map(|r| z.share(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "shares sum to {}", total);
+        for r in 1..n {
+            prop_assert!(z.share(r - 1) >= z.share(r) - 1e-12, "rank order inverted at {}", r);
+        }
+    }
+
+    #[test]
+    fn traffic_streams_are_bit_identical_per_seed(
+        sessions in 1u64..400,
+        shards in 1u32..6,
+        keys_per_shard in 1u32..64,
+        skew in 0u32..2000,
+        mean_gap in 10u32..800,
+        seed in 0u64..(1u64 << 48),
+    ) {
+        let p = SvcParams {
+            sessions,
+            shards,
+            keys_per_shard,
+            skew_permille: skew,
+            mean_gap,
+            ..Default::default()
+        };
+        let a = traffic::generate(&p, seed);
+        let b = traffic::generate(&p, seed);
+        prop_assert_eq!(&a, &b);
+
+        // Every stream is well-formed regardless of parameters.
+        let total_keys = p.total_keys();
+        let mut requests = 0u64;
+        for shard in &a.shards {
+            prop_assert!(
+                shard.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+                "arrivals must be sorted"
+            );
+            for r in shard {
+                requests += 1;
+                match &r.op {
+                    Op::Get(k) | Op::Scan(k, _) => prop_assert!(*k < total_keys),
+                    Op::Put(k, d) => {
+                        prop_assert!(*k < total_keys);
+                        prop_assert!((1..=1000).contains(d));
+                    }
+                    Op::Order(keys, deltas) => {
+                        prop_assert_eq!(keys.len(), deltas.len());
+                        prop_assert!((2..=MAX_ORDER_KEYS).contains(&keys.len()));
+                        prop_assert!(keys.iter().all(|k| *k < total_keys));
+                        let mut uniq = keys.clone();
+                        uniq.sort_unstable();
+                        uniq.dedup();
+                        prop_assert_eq!(uniq.len(), keys.len());
+                        let sum = deltas.iter().fold(0u64, |acc, &d| acc.wrapping_add(d));
+                        prop_assert_eq!(sum, 0);
+                    }
+                }
+            }
+        }
+        prop_assert!(requests >= sessions, "every session issues at least one request");
+
+        // Nontrivial streams diverge under a different seed.
+        if sessions >= 50 {
+            let c = traffic::generate(&p, seed ^ 1);
+            prop_assert_ne!(&a, &c);
+        }
+    }
+
+    #[test]
+    fn latency_histogram_merge_is_associative_and_order_free(
+        a in proptest::collection::vec(0u64..(1u64 << 40), 0..64),
+        b in proptest::collection::vec(0u64..(1u64 << 40), 0..64),
+        c in proptest::collection::vec(0u64..(1u64 << 40), 0..64),
+    ) {
+        let hist = |vals: &[u64]| {
+            let mut h = LatencyHistogram::default();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // Merging equals recording the concatenation, so per-thread
+        // histograms lose nothing on the way into RunStats::latency().
+        let mut all: Vec<u64> = Vec::new();
+        all.extend(&a);
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &hist(&all));
+        prop_assert_eq!(left.count(), all.len() as u64);
+
+        // And it commutes.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -154,6 +154,61 @@ impl TmHashTable {
         Ok(true)
     }
 
+    /// Words occupied by one chain node (for caller-side pre-allocation
+    /// with [`TmHashTable::insert_node_at`]).
+    pub fn node_words() -> u32 {
+        NODE_WORDS
+    }
+
+    /// Inserts `key → value` into a **caller-allocated** node of
+    /// [`TmHashTable::node_words`] words, if `key` is absent. Returns
+    /// whether the node was linked in.
+    ///
+    /// The point of supplying the node is placement: a setup phase can
+    /// carve nodes out of line-aligned slabs (e.g.
+    /// `ThreadCtx::alloc_line`) so each entry owns its conflict-detection
+    /// line, and hot-key aborts blame the key rather than whatever the
+    /// allocator happened to pack next to it.
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn insert_node_at(
+        &self,
+        tx: &mut Tx<'_>,
+        node: WordAddr,
+        key: u64,
+        value: u64,
+    ) -> TxResult<bool> {
+        let (_, existing) = self.find(tx, key)?;
+        if !existing.is_null() {
+            return Ok(false);
+        }
+        let slot = self.bucket_slot(tx, key)?;
+        let head = tx.load_addr(slot)?;
+        tx.store(node.offset(NODE_KEY), key)?;
+        tx.store(node.offset(NODE_VALUE), value)?;
+        tx.store_addr(node.offset(NODE_NEXT), head)?;
+        tx.store_addr(slot, node)?;
+        Ok(true)
+    }
+
+    /// Address of the value word for `key`, if present. Service workloads
+    /// snapshot these after setup to map conflict-detection lines back to
+    /// the keys stored on them (abort blame by key).
+    ///
+    /// # Errors
+    ///
+    /// Aborts like any transactional operation.
+    pub fn value_addr(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<Option<WordAddr>> {
+        let (_, node) = self.find(tx, key)?;
+        if node.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(node.offset(NODE_VALUE)))
+        }
+    }
+
     /// Inserts or updates `key → value`, returning the previous value.
     ///
     /// # Errors
@@ -293,6 +348,29 @@ mod tests {
                 Ok(())
             })?;
             assert_eq!(count, 20);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn caller_allocated_nodes_and_value_addr() {
+        let sim = Sim::of(Platform::Power8.config());
+        let mut ctx = sim.seq_ctx();
+        let table = ctx.atomic(|tx| TmHashTable::create(tx, 8));
+        // Line-aligned node placement: each entry on its own line.
+        let n0 = ctx.alloc_line(TmHashTable::node_words());
+        let n1 = ctx.alloc_line(TmHashTable::node_words());
+        ctx.atomic(|tx| {
+            assert!(table.insert_node_at(tx, n0, 5, 50)?);
+            assert!(table.insert_node_at(tx, n1, 6, 60)?);
+            // Duplicate key: node not linked.
+            assert!(!table.insert_node_at(tx, n1, 5, 99)?);
+            assert_eq!(table.get(tx, 5)?, Some(50));
+            assert_eq!(table.get(tx, 6)?, Some(60));
+            let a5 = table.value_addr(tx, 5)?.expect("present");
+            assert_eq!(a5, n0.offset(2));
+            assert_eq!(tx.load(a5)?, 50);
+            assert_eq!(table.value_addr(tx, 1234)?, None);
             Ok(())
         });
     }
